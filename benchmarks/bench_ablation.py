@@ -1,0 +1,74 @@
+"""Ablations over the design choices called out in DESIGN.md:
+
+* execution discipline (serial DFS vs rounds vs shuffled rounds) --
+  same facets, different constant factors;
+* multimap implementation inside the threaded hull (CAS vs TAS);
+* predicate strategy: adaptive filter vs always-exact (the filter is
+  the reason random float inputs never touch rational arithmetic).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.geometry import integer_grid, uniform_ball
+from repro.geometry.predicates import STATS
+from repro.hull import parallel_hull, sequential_hull
+from repro.runtime import RoundExecutor, SerialExecutor, ThreadExecutor
+
+N = 2048
+
+
+@pytest.mark.parametrize(
+    "executor",
+    [SerialExecutor(), RoundExecutor(), RoundExecutor(seed=1)],
+    ids=["serial", "rounds", "rounds-shuffled"],
+)
+def test_executor_choice(benchmark, executor):
+    pts = uniform_ball(N, 2, seed=1)
+    order = np.random.default_rng(2).permutation(N)
+    run = run_once(benchmark, parallel_hull, pts, order=order.copy(), executor=executor)
+    benchmark.extra_info["facets"] = len(run.facets)
+    benchmark.extra_info["depth"] = run.dependence_depth()
+
+
+@pytest.mark.parametrize("mm", ["cas", "tas"])
+def test_threaded_multimap_choice(benchmark, mm):
+    pts = uniform_ball(N, 2, seed=1)
+    order = np.random.default_rng(2).permutation(N)
+    run = run_once(
+        benchmark,
+        parallel_hull,
+        pts,
+        order=order.copy(),
+        executor=ThreadExecutor(2),
+        multimap=mm,
+    )
+    benchmark.extra_info["multimap"] = mm
+    benchmark.extra_info["facets"] = len(run.facets)
+
+
+@pytest.mark.parametrize(
+    "gen,label",
+    [(lambda: uniform_ball(N, 2, seed=3), "random-floats"),
+     (lambda: integer_grid(45, 2, seed=3), "integer-grid")],
+    ids=["random-floats", "integer-grid"],
+)
+def test_exact_fallback_rate(benchmark, gen, label):
+    """How often does the adaptive filter fail over to rational
+    arithmetic?  ~0 for generic floats, nonzero for engineered
+    degeneracy -- the justification for the filtered design."""
+    pts = gen()
+
+    def run():
+        STATS.reset()
+        sequential_hull(pts, seed=4)
+        return STATS.snapshot()
+
+    snap = run_once(benchmark, run)
+    benchmark.extra_info["workload"] = label
+    benchmark.extra_info["float_calls"] = snap["float_calls"]
+    benchmark.extra_info["exact_calls"] = snap["exact_calls"]
+    benchmark.extra_info["exact_rate"] = round(
+        snap["exact_calls"] / max(1, snap["float_calls"]), 6
+    )

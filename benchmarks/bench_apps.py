@@ -1,0 +1,62 @@
+"""Scaling of the downstream applications built on the hull library:
+online maintenance, convex layers, joggled degenerate hulls, GJK
+collision queries -- the adoption-surface benchmarks."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import SupportBody, convex_layers, gjk_intersects
+from repro.geometry import integer_grid, uniform_ball
+from repro.hull import joggled_hull
+from repro.hull.online import OnlineHull
+
+
+@pytest.mark.parametrize("n", [512, 2048])
+def test_online_hull_stream(benchmark, n):
+    pts = uniform_ball(n, 2, seed=n)
+
+    def stream():
+        h = OnlineHull(2)
+        h.extend(pts)
+        return h
+
+    h = run_once(benchmark, stream)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["hull_vertices"] = len(h.vertex_indices())
+    benchmark.extra_info["interior_points"] = h.interior_points
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_convex_layers(benchmark, n):
+    pts = uniform_ball(n, 2, seed=n)
+    res = run_once(benchmark, convex_layers, pts, seed=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["layers"] = res.n_layers
+
+
+@pytest.mark.parametrize("side", [10, 20])
+def test_joggled_grid(benchmark, side):
+    pts = integer_grid(side, 2, seed=side)
+    res = run_once(benchmark, joggled_hull, pts, seed=2)
+    benchmark.extra_info["points"] = side * side
+    benchmark.extra_info["attempts"] = res.attempts
+
+
+def test_gjk_query_throughput(benchmark):
+    rng = np.random.default_rng(3)
+    bodies = [
+        SupportBody.from_points(uniform_ball(30, 2, seed=k) + rng.uniform(-2, 2, 2))
+        for k in range(20)
+    ]
+
+    def all_pairs():
+        hits = 0
+        for i in range(len(bodies)):
+            for j in range(i + 1, len(bodies)):
+                hits += gjk_intersects(bodies[i], bodies[j])
+        return hits
+
+    hits = benchmark(all_pairs)
+    benchmark.extra_info["pairs"] = 190
+    benchmark.extra_info["collisions"] = hits

@@ -1,0 +1,22 @@
+"""E1 (proof side): the backwards-analysis process of Theorem 4.2
+executed on concrete instances -- mean tracked-path length against the
+proof's g*H_n bound."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.backwards import backwards_campaign
+from repro.configspace.spaces import HullFacetSpace
+from repro.geometry import uniform_ball
+
+
+@pytest.mark.parametrize("n", [10, 14])
+def test_backwards_paths(benchmark, n):
+    pts = uniform_ball(n, 2, seed=n)
+    space = HullFacetSpace(pts)
+    stats = run_once(benchmark, backwards_campaign, space, list(range(n)), 60)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["mean_length"] = round(stats["mean_length"], 2)
+    benchmark.extra_info["max_length"] = stats["max_length"]
+    benchmark.extra_info["bound_gHn"] = round(stats["bound_gHn"], 2)
+    assert stats["mean_length"] <= stats["bound_gHn"]

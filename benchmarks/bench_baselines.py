@@ -1,0 +1,75 @@
+"""E12: the incremental algorithms against classical baselines.
+
+Shape expectations (the paper's motivation, not absolute numbers):
+* monotone chain wins 2D raw wall-clock (it is a sort plus a scan);
+* the randomized incremental hull is competitive with quickhull at the
+  same facet machinery, and extends to any dimension;
+* gift wrapping degrades on all-extreme inputs (O(n h));
+* the incremental algorithm's work is within constants across regimes.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.baselines import chan, divide_and_conquer, gift_wrapping, monotone_chain, quickhull
+from repro.geometry import on_sphere, uniform_ball
+from repro.hull import parallel_hull, sequential_hull
+
+N2 = 4096
+
+
+@pytest.mark.parametrize(
+    "algo",
+    [monotone_chain, divide_and_conquer, chan],
+    ids=["monotone_chain", "divide_and_conquer", "chan"],
+)
+def test_2d_ball_fast_baselines(benchmark, algo):
+    pts = uniform_ball(N2, 2, seed=1)
+    hull = run_once(benchmark, algo, pts)
+    benchmark.extra_info["n"] = N2
+    benchmark.extra_info["h"] = len(hull)
+
+
+def test_2d_ball_gift_wrapping(benchmark):
+    pts = uniform_ball(1024, 2, seed=1)  # O(nh): keep n moderate
+    hull = run_once(benchmark, gift_wrapping, pts)
+    benchmark.extra_info["n"] = 1024
+    benchmark.extra_info["h"] = len(hull)
+
+
+@pytest.mark.parametrize(
+    "algo,name",
+    [(sequential_hull, "incremental_seq"), (parallel_hull, "incremental_par")],
+    ids=["incremental_seq", "incremental_par"],
+)
+def test_2d_ball_incremental(benchmark, algo, name):
+    pts = uniform_ball(N2, 2, seed=1)
+    res = run_once(benchmark, algo, pts, seed=2)
+    benchmark.extra_info["n"] = N2
+    benchmark.extra_info["tests"] = res.counters.visibility_tests
+
+
+def test_2d_ball_quickhull(benchmark):
+    pts = uniform_ball(N2, 2, seed=1)
+    res = run_once(benchmark, quickhull, pts)
+    benchmark.extra_info["n"] = N2
+    benchmark.extra_info["tests"] = res.counters.visibility_tests
+
+
+N3 = 1500
+
+
+@pytest.mark.parametrize(
+    "fn,name",
+    [
+        (lambda p: sequential_hull(p, seed=3), "incremental_seq"),
+        (lambda p: parallel_hull(p, seed=3), "incremental_par"),
+        (quickhull, "quickhull"),
+    ],
+    ids=["incremental_seq", "incremental_par", "quickhull"],
+)
+def test_3d_sphere(benchmark, fn, name):
+    pts = on_sphere(N3, 3, seed=4)
+    res = run_once(benchmark, fn, pts)
+    benchmark.extra_info["n"] = N3
+    benchmark.extra_info["facets"] = len(res.facets)

@@ -1,0 +1,26 @@
+"""E9 (Section 7, unit circles): incremental unit-disk intersection --
+construction cost and logarithmic dependence depth."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import incremental_disk_intersection
+from repro.configspace.spaces import clustered_unit_circles
+
+SIZES = [64, 256, 1024]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_disk_intersection(benchmark, n):
+    centers = clustered_unit_circles(n, seed=n)
+    res = run_once(benchmark, incremental_disk_intersection, centers, seed=2)
+    assert not res.empty
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["boundary_arcs"] = len(res.boundary())
+    benchmark.extra_info["arcs_created"] = len(res.arcs)
+    benchmark.extra_info["depth"] = res.dependence_depth()
+    benchmark.extra_info["depth_per_log2n"] = round(
+        res.dependence_depth() / math.log2(n), 2
+    )

@@ -1,0 +1,24 @@
+"""E6 (Theorem 3.1, Clarkson--Shor): the measured total conflict size
+of the incremental construction stays below the analytic bound
+``n g^2 sum_i t_i / i^2`` with t_i <= i (2D hull size)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.configspace.theory import clarkson_shor_conflict_bound
+from repro.geometry import on_sphere, uniform_ball
+from repro.hull import sequential_hull
+
+
+@pytest.mark.parametrize("n", [512, 2048])
+@pytest.mark.parametrize("gen", [uniform_ball, on_sphere], ids=["ball", "sphere"])
+def test_total_conflict_size_2d(benchmark, n, gen):
+    pts = gen(n, 2, seed=n)
+    res = run_once(benchmark, sequential_hull, pts, seed=7)
+    total = sum(len(f.conflicts) for f in res.created)
+    bound = clarkson_shor_conflict_bound([float(i) for i in range(1, n + 1)], g=2)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["total_conflicts"] = total
+    benchmark.extra_info["cs_bound"] = int(bound)
+    benchmark.extra_info["measured_over_bound"] = round(total / bound, 3)
+    assert total <= bound

@@ -1,0 +1,25 @@
+"""E3 (PRAM side): measured CRCW span of Algorithm 3 via the executable
+PRAM primitives -- per-algorithm-round cost stays near-constant and the
+normalized span is bounded (the O(log n log* n) shape)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis import crcw_span
+from repro.geometry import on_sphere
+from repro.hull import parallel_hull
+
+SIZES = [256, 1024, 4096]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("mode", ["approximate", "exact"])
+def test_crcw_span(benchmark, n, mode):
+    run = parallel_hull(on_sphere(n, 2, seed=n), seed=5)
+    rep = run_once(benchmark, crcw_span, run, compaction=mode)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["algorithm_rounds"] = rep.algorithm_rounds
+    benchmark.extra_info["pram_span"] = rep.span_rounds
+    benchmark.extra_info["span_per_round"] = round(rep.span_per_round, 2)
+    benchmark.extra_info["normalized"] = round(rep.normalized(), 2)

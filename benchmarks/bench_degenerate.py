@@ -1,0 +1,42 @@
+"""E7 (Section 6, Lemmas 6.1/6.2): the corner configuration space on
+degenerate 3D inputs -- exact active sets equal geometric hull corners,
+and 4-support certification cost."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.configspace import check_k_support
+from repro.configspace.spaces import CornerConfigSpace
+
+
+def degenerate_cloud(n_extras: int) -> np.ndarray:
+    base = np.array([[x, y, z] for x in (0.0, 2) for y in (0.0, 2) for z in (0.0, 2)])
+    extras = np.array(
+        [[1.0, 1, 0], [1, 0, 1], [0, 1, 1], [1, 1, 2], [1, 2, 1], [2, 1, 1]]
+    )
+    return np.vstack([base, extras[:n_extras]])
+
+
+@pytest.mark.parametrize("n_extras", [0, 3, 6])
+def test_lemma61_active_equals_corners(benchmark, n_extras):
+    pts = degenerate_cloud(n_extras)
+    space = CornerConfigSpace(pts)
+    Y = list(range(len(pts)))
+    active = run_once(benchmark, lambda: {c.key() for c in space.active_set(Y)})
+    geometric = space.hull_corners(Y)
+    benchmark.extra_info["points"] = len(pts)
+    benchmark.extra_info["corners"] = len(active)
+    benchmark.extra_info["lemma61_holds"] = active == geometric
+    assert active == geometric
+
+
+@pytest.mark.parametrize("n_extras", [0, 3])
+def test_lemma62_four_support(benchmark, n_extras):
+    pts = degenerate_cloud(n_extras)
+    space = CornerConfigSpace(pts)
+    report = run_once(benchmark, check_k_support, space, range(len(pts)), 4)
+    benchmark.extra_info["points"] = len(pts)
+    benchmark.extra_info["checked"] = report.checked
+    benchmark.extra_info["max_support"] = report.max_support_size()
+    assert report.ok

@@ -1,0 +1,76 @@
+"""E14: Delaunay by lifted parallel hull -- construction cost and depth,
+with scipy's Qhull wrapper as the external reference point (expect
+scipy to win wall-clock by a large constant: it is compiled C)."""
+
+import math
+
+import pytest
+from scipy.spatial import Delaunay as ScipyDelaunay
+
+from benchmarks.conftest import run_once
+from repro.apps import delaunay
+from repro.geometry import uniform_ball
+
+SIZES = [256, 1024]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_lifted_parallel_delaunay(benchmark, n):
+    pts = uniform_ball(n, 2, seed=n)
+    res = run_once(benchmark, delaunay, pts, seed=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["triangles"] = res.n_triangles
+    benchmark.extra_info["depth"] = res.dependence_depth()
+    benchmark.extra_info["depth_per_log2n"] = round(
+        res.dependence_depth() / math.log2(n), 2
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_scipy_reference(benchmark, n):
+    pts = uniform_ball(n, 2, seed=n)
+    tri = run_once(benchmark, ScipyDelaunay, pts)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["triangles"] = len(tri.simplices)
+
+
+@pytest.mark.parametrize("n", [512])
+def test_results_agree(benchmark, n):
+    pts = uniform_ball(n, 2, seed=7)
+
+    def both():
+        ours = delaunay(pts, seed=2).triangles
+        scipy_tris = {frozenset(s) for s in ScipyDelaunay(pts).simplices}
+        return ours == scipy_tris
+
+    agree = run_once(benchmark, both)
+    benchmark.extra_info["agree"] = agree
+    assert agree
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_direct_bowyer_watson(benchmark, n):
+    """The direct incremental Delaunay ([17]'s lineage): depth and
+    in-circle-test accounting alongside the lifted path."""
+    from repro.apps.bowyer_watson import bowyer_watson
+
+    pts = uniform_ball(n, 2, seed=n)
+    res = run_once(benchmark, bowyer_watson, pts, seed=3)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["triangles"] = res.n_triangles
+    benchmark.extra_info["depth"] = res.dependence_depth()
+    benchmark.extra_info["in_circle_tests"] = res.in_circle_tests
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_parallel_delaunay_direct(benchmark, n):
+    """Algorithm 3's machinery on triangles: depth and equivalence-grade
+    test counts for the direct parallel Delaunay."""
+    from repro.apps.parallel_delaunay import parallel_delaunay
+
+    pts = uniform_ball(n, 2, seed=n)
+    res = run_once(benchmark, parallel_delaunay, pts, seed=4)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["triangles"] = res.n_triangles
+    benchmark.extra_info["depth"] = res.dependence_depth()
+    benchmark.extra_info["rounds"] = res.rounds

@@ -1,0 +1,37 @@
+"""E1 (Theorems 1.1/4.2/5.3): dependence depth is O(log n) whp.
+
+Regenerates the depth-vs-n series for d in {2, 3} on the uniform-ball
+and on-sphere workloads.  ``extra_info`` carries depth, H_n, and the
+empirical sigma = depth/H_n, which must stay bounded as n grows.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.configspace.theory import harmonic
+from repro.geometry import on_sphere, uniform_ball
+from repro.hull import parallel_hull
+
+SIZES = [256, 1024, 4096]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("d", [2, 3])
+def test_depth_ball(benchmark, n, d):
+    pts = uniform_ball(n, d, seed=n + d)
+    run = run_once(benchmark, parallel_hull, pts, seed=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["d"] = d
+    benchmark.extra_info["depth"] = run.dependence_depth()
+    benchmark.extra_info["rounds"] = run.exec_stats.rounds
+    benchmark.extra_info["H_n"] = round(harmonic(n), 2)
+    benchmark.extra_info["sigma"] = round(run.dependence_depth() / harmonic(n), 2)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_depth_sphere_2d(benchmark, n):
+    pts = on_sphere(n, 2, seed=n)
+    run = run_once(benchmark, parallel_hull, pts, seed=2)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["depth"] = run.dependence_depth()
+    benchmark.extra_info["sigma"] = round(run.dependence_depth() / harmonic(n), 2)

@@ -1,0 +1,50 @@
+"""E8 (Section 7, half-spaces): incremental half-plane intersection --
+dual-hull vs direct incremental wall-clock, and dependence depth
+staying logarithmic."""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import halfplane_intersection, incremental_halfplanes
+from repro.configspace.spaces import tangent_halfplanes
+
+SIZES = [128, 512, 2048]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_dual_hull_method(benchmark, n):
+    normals, offsets = tangent_halfplanes(n, seed=n)
+    res = run_once(benchmark, halfplane_intersection, normals, offsets, seed=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["vertices"] = len(res.vertex_pairs)
+    benchmark.extra_info["depth"] = res.dependence_depth()
+    benchmark.extra_info["depth_per_log2n"] = round(
+        res.dependence_depth() / math.log2(n), 2
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_direct_incremental(benchmark, n):
+    normals, offsets = tangent_halfplanes(n, seed=n)
+    res = run_once(benchmark, incremental_halfplanes, normals, offsets, seed=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["vertices"] = len(res.vertex_pairs)
+    benchmark.extra_info["depth"] = res.dependence_depth()
+    benchmark.extra_info["depth_per_log2n"] = round(
+        res.dependence_depth() / math.log2(n), 2
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_parallel_edge_driven(benchmark, n):
+    """Algorithm 3's machinery on the half-plane vertex space."""
+    from repro.apps.parallel_halfplanes import parallel_halfplanes
+
+    normals, offsets = tangent_halfplanes(n, seed=n)
+    res = run_once(benchmark, parallel_halfplanes, normals, offsets, seed=2)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["vertices"] = len(res.vertex_pairs)
+    benchmark.extra_info["depth"] = res.dependence_depth()
+    benchmark.extra_info["rounds"] = res.rounds

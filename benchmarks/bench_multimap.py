@@ -1,0 +1,61 @@
+"""E11 (Algorithms 4/5): throughput of the concurrent multimap
+implementations -- CAS (Algorithm 4) vs TAS (Algorithm 5) vs the plain
+dict reference, single-threaded and under real thread contention."""
+
+import threading
+
+import pytest
+
+from repro.runtime import CASMultimap, DictMultimap, TASMultimap
+
+N_KEYS = 2000
+
+
+def make(kind):
+    if kind == "dict":
+        return DictMultimap()
+    if kind == "cas":
+        return CASMultimap(capacity=8 * N_KEYS)
+    return TASMultimap(capacity=8 * N_KEYS)
+
+
+@pytest.mark.parametrize("kind", ["dict", "cas", "tas"])
+def test_insert_pairs_single_thread(benchmark, kind):
+    def run():
+        m = make(kind)
+        for k in range(N_KEYS):
+            m.insert_and_set(k, "a")
+        losers = 0
+        for k in range(N_KEYS):
+            if not m.insert_and_set(k, "b"):
+                losers += 1
+                m.get_value(k, "b")
+        return losers
+
+    losers = benchmark(run)
+    benchmark.extra_info["keys"] = N_KEYS
+    assert losers == N_KEYS
+
+
+@pytest.mark.parametrize("kind", ["cas", "tas"])
+def test_insert_pairs_two_threads(benchmark, kind):
+    def run():
+        m = make(kind)
+        results = {"A": 0, "B": 0}
+
+        def worker(tag):
+            lost = 0
+            for k in range(N_KEYS):
+                if not m.insert_and_set(k, tag):
+                    lost += 1
+            results[tag] = lost
+
+        t1 = threading.Thread(target=worker, args=("A",))
+        t2 = threading.Thread(target=worker, args=("B",))
+        t1.start(); t2.start(); t1.join(); t2.join()
+        return results["A"] + results["B"]
+
+    total_losses = benchmark(run)
+    benchmark.extra_info["keys"] = N_KEYS
+    # Theorem A.1 aggregate: exactly one loser per key.
+    assert total_losses == N_KEYS

@@ -1,0 +1,36 @@
+"""E15: facet-level asynchrony (Algorithm 3) vs the bulk-synchronous
+point-parallel scheme used by practical codes (paper Section 1).
+
+The shape claim: both are logarithmic-ish under random insertion
+orders, but Algorithm 3's dependence depth is consistently below the
+point-parallel round count, and only Algorithm 3 carries a proof.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.geometry import on_sphere, uniform_ball
+from repro.hull import parallel_hull
+from repro.hull.point_parallel import point_parallel_hull
+
+SIZES = [512, 2048]
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("gen", [uniform_ball, on_sphere], ids=["ball", "sphere"])
+def test_point_parallel_rounds(benchmark, n, gen):
+    pts = gen(n, 2, seed=n)
+    pp = run_once(benchmark, point_parallel_hull, pts, seed=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["rounds"] = pp.rounds
+    benchmark.extra_info["max_round_width"] = max(pp.round_sizes)
+    benchmark.extra_info["total_deferrals"] = sum(pp.deferred)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("gen", [uniform_ball, on_sphere], ids=["ball", "sphere"])
+def test_algorithm3_depth_reference(benchmark, n, gen):
+    pts = gen(n, 2, seed=n)
+    run = run_once(benchmark, parallel_hull, pts, seed=1)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["depth"] = run.dependence_depth()

@@ -1,0 +1,69 @@
+"""E2 (Theorem 5.4, work): the parallel algorithm performs the
+sequential algorithm's visibility tests (minus buried-ridge savings),
+O(n log n) in expectation for d <= 3.
+
+``tests_per_nlogn`` must stay flat across sizes; ``ratio`` (parallel /
+sequential tests) must be <= 1.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.geometry import on_sphere, uniform_ball
+from repro.hull import parallel_hull, sequential_hull
+
+SIZES = [512, 2048, 8192]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_sequential_work_2d(benchmark, n):
+    pts = uniform_ball(n, 2, seed=n)
+    res = run_once(benchmark, sequential_hull, pts, seed=3)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["tests"] = res.counters.visibility_tests
+    benchmark.extra_info["tests_per_nlogn"] = round(
+        res.counters.visibility_tests / (n * np.log(n)), 3
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_parallel_work_matches_sequential_2d(benchmark, n):
+    pts = uniform_ball(n, 2, seed=n)
+    order = np.random.default_rng(5).permutation(n)
+    seq = sequential_hull(pts, order=order.copy())
+    par = run_once(benchmark, parallel_hull, pts, order=order.copy())
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["seq_tests"] = seq.counters.visibility_tests
+    benchmark.extra_info["par_tests"] = par.counters.visibility_tests
+    benchmark.extra_info["ratio"] = round(
+        par.counters.visibility_tests / seq.counters.visibility_tests, 4
+    )
+    benchmark.extra_info["same_created"] = par.created_keys() == seq.created_keys()
+    assert par.counters.visibility_tests <= seq.counters.visibility_tests
+
+
+@pytest.mark.parametrize("n", [512, 2048])
+def test_work_3d_sphere(benchmark, n):
+    """The hard regime: every point extreme, hull size Theta(n)."""
+    pts = on_sphere(n, 3, seed=n)
+    res = run_once(benchmark, sequential_hull, pts, seed=4)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["tests"] = res.counters.visibility_tests
+    benchmark.extra_info["tests_per_nlogn"] = round(
+        res.counters.visibility_tests / (n * np.log(n)), 3
+    )
+
+
+@pytest.mark.parametrize("n", [64, 128, 256])
+def test_work_4d_cyclic(benchmark, n):
+    """The n^{floor(d/2)} term of Theorem 5.4: cyclic polytopes in d=4
+    have Theta(n^2) facets, and the work follows."""
+    from repro.geometry import moment_curve
+
+    pts = moment_curve(n, 4, seed=n)
+    res = run_once(benchmark, sequential_hull, pts, seed=9)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["facets"] = len(res.facets)
+    benchmark.extra_info["facets_per_n2"] = round(len(res.facets) / n**2, 4)
+    benchmark.extra_info["tests"] = res.counters.visibility_tests

@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark records the paper-relevant *shape* quantities (depth,
+visibility tests, rounds, ...) in ``benchmark.extra_info`` so the
+pytest-benchmark table doubles as the experiment log consumed by
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive function with one round per measurement
+    (incremental constructions are O(n log n); repeating them many
+    times inside one measurement would only add noise)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=3, iterations=1)

@@ -1,0 +1,53 @@
+"""Draw the E1 summary figure: dependence depth vs n for all four
+incremental problems the library parallelises -- convex hull (2D/3D),
+Delaunay (edge-driven), and half-plane intersection -- on a log-x SVG
+chart.  Logarithmic depth shows up as straight lines.
+
+Run:  python examples/depth_chart.py [outfile.svg]
+"""
+
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.apps.parallel_delaunay import parallel_delaunay
+from repro.apps.parallel_halfplanes import parallel_halfplanes
+from repro.configspace.spaces import tangent_halfplanes
+from repro.geometry import uniform_ball
+from repro.hull import parallel_hull
+from repro.viz import render_depth_chart
+
+
+def main() -> None:
+    out = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "depth_chart.svg")
+    ns = [64, 128, 256, 512, 1024, 2048]
+    series: dict[str, list[tuple[int, float]]] = {
+        "hull d=2": [],
+        "hull d=3": [],
+        "delaunay": [],
+        "half-planes": [],
+    }
+    for n in ns:
+        series["hull d=2"].append(
+            (n, parallel_hull(uniform_ball(n, 2, seed=n), seed=1).dependence_depth())
+        )
+        series["hull d=3"].append(
+            (n, parallel_hull(uniform_ball(n, 3, seed=n), seed=2).dependence_depth())
+        )
+        series["delaunay"].append(
+            (n, parallel_delaunay(uniform_ball(n, 2, seed=n), seed=3).dependence_depth())
+        )
+        normals, offsets = tangent_halfplanes(n, seed=n)
+        series["half-planes"].append(
+            (n, parallel_halfplanes(normals, offsets, seed=4).dependence_depth())
+        )
+        print(f"n={n:5d}: " + "  ".join(
+            f"{k}={v[-1][1]:3.0f}" for k, v in series.items()
+        ))
+    out.write_text(render_depth_chart(series))
+    print(f"\nwrote {out} ({out.stat().st_size:,} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Reproduce the paper's Figure 1 / Section 5.3 worked example.
+
+Starting from the hull u-v-w-x-y-z-t, points a, b, c are added in
+insertion order.  The parallel algorithm finishes in three rounds:
+
+  round 1:  v-c, w-b, x-a, a-z created in parallel
+  round 2:  b-a replaces x-a; c-z replaces a-z
+  round 3:  w-b and b-a are buried by c; v-c and c-z finalise
+
+Run:  python examples/figure1_walkthrough.py
+"""
+
+import numpy as np
+
+from repro.geometry import figure1_points
+from repro.hull import parallel_hull
+
+
+def main() -> None:
+    pts, labels = figure1_points()
+    run = parallel_hull(pts, order=np.arange(10), base_size=7)
+
+    def edge(fid: int) -> str:
+        f = next(x for x in run.created if x.fid == fid)
+        return "-".join(labels[i] for i in f.indices)
+
+    print("Figure 1 walkthrough (paper Section 5.3)")
+    print(f"initial hull: {'-'.join(labels[:7])};  adding a, b, c\n")
+    for rnd in range(run.exec_stats.rounds):
+        print(f"round {rnd + 1}:")
+        for e in run.events:
+            if e.round != rnd:
+                continue
+            ridge = ",".join(labels[i] for i in sorted(e.ridge))
+            if e.kind == "create":
+                print(f"  ridge {{{ridge}}}: create {edge(e.created)} "
+                      f"(replaces {edge(e.removed)}, pivot {labels[e.pivot]})")
+            elif e.kind == "bury":
+                a, b = e.removed_pair
+                print(f"  ridge {{{ridge}}}: bury {edge(a)} and {edge(b)} "
+                      f"(both see pivot {labels[e.pivot]})")
+            else:
+                print(f"  ridge {{{ridge}}}: final")
+        print()
+    hull = sorted(edge(f.fid) for f in run.facets)
+    print(f"final hull edges: {hull}")
+    print(f"rounds: {run.exec_stats.rounds}, dependence depth: {run.dependence_depth()}")
+
+
+if __name__ == "__main__":
+    main()

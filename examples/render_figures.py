@@ -1,0 +1,43 @@
+"""Render SVG figures of the reproduction: the Figure 1 walkthrough
+(facets coloured by creation round), a round-coloured random hull, a
+Delaunay triangulation, and a unit-disk intersection boundary.
+
+Run:  python examples/render_figures.py [outdir]
+Writes figure1.svg, hull_rounds.svg, delaunay.svg, disks.svg.
+"""
+
+import pathlib
+import sys
+
+import numpy as np
+
+from repro.apps import delaunay, incremental_disk_intersection
+from repro.configspace.spaces import clustered_unit_circles
+from repro.geometry import figure1_points, uniform_ball
+from repro.hull import parallel_hull
+from repro.viz import render_delaunay, render_disk_boundary, render_hull_rounds
+
+
+def main() -> None:
+    outdir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "figures")
+    outdir.mkdir(exist_ok=True)
+
+    pts, _ = figure1_points()
+    run = parallel_hull(pts, order=np.arange(10), base_size=7)
+    (outdir / "figure1.svg").write_text(render_hull_rounds(run))
+
+    run = parallel_hull(uniform_ball(400, 2, seed=1), seed=2)
+    (outdir / "hull_rounds.svg").write_text(render_hull_rounds(run))
+
+    res = delaunay(uniform_ball(250, 2, seed=3), seed=4)
+    (outdir / "delaunay.svg").write_text(render_delaunay(res))
+
+    disks = incremental_disk_intersection(clustered_unit_circles(25, seed=5), seed=6)
+    (outdir / "disks.svg").write_text(render_disk_boundary(disks))
+
+    for f in sorted(outdir.glob("*.svg")):
+        print(f"wrote {f} ({f.stat().st_size:,} bytes)")
+
+
+if __name__ == "__main__":
+    main()

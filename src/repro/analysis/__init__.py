@@ -1,0 +1,19 @@
+"""Measurement campaigns over the algorithms: dependence-depth scaling,
+work accounting, and simulated speedup curves."""
+
+from .crcw import CRCWSpanReport, crcw_span
+from .depth import DepthCampaign, DepthSample, fit_log_slope, measure_hull_depths
+from .work import WorkComparison, compare_work, speedup_table, work_scaling
+
+__all__ = [
+    "CRCWSpanReport",
+    "crcw_span",
+    "DepthCampaign",
+    "DepthSample",
+    "fit_log_slope",
+    "measure_hull_depths",
+    "WorkComparison",
+    "compare_work",
+    "speedup_table",
+    "work_scaling",
+]

@@ -1,0 +1,104 @@
+"""Dependence-depth measurement campaigns (experiments E1/E3).
+
+Runs the parallel hull (or any depth-producing callable) across sizes
+and seeds, aggregates depth statistics, fits the ``depth / ln n`` ratio,
+and compares the empirical tail against the Theorem 4.2 bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..configspace.theory import harmonic
+from ..geometry.points import on_sphere, uniform_ball
+from ..hull.parallel import parallel_hull
+
+__all__ = ["DepthSample", "DepthCampaign", "measure_hull_depths", "fit_log_slope"]
+
+
+@dataclass
+class DepthSample:
+    """Depth measurements at one problem size."""
+
+    n: int
+    depths: list[int] = field(default_factory=list)
+    rounds: list[int] = field(default_factory=list)
+
+    @property
+    def mean_depth(self) -> float:
+        return float(np.mean(self.depths))
+
+    @property
+    def max_depth(self) -> int:
+        return max(self.depths)
+
+    @property
+    def depth_over_harmonic(self) -> float:
+        """Mean depth / H_n -- the empirical sigma of Theorem 4.2."""
+        return self.mean_depth / harmonic(self.n)
+
+
+@dataclass
+class DepthCampaign:
+    samples: list[DepthSample]
+
+    def table(self) -> list[dict]:
+        return [
+            {
+                "n": s.n,
+                "mean_depth": round(s.mean_depth, 2),
+                "max_depth": s.max_depth,
+                "H_n": round(harmonic(s.n), 2),
+                "depth/H_n": round(s.depth_over_harmonic, 3),
+                "mean_rounds": round(float(np.mean(s.rounds)), 2) if s.rounds else None,
+            }
+            for s in self.samples
+        ]
+
+    def log_slope(self) -> float:
+        """Least-squares slope of mean depth against ln n -- must
+        flatten to a constant if depth is Theta(log n)."""
+        ns = np.array([s.n for s in self.samples], dtype=float)
+        ds = np.array([s.mean_depth for s in self.samples])
+        return fit_log_slope(ns, ds)
+
+    def sigma_stable(self, rel_tol: float = 0.5) -> bool:
+        """Is the empirical sigma (depth / H_n) roughly constant across
+        sizes?  A super-logarithmic depth would make it grow steadily."""
+        sigmas = [s.depth_over_harmonic for s in self.samples]
+        return (max(sigmas) - min(sigmas)) <= rel_tol * float(np.mean(sigmas))
+
+
+def fit_log_slope(ns: np.ndarray, values: np.ndarray) -> float:
+    """Slope a of the least-squares fit ``values ~ a * ln(n) + b``."""
+    x = np.log(np.asarray(ns, dtype=float))
+    a, _b = np.polyfit(x, np.asarray(values, dtype=float), 1)
+    return float(a)
+
+
+def measure_hull_depths(
+    ns: Sequence[int],
+    d: int,
+    seeds: Sequence[int],
+    generator: Callable[[int, int, int], np.ndarray] | None = None,
+) -> DepthCampaign:
+    """Run the parallel hull over a grid of sizes x seeds and collect
+    dependence depths and round counts.
+
+    ``generator(n, d, seed)`` defaults to the unit-ball workload; use
+    :func:`repro.geometry.on_sphere` for the all-extreme regime.
+    """
+    gen = generator or uniform_ball
+    samples = []
+    for n in ns:
+        sample = DepthSample(n=n)
+        for seed in seeds:
+            pts = gen(n, d, seed)
+            run = parallel_hull(pts, seed=seed * 7919 + 13)
+            sample.depths.append(run.dependence_depth())
+            sample.rounds.append(run.exec_stats.rounds)
+        samples.append(sample)
+    return DepthCampaign(samples=samples)

@@ -1,0 +1,44 @@
+"""Derived solvers built on the paper's machinery: 2D Delaunay by
+lifting, half-plane intersection (dual and direct incremental), and
+unit-disk intersection with dependence tracking."""
+
+from .bowyer_watson import BowyerWatsonResult, bowyer_watson
+from .parallel_halfplanes import ParallelHalfplaneResult, parallel_halfplanes
+from .parallel_delaunay import ParallelDelaunayResult, parallel_delaunay
+from .collision import SupportBody, gjk_distance, gjk_intersects
+from .layers import ConvexLayers, convex_layers
+from .circles import Arc, DiskIntersectionResult, incremental_disk_intersection
+from .delaunay import DelaunayResult, delaunay
+from .halfspace import (
+    Halfspace3DResult,
+    halfspace_intersection_3d,
+    HalfplaneResult,
+    IncrementalHalfplaneResult,
+    halfplane_intersection,
+    incremental_halfplanes,
+)
+
+__all__ = [
+    "BowyerWatsonResult",
+    "bowyer_watson",
+    "ParallelDelaunayResult",
+    "parallel_delaunay",
+    "ParallelHalfplaneResult",
+    "parallel_halfplanes",
+    "SupportBody",
+    "gjk_distance",
+    "gjk_intersects",
+    "ConvexLayers",
+    "convex_layers",
+    "Arc",
+    "DiskIntersectionResult",
+    "incremental_disk_intersection",
+    "DelaunayResult",
+    "delaunay",
+    "Halfspace3DResult",
+    "halfspace_intersection_3d",
+    "HalfplaneResult",
+    "IncrementalHalfplaneResult",
+    "halfplane_intersection",
+    "incremental_halfplanes",
+]

@@ -1,0 +1,115 @@
+"""Convex collision detection on hull polytopes (GJK).
+
+A downstream application of the hull library: the Gilbert--Johnson--
+Keerthi algorithm decides whether two convex bodies intersect using
+only their support functions -- which a :class:`~repro.hull.polytope.
+Polytope` (or a raw vertex cloud) provides as a max-dot-product over
+vertices.  Works in 2D and 3D; results are cross-validated in the test
+suite against an LP feasibility oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SupportBody", "gjk_intersects", "gjk_distance"]
+
+_MAX_ITER = 128
+_EPS = 1e-12
+
+
+@dataclass
+class SupportBody:
+    """A convex body given by its vertices (support = argmax dot)."""
+
+    vertices: np.ndarray
+
+    @staticmethod
+    def from_polytope(poly) -> "SupportBody":
+        return SupportBody(vertices=poly.points[poly.vertices()])
+
+    @staticmethod
+    def from_points(points: np.ndarray) -> "SupportBody":
+        return SupportBody(vertices=np.asarray(points, dtype=np.float64))
+
+    def support(self, direction: np.ndarray) -> np.ndarray:
+        return self.vertices[int(np.argmax(self.vertices @ direction))]
+
+
+def _minkowski_support(a: SupportBody, b: SupportBody, d: np.ndarray) -> np.ndarray:
+    """Support of the Minkowski difference A - B in direction d."""
+    return a.support(d) - b.support(-d)
+
+
+def _closest_on_simplex(simplex: list[np.ndarray]) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Closest point to the origin on the simplex, plus the minimal
+    sub-simplex realising it (distance subalgorithm, any dimension up to
+    len(simplex)-1; simplices here have at most d+1 <= 4 vertices)."""
+    best_point = None
+    best_sub: list[np.ndarray] = []
+    best_dist = np.inf
+    m = len(simplex)
+    # Enumerate faces of the simplex (non-empty subsets).
+    for mask in range(1, 1 << m):
+        sub = [simplex[i] for i in range(m) if mask >> i & 1]
+        p = _closest_on_affine(sub)
+        if p is None:
+            continue
+        dist = float(p @ p)
+        if dist < best_dist - _EPS:
+            best_dist = dist
+            best_point = p
+            best_sub = sub
+    return best_point, best_sub
+
+
+def _closest_on_affine(sub: list[np.ndarray]) -> np.ndarray | None:
+    """Projection of the origin onto the convex hull of ``sub`` if it
+    lands inside (barycentric coordinates all >= 0), else None."""
+    k = len(sub)
+    if k == 1:
+        return sub[0]
+    base = sub[0]
+    edges = np.array([s - base for s in sub[1:]])  # (k-1, dim)
+    gram = edges @ edges.T
+    rhs = -(edges @ base)
+    try:
+        lam = np.linalg.solve(gram, rhs)
+    except np.linalg.LinAlgError:
+        return None
+    if (lam < -1e-12).any() or lam.sum() > 1 + 1e-12:
+        return None
+    return base + lam @ edges
+
+
+def gjk_distance(a: SupportBody, b: SupportBody) -> float:
+    """Distance between two convex bodies (0 when they intersect)."""
+    dim = a.vertices.shape[1]
+    if b.vertices.shape[1] != dim:
+        raise ValueError("dimension mismatch")
+    d = a.vertices.mean(axis=0) - b.vertices.mean(axis=0)
+    if float(d @ d) < _EPS:
+        d = np.zeros(dim)
+        d[0] = 1.0
+    simplex = [_minkowski_support(a, b, -d)]
+    for _ in range(_MAX_ITER):
+        p, simplex = _closest_on_simplex(simplex)
+        dist = float(np.sqrt(p @ p))
+        if dist < 1e-10:
+            return 0.0
+        w = _minkowski_support(a, b, -p)
+        # No progress towards the origin: p is the closest point.
+        if float(p @ (w - p)) > -1e-12 * (1.0 + dist):
+            return dist
+        simplex.append(w)
+        if len(simplex) > dim + 1:
+            # Keep the minimal face plus the new point.
+            simplex = simplex[-(dim + 1):]
+    return dist  # pragma: no cover - iteration cap
+
+
+def gjk_intersects(a: SupportBody, b: SupportBody, tol: float = 1e-9) -> bool:
+    """Do the convex hulls of the two vertex sets intersect?"""
+    return gjk_distance(a, b) <= tol

@@ -1,0 +1,195 @@
+"""Parallel incremental half-plane intersection: Algorithm 3's
+machinery on the Section 7 vertex space.
+
+The transfer works because the structure the paper's ProcessRidge needs
+is present verbatim:
+
+* configurations are polygon **vertices** (two boundary lines), and the
+  interfaces are polygon **edges** -- each on one boundary line, shared
+  by exactly two vertices;
+* a half-plane excluding any point of a segment excludes one of its
+  endpoints (the complement of a half-plane is convex), so the new
+  vertex created on an edge satisfies ``C(new) ⊆ C(v1) ∪ C(v2)``;
+* equal conflict pivots mean the *whole* edge is cut away (both
+  endpoints die -- the bury case), differing pivots mean the earlier
+  half-plane crosses the edge once and spawns one new vertex (the
+  create case, supported by the edge's two old endpoints -- exactly the
+  paper's 2-support for this space).
+
+``ProcessEdge(v1, line, v2)`` therefore runs the same four cases as
+Algorithm 3, pairing the two new vertices a half-plane creates through
+the multimap keyed by the *cutting line*.  Bootstrap is the same
+bounding box as the sequential variant.  Tests check vertex-for-vertex
+agreement with both sequential clipping and the dual-hull method, and
+the usual O(log n) dependence depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..configspace.depgraph import DependenceGraph
+from ..runtime.multimap import DictMultimap
+
+__all__ = ["PVertex", "ParallelHalfplaneResult", "parallel_halfplanes"]
+
+_INF = np.iinfo(np.int64).max
+
+
+@dataclass(eq=False)
+class PVertex:
+    """A polygon vertex: intersection of boundary lines ``pair``,
+    with its conflict set (violating half-planes, ascending ranks)."""
+
+    vid: int
+    pair: tuple[int, int]
+    coords: np.ndarray
+    conflicts: np.ndarray
+    alive: bool = True
+
+    def __hash__(self) -> int:
+        return self.vid
+
+
+@dataclass
+class ParallelHalfplaneResult:
+    normals: np.ndarray
+    offsets: np.ndarray
+    order: np.ndarray
+    vertex_pairs: list[tuple[int, int]]     # original half-plane ids
+    vertices: np.ndarray
+    created: list[PVertex]
+    graph: DependenceGraph
+    rounds: int
+
+    def dependence_depth(self) -> int:
+        return self.graph.depth()
+
+
+def parallel_halfplanes(
+    normals: np.ndarray,
+    offsets: np.ndarray,
+    seed: int | None = None,
+    order: np.ndarray | None = None,
+) -> ParallelHalfplaneResult:
+    """Round-synchronous edge-driven half-plane intersection."""
+    normals = np.asarray(normals, dtype=np.float64)
+    offsets = np.asarray(offsets, dtype=np.float64)
+    if normals.ndim != 2 or normals.shape[1] != 2:
+        raise ValueError("normals must be (n, 2)")
+    if not (offsets > 0).all():
+        raise ValueError("every half-plane must strictly contain the origin")
+    n = normals.shape[0]
+    if order is None:
+        order = np.random.default_rng(seed).permutation(n)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+    # Rank space: half-plane rank r corresponds to original order[r].
+    nr = normals[order]
+    br = offsets[order]
+
+    box_r = 1e8 * float(offsets.max() / np.linalg.norm(normals, axis=1).min())
+    # Box lines get ranks -1..-4 (inserted "before everything").
+    box_normals = {-1: np.array([1.0, 0.0]), -2: np.array([0.0, 1.0]),
+                   -3: np.array([-1.0, 0.0]), -4: np.array([0.0, -1.0])}
+
+    def normal_of(r: int) -> np.ndarray:
+        return box_normals[r] if r < 0 else nr[r]
+
+    def offset_of(r: int) -> float:
+        return box_r if r < 0 else float(br[r])
+
+    def vertex_coords(i: int, j: int) -> np.ndarray:
+        a = np.array([normal_of(i), normal_of(j)])
+        b = np.array([offset_of(i), offset_of(j)])
+        return np.linalg.solve(a, b)
+
+    created: list[PVertex] = []
+    graph = DependenceGraph()
+    next_vid = [0]
+
+    def make(pair: tuple[int, int], candidates: np.ndarray, support) -> PVertex:
+        coords = vertex_coords(*pair)
+        conf = np.array(
+            [int(h) for h in candidates
+             if float(nr[int(h)] @ coords) > float(br[int(h)])],
+            dtype=np.int64,
+        )
+        v = PVertex(vid=next_vid[0], pair=pair, coords=coords, conflicts=conf)
+        next_vid[0] += 1
+        created.append(v)
+        graph.order.append(v.vid)
+        if support is not None:
+            graph.parents[v.vid] = support
+        return v
+
+    # Bootstrap: the box corners; conflict candidates = all half-planes.
+    everything = np.arange(n, dtype=np.int64)
+    box_cycle = [-1, -2, -3, -4]
+    corners = []
+    for t in range(4):
+        i, j = box_cycle[t], box_cycle[(t + 1) % 4]
+        v = make(tuple(sorted((i, j))), everything, None)
+        graph.added_at[v.vid] = 0
+        corners.append(v)
+
+    # Seed: one ProcessEdge per box edge (each on one box line, between
+    # two adjacent corners).
+    frontier: list[tuple[PVertex, int, PVertex]] = []
+    for t in range(4):
+        line = box_cycle[(t + 1) % 4]
+        frontier.append((corners[t], line, corners[(t + 1) % 4]))
+
+    M = DictMultimap()
+    rounds = 0
+
+    def process(task):
+        v1, line, v2 = task
+        b1 = int(v1.conflicts[0]) if v1.conflicts.size else _INF
+        b2 = int(v2.conflicts[0]) if v2.conflicts.size else _INF
+        if b1 == _INF and b2 == _INF:
+            return []                     # final edge of the polygon
+        if b1 == b2:
+            v1.alive = False              # the whole edge is cut away
+            v2.alive = False
+            return []
+        if b2 < b1:
+            v1, v2 = v2, v1
+            b1, b2 = b2, b1
+        h = b1
+        merged = np.union1d(v1.conflicts, v2.conflicts)
+        merged = merged[merged > h]
+        v = make(tuple(sorted((line, h))), merged, support=(v1.vid, v2.vid))
+        graph.added_at[v.vid] = rounds
+        v1.alive = False
+        children = [(v, line, v2)]        # shortened edge on the same line
+        # The other line of the new vertex is h: its edge pairs the two
+        # vertices h creates, discovered through the multimap.
+        if not M.insert_and_set(h, v):
+            children.append((v, h, M.get_value(h, v)))
+        return children
+
+    while frontier:
+        rounds += 1
+        nxt = []
+        for task in frontier:
+            nxt.extend(process(task))
+        frontier = nxt
+
+    alive = [v for v in created if v.alive]
+    if any(r < 0 for v in alive for r in v.pair):
+        raise ValueError("unbounded intersection: final polygon touches the bounding box")
+    pairs = [tuple(sorted((int(order[a]), int(order[b])))) for a, b in
+             (v.pair for v in alive)]
+    return ParallelHalfplaneResult(
+        normals=normals,
+        offsets=offsets,
+        order=order,
+        vertex_pairs=pairs,
+        vertices=np.array([v.coords for v in alive]) if alive else np.zeros((0, 2)),
+        created=created,
+        graph=graph,
+        rounds=rounds,
+    )

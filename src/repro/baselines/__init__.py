@@ -1,0 +1,14 @@
+"""Non-incremental convex hull baselines for the benchmark comparisons
+(E12): classic 2D algorithms and d-dimensional quickhull."""
+
+from .hull2d import chan, divide_and_conquer, gift_wrapping, monotone_chain
+from .quickhull import QuickhullResult, quickhull
+
+__all__ = [
+    "chan",
+    "divide_and_conquer",
+    "gift_wrapping",
+    "monotone_chain",
+    "QuickhullResult",
+    "quickhull",
+]

@@ -1,0 +1,243 @@
+"""Non-incremental 2D convex hull baselines.
+
+These are the comparison points for benchmark E12 (the paper motivates
+the incremental algorithm as competitive with, and simpler than, the
+classical alternatives).  All of them return the hull vertices in
+counterclockwise order as indices into the input array, and all use the
+same adaptive-exact orientation predicate as the main algorithms so the
+comparison is apples-to-apples.
+
+* :func:`monotone_chain` -- Andrew's O(n log n) scan;
+* :func:`gift_wrapping` -- Jarvis march, O(n h);
+* :func:`divide_and_conquer` -- classic O(n log n) merge by tangents
+  (the structure PRAM algorithms [7, 8] parallelise);
+* :func:`chan` -- Chan's output-sensitive O(n log h) algorithm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.predicates import orient
+
+__all__ = ["monotone_chain", "gift_wrapping", "divide_and_conquer", "chan"]
+
+
+def _orient2d(points: np.ndarray, a: int, b: int, c: int) -> int:
+    """Sign of the cross product (b - a) x (c - a): +1 for a left turn."""
+    return orient(points[[a, b]], points[c])
+
+
+def _lex_order(points: np.ndarray) -> np.ndarray:
+    return np.lexsort((points[:, 1], points[:, 0]))
+
+
+def monotone_chain(points: np.ndarray) -> list[int]:
+    """Andrew's monotone chain.  Collinear points on the boundary are
+    dropped (only extreme vertices are returned), matching the facet
+    structure of the incremental algorithms."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 3:
+        return list(range(n))
+    idx = _lex_order(points)
+
+    def half(indices) -> list[int]:
+        chain: list[int] = []
+        for i in indices:
+            while len(chain) >= 2 and _orient2d(points, chain[-2], chain[-1], i) <= 0:
+                chain.pop()
+            chain.append(int(i))
+        return chain
+
+    lower = half(idx)
+    upper = half(idx[::-1])
+    return lower[:-1] + upper[:-1]
+
+
+def gift_wrapping(points: np.ndarray) -> list[int]:
+    """Jarvis march: wrap from the lexicographically smallest point."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 3:
+        return list(range(n))
+    start = int(_lex_order(points)[0])
+    hull = [start]
+    current = start
+    while True:
+        candidate = (current + 1) % n
+        for j in range(n):
+            if j == current or j == candidate:
+                continue
+            t = _orient2d(points, current, candidate, j)
+            if t < 0:
+                candidate = j
+            elif t == 0:
+                # Collinear: take the farther point so interior
+                # collinear points are skipped.
+                d_c = points[candidate] - points[current]
+                d_j = points[j] - points[current]
+                if float(d_j @ d_j) > float(d_c @ d_c):
+                    candidate = j
+        if candidate == start:
+            break
+        hull.append(candidate)
+        current = candidate
+        if len(hull) > n:
+            raise RuntimeError("gift wrapping failed to close the hull")
+    return hull
+
+
+def _merge_hulls(points: np.ndarray, left: list[int], right: list[int]) -> list[int]:
+    """Merge two x-disjoint CCW hulls by upper/lower tangent walking.
+
+    For the upper tangent every other hull vertex must lie strictly
+    below the directed line ``L[i] -> R[j]`` (negative orientation); the
+    walk advances ``i`` counterclockwise on the left hull and ``j``
+    clockwise on the right hull while a neighbour is above the line.
+    The lower tangent is the mirror image.
+    """
+    nl, nr = len(left), len(right)
+    # Rightmost vertex of the left hull, leftmost of the right hull.
+    i0 = max(range(nl), key=lambda i: (points[left[i], 0], points[left[i], 1]))
+    j0 = min(range(nr), key=lambda j: (points[right[j], 0], points[right[j], 1]))
+
+    def tangent(upper: bool) -> tuple[int, int]:
+        i, j = i0, j0
+        while True:
+            moved = False
+            while nl > 1:
+                # Upper: advance i CCW while L's next vertex is on or
+                # above the line; lower: advance i CW while below.
+                inext = (i + 1) % nl if upper else (i - 1) % nl
+                t = _orient2d(points, left[i], right[j], left[inext])
+                if (t >= 0) if upper else (t <= 0):
+                    i = inext
+                    moved = True
+                else:
+                    break
+            while nr > 1:
+                jnext = (j - 1) % nr if upper else (j + 1) % nr
+                t = _orient2d(points, left[i], right[j], right[jnext])
+                if (t >= 0) if upper else (t <= 0):
+                    j = jnext
+                    moved = True
+                else:
+                    break
+            if not moved:
+                return i, j
+
+    ui, uj = tangent(upper=True)
+    li, lj = tangent(upper=False)
+    merged: list[int] = []
+    # Left hull from the upper-tangent vertex CCW (around its far, left
+    # side) to the lower-tangent vertex ...
+    i = ui
+    while True:
+        merged.append(left[i])
+        if i == li:
+            break
+        i = (i + 1) % nl
+    # ... then across the lower tangent and around the right hull's far
+    # side up to the upper-tangent vertex.
+    j = lj
+    while True:
+        merged.append(right[j])
+        if j == uj:
+            break
+        j = (j + 1) % nr
+    return merged
+
+
+def divide_and_conquer(points: np.ndarray, leaf_size: int = 8) -> list[int]:
+    """Classic divide-and-conquer: sort by x, split, hull the halves,
+    merge by tangents."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 3:
+        return list(range(n))
+    idx = _lex_order(points)
+
+    def solve(chunk: np.ndarray) -> list[int]:
+        if len(chunk) <= leaf_size:
+            local = monotone_chain(points[chunk])
+            return [int(chunk[i]) for i in local]
+        mid = len(chunk) // 2
+        return _merge_hulls(points, solve(chunk[:mid]), solve(chunk[mid:]))
+
+    return solve(idx)
+
+
+def chan(points: np.ndarray) -> list[int]:
+    """Chan's output-sensitive algorithm: guess h <= m = 2^(2^t), build
+    ceil(n/m) sub-hulls of size m, then wrap at most m steps using
+    tangent binary searches into each sub-hull."""
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 3:
+        return list(range(n))
+    t = 1
+    while True:
+        m = min(n, 2 ** (2**t))
+        result = _chan_attempt(points, m)
+        if result is not None:
+            return result
+        t += 1
+
+
+def _tangent_search(points: np.ndarray, hull: list[int], p: int) -> int:
+    """Index (into ``hull``) of the right tangent vertex from external
+    point ``p`` (the vertex maximising the CCW angle), by linear scan --
+    sub-hulls are small enough that the O(log) search is not worth the
+    degenerate-case complexity here."""
+    best = hull[0]
+    for v in hull[1:]:
+        if v == p:
+            continue
+        t = _orient2d(points, p, best, v)
+        if t < 0 or (
+            t == 0
+            and float((points[v] - points[p]) @ (points[v] - points[p]))
+            > float((points[best] - points[p]) @ (points[best] - points[p]))
+        ):
+            best = v
+    return best
+
+
+def _chan_attempt(points: np.ndarray, m: int) -> list[int] | None:
+    n = points.shape[0]
+    groups = [np.arange(s, min(s + m, n)) for s in range(0, n, m)]
+    sub_hulls: list[list[int]] = []
+    for g in groups:
+        local = monotone_chain(points[g])
+        sub_hulls.append([int(g[i]) for i in local])
+    start = int(_lex_order(points)[0])
+    hull = [start]
+    current = start
+    for _ in range(m):
+        candidates = [
+            _tangent_search(points, sh, current)
+            for sh in sub_hulls
+            if not (len(sh) == 1 and sh[0] == current)
+        ]
+        best = None
+        for c in candidates:
+            if c == current:
+                continue
+            if best is None:
+                best = c
+                continue
+            t = _orient2d(points, current, best, c)
+            if t < 0 or (
+                t == 0
+                and float((points[c] - points[current]) @ (points[c] - points[current]))
+                > float((points[best] - points[current]) @ (points[best] - points[current]))
+            ):
+                best = c
+        if best is None:
+            return None
+        if best == start:
+            return hull
+        hull.append(best)
+        current = best
+    return None  # m was too small; square it and retry

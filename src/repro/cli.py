@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``hull``      build a hull and print run statistics
+``depth``     depth-vs-n campaign (experiment E1)
+``work``      sequential-vs-parallel work comparison (E2)
+``speedup``   simulated speedup table from the work-span log (E13)
+``delaunay``  Delaunay three ways: lifted / Bowyer-Watson / parallel (E14)
+``figure1``   the paper's Figure 1 walkthrough (E4)
+``crcw``      measured CRCW PRAM span accounting (E3)
+
+Examples
+--------
+
+    python -m repro hull --n 5000 --d 3 --workload sphere --executor rounds
+    python -m repro depth --sizes 128 512 2048 --d 2 --seeds 5
+    python -m repro speedup --n 2000 --procs 1 4 16 64
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .analysis import compare_work, crcw_span, measure_hull_depths, speedup_table
+from .configspace.theory import harmonic
+from .geometry import points as gen
+from .hull import parallel_hull, validate_hull
+from .runtime import RoundExecutor, SerialExecutor, ThreadExecutor
+
+WORKLOADS = {
+    "ball": gen.uniform_ball,
+    "cube": gen.uniform_cube,
+    "sphere": gen.on_sphere,
+    "gaussian": gen.gaussian,
+    "anisotropic": gen.anisotropic,
+    "clusters": gen.two_clusters,
+    "cyclic": gen.moment_curve,
+}
+
+EXECUTORS = {
+    "serial": lambda args: SerialExecutor(),
+    "rounds": lambda args: RoundExecutor(),
+    "threads": lambda args: ThreadExecutor(args.workers),
+}
+
+
+def _points(args) -> np.ndarray:
+    try:
+        workload = WORKLOADS[args.workload]
+    except KeyError:
+        raise SystemExit(f"unknown workload {args.workload!r}; choose from {sorted(WORKLOADS)}")
+    return workload(args.n, args.d, seed=args.seed)
+
+
+def cmd_hull(args) -> None:
+    pts = _points(args)
+    executor = EXECUTORS[args.executor](args)
+    multimap = "cas" if args.executor == "threads" else "dict"
+    run = parallel_hull(pts, seed=args.seed + 1, executor=executor, multimap=multimap)
+    validate_hull(run.facets, run.points)
+    out = {
+        "n": args.n,
+        "d": args.d,
+        "workload": args.workload,
+        "executor": args.executor,
+        "hull_facets": len(run.facets),
+        "hull_vertices": len(run.vertex_indices()),
+        "facets_created": len(run.created),
+        "visibility_tests": run.counters.visibility_tests,
+        "dependence_depth": run.dependence_depth(),
+        "rounds": run.exec_stats.rounds,
+        "work": run.tracker.work,
+        "span": run.tracker.span,
+        "parallelism": round(run.tracker.parallelism, 1),
+    }
+    json.dump(out, sys.stdout, indent=2)
+    print()
+
+
+def cmd_depth(args) -> None:
+    workload = WORKLOADS[args.workload]
+    camp = measure_hull_depths(
+        args.sizes, args.d, range(args.seeds),
+        generator=lambda n, d, s: workload(n, d, seed=s),
+    )
+    print(f"{'n':>7} {'H_n':>6} {'mean depth':>11} {'max':>5} {'sigma':>7} {'rounds':>7}")
+    for s in camp.samples:
+        print(f"{s.n:>7} {harmonic(s.n):>6.2f} {s.mean_depth:>11.2f} "
+              f"{s.max_depth:>5} {s.depth_over_harmonic:>7.2f} "
+              f"{np.mean(s.rounds):>7.1f}")
+    print(f"fitted depth slope per ln(n): {camp.log_slope():.2f}")
+
+
+def cmd_work(args) -> None:
+    pts = _points(args)
+    row = compare_work(pts, seed=args.seed).row()
+    json.dump(row, sys.stdout, indent=2, default=str)
+    print()
+
+
+def cmd_speedup(args) -> None:
+    pts = _points(args)
+    run = parallel_hull(pts, seed=args.seed)
+    print(f"{'P':>5} {'T_P':>10} {'speedup':>8} {'model':>8} {'util':>6}")
+    for row in speedup_table(run, args.procs):
+        print(f"{row['P']:>5} {row['T_P']:>10,} {row['speedup']:>8.2f} "
+              f"{row['model_speedup']:>8.2f} {row['utilisation']:>6.2f}")
+
+
+def cmd_delaunay(args) -> None:
+    from .apps import bowyer_watson, delaunay as lifted_delaunay
+    from .apps.parallel_delaunay import parallel_delaunay
+
+    pts = WORKLOADS[args.workload](args.n, 2, seed=args.seed)
+    order = np.random.default_rng(args.seed + 1).permutation(args.n)
+    lifted = lifted_delaunay(pts, order=order.copy())
+    bw = bowyer_watson(pts, order=order.copy())
+    pd = parallel_delaunay(pts, order=order.copy())
+    agree = lifted.triangles == bw.triangles == pd.triangles
+    print(f"{'method':<26} {'triangles':>9} {'depth':>6}")
+    print(f"{'lifted parallel hull':<26} {lifted.n_triangles:>9} {lifted.dependence_depth():>6}")
+    print(f"{'sequential BW':<26} {bw.n_triangles:>9} {bw.dependence_depth():>6}")
+    print(f"{'parallel ProcessEdge':<26} {pd.n_triangles:>9} {pd.dependence_depth():>6}")
+    print(f"all agree: {agree}; identical tests BW==parallel: "
+          f"{pd.in_circle_tests == bw.in_circle_tests}")
+
+
+def cmd_crcw(args) -> None:
+    pts = _points(args)
+    run = parallel_hull(pts, seed=args.seed)
+    for mode in ("approximate", "exact"):
+        rep = crcw_span(run, compaction=mode)
+        print(f"{mode:>12}: algorithm rounds={rep.algorithm_rounds} "
+              f"PRAM span={rep.span_rounds} per-round={rep.span_per_round:.1f} "
+              f"normalized={rep.normalized():.2f}")
+
+
+def _figure1(args) -> None:
+    from .geometry import figure1_points
+
+    pts, labels = figure1_points()
+    run = parallel_hull(pts, order=np.arange(10), base_size=7)
+
+    def edge(fid: int) -> str:
+        f = next(x for x in run.created if x.fid == fid)
+        return "-".join(labels[i] for i in f.indices)
+
+    for rnd in range(run.exec_stats.rounds):
+        print(f"round {rnd + 1}:")
+        for e in run.events:
+            if e.round != rnd:
+                continue
+            ridge = ",".join(labels[i] for i in sorted(e.ridge))
+            if e.kind == "create":
+                print(f"  {{{ridge}}}: create {edge(e.created)} "
+                      f"(replaces {edge(e.removed)}, pivot {labels[e.pivot]})")
+            elif e.kind == "bury":
+                a, b = e.removed_pair
+                print(f"  {{{ridge}}}: bury {edge(a)}, {edge(b)} (pivot {labels[e.pivot]})")
+            else:
+                print(f"  {{{ridge}}}: final")
+    print("final hull:", sorted(edge(f.fid) for f in run.facets))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Randomized incremental convex hull (SPAA'20) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, sizes=False):
+        p.add_argument("--n", type=int, default=1000)
+        p.add_argument("--d", type=int, default=2)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--workload", default="ball", choices=sorted(WORKLOADS))
+
+    p = sub.add_parser("hull", help="build a hull, print statistics")
+    common(p)
+    p.add_argument("--executor", default="rounds", choices=sorted(EXECUTORS))
+    p.add_argument("--workers", type=int, default=2)
+    p.set_defaults(fn=cmd_hull)
+
+    p = sub.add_parser("depth", help="depth-vs-n campaign (E1)")
+    p.add_argument("--sizes", type=int, nargs="+", default=[128, 512, 2048])
+    p.add_argument("--d", type=int, default=2)
+    p.add_argument("--seeds", type=int, default=5)
+    p.add_argument("--workload", default="ball", choices=sorted(WORKLOADS))
+    p.set_defaults(fn=cmd_depth)
+
+    p = sub.add_parser("work", help="sequential vs parallel work (E2)")
+    common(p)
+    p.set_defaults(fn=cmd_work)
+
+    p = sub.add_parser("speedup", help="simulated speedup table (E13)")
+    common(p)
+    p.add_argument("--procs", type=int, nargs="+", default=[1, 2, 4, 8, 16, 32])
+    p.set_defaults(fn=cmd_speedup)
+
+    p = sub.add_parser("delaunay", help="Delaunay three ways (E14)")
+    common(p)
+    p.set_defaults(fn=cmd_delaunay)
+
+    p = sub.add_parser("figure1", help="the Figure 1 walkthrough (E4)")
+    p.set_defaults(fn=_figure1)
+
+    p = sub.add_parser("crcw", help="CRCW PRAM span accounting (E3)")
+    common(p)
+    p.set_defaults(fn=cmd_crcw)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

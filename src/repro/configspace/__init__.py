@@ -1,0 +1,40 @@
+"""The configuration-space framework of Sections 3-4: configurations
+with defining/conflict sets, support sets and k-support checking, the
+configuration dependence graph, and the paper's analytic bounds."""
+
+from . import spaces
+from .base import Config, ConfigurationSpace
+from .generic import GenericRun, generic_parallel_incremental
+from .depgraph import DependenceGraph, build_dependence_graph, graph_from_hull_run
+from .support import SupportReport, check_k_support, find_support_set, is_support_set
+from .theory import (
+    chernoff_tail,
+    clarkson_shor_conflict_bound,
+    depth_bound_whp,
+    depth_tail_bound,
+    expected_path_length_bound,
+    harmonic,
+    min_sigma,
+)
+
+__all__ = [
+    "spaces",
+    "Config",
+    "ConfigurationSpace",
+    "GenericRun",
+    "generic_parallel_incremental",
+    "DependenceGraph",
+    "build_dependence_graph",
+    "graph_from_hull_run",
+    "SupportReport",
+    "check_k_support",
+    "find_support_set",
+    "is_support_set",
+    "chernoff_tail",
+    "clarkson_shor_conflict_bound",
+    "depth_bound_whp",
+    "depth_tail_bound",
+    "expected_path_length_bound",
+    "harmonic",
+    "min_sigma",
+]

@@ -1,0 +1,108 @@
+"""Configuration spaces (Section 3, after Mulmuley's formulation).
+
+A configuration space is a ground set of *objects* ``X`` together with
+*configurations*, each carrying a defining set ``D`` (at most ``g``
+objects, the maximum degree) and a conflict set ``C`` (disjoint from
+``D``).  A configuration is *active* for ``Y`` iff ``D ⊆ Y`` and
+``C ∩ Y = ∅``; the active set is ``T(Y)``.
+
+Concrete spaces (convex hull facets, Delaunay triangles, half-plane
+vertices, unit-circle arcs, 3D corners) subclass
+:class:`ConfigurationSpace` and provide a *brute-force* ``active_set``
+used as ground truth by the k-support checker and the dependence-graph
+builder.  Objects are always identified by integer indices into the
+space's input data.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable
+
+__all__ = ["Config", "ConfigurationSpace"]
+
+
+@dataclass(frozen=True)
+class Config:
+    """One configuration.
+
+    ``defining`` and ``conflicts`` hold object indices; ``tag``
+    disambiguates multiple configurations over the same defining set
+    (e.g. a facet's orientation), realising the space's multiplicity.
+    Identity -- and therefore hashing -- is ``(defining, tag)``; the
+    conflict set is a derived attribute and deliberately excluded, so a
+    configuration computed from different subsets ``Y`` compares equal.
+    """
+
+    defining: FrozenSet[int]
+    tag: Hashable
+    conflicts: FrozenSet[int]
+
+    def __hash__(self) -> int:
+        return hash((self.defining, self.tag))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Config)
+            and self.defining == other.defining
+            and self.tag == other.tag
+        )
+
+    def key(self) -> tuple:
+        return (self.defining, self.tag)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = ",".join(map(str, sorted(self.defining)))
+        return f"Config({{{d}}}, tag={self.tag!r}, |C|={len(self.conflicts)})"
+
+
+class ConfigurationSpace(ABC):
+    """Abstract configuration space over objects ``0..n_objects-1``.
+
+    Subclasses must report the structural constants the theorems are
+    parameterised by (degree ``g``, multiplicity ``c``, support bound
+    ``k``, base size ``n_b``) and compute active sets; they may override
+    :meth:`find_support` with a constructive rule (the generic
+    brute-force search in :mod:`repro.configspace.support` is the
+    fallback and the ground truth).
+    """
+
+    #: maximum degree g = max |D(pi)|
+    degree: int
+    #: multiplicity c = max configurations per defining set
+    multiplicity: int
+    #: claimed support bound k (what the paper proves for this space)
+    support_k: int
+    #: base size n_b (smallest |Y| at which k-support is claimed)
+    base_size: int
+
+    @property
+    @abstractmethod
+    def n_objects(self) -> int:
+        """Size of the ground set X."""
+
+    @abstractmethod
+    def active_set(self, objects: Iterable[int]) -> set[Config]:
+        """Brute-force ``T(Y)`` for ``Y = set(objects)``.
+
+        Conflict sets of the returned configurations are taken over the
+        *full* ground set X, per the model (activity w.r.t. Y is then
+        just ``C ∩ Y = ∅``, which callers may re-check against other
+        subsets)."""
+
+    def ground_set(self) -> frozenset[int]:
+        return frozenset(range(self.n_objects))
+
+    def is_active(self, config: Config, objects: frozenset[int]) -> bool:
+        return config.defining <= objects and not (config.conflicts & objects)
+
+    def find_support(
+        self, active_prev: set[Config], config: Config, x: int
+    ) -> tuple[Config, ...] | None:
+        """Constructive support set for ``(config, x)`` within the
+        active set ``T(Y \\ {x})``, or None to fall back to search.
+
+        The default defers to the generic brute-force search.
+        """
+        return None

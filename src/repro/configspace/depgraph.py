@@ -1,0 +1,132 @@
+"""The configuration dependence graph (Definition 4.1).
+
+Given a configuration space and an insertion order ``S = <x_1..x_n>``,
+the graph has a vertex for every configuration that ever becomes active
+during the incremental process (``V_i = T(Y_i) \\ T(Y_{i-1})``), and
+edges into each ``π ∈ V_i`` from the ≤ k configurations of
+``T(Y_{i-1})`` that support ``(π, x_i)``.  Its depth is the quantity
+Theorem 4.2 bounds by ``O(log n)`` whp.
+
+Two constructions:
+
+* :func:`build_dependence_graph` -- the definitional one, by brute-force
+  active sets per prefix (ground truth; small n);
+* :func:`graph_from_hull_run` -- the O(output) one read off a parallel
+  hull run's support DAG (they must agree on hull instances, which is
+  itself a test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import networkx as nx
+
+from .base import Config, ConfigurationSpace
+from .support import find_support_set, is_support_set
+
+__all__ = ["DependenceGraph", "build_dependence_graph", "graph_from_hull_run"]
+
+
+@dataclass
+class DependenceGraph:
+    """A leveled DAG over configuration keys.
+
+    ``parents[key]`` are the support-set keys of the step that added
+    ``key``; roots (the base-case configurations) have no entry.
+    """
+
+    parents: dict = field(default_factory=dict)
+    added_at: dict = field(default_factory=dict)  # key -> insertion step
+    order: list = field(default_factory=list)     # keys in addition order
+
+    def depth(self) -> int:
+        """Longest path length in edges (a root alone has depth 0)."""
+        level: dict = {}
+        best = 0
+        for key in self.order:
+            ps = self.parents.get(key, ())
+            level[key] = 1 + max((level[p] for p in ps), default=-1) if ps else 0
+            best = max(best, level[key])
+        return best
+
+    def levels(self) -> dict:
+        """key -> level (roots at 0)."""
+        level: dict = {}
+        for key in self.order:
+            ps = self.parents.get(key, ())
+            level[key] = 1 + max((level[p] for p in ps), default=-1) if ps else 0
+        return level
+
+    def to_networkx(self) -> nx.DiGraph:
+        g = nx.DiGraph()
+        g.add_nodes_from(self.order)
+        for key, ps in self.parents.items():
+            for p in ps:
+                g.add_edge(p, key)
+        return g
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+
+def build_dependence_graph(
+    space: ConfigurationSpace,
+    order: Sequence[int],
+    strict: bool = True,
+) -> DependenceGraph:
+    """Definitional construction by brute force over prefixes.
+
+    For each step ``i > n_b`` the newly active configurations get edges
+    from their support sets in ``T(Y_{i-1})`` (constructive rule if the
+    space has one, else exhaustive search).  With ``strict`` a missing
+    support set raises -- for a space with claimed k-support that is a
+    counterexample.
+    """
+    nb = space.base_size
+    graph = DependenceGraph()
+    prev_active: set[Config] = set()
+    for i in range(nb, len(order) + 1):
+        prefix = frozenset(order[:i])
+        active = {c for c in space.active_set(prefix)}
+        added = active - prev_active
+        x = order[i - 1]
+        for config in sorted(added, key=lambda c: (sorted(c.defining), str(c.tag))):
+            key = config.key()
+            graph.order.append(key)
+            graph.added_at[key] = i
+            if i == nb:
+                continue  # base-case configurations are roots
+            phi = space.find_support(prev_active, config, x)
+            if phi is not None and not (
+                len(phi) <= space.support_k
+                and set(phi) <= prev_active
+                and is_support_set(config, x, phi)
+            ):
+                phi = None
+            if phi is None:
+                phi = find_support_set(prev_active, config, x, space.support_k)
+            if phi is None:
+                if strict:
+                    raise AssertionError(
+                        f"no support set of size <= {space.support_k} for "
+                        f"({config!r}, {x}) at step {i}"
+                    )
+                continue
+            graph.parents[key] = tuple(c.key() for c in phi)
+        prev_active = active
+    return graph
+
+
+def graph_from_hull_run(run) -> DependenceGraph:
+    """Read the dependence graph off a
+    :class:`~repro.hull.parallel.ParallelHullRun` support DAG."""
+    graph = DependenceGraph()
+    for f in run.created:
+        graph.order.append(f.fid)
+        sup = run.support.get(f.fid)
+        if sup is not None:
+            graph.parents[f.fid] = sup
+        graph.added_at[f.fid] = run.pivots.get(f.fid, 0)
+    return graph

@@ -1,0 +1,26 @@
+"""Concrete configuration spaces from the paper: hull facets
+(Section 5), 3D corners (Section 6), ridge formulation / half-planes /
+unit circles (Section 7), and the Delaunay example (Section 3)."""
+
+from .corners3d import CornerConfigSpace
+from .delaunay2d import DelaunayLiftedSpace, NaiveDelaunaySpace, lift_to_paraboloid
+from .halfspaces import HalfplaneSpace, tangent_halfplanes
+from .halfspaces3d import HalfspaceSpace3D, tangent_halfspaces_3d
+from .hull_facets import HullFacetSpace
+from .hull_ridges import HullRidgeSpace
+from .unitcircles import UnitCircleArcSpace, clustered_unit_circles
+
+__all__ = [
+    "CornerConfigSpace",
+    "DelaunayLiftedSpace",
+    "NaiveDelaunaySpace",
+    "lift_to_paraboloid",
+    "HalfplaneSpace",
+    "tangent_halfplanes",
+    "HalfspaceSpace3D",
+    "tangent_halfspaces_3d",
+    "HullFacetSpace",
+    "HullRidgeSpace",
+    "UnitCircleArcSpace",
+    "clustered_unit_circles",
+]

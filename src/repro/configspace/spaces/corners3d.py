@@ -1,0 +1,288 @@
+"""The corner configuration space for degenerate 3D hulls (Section 6).
+
+With four or more coplanar points, hull facets are arbitrary convex
+polygons, so facets cannot serve as constant-degree configurations.
+The paper instead takes *corners*: for every non-collinear triple there
+are six configurations -- each choice of middle ("corner") point, times
+each side of the plane.  A corner ``pl - pm - pr`` on side ``s``
+conflicts with (Figure 3):
+
+* every point strictly on side ``s`` of the plane;
+* every point on the plane strictly outside line ``pm-pl`` (the side
+  away from ``pr``) or strictly outside line ``pm-pr`` (away from ``pl``);
+* every point on those lines strictly beyond ``pl`` resp. ``pr`` (in
+  the direction away from ``pm``).
+
+Lemma 6.1 says the active set of ``Y`` is exactly the corner set of the
+3D hull of ``Y``; Lemma 6.2 says the space has 4-support.  Everything
+here is exact (rational arithmetic end to end), because engineered
+degeneracy is the entire point of this space.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from math import gcd
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..base import Config, ConfigurationSpace
+
+__all__ = ["CornerConfigSpace"]
+
+Vec = tuple[Fraction, Fraction, Fraction]
+
+
+def _fvec(p) -> Vec:
+    return (Fraction(float(p[0])), Fraction(float(p[1])), Fraction(float(p[2])))
+
+
+def _sub(a: Vec, b: Vec) -> Vec:
+    return (a[0] - b[0], a[1] - b[1], a[2] - b[2])
+
+
+def _cross(a: Vec, b: Vec) -> Vec:
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def _dot(a: Vec, b: Vec) -> Fraction:
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+def _sign(x: Fraction) -> int:
+    return (x > 0) - (x < 0)
+
+
+def _is_zero(v: Vec) -> bool:
+    return v[0] == 0 and v[1] == 0 and v[2] == 0
+
+
+class CornerConfigSpace(ConfigurationSpace):
+    """Corner configurations over a 3D point cloud (degeneracy allowed).
+
+    ``tag = (corner_index, side)`` where ``side`` is relative to the
+    canonical normal of the sorted defining triple.  All predicates are
+    exact, so coplanar/collinear inputs are decided correctly.
+    """
+
+    def __init__(self, points: np.ndarray):
+        self.points = np.asarray(points, dtype=np.float64)
+        if self.points.shape[1] != 3:
+            raise ValueError("CornerConfigSpace is 3D only")
+        self.degree = 3
+        self.multiplicity = 6
+        self.support_k = 4
+        self.base_size = 4
+        self._fpoints: list[Vec] = [_fvec(p) for p in self.points]
+        self._config_cache: dict[tuple, Config] = {}
+
+    @property
+    def n_objects(self) -> int:
+        return int(self.points.shape[0])
+
+    # -- exact predicates --------------------------------------------------
+
+    def _canonical_normal(self, triple: tuple[int, int, int]) -> Vec | None:
+        """Exact normal of the plane through the sorted triple; None if
+        collinear."""
+        a, b, c = (self._fpoints[i] for i in sorted(triple))
+        n = _cross(_sub(b, a), _sub(c, a))
+        return None if _is_zero(n) else n
+
+    def _corner_conflicts(self, pl: int, pm: int, pr: int, side: int) -> frozenset:
+        """The Figure 3 conflict set for corner ``pl-pm-pr`` on ``side``
+        (relative to the canonical normal of the sorted triple)."""
+        n = self._canonical_normal((pl, pm, pr))
+        assert n is not None
+        P = self._fpoints
+        base = P[pm]
+        el = _sub(P[pl], base)   # pm -> pl
+        er = _sub(P[pr], base)   # pm -> pr
+        # In-plane outward tests: w_l is perpendicular to line(pm, pl)
+        # within the plane; pr's side of that line is "inside".
+        wl = _cross(n, el)
+        wr = _cross(n, er)
+        inside_l = _sign(_dot(wl, er))  # side of pr w.r.t. line(pm, pl)
+        inside_r = _sign(_dot(wr, el))
+        conflicts = set()
+        for j in range(self.n_objects):
+            if j in (pl, pm, pr):
+                continue
+            q = _sub(P[j], base)
+            s = _sign(_dot(n, q))
+            if s != 0:
+                if s == side:
+                    conflicts.add(j)
+                continue
+            # q lies on the plane.
+            sl = _sign(_dot(wl, q))
+            sr = _sign(_dot(wr, q))
+            if (sl != 0 and sl == -inside_l) or (sr != 0 and sr == -inside_r):
+                conflicts.add(j)  # strictly outside one of the wedge lines
+                continue
+            if sl == 0:
+                # Collinear with pm-pl: conflict iff strictly beyond pl.
+                if _dot(_sub(q, el), el) > 0:
+                    conflicts.add(j)
+                continue
+            if sr == 0:
+                if _dot(_sub(q, er), er) > 0:
+                    conflicts.add(j)
+        return frozenset(conflicts)
+
+    def _config(self, pl: int, pm: int, pr: int, side: int) -> Config | None:
+        """Corner configuration; None when the triple is collinear."""
+        defining = frozenset((pl, pm, pr))
+        tag = (pm, side)
+        key = (defining, tag)
+        cached = self._config_cache.get(key)
+        if cached is not None:
+            return cached
+        if self._canonical_normal((pl, pm, pr)) is None:
+            return None
+        cfg = Config(
+            defining=defining,
+            tag=tag,
+            conflicts=self._corner_conflicts(pl, pm, pr, side),
+        )
+        self._config_cache[key] = cfg
+        return cfg
+
+    # -- active sets --------------------------------------------------------
+
+    def active_set(self, objects: Iterable[int]) -> set[Config]:
+        """Definitional active set: every corner configuration of every
+        non-collinear triple of Y, kept iff its conflict set misses Y."""
+        Y = sorted(set(objects))
+        ys = frozenset(Y)
+        out: set[Config] = set()
+        for triple in combinations(Y, 3):
+            for pm in triple:
+                pl, pr = sorted(set(triple) - {pm})
+                for side in (1, -1):
+                    cfg = self._config(pl, pm, pr, side)
+                    if cfg is not None and not (cfg.conflicts & ys):
+                        out.add(cfg)
+        return out
+
+    # -- geometric ground truth for Lemma 6.1 -------------------------------
+
+    def hull_corners(self, objects: Iterable[int]) -> set[tuple]:
+        """Corners of the 3D hull of Y computed *geometrically*: for
+        every supporting plane, order the face's extreme points into
+        their boundary cycle and emit each consecutive triple.  Returns
+        keys ``(defining frozenset, (corner, side))`` comparable with
+        :meth:`active_set` keys.  Requires Y to be full-dimensional.
+        """
+        Y = sorted(set(objects))
+        P = self._fpoints
+        planes: dict[tuple, tuple[Vec, Fraction, int]] = {}
+        for triple in combinations(Y, 3):
+            n = self._canonical_normal(tuple(triple))
+            if n is None:
+                continue
+            a = P[sorted(triple)[0]]
+            off = _dot(n, a)
+            key = self._plane_key(n, off)
+            if key in planes:
+                continue
+            signs = {s for s in (_sign(_dot(n, P[j]) - off) for j in Y) if s != 0}
+            if len(signs) == 1:
+                planes[key] = (n, off, next(iter(signs)))
+            elif len(signs) == 0:
+                raise ValueError("all points coplanar: hull is not full-dimensional")
+        corners: set[tuple] = set()
+        for n, off, inner in planes.values():
+            outward = tuple(-x for x in n) if inner > 0 else n
+            face = [j for j in Y if _dot(n, P[j]) == off]
+            cycle = self._face_cycle(face, outward)
+            m = len(cycle)
+            for i in range(m):
+                pm = cycle[i]
+                pl = cycle[(i - 1) % m]
+                pr = cycle[(i + 1) % m]
+                side = self._side_tag((pl, pm, pr), outward)
+                corners.add((frozenset((pl, pm, pr)), (pm, side)))
+        return corners
+
+    def _side_tag(self, triple: tuple[int, int, int], outward: Vec) -> int:
+        n = self._canonical_normal(triple)
+        assert n is not None
+        return _sign(_dot(n, outward))
+
+    @staticmethod
+    def _plane_key(n: Vec, off: Fraction) -> tuple:
+        """Canonical rational plane key (normal scaled to coprime
+        integers, first nonzero component positive)."""
+        dens = [x.denominator for x in (*n, off)]
+        scale = 1
+        for d in dens:
+            scale = scale * d // gcd(scale, d)
+        ints = [int(x * scale) for x in (*n, off)]
+        g = 0
+        for v in ints:
+            g = gcd(g, abs(v))
+        if g:
+            ints = [v // g for v in ints]
+        first = next((v for v in ints[:3] if v != 0))
+        if first < 0:
+            ints = [-v for v in ints]
+        return tuple(ints)
+
+    def _face_cycle(self, face: Sequence[int], outward: Vec) -> list[int]:
+        """Vertices of the face polygon in boundary order (gift wrapping
+        within the plane with exact orientation; interior and
+        edge-interior points are dropped)."""
+        P = self._fpoints
+        if len(face) < 3:
+            raise ValueError("a hull face needs at least 3 points")
+
+        def turn(a: int, b: int, c: int) -> int:
+            return _sign(_dot(outward, _cross(_sub(P[b], P[a]), _sub(P[c], P[b]))))
+
+        # Start from the point extreme in an in-plane direction.
+        u = None
+        for i, j in combinations(face, 2):
+            e = _sub(P[j], P[i])
+            if not _is_zero(e):
+                u = e
+                break
+        assert u is not None
+        v = _cross(outward, u)
+        start = min(face, key=lambda i: (_dot(u, P[i]), _dot(v, P[i])))
+        cycle = [start]
+        current = start
+        while True:
+            candidate = None
+            for nxt in face:
+                if nxt == current:
+                    continue
+                if candidate is None:
+                    candidate = nxt
+                    continue
+                t = turn(current, candidate, nxt)
+                if t < 0:
+                    candidate = nxt
+                elif t == 0:
+                    # Collinear: keep the farther one (edge-interior
+                    # points are not polygon vertices).
+                    d_cand = _sub(P[candidate], P[current])
+                    d_next = _sub(P[nxt], P[current])
+                    if _dot(d_next, d_next) > _dot(d_cand, d_cand):
+                        candidate = nxt
+            assert candidate is not None
+            if candidate == start:
+                break
+            cycle.append(candidate)
+            current = candidate
+            if len(cycle) > len(face):
+                raise RuntimeError("face cycle did not close")
+        if len(cycle) < 3:
+            raise RuntimeError("degenerate face cycle")
+        return cycle

@@ -1,0 +1,142 @@
+"""2D Delaunay triangulation as a configuration space (Section 3's
+running example).
+
+Two formulations are provided, and the difference between them is an
+instructive empirical finding recorded in EXPERIMENTS.md:
+
+:class:`NaiveDelaunaySpace`
+    The textbook space: each triple of points is one configuration
+    conflicting with the points strictly inside its circumcircle.  This
+    space does **not** have 2-support: when the removed defining point
+    ``x`` leaves edge ``(a, b)`` on the hull of ``Y \\ {x}``, the edge
+    has only one adjacent triangle, whose circumcircle need not cover
+    the conflicts of ``(a, b, x)`` beyond the hull.  The test suite
+    exhibits concrete counterexamples.
+
+:class:`DelaunayLiftedSpace`
+    The formulation the paper's machinery actually covers: lift points
+    to the paraboloid ``z = x^2 + y^2`` and use the 3D hull *facet*
+    space (Theorem 5.1 then gives 2-support, base size 4).  Active
+    lower facets are exactly the Delaunay triangles; upper facets are
+    the farthest-point Delaunay triangles and are what rescues support
+    at the boundary.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from ...geometry.predicates import in_circle, orient_exact
+from ..base import Config, ConfigurationSpace
+from .hull_facets import HullFacetSpace
+
+__all__ = ["NaiveDelaunaySpace", "DelaunayLiftedSpace", "lift_to_paraboloid"]
+
+
+def lift_to_paraboloid(points: np.ndarray) -> np.ndarray:
+    """Map 2D points onto the paraboloid ``z = x^2 + y^2``."""
+    points = np.asarray(points, dtype=np.float64)
+    z = (points * points).sum(axis=1)
+    return np.column_stack([points, z])
+
+
+class NaiveDelaunaySpace(ConfigurationSpace):
+    """Triangles with empty-circumcircle conflict sets.
+
+    Points must be in general position: no three collinear, no four
+    cocircular (either raises).  ``support_k = 2`` records the *naive
+    expectation*; :func:`repro.configspace.check_k_support` demonstrates
+    it fails at hull-boundary steps (see the module docstring).
+    """
+
+    def __init__(self, points: np.ndarray):
+        self.points = np.asarray(points, dtype=np.float64)
+        if self.points.shape[1] != 2:
+            raise ValueError("NaiveDelaunaySpace is 2D only")
+        self.degree = 3
+        self.multiplicity = 1
+        self.support_k = 2
+        self.base_size = 3
+        self._config_cache: dict[tuple, Config] = {}
+
+    @property
+    def n_objects(self) -> int:
+        return int(self.points.shape[0])
+
+    def _config(self, subset: tuple[int, ...]) -> Config:
+        cached = self._config_cache.get(subset)
+        if cached is not None:
+            return cached
+        a, b, c = (self.points[i] for i in subset)
+        tri_orient = orient_exact(np.array([a, b]), c)
+        if tri_orient == 0:
+            raise ValueError(f"degenerate input: collinear triple {subset}")
+        conflicts = set()
+        for j in range(self.n_objects):
+            if j in subset:
+                continue
+            # Normalize by triangle orientation so +1 always means
+            # "strictly inside the circumcircle".
+            s = in_circle(a, b, c, self.points[j]) * tri_orient
+            if s == 0:
+                raise ValueError(
+                    f"degenerate input: point {j} cocircular with {subset}"
+                )
+            if s > 0:
+                conflicts.add(j)
+        cfg = Config(defining=frozenset(subset), tag=None, conflicts=frozenset(conflicts))
+        self._config_cache[subset] = cfg
+        return cfg
+
+    def active_set(self, objects: Iterable[int]) -> set[Config]:
+        """The Delaunay triangles of Y."""
+        Y = sorted(set(objects))
+        ys = frozenset(Y)
+        if len(Y) < 3:
+            return set()
+        out: set[Config] = set()
+        for subset in combinations(Y, 3):
+            cfg = self._config(subset)
+            if not (cfg.conflicts & ys):
+                out.add(cfg)
+        return out
+
+
+class DelaunayLiftedSpace(HullFacetSpace):
+    """The lifted formulation: 3D hull facets over paraboloid-lifted
+    points.  Inherits 2-support from Theorem 5.1; use
+    :meth:`delaunay_triangles` to read off the triangulation."""
+
+    def __init__(self, points: np.ndarray):
+        points = np.asarray(points, dtype=np.float64)
+        if points.shape[1] != 2:
+            raise ValueError("DelaunayLiftedSpace takes 2D input points")
+        self.flat_points = points
+        super().__init__(lift_to_paraboloid(points))
+        self.base_size = 4
+
+    def delaunay_triangles(self, objects: Iterable[int]) -> set[frozenset]:
+        """Triples forming the Delaunay triangulation of ``Y``: the
+        *lower* facets of the lifted hull (downward-facing normals)."""
+        Y = sorted(set(objects))
+        triangles: set[frozenset] = set()
+        for cfg in self.active_set(Y):
+            if self._is_lower(tuple(sorted(cfg.defining)), cfg.tag):
+                triangles.add(cfg.defining)
+        return triangles
+
+    def _is_lower(self, subset: tuple[int, ...], sign: int) -> bool:
+        """Is the oriented facet downward-facing (conflict side below)?
+
+        The configuration with tag ``sign`` conflicts with points on the
+        ``sign`` orientation side; the facet is a lower hull facet iff
+        that side contains ``-infinity`` in z, which we test with a
+        point far below the facet's centroid."""
+        simplex = self.points[list(subset)]
+        probe = simplex.mean(axis=0)
+        probe = probe.copy()
+        probe[2] -= 1.0 + 4.0 * float(np.abs(self.points[:, 2]).max())
+        return orient_exact(simplex, probe) == sign

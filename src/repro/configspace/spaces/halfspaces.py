@@ -1,0 +1,161 @@
+"""The half-plane intersection configuration space (Section 7).
+
+Objects are closed half-planes ``a_i . x <= b_i`` in R^2 (each given by
+its outward normal ``a_i`` and offset ``b_i``); we require ``b_i > 0``
+so all of them strictly contain the origin, making the intersection
+nonempty.  A *vertex* configuration is the point defined by two boundary
+lines; it conflicts with every half-plane that does not contain it.
+
+The paper: "Boundaries can be handled by using configurations with
+``d-1`` half-spaces and a direction along the shared edge signifying
+infinity."  In 2D that is a *ray* configuration: one half-plane plus a
+direction along its boundary line; it conflicts with every half-plane
+the ray eventually leaves.  Rays are what support the fresh vertices a
+new half-plane creates when it caps an unbounded part of the region --
+without them 2-support genuinely fails (the test suite demonstrates
+this), with them it holds.
+
+``T(Y)`` is then the vertex set of the intersection of ``Y`` plus the
+unbounded edge ends.  All predicates are exact (rational 2x2 solves),
+so engineered degeneracies (three concurrent lines) are detected rather
+than mis-decided.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from ...geometry.linalg import solve_exact
+from ..base import Config, ConfigurationSpace
+
+__all__ = ["HalfplaneSpace", "tangent_halfplanes"]
+
+
+def tangent_halfplanes(n: int, seed: int = 0, radius: float = 1.0) -> tuple[np.ndarray, np.ndarray]:
+    """Workload generator: ``n`` half-planes tangent to the circle of
+    ``radius`` around the origin at random angles (so every boundary
+    line touches the intersection region's vicinity and the polygon is
+    bounded once angles span more than a half-circle).
+
+    Returns ``(normals, offsets)``.
+    """
+    rng = np.random.default_rng(seed)
+    theta = rng.random(n) * 2.0 * np.pi
+    normals = np.column_stack([np.cos(theta), np.sin(theta)])
+    offsets = np.full(n, radius)
+    return normals, offsets
+
+
+class HalfplaneSpace(ConfigurationSpace):
+    """Vertices of half-plane intersections as a configuration space."""
+
+    def __init__(self, normals: np.ndarray, offsets: np.ndarray):
+        self.normals = np.asarray(normals, dtype=np.float64)
+        self.offsets = np.asarray(offsets, dtype=np.float64)
+        if self.normals.shape[1] != 2:
+            raise ValueError("HalfplaneSpace is 2D only")
+        if not (self.offsets > 0).all():
+            raise ValueError("all half-planes must strictly contain the origin (b > 0)")
+        self.degree = 2
+        self.multiplicity = 2  # one vertex per pair; two rays per single
+        self.support_k = 2
+        self.base_size = 2
+        self._config_cache: dict[frozenset, Config | None] = {}
+        self._ray_cache: dict[tuple[int, int], Config] = {}
+
+    @property
+    def n_objects(self) -> int:
+        return int(self.normals.shape[0])
+
+    def vertex(self, i: int, j: int) -> tuple[Fraction, Fraction] | None:
+        """Exact intersection point of boundary lines i and j (None if
+        parallel)."""
+        rows = [
+            [Fraction(float(self.normals[i, 0])), Fraction(float(self.normals[i, 1]))],
+            [Fraction(float(self.normals[j, 0])), Fraction(float(self.normals[j, 1]))],
+        ]
+        det = rows[0][0] * rows[1][1] - rows[0][1] * rows[1][0]
+        if det == 0:
+            return None
+        x, y = solve_exact(rows, [Fraction(float(self.offsets[i])),
+                                  Fraction(float(self.offsets[j]))])
+        return x, y
+
+    def _config(self, pair: frozenset) -> Config | None:
+        if pair in self._config_cache:
+            return self._config_cache[pair]
+        i, j = sorted(pair)
+        v = self.vertex(i, j)
+        if v is None:
+            self._config_cache[pair] = None
+            return None
+        x, y = v
+        conflicts = set()
+        for h in range(self.n_objects):
+            if h in pair:
+                continue
+            lhs = Fraction(float(self.normals[h, 0])) * x + Fraction(
+                float(self.normals[h, 1])
+            ) * y
+            if lhs > Fraction(float(self.offsets[h])):
+                conflicts.add(h)
+        cfg = Config(defining=pair, tag=None, conflicts=frozenset(conflicts))
+        self._config_cache[pair] = cfg
+        return cfg
+
+    def _ray(self, i: int, direction: int) -> Config:
+        """Ray configuration: the boundary line of half-plane ``i``
+        escaping to infinity in ``direction`` (+1 = CCW tangent
+        ``rot90(a_i)``, -1 = the opposite).  Conflicts: every half-plane
+        the far end of the ray violates (computed exactly)."""
+        key = (i, direction)
+        cached = self._ray_cache.get(key)
+        if cached is not None:
+            return cached
+        ax = Fraction(float(self.normals[i, 0]))
+        ay = Fraction(float(self.normals[i, 1]))
+        bi = Fraction(float(self.offsets[i]))
+        dx, dy = (-ay * direction, ax * direction)
+        conflicts = set()
+        for h in range(self.n_objects):
+            if h == i:
+                continue
+            hx = Fraction(float(self.normals[h, 0]))
+            hy = Fraction(float(self.normals[h, 1]))
+            bh = Fraction(float(self.offsets[h]))
+            s = hx * dx + hy * dy
+            if s > 0:
+                conflicts.add(h)
+            elif s == 0:
+                # Parallel boundaries: a_h . x is constant on line i;
+                # the constant is (a_h . a_i) * b_i / |a_i|^2.
+                norm2 = ax * ax + ay * ay
+                value = (hx * ax + hy * ay) * bi / norm2
+                if value > bh:
+                    conflicts.add(h)
+        cfg = Config(
+            defining=frozenset({i}),
+            tag=("ray", direction),
+            conflicts=frozenset(conflicts),
+        )
+        self._ray_cache[key] = cfg
+        return cfg
+
+    def active_set(self, objects: Iterable[int]) -> set[Config]:
+        Y = sorted(set(objects))
+        ys = frozenset(Y)
+        out: set[Config] = set()
+        for i, j in combinations(Y, 2):
+            cfg = self._config(frozenset((i, j)))
+            if cfg is not None and not (cfg.conflicts & ys):
+                out.add(cfg)
+        for i in Y:
+            for direction in (1, -1):
+                ray = self._ray(i, direction)
+                if not (ray.conflicts & ys):
+                    out.add(ray)
+        return out

@@ -1,0 +1,168 @@
+"""The 3D half-space intersection configuration space (Section 7,
+d-dimensional form).
+
+Objects are closed half-spaces ``a_i . x <= b_i`` in R^3 with
+``b_i > 0`` (all strictly containing the origin).  Configurations:
+
+* **vertices** -- three boundary planes meeting in a point; conflicts
+  are the half-spaces not containing it (degree 3, multiplicity 1);
+* **edge rays** -- per the paper's boundary prescription
+  ("configurations with d-1 half-spaces and a direction along the
+  shared edge signifying infinity"): two boundary planes plus a
+  direction along their intersection line; conflicts are the
+  half-spaces the ray eventually leaves (degree 2, multiplicity 2).
+
+``T(Y)`` is then the vertex set of the intersection polyhedron of ``Y``
+together with the unbounded edge ends.  Everything is exact (rational
+3x3 solves and cross products), and the support structure is verified
+empirically through the generic checker -- testing whether the paper's
+d-dimensional boundary sentence suffices at d = 3.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from ...geometry.linalg import solve_exact
+from ..base import Config, ConfigurationSpace
+
+__all__ = ["HalfspaceSpace3D", "tangent_halfspaces_3d"]
+
+FVec = tuple[Fraction, Fraction, Fraction]
+
+
+def tangent_halfspaces_3d(n: int, seed: int = 0, radius: float = 1.0):
+    """``n`` half-spaces tangent to the sphere of ``radius`` around the
+    origin at uniformly random directions."""
+    rng = np.random.default_rng(seed)
+    normals = rng.standard_normal((n, 3))
+    normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+    return normals, np.full(n, radius)
+
+
+def _fvec(row) -> FVec:
+    return (Fraction(float(row[0])), Fraction(float(row[1])), Fraction(float(row[2])))
+
+
+def _cross(a: FVec, b: FVec) -> FVec:
+    return (
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    )
+
+
+def _dot(a: FVec, b: FVec) -> Fraction:
+    return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+
+class HalfspaceSpace3D(ConfigurationSpace):
+    """Vertices + edge rays of 3D half-space intersections."""
+
+    def __init__(self, normals: np.ndarray, offsets: np.ndarray):
+        self.normals = np.asarray(normals, dtype=np.float64)
+        self.offsets = np.asarray(offsets, dtype=np.float64)
+        if self.normals.ndim != 2 or self.normals.shape[1] != 3:
+            raise ValueError("HalfspaceSpace3D needs (n, 3) normals")
+        if not (self.offsets > 0).all():
+            raise ValueError("all half-spaces must strictly contain the origin")
+        self.degree = 3
+        self.multiplicity = 2  # two rays per plane pair; one vertex per triple
+        self.support_k = 2
+        self.base_size = 3
+        self._fn: list[FVec] = [_fvec(r) for r in self.normals]
+        self._fb: list[Fraction] = [Fraction(float(b)) for b in self.offsets]
+        self._vertex_cache: dict[frozenset, Config | None] = {}
+        self._ray_cache: dict[tuple, Config | None] = {}
+
+    @property
+    def n_objects(self) -> int:
+        return int(self.normals.shape[0])
+
+    # -- vertices -----------------------------------------------------------
+
+    def vertex(self, triple: frozenset) -> tuple[Fraction, ...] | None:
+        i, j, k = sorted(triple)
+        rows = [list(self._fn[t]) for t in (i, j, k)]
+        try:
+            return tuple(solve_exact(rows, [self._fb[i], self._fb[j], self._fb[k]]))
+        except ZeroDivisionError:
+            return None  # the three planes do not meet in a single point
+
+    def _vertex_config(self, triple: frozenset) -> Config | None:
+        if triple in self._vertex_cache:
+            return self._vertex_cache[triple]
+        v = self.vertex(triple)
+        cfg = None
+        if v is not None:
+            conflicts = set()
+            for h in range(self.n_objects):
+                if h in triple:
+                    continue
+                if _dot(self._fn[h], v) > self._fb[h]:
+                    conflicts.add(h)
+            cfg = Config(defining=triple, tag="vertex", conflicts=frozenset(conflicts))
+        self._vertex_cache[triple] = cfg
+        return cfg
+
+    # -- edge rays -----------------------------------------------------------
+
+    def _ray_config(self, i: int, j: int, direction: int) -> Config | None:
+        key = (i, j, direction)
+        if key in self._ray_cache:
+            return self._ray_cache[key]
+        d = _cross(self._fn[i], self._fn[j])
+        if d == (0, 0, 0):
+            self._ray_cache[key] = None
+            return None  # parallel boundary planes: no shared edge
+        if direction < 0:
+            d = (-d[0], -d[1], -d[2])
+        # A point on the line i cap j: solve the 2x3 system by fixing the
+        # coordinate where |d| is largest to 0.
+        axis = max(range(3), key=lambda a: abs(d[a]))
+        cols = [c for c in range(3) if c != axis]
+        rows = [[self._fn[t][c] for c in cols] for t in (i, j)]
+        try:
+            sol = solve_exact(rows, [self._fb[i], self._fb[j]])
+        except ZeroDivisionError:  # pragma: no cover - d != 0 prevents this
+            self._ray_cache[key] = None
+            return None
+        p = [Fraction(0)] * 3
+        p[cols[0]], p[cols[1]] = sol
+        conflicts = set()
+        for h in range(self.n_objects):
+            if h in (i, j):
+                continue
+            s = _dot(self._fn[h], d)
+            if s > 0:
+                conflicts.add(h)
+            elif s == 0 and _dot(self._fn[h], tuple(p)) > self._fb[h]:
+                conflicts.add(h)
+        cfg = Config(
+            defining=frozenset((i, j)),
+            tag=("ray", direction),
+            conflicts=frozenset(conflicts),
+        )
+        self._ray_cache[key] = cfg
+        return cfg
+
+    # -- active sets -----------------------------------------------------------
+
+    def active_set(self, objects: Iterable[int]) -> set[Config]:
+        Y = sorted(set(objects))
+        ys = frozenset(Y)
+        out: set[Config] = set()
+        for triple in combinations(Y, 3):
+            cfg = self._vertex_config(frozenset(triple))
+            if cfg is not None and not (cfg.conflicts & ys):
+                out.add(cfg)
+        for i, j in combinations(Y, 2):
+            for direction in (1, -1):
+                cfg = self._ray_config(i, j, direction)
+                if cfg is not None and not (cfg.conflicts & ys):
+                    out.add(cfg)
+        return out

@@ -1,0 +1,102 @@
+"""The facet configuration space for d-dimensional convex hull
+(Section 5, right column of Table 1).
+
+Objects are the input points.  Every ``d``-subset defines two
+configurations -- one per orientation (multiplicity 2) -- and a
+configuration conflicts with every point strictly visible from the
+oriented facet.  ``T(Y)`` is the set of hull facets of ``Y``.
+
+The constructive support rule is Fact 5.2: for facet ``t`` and defining
+point ``x``, the support of ``(t, x)`` is the pair of facets of
+``T(Y \\ {x})`` sharing the ridge ``t \\ {x}``.
+
+Everything here is brute force over exact predicates -- it is the ground
+truth the fast hull algorithms are validated against, and the instance
+on which Theorem 5.1 is certified exhaustively.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+import numpy as np
+
+from ...geometry.predicates import orient_exact
+from ..base import Config, ConfigurationSpace
+
+__all__ = ["HullFacetSpace"]
+
+
+class HullFacetSpace(ConfigurationSpace):
+    """Configuration space of oriented hull facets over a point cloud.
+
+    ``tag`` is the orientation sign: a configuration with tag ``+1``
+    conflicts with points on the positive orientation side of its
+    (sorted) defining tuple, tag ``-1`` with the negative side.  Points
+    must be in general position (an exactly-coplanar point raises).
+    """
+
+    def __init__(self, points: np.ndarray):
+        self.points = np.asarray(points, dtype=np.float64)
+        n, d = self.points.shape
+        self.dimension = d
+        self.degree = d
+        self.multiplicity = 2
+        self.support_k = 2
+        self.base_size = d + 1
+        self._config_cache: dict[tuple, Config] = {}
+
+    @property
+    def n_objects(self) -> int:
+        return int(self.points.shape[0])
+
+    def _config(self, subset: tuple[int, ...], sign: int) -> Config:
+        """Configuration for an oriented d-subset; conflict set over X."""
+        key = (subset, sign)
+        cached = self._config_cache.get(key)
+        if cached is not None:
+            return cached
+        simplex = self.points[list(subset)]
+        conflicts = set()
+        for j in range(self.n_objects):
+            if j in subset:
+                continue
+            s = orient_exact(simplex, self.points[j])
+            if s == 0:
+                raise ValueError(
+                    f"degenerate input: point {j} lies on the hyperplane of {subset}"
+                )
+            if s == sign:
+                conflicts.add(j)
+        cfg = Config(
+            defining=frozenset(subset), tag=sign, conflicts=frozenset(conflicts)
+        )
+        self._config_cache[key] = cfg
+        return cfg
+
+    def active_set(self, objects: Iterable[int]) -> set[Config]:
+        """Hull facets of the subset ``Y``: oriented d-subsets of Y with
+        no point of Y on their conflict side."""
+        Y = sorted(set(objects))
+        ys = frozenset(Y)
+        if len(Y) < self.dimension + 1:
+            return set()
+        out: set[Config] = set()
+        for subset in combinations(Y, self.dimension):
+            for sign in (1, -1):
+                cfg = self._config(subset, sign)
+                if not (cfg.conflicts & ys):
+                    out.add(cfg)
+        return out
+
+    def find_support(
+        self, active_prev: set[Config], config: Config, x: int
+    ) -> tuple[Config, ...] | None:
+        """Fact 5.2: the two facets of ``T(Y \\ {x})`` sharing the ridge
+        ``D(config) \\ {x}``."""
+        ridge = config.defining - {x}
+        sharing = [c for c in active_prev if ridge <= c.defining]
+        if len(sharing) != 2:
+            return None
+        return tuple(sharing)

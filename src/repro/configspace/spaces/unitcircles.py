@@ -1,0 +1,183 @@
+"""The unit-circle intersection configuration space (Section 7).
+
+Objects are unit circles (given by their centers); the region of
+interest is the intersection of the closed unit disks, whose boundary
+decomposes into circular arcs.  A configuration is an arc: a maximal
+piece of one circle (the *owner*) bounded at each end by the constraint
+of another circle becoming tight.  Per the paper, an arc is defined by
+two circles (both endpoints cut by the same circle) or three, giving
+multiplicity at most 3; an arc conflicts with any circle that overlaps
+it (some arc point strictly outside that circle's disk) but does not
+fully contain it.
+
+The geometry is float-based with an explicit tolerance; the workload
+generators keep instances far from degeneracy (no two identical
+centers, no three circles through one point).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import acos, atan2, pi
+from typing import Iterable
+
+import numpy as np
+
+from ..base import Config, ConfigurationSpace
+
+__all__ = ["UnitCircleArcSpace", "clustered_unit_circles"]
+
+_TAU = 2.0 * pi
+_TOL = 1e-9
+
+
+def clustered_unit_circles(n: int, seed: int = 0, spread: float = 0.6) -> np.ndarray:
+    """``n`` unit-circle centers inside the disk of radius ``spread``
+    around the origin -- every disk then contains the origin, so the
+    common intersection is nonempty and bounded."""
+    rng = np.random.default_rng(seed)
+    angles = rng.random(n) * _TAU
+    radii = spread * np.sqrt(rng.random(n))
+    return np.column_stack([radii * np.cos(angles), radii * np.sin(angles)])
+
+
+def _norm_angle(a: float) -> float:
+    """Map an angle into [0, 2*pi)."""
+    a = a % _TAU
+    return a + _TAU if a < 0 else a
+
+
+def _interval_contains(s: float, length: float, x: float) -> bool:
+    """Does the CCW circular interval [s, s+length] contain angle x?"""
+    return _norm_angle(x - s) <= length + _TOL
+
+
+class UnitCircleArcSpace(ConfigurationSpace):
+    """Arcs of unit-disk intersections as a configuration space.
+
+    A configuration's ``tag`` is ``(owner, cut_start, cut_end)``: the
+    circle the arc lies on and the circles whose constraints are tight
+    at its CCW start and end.  Its defining set is the union of those
+    (2 or 3 circles), matching the paper's description.
+    """
+
+    def __init__(self, centers: np.ndarray):
+        self.centers = np.asarray(centers, dtype=np.float64)
+        if self.centers.shape[1] != 2:
+            raise ValueError("UnitCircleArcSpace is 2D only")
+        n = self.centers.shape[0]
+        for i, j in combinations(range(n), 2):
+            if np.linalg.norm(self.centers[i] - self.centers[j]) < _TOL:
+                raise ValueError(f"duplicate circle centers {i} and {j}")
+        self.degree = 3
+        self.multiplicity = 3
+        self.support_k = 2
+        self.base_size = 2
+        self._config_cache: dict[tuple, Config] = {}
+
+    @property
+    def n_objects(self) -> int:
+        return int(self.centers.shape[0])
+
+    # -- angular constraint geometry ------------------------------------
+
+    def _constraint(self, owner: int, other: int) -> tuple[float, float]:
+        """The CCW interval ``(start, length)`` of circle ``owner``
+        lying inside disk ``other``.  Length ``-1`` encodes "disks too
+        far apart: nothing of owner is inside other"."""
+        m = self.centers[other] - self.centers[owner]
+        dist = float(np.hypot(m[0], m[1]))
+        if dist >= 2.0 - _TOL:
+            return (0.0, -1.0)
+        phi = atan2(m[1], m[0])
+        alpha = acos(min(1.0, max(-1.0, dist / 2.0)))
+        return (_norm_angle(phi - alpha), 2.0 * alpha)
+
+    def _allowed_components(
+        self, owner: int, others: list[int]
+    ) -> list[tuple[float, float, int, int]]:
+        """Maximal CCW intervals of circle ``owner`` inside every disk
+        of ``others``, as ``(start, length, cut_start, cut_end)`` where
+        the named circles are tight at the endpoints.  Empty when some
+        disk excludes the whole circle or no disk constrains it (a full
+        circle is not an arc configuration)."""
+        constraints: list[tuple[float, float, int]] = []
+        for c in others:
+            s, ln = self._constraint(owner, c)
+            if ln < 0:
+                return []
+            if ln >= _TAU - _TOL:  # pragma: no cover - unit circles always cut
+                continue
+            constraints.append((s, ln, c))
+        if not constraints:
+            return []
+        comps: list[tuple[float, float, int, int]] = []
+        for s0, _l0, c0 in constraints:
+            # s0 opens a component iff every other constraint allows it.
+            if not all(
+                _interval_contains(s, ln, s0)
+                for s, ln, c in constraints
+                if c != c0
+            ):
+                continue
+            # The component runs CCW from s0 until the first constraint
+            # interval ends.
+            end_len, c_end = min(
+                (_norm_angle((s + ln) - s0), c) for s, ln, c in constraints
+            )
+            if end_len > _TOL:
+                comps.append((s0, end_len, c0, c_end))
+        return comps
+
+    def _arc_conflicts(
+        self, owner: int, start: float, length: float, exclude: frozenset
+    ) -> frozenset:
+        """Circles outside ``exclude`` with some arc point strictly
+        outside their disk (the paper's conflict relation: overlapping
+        but not fully containing)."""
+        conflicts = set()
+        for h in range(self.n_objects):
+            if h == owner or h in exclude:
+                continue
+            s, ln = self._constraint(owner, h)
+            if ln < 0:
+                conflicts.add(h)
+                continue
+            inside = (
+                _interval_contains(s, ln, start)
+                and _norm_angle(start - s) + length <= ln + _TOL
+            )
+            if not inside:
+                conflicts.add(h)
+        return frozenset(conflicts)
+
+    def _config(
+        self, owner: int, cut_start: int, cut_end: int, start: float, length: float
+    ) -> Config:
+        tag = (owner, cut_start, cut_end)
+        defining = frozenset({owner, cut_start, cut_end})
+        key = (defining, tag)
+        cached = self._config_cache.get(key)
+        if cached is not None:
+            return cached
+        cfg = Config(
+            defining=defining,
+            tag=tag,
+            conflicts=self._arc_conflicts(owner, start, length, defining),
+        )
+        self._config_cache[key] = cfg
+        return cfg
+
+    # -- active sets -----------------------------------------------------
+
+    def active_set(self, objects: Iterable[int]) -> set[Config]:
+        """Arcs on the boundary of the intersection of the disks in Y."""
+        Y = sorted(set(objects))
+        out: set[Config] = set()
+        if len(Y) < 2:
+            return out
+        for owner in Y:
+            others = [c for c in Y if c != owner]
+            for start, length, c_start, c_end in self._allowed_components(owner, others):
+                out.add(self._config(owner, c_start, c_end, start, length))
+        return out

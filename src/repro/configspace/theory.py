@@ -1,0 +1,91 @@
+"""Analytic bounds from the paper, as executable formulas.
+
+These are the quantities the experiment harness plots measurements
+against:
+
+* Theorem 3.1 (Clarkson--Shor): expected total conflict size of an
+  incremental construction;
+* Theorem 4.2: the tail bound ``Pr[D(G(S)) >= sigma * H_n] <
+  c * n^-(sigma - g)`` for sigma >= g*k*e^2;
+* the derived expected-depth scale ``g * H_n`` and the Chernoff form
+  used inside the proof.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "harmonic",
+    "expected_path_length_bound",
+    "chernoff_tail",
+    "depth_tail_bound",
+    "min_sigma",
+    "depth_bound_whp",
+    "clarkson_shor_conflict_bound",
+]
+
+
+def harmonic(n: int) -> float:
+    """H_n = sum_{i=1..n} 1/i (exact summation; n is at most ~1e7 in
+    our experiments so the loop is fine and avoids asymptotic error)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if n > 10_000_000:
+        # Asymptotic expansion for very large n.
+        g = 0.5772156649015329
+        return math.log(n) + g + 1 / (2 * n) - 1 / (12 * n * n)
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def expected_path_length_bound(n: int, g: int) -> float:
+    """E[L] <= g * H_n: the expected length of a single backward path in
+    the proof of Theorem 4.2."""
+    return g * harmonic(n)
+
+
+def chernoff_tail(mean: float, a: float) -> float:
+    """The paper's Chernoff form ``Pr[Z >= A] < (e * E[Z] / A)^A`` for a
+    sum of independent indicators (valid for A > E[Z])."""
+    if a <= 0:
+        return 1.0
+    return (math.e * mean / a) ** a
+
+
+def min_sigma(g: int, k: int) -> float:
+    """The smallest sigma for which Theorem 4.2 applies: g*k*e^2."""
+    return g * k * math.e**2
+
+
+def depth_tail_bound(n: int, sigma: float, g: int, k: int, c: int) -> float:
+    """Theorem 4.2: an upper bound on ``Pr[D(G(S)) >= sigma * H_n]``.
+
+    Returns ``c * n^-(sigma - g)`` (clamped to 1), raising if sigma is
+    below the theorem's validity threshold ``g*k*e^2``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if sigma < min_sigma(g, k):
+        raise ValueError(
+            f"Theorem 4.2 requires sigma >= g*k*e^2 = {min_sigma(g, k):.3f}, got {sigma}"
+        )
+    return min(1.0, c * float(n) ** (-(sigma - g)))
+
+
+def depth_bound_whp(n: int, g: int, k: int, c: int, failure_exponent: float = 1.0) -> float:
+    """The depth value ``sigma * H_n`` that holds with probability at
+    least ``1 - c / n^failure_exponent`` per Theorem 4.2 (choosing the
+    smallest valid sigma that achieves the exponent)."""
+    sigma = max(min_sigma(g, k), g + failure_exponent)
+    return sigma * harmonic(n)
+
+
+def clarkson_shor_conflict_bound(active_sizes: Sequence[float], g: int) -> float:
+    """Theorem 3.1: with t_i = E[|T({x_1..x_i})|], the expected total
+    conflict size is at most ``n * g^2 * sum_i t_i / i^2``.
+
+    ``active_sizes[i-1]`` supplies t_i (measured or analytic).
+    """
+    n = len(active_sizes)
+    return n * g * g * sum(t / (i * i) for i, t in enumerate(active_sizes, start=1))

@@ -1,0 +1,51 @@
+"""Exact-arithmetic geometric substrate: predicates, hyperplanes,
+facet/ridge value types, and seeded workload generators."""
+
+from .hyperplane import Hyperplane
+from .linalg import det_exact, det_with_error_bound, sign_exact
+from .points import (
+    anisotropic,
+    collinear_cluster,
+    coplanar_3d,
+    figure1_points,
+    gaussian,
+    integer_grid,
+    moment_curve,
+    on_circle,
+    on_paraboloid,
+    on_sphere,
+    rng_for,
+    two_clusters,
+    uniform_ball,
+    uniform_cube,
+)
+from .predicates import STATS, in_circle, orient, orient_exact
+from .simplex import Facet, Ridge, facet_ridges
+
+__all__ = [
+    "Hyperplane",
+    "det_exact",
+    "det_with_error_bound",
+    "sign_exact",
+    "STATS",
+    "in_circle",
+    "orient",
+    "orient_exact",
+    "Facet",
+    "Ridge",
+    "facet_ridges",
+    "rng_for",
+    "uniform_ball",
+    "uniform_cube",
+    "on_sphere",
+    "on_circle",
+    "gaussian",
+    "on_paraboloid",
+    "integer_grid",
+    "coplanar_3d",
+    "collinear_cluster",
+    "anisotropic",
+    "figure1_points",
+    "moment_curve",
+    "two_clusters",
+]

@@ -1,0 +1,189 @@
+"""Oriented hyperplanes and vectorized visibility tests.
+
+A facet of a d-dimensional hull is carried by the hyperplane through its
+``d`` defining points, oriented so that the hull interior is on the
+*negative* side.  A point is **visible** from the facet iff it lies
+strictly on the positive side (the open outer half-space) -- exactly the
+conflict relation of the paper's configuration space (Table 1).
+
+The hot loop of every hull algorithm is "filter a candidate array down
+to the visible points", so :meth:`Hyperplane.visible_mask` is fully
+vectorized: one matrix-vector product per facet plus an exact rational
+recheck only for candidates whose float margin is inside the error
+envelope.
+
+Correctness of the filter rests on the envelope dominating *both*
+rounding sources: the dot product itself, and the error of the
+floating-point cofactor normal (whose components are (d-1)x(d-1)
+determinants, bounded Hadamard-style by the product ``H`` of the
+edge-row norms):
+
+    |computed margin - n_exact . (q - p0)|
+        <= 16 d eps (d^2 H + |n|_1 + 1) * (1 + |p0|_inf + |q|_inf).
+
+An earlier version used only the dot-product term; an ill-conditioned
+moment-curve (cyclic polytope) workload silently corrupted hulls -- the
+regression tests live in ``tests/geometry/test_hyperplane.py`` and
+``tests/hull/test_moment_curve.py``.  When even the orientation
+reference point falls inside the envelope, the float normal carries no
+usable information and the plane switches to *always-exact* mode: every
+query is decided rationally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .linalg import cofactor_normal
+from .predicates import STATS, orient_exact
+
+__all__ = ["Hyperplane"]
+
+_EPS = float(np.finfo(np.float64).eps)
+
+
+class Hyperplane:
+    """Oriented affine hyperplane ``{x : normal . x = offset}`` in R^d.
+
+    ``normal`` points towards the *visible* (outside) half-space (when
+    the float fast path is live).  ``base_points`` are the defining
+    points; ``ref_point`` the interior reference fixed at construction
+    -- together they let the exact fallback re-derive visibility from
+    original coordinates.  ``always_exact`` marks planes whose float
+    normal is untrustworthy.
+    """
+
+    __slots__ = (
+        "normal",
+        "offset",
+        "base_points",
+        "ref_point",
+        "err_scale",
+        "err_base",
+        "always_exact",
+        "_vis_sign",
+    )
+
+    def __init__(self, normal, offset, base_points, ref_point,
+                 err_scale, err_base, always_exact, vis_sign=None):
+        self.normal = normal
+        self.offset = offset
+        self.base_points = base_points
+        self.ref_point = ref_point
+        self.err_scale = err_scale
+        self.err_base = err_base
+        self.always_exact = always_exact
+        self._vis_sign = vis_sign
+
+    @staticmethod
+    def through(points: np.ndarray, below: np.ndarray) -> "Hyperplane":
+        """Hyperplane through the rows of ``points`` (a ``(d, d)``
+        array), oriented so that the reference point ``below`` is on the
+        negative (invisible) side.
+
+        Raises ``ValueError`` if ``below`` lies exactly on the plane
+        (the caller must pick a strictly interior reference).
+        """
+        points = np.asarray(points, dtype=np.float64)
+        below = np.asarray(below, dtype=np.float64)
+        d = points.shape[1]
+        normal = cofactor_normal(points)
+        offset = float(normal @ points[0])
+        edges = points[1:] - points[0]
+        row_norms = np.sqrt((edges * edges).sum(axis=1))
+        hadamard = float(np.prod(row_norms)) if row_norms.size else 1.0
+        n1 = float(np.abs(normal).sum())
+        err_scale = 16.0 * d * _EPS * (d * d * hadamard + n1 + 1.0)
+        err_base = 1.0 + float(np.abs(points[0]).max(initial=0.0))
+
+        margin_ref = float(normal @ below) - offset
+        env_ref = err_scale * (err_base + float(np.abs(below).max(initial=0.0)))
+        if abs(margin_ref) > env_ref:
+            # Float-certain: orient the normal so the reference is below.
+            if margin_ref > 0:
+                normal, offset = -normal, -offset
+            return Hyperplane(
+                normal=normal, offset=offset, base_points=points,
+                ref_point=below, err_scale=err_scale, err_base=err_base,
+                always_exact=False,
+            )
+        # The reference sits inside the envelope: the float normal is
+        # not trustworthy for any decision near this plane.
+        s_ref = orient_exact(points, below)
+        if s_ref == 0:
+            raise ValueError("orientation reference lies on the hyperplane")
+        return Hyperplane(
+            normal=normal, offset=offset, base_points=points,
+            ref_point=below, err_scale=err_scale, err_base=err_base,
+            always_exact=True, vis_sign=-s_ref,
+        )
+
+    # -- exact orientation -------------------------------------------------
+
+    @property
+    def vis_sign(self) -> int:
+        """The :func:`orient_exact` value that means "visible", derived
+        lazily from the reference point (which is strictly interior)."""
+        if self._vis_sign is None:
+            s_ref = orient_exact(self.base_points, self.ref_point)
+            if s_ref == 0:  # pragma: no cover - through() guarantees otherwise
+                raise ValueError("orientation reference lies on the hyperplane")
+            self._vis_sign = -s_ref
+        return self._vis_sign
+
+    def _side_exact(self, q) -> int:
+        s = orient_exact(self.base_points, q)
+        if s == 0:
+            return 0
+        return 1 if s == self.vis_sign else -1
+
+    # -- scalar predicate ---------------------------------------------------
+
+    def side(self, q) -> int:
+        """Sign of the side of ``q``: +1 visible, -1 invisible, 0 on the
+        plane (decided exactly when the float margin is ambiguous)."""
+        q = np.asarray(q, dtype=np.float64)
+        if self.always_exact:
+            return self._side_exact(q)
+        margin = float(self.normal @ q) - self.offset
+        env = self.err_scale * (self.err_base + float(np.abs(q).max(initial=0.0)))
+        STATS.float_calls += 1
+        if margin > env:
+            return 1
+        if margin < -env:
+            return -1
+        return self._side_exact(q)
+
+    def is_visible(self, q) -> bool:
+        """Strict visibility: ``q`` in the open outer half-space."""
+        return self.side(q) > 0
+
+    # -- vectorized predicate ---------------------------------------------
+
+    def margins(self, pts: np.ndarray) -> np.ndarray:
+        """Signed float margins (positive = visible side) for a batch.
+        Meaningful only when the fast path is live (``always_exact`` is
+        False); magnitudes below the envelope are noise either way."""
+        return pts @ self.normal - self.offset
+
+    def visible_mask(self, pts: np.ndarray) -> np.ndarray:
+        """Boolean mask of strictly visible points among ``pts``.
+
+        Vectorized fast path; candidates within the error envelope are
+        re-decided exactly one by one (rare for generic float inputs,
+        common for engineered degenerate or ill-conditioned inputs).
+        """
+        pts = np.asarray(pts, dtype=np.float64)
+        if pts.size == 0:
+            return np.zeros(0, dtype=bool)
+        if self.always_exact:
+            return np.array([self._side_exact(q) > 0 for q in pts], dtype=bool)
+        margins = self.margins(pts)
+        env = self.err_scale * (self.err_base + np.abs(pts).max(axis=1))
+        mask = margins > env
+        uncertain = np.abs(margins) <= env
+        STATS.float_calls += int(pts.shape[0])
+        if uncertain.any():
+            for i in np.nonzero(uncertain)[0]:
+                mask[i] = self._side_exact(pts[i]) > 0
+        return mask

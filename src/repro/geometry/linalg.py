@@ -1,0 +1,183 @@
+"""Small-matrix linear algebra used by the geometric predicate kernel.
+
+The hull algorithms only ever need determinants and normals of matrices
+whose side length is the (constant) ambient dimension ``d``, so none of
+these routines try to be asymptotically clever.  What they do provide:
+
+* a fast floating-point determinant with a conservative forward error
+  bound (used as the *filter* stage of the adaptive predicates), and
+* exact rational determinants via fraction-free Bareiss elimination
+  (used as the *fallback* stage -- every Python float is exactly
+  representable as a :class:`fractions.Fraction`, so the fallback is
+  exact for any float input).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "det_with_error_bound",
+    "det_exact",
+    "sign_exact",
+    "cofactor_normal",
+    "cofactor_normal_exact",
+    "solve_exact",
+]
+
+# Unit roundoff for IEEE-754 binary64.
+_EPS = float(np.finfo(np.float64).eps)
+
+
+def det_with_error_bound(m: np.ndarray) -> tuple[float, float]:
+    """Determinant of a small square matrix plus a forward error bound.
+
+    Returns ``(det, err)`` such that the true determinant lies within
+    ``det +/- err`` whenever the Gaussian elimination performed by LAPACK
+    did not suffer catastrophic growth.  The bound is the classical
+    entrywise one: ``err = c(n) * eps * prod_i ||row_i||_2`` derived from
+    Hadamard's inequality, inflated by a generous constant so that it is
+    safe in practice.  Callers must treat ``|det| <= err`` as "sign
+    unknown" and fall back to :func:`sign_exact`.
+    """
+    m = np.asarray(m, dtype=np.float64)
+    n = m.shape[0]
+    if n == 0:
+        return 1.0, 0.0
+    if n == 1:
+        return float(m[0, 0]), 0.0
+    if n == 2:
+        a, b, c, d = m[0, 0], m[0, 1], m[1, 0], m[1, 1]
+        det = a * d - b * c
+        err = 4.0 * _EPS * (abs(a * d) + abs(b * c))
+        return float(det), float(err)
+    if n == 3:
+        det = float(np.linalg.det(m))
+    else:
+        det = float(np.linalg.det(m))
+    row_norms = np.sqrt((m * m).sum(axis=1))
+    hadamard = float(np.prod(row_norms))
+    err = 16.0 * n * n * _EPS * hadamard
+    return det, err
+
+
+def _to_fraction_rows(rows: Sequence[Sequence]) -> list[list[Fraction]]:
+    return [[Fraction(x) for x in row] for row in rows]
+
+
+def det_exact(rows: Sequence[Sequence]) -> Fraction:
+    """Exact determinant via fraction-free Bareiss elimination.
+
+    Accepts ints, Fractions, or floats (floats are converted exactly).
+    Runs in ``O(n^3)`` Fraction operations; intended for the small
+    constant-dimension matrices of geometric predicates.
+    """
+    a = _to_fraction_rows(rows)
+    n = len(a)
+    if n == 0:
+        return Fraction(1)
+    sign = 1
+    prev = Fraction(1)
+    for k in range(n - 1):
+        if a[k][k] == 0:
+            # Pivot: find a row below with a nonzero entry in column k.
+            for i in range(k + 1, n):
+                if a[i][k] != 0:
+                    a[k], a[i] = a[i], a[k]
+                    sign = -sign
+                    break
+            else:
+                return Fraction(0)
+        pivot = a[k][k]
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                a[i][j] = (a[i][j] * pivot - a[i][k] * a[k][j]) / prev
+            a[i][k] = Fraction(0)
+        prev = pivot
+    return sign * a[n - 1][n - 1]
+
+
+def sign_exact(rows: Sequence[Sequence]) -> int:
+    """Exact sign (-1, 0, +1) of the determinant of ``rows``."""
+    d = det_exact(rows)
+    if d > 0:
+        return 1
+    if d < 0:
+        return -1
+    return 0
+
+
+def cofactor_normal(points: np.ndarray) -> np.ndarray:
+    """Normal of the hyperplane through ``d`` points in R^d.
+
+    ``points`` is a ``(d, d)`` array.  The normal's ``j``-th component is
+    the signed cofactor ``(-1)^j det(M_j)`` where ``M`` is the
+    ``(d-1, d)`` matrix of edge vectors ``points[i] - points[0]`` and
+    ``M_j`` drops column ``j``.  The result is unnormalised; its sign
+    convention is fixed by the caller against a reference point.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    d = points.shape[1]
+    if points.shape[0] != d:
+        raise ValueError(f"need exactly d={d} points, got {points.shape[0]}")
+    if d == 1:
+        return np.array([1.0])
+    edges = points[1:] - points[0]  # (d-1, d)
+    if d == 2:
+        e = edges[0]
+        return np.array([-e[1], e[0]])
+    if d == 3:
+        return np.cross(edges[0], edges[1])
+    normal = np.empty(d)
+    cols = np.arange(d)
+    for j in range(d):
+        minor = edges[:, cols != j]
+        normal[j] = (-1.0) ** j * np.linalg.det(minor)
+    return normal
+
+
+def cofactor_normal_exact(points: Sequence[Sequence]) -> list[Fraction]:
+    """Exact version of :func:`cofactor_normal` over Fractions."""
+    pts = _to_fraction_rows(points)
+    d = len(pts[0])
+    if len(pts) != d:
+        raise ValueError(f"need exactly d={d} points, got {len(pts)}")
+    if d == 1:
+        return [Fraction(1)]
+    edges = [[pts[i][j] - pts[0][j] for j in range(d)] for i in range(1, d)]
+    normal: list[Fraction] = []
+    for j in range(d):
+        minor = [[row[c] for c in range(d) if c != j] for row in edges]
+        normal.append((-1) ** j * det_exact(minor))
+    return normal
+
+
+def solve_exact(rows: Sequence[Sequence], rhs: Sequence) -> list[Fraction]:
+    """Solve a small linear system exactly (Gaussian elimination with
+    partial pivoting over Fractions).  Raises ``ZeroDivisionError`` on a
+    singular matrix."""
+    a = _to_fraction_rows(rows)
+    b = [Fraction(x) for x in rhs]
+    n = len(a)
+    for k in range(n):
+        pivot_row = next((i for i in range(k, n) if a[i][k] != 0), None)
+        if pivot_row is None:
+            raise ZeroDivisionError("singular matrix in solve_exact")
+        a[k], a[pivot_row] = a[pivot_row], a[k]
+        b[k], b[pivot_row] = b[pivot_row], b[k]
+        inv = 1 / a[k][k]
+        for i in range(k + 1, n):
+            f = a[i][k] * inv
+            if f == 0:
+                continue
+            for j in range(k, n):
+                a[i][j] -= f * a[k][j]
+            b[i] -= f * b[k]
+    x = [Fraction(0)] * n
+    for i in range(n - 1, -1, -1):
+        s = b[i] - sum(a[i][j] * x[j] for j in range(i + 1, n))
+        x[i] = s / a[i][i]
+    return x

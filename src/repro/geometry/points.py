@@ -1,0 +1,202 @@
+"""Reproducible synthetic point workloads.
+
+The paper evaluates no datasets (it is a theory paper), so every
+experiment in EXPERIMENTS.md runs on the seeded generators below.  They
+cover the canonical hull regimes:
+
+* ``uniform_ball`` -- expected hull size O(n^{(d-1)/(d+1)}): most points
+  end up interior, the classic "easy" case;
+* ``on_sphere`` -- every point extreme: hull size n, the hard case that
+  stresses the O(n log n) work bound for d <= 3;
+* ``uniform_cube`` -- polylog expected hull size;
+* degenerate layouts (grids, coplanar/collinear sets) that exercise the
+  exact predicate fallback and the Section 6 corner configuration space.
+
+All generators take an integer ``seed`` and return float64 ``(n, d)``
+arrays; identical seeds give identical workloads across runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rng_for",
+    "uniform_ball",
+    "uniform_cube",
+    "on_sphere",
+    "on_circle",
+    "gaussian",
+    "on_paraboloid",
+    "integer_grid",
+    "coplanar_3d",
+    "collinear_cluster",
+    "anisotropic",
+    "figure1_points",
+    "moment_curve",
+    "two_clusters",
+]
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    """The single entry point for randomness in workload generation."""
+    return np.random.default_rng(seed)
+
+
+def uniform_ball(n: int, d: int, seed: int = 0) -> np.ndarray:
+    """``n`` points uniform in the unit d-ball (Muller's trick)."""
+    rng = rng_for(seed)
+    x = rng.standard_normal((n, d))
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    radii = rng.random((n, 1)) ** (1.0 / d)
+    return x / norms * radii
+
+
+def uniform_cube(n: int, d: int, seed: int = 0) -> np.ndarray:
+    """``n`` points uniform in [-1, 1]^d."""
+    return rng_for(seed).uniform(-1.0, 1.0, size=(n, d))
+
+
+def on_sphere(n: int, d: int, seed: int = 0) -> np.ndarray:
+    """``n`` points uniform on the unit (d-1)-sphere; all extreme."""
+    rng = rng_for(seed)
+    x = rng.standard_normal((n, d))
+    norms = np.linalg.norm(x, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return x / norms
+
+
+def on_circle(n: int, seed: int = 0, jitter: float = 0.0) -> np.ndarray:
+    """``n`` 2D points on the unit circle at random angles, optionally
+    radially jittered by up to ``jitter`` (inward)."""
+    rng = rng_for(seed)
+    theta = rng.random(n) * 2.0 * np.pi
+    r = 1.0 - rng.random(n) * jitter
+    return np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+
+
+def gaussian(n: int, d: int, seed: int = 0) -> np.ndarray:
+    """Standard normal cloud (hull size Theta(log^{(d-1)/2} n))."""
+    return rng_for(seed).standard_normal((n, d))
+
+
+def on_paraboloid(n: int, seed: int = 0, span: float = 1.0) -> np.ndarray:
+    """2D points lifted to the 3D paraboloid z = x^2 + y^2 -- the
+    classic Delaunay-by-lifting workload."""
+    rng = rng_for(seed)
+    xy = rng.uniform(-span, span, size=(n, 2))
+    z = (xy * xy).sum(axis=1)
+    return np.column_stack([xy, z])
+
+
+def integer_grid(side: int, d: int, seed: int = 0, shuffle: bool = True) -> np.ndarray:
+    """All points of the integer grid {0..side-1}^d (heavily degenerate;
+    decided exactly by the rational fallback)."""
+    axes = [np.arange(side)] * d
+    grid = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(-1, d)
+    pts = grid.astype(np.float64)
+    if shuffle:
+        rng_for(seed).shuffle(pts)
+    return pts
+
+
+def coplanar_3d(n: int, seed: int = 0, n_planes: int = 3) -> np.ndarray:
+    """3D points concentrated on a few random planes: many 4-coplanar
+    subsets, the Section 6 degeneracy regime."""
+    rng = rng_for(seed)
+    pts = []
+    for _ in range(n_planes):
+        normal = rng.standard_normal(3)
+        normal /= np.linalg.norm(normal)
+        basis = np.linalg.svd(normal[None, :])[2][1:]
+        offset = rng.uniform(-1, 1)
+        m = n // n_planes
+        uv = rng.uniform(-1, 1, size=(m, 2))
+        pts.append(uv @ basis + offset * normal)
+    rest = n - sum(p.shape[0] for p in pts)
+    if rest:
+        pts.append(rng.uniform(-1, 1, size=(rest, 3)))
+    out = np.vstack(pts)
+    rng.shuffle(out)
+    return out
+
+
+def collinear_cluster(n: int, d: int, seed: int = 0, frac: float = 0.5) -> np.ndarray:
+    """A cloud where ``frac`` of the points lie on one line through the
+    cloud (3+ collinear degeneracies)."""
+    rng = rng_for(seed)
+    k = int(n * frac)
+    direction = rng.standard_normal(d)
+    direction /= np.linalg.norm(direction)
+    line = np.linspace(-1, 1, k)[:, None] * direction[None, :]
+    cloud = rng.uniform(-1, 1, size=(n - k, d))
+    out = np.vstack([line, cloud])
+    rng.shuffle(out)
+    return out
+
+
+def anisotropic(n: int, d: int, seed: int = 0, ratio: float = 100.0) -> np.ndarray:
+    """Squashed ball: one axis stretched by ``ratio`` -- skews visibility
+    geometry and predicate conditioning."""
+    pts = uniform_ball(n, d, seed)
+    pts[:, 0] *= ratio
+    return pts
+
+
+def figure1_points() -> tuple[np.ndarray, list[str]]:
+    """The ten labelled points of the paper's Figure 1 (2D), in a
+    concrete coordinate realisation consistent with the figure: the
+    initial hull u-v-w-x-y-z-t followed by a, b, c added in
+    lexicographical order.
+
+    Returns the (10, 2) array and the point labels, index-aligned.
+    Labels: indices 0..6 are u, v, w, x, y, z, t (the initial hull in
+    counterclockwise order); 7, 8, 9 are a, b, c.
+    """
+    pts = np.array(
+        [
+            [-5.0, 1.0],    # u  (upper left)
+            [-4.0, -2.0],   # v  (lower left)
+            [-2.0, -3.0],   # w
+            [0.0, -3.4],    # x
+            [2.0, -3.0],    # y
+            [4.0, -2.0],    # z
+            [5.0, 1.5],     # t  (upper right)
+            [2.2, -3.7],    # a  (visible from x-y and y-z only)
+            [-0.5, -3.6],   # b  (visible from w-x, x-y, and later x-a)
+            [1.0, -5.2],    # c  (visible from everything between v and z)
+        ]
+    )
+    labels = ["u", "v", "w", "x", "y", "z", "t", "a", "b", "c"]
+    return pts, labels
+
+
+def moment_curve(n: int, d: int, seed: int = 0, span: float = 1.0) -> np.ndarray:
+    """``n`` points on the moment curve ``t -> (t, t^2, ..., t^d)``.
+
+    Their hull is a *cyclic polytope* -- the maximiser of facet count by
+    the upper bound theorem, Theta(n^{floor(d/2)}) facets -- the workload
+    that exercises the first term of the paper's work bound
+    ``O(n^{floor(d/2)} + n log n)`` (Theorem 5.4).  Parameters ``t`` are
+    drawn uniformly from ``[-span, span]`` so instances are in general
+    position; points are returned in random order.
+    """
+    rng = rng_for(seed)
+    t = rng.uniform(-span, span, size=n)
+    pts = np.column_stack([t**k for k in range(1, d + 1)])
+    rng.shuffle(pts)
+    return pts
+
+
+def two_clusters(n: int, d: int, seed: int = 0, separation: float = 10.0) -> np.ndarray:
+    """Two well-separated Gaussian clusters -- hull facets concentrate
+    on the 'waist' between them; exercises anisotropic conflict sets."""
+    rng = rng_for(seed)
+    half = n // 2
+    a = rng.standard_normal((half, d))
+    b = rng.standard_normal((n - half, d))
+    b[:, 0] += separation
+    out = np.vstack([a, b])
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,120 @@
+"""Adaptive-exact geometric predicates.
+
+Every predicate follows the classic *filtered* design: a fast
+floating-point evaluation with a conservative forward error bound, and
+an exact :mod:`fractions`-based fallback that is only taken when the
+float result cannot be trusted.  Because IEEE doubles convert to
+:class:`~fractions.Fraction` exactly, the fallback decides *exactly the
+input that was given* -- degeneracies (zero returns) are real, not
+round-off artifacts.
+
+Counters on :class:`PredicateStats` let the experiment harness account
+for how often the exact path fires (one of the ablations in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .linalg import det_with_error_bound, sign_exact
+
+__all__ = ["PredicateStats", "STATS", "orient", "orient_exact", "in_circle"]
+
+
+@dataclass
+class PredicateStats:
+    """Global counters for predicate evaluations (reset between runs)."""
+
+    float_calls: int = 0
+    exact_calls: int = 0
+
+    def reset(self) -> None:
+        self.float_calls = 0
+        self.exact_calls = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {"float_calls": self.float_calls, "exact_calls": self.exact_calls}
+
+
+#: Module-level statistics instance shared by all predicates.
+STATS = PredicateStats()
+
+
+def _lifted_rows(simplex: np.ndarray, query) -> list[list]:
+    """Edge-vector rows for the orientation determinant, with the
+    subtractions done over Fractions: forming differences in floating
+    point first would round away exactly the tiny components the exact
+    fallback exists to decide."""
+    from fractions import Fraction
+
+    base = [Fraction(float(x)) for x in simplex[0]]
+    d = len(base)
+    rows = [
+        [Fraction(float(p[j])) - base[j] for j in range(d)] for p in simplex[1:]
+    ]
+    rows.append([Fraction(float(query[j])) - base[j] for j in range(d)])
+    return rows
+
+
+def orient(simplex: np.ndarray, query) -> int:
+    """Orientation of ``query`` relative to the hyperplane through the
+    ``d`` points of ``simplex`` (a ``(d, d)`` array) in R^d.
+
+    Returns the sign (-1, 0, +1) of ``det([s_1 - s_0; ...; s_{d-1} - s_0;
+    q - s_0])``.  ``+1`` means ``query`` is on the positive side under
+    the right-handed convention; ``0`` means exactly on the hyperplane.
+    """
+    simplex = np.asarray(simplex, dtype=np.float64)
+    q = np.asarray(query, dtype=np.float64)
+    m = np.vstack([simplex[1:] - simplex[0], (q - simplex[0])[None, :]])
+    det, err = det_with_error_bound(m)
+    STATS.float_calls += 1
+    if det > err:
+        return 1
+    if det < -err:
+        return -1
+    STATS.exact_calls += 1
+    return sign_exact(_lifted_rows(simplex, q))
+
+
+def orient_exact(simplex, query) -> int:
+    """Exact orientation (always takes the rational path)."""
+    simplex = np.asarray(simplex, dtype=np.float64)
+    STATS.exact_calls += 1
+    return sign_exact(_lifted_rows(simplex, query))
+
+
+def in_circle(a, b, c, q) -> int:
+    """In-circle predicate for 2D Delaunay: +1 if ``q`` is strictly
+    inside the circumcircle of the counterclockwise triangle ``(a, b,
+    c)``, -1 if strictly outside, 0 if cocircular.
+
+    For a clockwise triangle the sign is flipped, matching the standard
+    lifted-determinant definition.
+    """
+    pts = [np.asarray(p, dtype=np.float64) for p in (a, b, c, q)]
+    qv = pts[3]
+    rows = []
+    for p in pts[:3]:
+        dx, dy = float(p[0] - qv[0]), float(p[1] - qv[1])
+        rows.append([dx, dy, dx * dx + dy * dy])
+    m = np.array(rows)
+    det, err = det_with_error_bound(m)
+    STATS.float_calls += 1
+    if det > err:
+        return 1
+    if det < -err:
+        return -1
+    STATS.exact_calls += 1
+    # Rebuild the rows exactly from the original coordinates.
+    from fractions import Fraction
+
+    exact_rows = []
+    qx, qy = Fraction(float(qv[0])), Fraction(float(qv[1]))
+    for p in pts[:3]:
+        dx = Fraction(float(p[0])) - qx
+        dy = Fraction(float(p[1])) - qy
+        exact_rows.append([dx, dy, dx * dx + dy * dy])
+    return sign_exact(exact_rows)

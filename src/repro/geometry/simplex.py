@@ -1,0 +1,91 @@
+"""Facet and ridge value types shared by all hull algorithms.
+
+The paper's configuration space for d-dimensional hulls (Table 1) has
+
+* *facets*: oriented d-simplices, the configurations;
+* *ridges*: (d-2)-dimensional interfaces, each incident on exactly two
+  facets -- the communication keys of Algorithm 3's multimap ``M``.
+
+A ridge is identified purely by its defining point indices, so it is a
+``frozenset``.  A facet is a *created object* (two facets with the same
+point set can exist at different times with different conflict sets
+during an asynchronous run), so facets carry a unique creation id and
+hash/compare by it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .hyperplane import Hyperplane
+
+__all__ = ["Ridge", "Facet", "facet_ridges"]
+
+#: A ridge is the frozenset of its (d-1) defining point indices.
+Ridge = frozenset
+
+
+@dataclass(eq=False)
+class Facet:
+    """An oriented facet of the (intermediate) hull.
+
+    Attributes
+    ----------
+    fid:
+        Unique creation id; facets hash and compare by it.
+    indices:
+        Sorted tuple of the ``d`` defining point indices.
+    plane:
+        Oriented hyperplane; interior on the negative side.
+    conflicts:
+        Ascending ``int64`` array of conflicting point indices (points
+        strictly visible from this facet), in insertion-rank order.  Set
+        once at creation and never mutated -- the *conflict pivot*
+        ``min(C(t))`` of Algorithm 3 is just ``conflicts[0]``.
+    alive:
+        Cleared when the facet is replaced or buried.
+    """
+
+    fid: int
+    indices: tuple[int, ...]
+    plane: Hyperplane
+    conflicts: np.ndarray
+    alive: bool = True
+
+    def __hash__(self) -> int:
+        return self.fid
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Facet) and other.fid == self.fid
+
+    @property
+    def pivot(self) -> int:
+        """Conflict pivot min_S(C(t)); ``-1`` when the conflict set is
+        empty (the facet is final)."""
+        return int(self.conflicts[0]) if self.conflicts.size else -1
+
+    def key(self) -> tuple[frozenset, int]:
+        """Geometric identity: point set plus orientation sign of the
+        first normal component (used to compare facet *sets* across
+        algorithm variants, where creation ids differ)."""
+        nz = np.nonzero(self.plane.normal)[0]
+        sign = 1 if self.plane.normal[nz[0]] > 0 else -1 if nz.size else 0
+        return frozenset(self.indices), sign * (int(nz[0]) + 1 if nz.size else 0)
+
+    def ridges(self) -> Iterator[Ridge]:
+        """The d ridges of this facet (all (d-1)-subsets of its points)."""
+        return facet_ridges(self.indices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive else "dead"
+        return f"Facet#{self.fid}{self.indices} [{state}, pivot={self.pivot}]"
+
+
+def facet_ridges(indices: tuple[int, ...]) -> Iterator[Ridge]:
+    """Iterate the ridges (all (d-1)-subsets) of a facet's point tuple."""
+    s = frozenset(indices)
+    for i in indices:
+        yield s - {i}

@@ -1,0 +1,47 @@
+"""The paper's convex hull algorithms: Algorithm 2 (sequential
+randomized incremental) and Algorithm 3 (its parallel ridge-driven
+variant), plus validation and polytope post-processing."""
+
+from .common import Counters, FacetFactory, HullSetupError, prepare_points
+from .parallel import Event, ParallelHullRun, RidgeTask, parallel_hull
+from .online import OnlineHull
+from .joggle import JoggledHull, joggled_hull
+from .point_parallel import PointParallelResult, point_parallel_hull
+from .polytope import Polytope
+from .serialize import graph_from_summary, load_summary, run_summary, save_run
+from .sequential import SequentialHullResult, sequential_hull
+from .validate import (
+    HullValidationError,
+    brute_force_extreme_ranks,
+    brute_force_facet_sets,
+    facet_sets_global,
+    validate_hull,
+)
+
+__all__ = [
+    "Counters",
+    "FacetFactory",
+    "HullSetupError",
+    "prepare_points",
+    "Event",
+    "ParallelHullRun",
+    "RidgeTask",
+    "parallel_hull",
+    "OnlineHull",
+    "JoggledHull",
+    "joggled_hull",
+    "PointParallelResult",
+    "point_parallel_hull",
+    "Polytope",
+    "graph_from_summary",
+    "load_summary",
+    "run_summary",
+    "save_run",
+    "SequentialHullResult",
+    "sequential_hull",
+    "HullValidationError",
+    "brute_force_extreme_ranks",
+    "brute_force_facet_sets",
+    "facet_sets_global",
+    "validate_hull",
+]

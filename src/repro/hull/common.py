@@ -1,0 +1,239 @@
+"""Shared machinery for the sequential and parallel incremental hulls.
+
+Both algorithms (paper Algorithms 2 and 3) operate on the same state:
+points pre-permuted into insertion order (so *rank == index*, and the
+conflict pivot ``min_S(C(t))`` is simply the smallest index in a conflict
+array), facets built against a fixed interior reference point, and
+conflict sets stored as ascending ``int64`` index arrays so that the hot
+"filter the visible candidates" loop is one vectorized hyperplane
+evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from ..geometry.hyperplane import Hyperplane
+from ..geometry.simplex import Facet
+
+__all__ = [
+    "Counters",
+    "HullSetupError",
+    "prepare_points",
+    "initial_simplex_ranks",
+    "promote_initial",
+    "FacetFactory",
+]
+
+
+class HullSetupError(ValueError):
+    """Raised when the input cannot seed a full-dimensional hull."""
+
+
+@dataclass
+class Counters:
+    """Operation counters for the work accounting of Theorem 5.4.
+
+    ``visibility_tests`` counts every point-vs-facet side evaluation,
+    which is the unit of work both theorems are stated in.
+    """
+
+    visibility_tests: int = 0
+    facets_created: int = 0
+    facets_buried: int = 0
+    facets_replaced: int = 0
+    ridges_processed: int = 0
+    flips: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+def prepare_points(
+    points: np.ndarray,
+    order: np.ndarray | None = None,
+    seed: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate the input cloud and put it in insertion order.
+
+    Returns ``(pts, order)`` where ``pts[i]`` is the point inserted at
+    rank ``i`` and ``order[i]`` is its index in the caller's array.  If
+    ``order`` is None a uniformly random permutation is drawn from
+    ``seed`` (the randomized incremental order of the paper).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise HullSetupError("points must be a 2D (n, d) array")
+    n, d = points.shape
+    if d < 2:
+        raise HullSetupError("dimension must be >= 2")
+    if n < d + 1:
+        raise HullSetupError(f"need at least d+1={d + 1} points, got {n}")
+    if not np.isfinite(points).all():
+        raise HullSetupError("points must be finite")
+    if order is None:
+        order = np.random.default_rng(seed).permutation(n)
+    else:
+        order = np.asarray(order, dtype=np.int64)
+        if sorted(order.tolist()) != list(range(n)):
+            raise HullSetupError("order must be a permutation of range(n)")
+    return points[order], order
+
+
+def _affinely_independent(chosen: list[np.ndarray], candidate: np.ndarray) -> bool:
+    """Exact test: does ``candidate`` extend the affine span of ``chosen``?
+
+    Uses a float rank estimate as a filter and exact rational Gaussian
+    elimination to resolve borderline cases, so degenerate inputs (e.g.
+    integer grids) are handled correctly.
+    """
+    if not chosen:
+        return True
+    base = chosen[0]
+    rows = [c - base for c in chosen[1:]] + [candidate - base]
+    m = np.asarray(rows)
+    k = len(rows)
+    # Float filter: compare the k-th singular value against a scale-aware
+    # threshold; fall through to the exact test when ambiguous.
+    sv = np.linalg.svd(m, compute_uv=False)
+    scale = float(sv[0]) if sv.size else 0.0
+    tol = 1e-9 * (scale + 1.0)
+    if sv.size >= k and sv[k - 1] > tol:
+        return True
+    return _exact_rank(rows) == k
+
+
+def _exact_rank(rows: list[np.ndarray]) -> int:
+    """Exact rank of a small matrix via rational Gaussian elimination."""
+    a = [[Fraction(float(x)) for x in row] for row in rows]
+    rank = 0
+    n_rows, n_cols = len(a), len(a[0]) if a else 0
+    col = 0
+    for col in range(n_cols):
+        pivot_row = next(
+            (i for i in range(rank, n_rows) if a[i][col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        a[rank], a[pivot_row] = a[pivot_row], a[rank]
+        inv = 1 / a[rank][col]
+        for i in range(rank + 1, n_rows):
+            f = a[i][col] * inv
+            if f == 0:
+                continue
+            for j in range(col, n_cols):
+                a[i][j] -= f * a[rank][j]
+        rank += 1
+        if rank == n_rows:
+            break
+    return rank
+
+
+def initial_simplex_ranks(pts: np.ndarray, base_size: int | None = None) -> list[int]:
+    """Pick the first affinely independent ``d+1`` ranks, scanning
+    forward in insertion order.
+
+    The paper assumes general position so the first ``d+1`` points
+    suffice; on degenerate inputs we keep the earliest points that work,
+    preserving relative order (callers then re-rank so the chosen points
+    occupy ranks ``0..d``).  Raises :class:`HullSetupError` when the
+    cloud is not full-dimensional.
+    """
+    n, d = pts.shape
+    need = (base_size if base_size is not None else d + 1)
+    chosen: list[int] = []
+    chosen_pts: list[np.ndarray] = []
+    for i in range(n):
+        if _affinely_independent(chosen_pts, pts[i]):
+            chosen.append(i)
+            chosen_pts.append(pts[i])
+            if len(chosen) == need:
+                return chosen
+    raise HullSetupError(
+        f"input is not full-dimensional: affine rank {len(chosen) - 1} < {d}"
+    )
+
+
+def promote_initial(pts: np.ndarray, order: np.ndarray, ranks: list[int]):
+    """Re-rank so the chosen initial-simplex points occupy ranks 0..d,
+    keeping every other point in its original relative order."""
+    n = pts.shape[0]
+    rest = [i for i in range(n) if i not in set(ranks)]
+    perm = np.array(ranks + rest, dtype=np.int64)
+    return pts[perm], order[perm]
+
+
+class FacetFactory:
+    """Creates facets with vectorized conflict-set computation.
+
+    One factory per run; it owns the interior reference point (the
+    centroid of the initial simplex, strictly inside every intermediate
+    hull) and the work counters.
+    """
+
+    def __init__(self, pts: np.ndarray, interior: np.ndarray, counters: Counters):
+        self.pts = pts
+        self.interior = np.asarray(interior, dtype=np.float64)
+        self.counters = counters
+        self._lock = threading.Lock()
+        self._next_fid = 0
+
+    def make(self, indices: tuple[int, ...], candidates: np.ndarray) -> Facet:
+        """Build the facet on ``indices`` oriented against the interior
+        point, with conflict set = the strictly visible subset of
+        ``candidates`` (ascending index array, defining points excluded).
+
+        Thread-safe: the vectorized visibility work runs outside the
+        lock; only id allocation and counter updates are serialized.
+        """
+        plane = Hyperplane.through(self.pts[list(indices)], self.interior)
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.size:
+            # Drop the d defining indices; a few vector compares beat
+            # np.isin for constant-size index tuples (hot path).
+            keep = np.ones(candidates.shape[0], dtype=bool)
+            for i in indices:
+                keep &= candidates != i
+            candidates = candidates[keep]
+        n_tests = int(candidates.size)
+        if candidates.size:
+            mask = plane.visible_mask(self.pts[candidates])
+            conflicts = candidates[mask]
+        else:
+            conflicts = candidates
+        with self._lock:
+            fid = self._next_fid
+            self._next_fid += 1
+            self.counters.visibility_tests += n_tests
+            self.counters.facets_created += 1
+        return Facet(
+            fid=fid,
+            indices=tuple(sorted(indices)),
+            plane=plane,
+            conflicts=conflicts,
+        )
+
+    @staticmethod
+    def merge_candidates(a: np.ndarray, b: np.ndarray, above: int) -> np.ndarray:
+        """Ascending union of two (already sorted, unique) conflict
+        arrays restricted to indices strictly greater than ``above``
+        (the point being inserted).  Fast paths for the common cases
+        where one side is empty (facets close to final)."""
+        if a.size and a[0] <= above:
+            a = a[np.searchsorted(a, above, side="right"):]
+        if b.size and b[0] <= above:
+            b = b[np.searchsorted(b, above, side="right"):]
+        if not b.size:
+            return a
+        if not a.size:
+            return b
+        merged = np.concatenate([a, b])
+        merged.sort(kind="stable")
+        keep = np.empty(merged.shape[0], dtype=bool)
+        keep[0] = True
+        np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+        return merged[keep]

@@ -1,0 +1,92 @@
+"""Joggled hulls: deterministic perturbation for degenerate inputs.
+
+The paper's main algorithms assume general position (Section 5); its
+Section 6 handles 3D degeneracy with the corner configuration space
+(see :mod:`repro.configspace.spaces.corners3d`).  For users who just
+need *a* hull of a degenerate cloud in any dimension, this wrapper
+implements the standard pragmatic alternative (Qhull's ``QJ``):
+perturb every coordinate by a tiny seeded amount, retry with a larger
+amplitude if the input is still not full-dimensional, and validate that
+the joggled hull contains the *original* points within the perturbation
+tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .common import HullSetupError
+from .parallel import ParallelHullRun, parallel_hull
+from .validate import HullValidationError
+
+__all__ = ["JoggledHull", "joggled_hull"]
+
+
+@dataclass
+class JoggledHull:
+    """A hull of joggled points, with provenance.
+
+    ``run`` is over the perturbed coordinates; ``amplitude`` is the
+    absolute perturbation bound actually used, which also bounds how far
+    any original point can lie outside the reported hull.
+    """
+
+    original: np.ndarray
+    run: ParallelHullRun
+    amplitude: float
+    attempts: int
+
+    def vertex_indices(self) -> set[int]:
+        return self.run.vertex_indices()
+
+
+def joggled_hull(
+    points: np.ndarray,
+    seed: int = 0,
+    rel_amplitude: float = 1e-9,
+    max_attempts: int = 5,
+    order: np.ndarray | None = None,
+) -> JoggledHull:
+    """Hull of ``points`` after deterministic joggling.
+
+    The amplitude starts at ``rel_amplitude * scale`` (scale = max
+    coordinate magnitude) and grows 100x per retry when the perturbed
+    cloud is still not full-dimensional.  Raises
+    :class:`HullValidationError` if some original point ends up further
+    outside the joggled hull than ``d * amplitude`` allows (which would
+    indicate a genuine bug, not joggling slack).
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n, d = points.shape
+    scale = float(np.abs(points).max()) or 1.0
+    amplitude = rel_amplitude * scale
+    last_error: Exception | None = None
+    for attempt in range(1, max_attempts + 1):
+        rng = np.random.default_rng(seed + attempt)
+        jitter = rng.uniform(-amplitude, amplitude, size=points.shape)
+        try:
+            run = parallel_hull(points + jitter, seed=seed, order=order)
+        except HullSetupError as exc:
+            last_error = exc
+            amplitude *= 100.0
+            continue
+        # Original points must be inside the joggled hull up to slack.
+        slack = 4.0 * d * amplitude
+        for f in run.facets:
+            margins = f.plane.margins(points)
+            worst = float(margins.max(initial=0.0))
+            norm = float(np.linalg.norm(f.plane.normal)) or 1.0
+            if worst / norm > slack:
+                raise HullValidationError(
+                    f"original point protrudes {worst / norm:.3g} past the "
+                    f"joggled hull (allowed {slack:.3g})"
+                )
+        return JoggledHull(
+            original=points, run=run, amplitude=amplitude, attempts=attempt
+        )
+    raise HullSetupError(
+        f"input not full-dimensional even after {max_attempts} joggle "
+        f"attempts (last error: {last_error})"
+    )

@@ -1,0 +1,94 @@
+"""Derived polytope quantities from a set of hull facets.
+
+Turns the raw facet list produced by either hull algorithm into the
+things applications actually consume: vertex lists, facet adjacency,
+volume/surface measures, and membership tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gamma
+
+import numpy as np
+
+from ..geometry.simplex import Facet, facet_ridges
+
+__all__ = ["Polytope"]
+
+
+def _simplex_volume(vertices: np.ndarray) -> float:
+    """Volume of the d-simplex spanned by d+1 rows of ``vertices``."""
+    edges = vertices[1:] - vertices[0]
+    d = edges.shape[0]
+    return abs(float(np.linalg.det(edges))) / float(gamma(d + 1))
+
+
+@dataclass
+class Polytope:
+    """A convex polytope given by simplicial facets over a point array.
+
+    All indices refer to rows of ``points`` (the insertion-ordered array
+    of the producing run).
+    """
+
+    points: np.ndarray
+    facets: list[Facet]
+    interior: np.ndarray
+
+    @property
+    def dimension(self) -> int:
+        return int(self.points.shape[1])
+
+    def vertices(self) -> list[int]:
+        return sorted({i for f in self.facets for i in f.indices})
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Facet-id -> neighbouring facet-ids (one per shared ridge)."""
+        by_ridge: dict[frozenset, list[int]] = {}
+        for f in self.facets:
+            for r in facet_ridges(f.indices):
+                by_ridge.setdefault(r, []).append(f.fid)
+        adj: dict[int, list[int]] = {f.fid: [] for f in self.facets}
+        for pair in by_ridge.values():
+            if len(pair) == 2:
+                a, b = pair
+                adj[a].append(b)
+                adj[b].append(a)
+        return adj
+
+    def volume(self) -> float:
+        """d-volume by fanning simplices from the interior point."""
+        total = 0.0
+        for f in self.facets:
+            verts = np.vstack([self.interior[None, :], self.points[list(f.indices)]])
+            total += _simplex_volume(verts)
+        return total
+
+    def surface_measure(self) -> float:
+        """Total (d-1)-measure of the boundary (perimeter in 2D, surface
+        area in 3D)."""
+        total = 0.0
+        d = self.dimension
+        for f in self.facets:
+            pts = self.points[list(f.indices)]
+            edges = pts[1:] - pts[0]
+            gramian = edges @ edges.T
+            total += float(np.sqrt(max(0.0, np.linalg.det(gramian)))) / float(
+                gamma(d)
+            )
+        return total
+
+    def contains(self, q, strict: bool = False) -> bool:
+        """Membership test: ``q`` is inside (or on, unless ``strict``)
+        every facet's inner half-space."""
+        sides = [f.plane.side(q) for f in self.facets]
+        if strict:
+            return all(s < 0 for s in sides)
+        return all(s <= 0 for s in sides)
+
+    @staticmethod
+    def from_run(run) -> "Polytope":
+        """Build from a :class:`SequentialHullResult` or
+        :class:`ParallelHullRun`."""
+        return Polytope(points=run.points, facets=list(run.facets), interior=run.interior)

@@ -1,0 +1,40 @@
+"""Parallel-runtime substrate: atomic primitives, the concurrent
+multimap of Algorithms 4/5, adversarial interleaving, work-span
+accounting, and pluggable task executors."""
+
+from .atomics import AtomicCell, AtomicCounter, AtomicFlag
+from .executors import ExecutionStats, RoundExecutor, SerialExecutor, ThreadExecutor
+from .forkjoin import StealStats, simulate_work_stealing
+from .interleave import OpResult, all_schedules, run_interleaved, run_schedule
+from .pram import PRAM, ParallelHashTable, compact, log_star, pram_min, prefix_sum
+from .multimap import CASMultimap, DictMultimap, MultimapFullError, TASMultimap
+from .workspan import ScheduleResult, TaskLog, WorkSpanTracker
+
+__all__ = [
+    "AtomicCell",
+    "AtomicCounter",
+    "AtomicFlag",
+    "ExecutionStats",
+    "RoundExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "StealStats",
+    "simulate_work_stealing",
+    "OpResult",
+    "all_schedules",
+    "run_interleaved",
+    "run_schedule",
+    "PRAM",
+    "ParallelHashTable",
+    "compact",
+    "log_star",
+    "pram_min",
+    "prefix_sum",
+    "CASMultimap",
+    "DictMultimap",
+    "MultimapFullError",
+    "TASMultimap",
+    "ScheduleResult",
+    "TaskLog",
+    "WorkSpanTracker",
+]

@@ -1,0 +1,94 @@
+"""Atomic primitives with the semantics the paper's models assume.
+
+The binary-forking model (Section 5.2 / Appendix A) is parameterised by
+which consensus primitive threads may use:
+
+* ``TestAndSet`` -- the weak primitive the model allows by default
+  (Appendix A's Algorithm 5 needs only this);
+* ``CompareAndSwap`` -- the stronger primitive used by Algorithm 4.
+
+CPython cannot express true lock-free instructions, so each primitive is
+a tiny critical section guarded by a per-cell lock; the *interface* and
+linearizable behaviour match the paper, which is what the correctness
+theorems (A.1/A.2) quantify over.  The same classes are also driven by
+:mod:`repro.runtime.interleave`, which explores adversarial schedules at
+a granularity real threads on two cores never would.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+__all__ = ["AtomicCell", "AtomicFlag", "AtomicCounter"]
+
+
+class AtomicCell:
+    """A memory cell supporting atomic load / store / CompareAndSwap."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, value: Any = None):
+        self._value = value
+        self._lock = threading.Lock()
+
+    def load(self) -> Any:
+        return self._value
+
+    def store(self, value: Any) -> None:
+        with self._lock:
+            self._value = value
+
+    def compare_and_swap(self, expected: Any, new: Any) -> bool:
+        """Atomically: if the cell holds ``expected`` (identity or
+        equality with ``None``), replace it with ``new`` and return True;
+        otherwise leave it unchanged and return False."""
+        with self._lock:
+            if self._value is expected or self._value == expected:
+                self._value = new
+                return True
+            return False
+
+
+class AtomicFlag:
+    """A boolean flag supporting atomic TestAndSet.
+
+    ``test_and_set`` returns the *previous* value, i.e. False exactly for
+    the single winner -- matching the convention of Appendix A where
+    ``TestAndSet`` succeeds once.
+    """
+
+    __slots__ = ("_set", "_lock")
+
+    def __init__(self) -> None:
+        self._set = False
+        self._lock = threading.Lock()
+
+    def test_and_set(self) -> bool:
+        with self._lock:
+            prev = self._set
+            self._set = True
+            return prev
+
+    def is_set(self) -> bool:
+        return self._set
+
+
+class AtomicCounter:
+    """Monotone counter with an atomic fetch-and-add."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, start: int = 0):
+        self._value = start
+        self._lock = threading.Lock()
+
+    def fetch_add(self, delta: int = 1) -> int:
+        with self._lock:
+            prev = self._value
+            self._value += delta
+            return prev
+
+    @property
+    def value(self) -> int:
+        return self._value

@@ -1,0 +1,220 @@
+"""The concurrent ridge -> facet multimap of Algorithms 4 and 5.
+
+Algorithm 3 pairs the two facets incident on a ridge through a multimap
+``M`` with two operations:
+
+* ``InsertAndSet(r, t)``: the first facet to arrive registers itself and
+  gets ``True``; the second gets ``False`` and thereby becomes
+  responsible for processing the ridge;
+* ``GetValue(r, t)``: called only by the loser, returns the *other*
+  facet registered under ``r``.
+
+Three interchangeable implementations:
+
+:class:`DictMultimap`
+    Plain-dict reference used by the deterministic executors.
+:class:`CASMultimap`
+    Algorithm 4 -- linear-probing table where a slot is claimed by a
+    single ``CompareAndSwap`` writing the key-value pair.
+:class:`TASMultimap`
+    Algorithm 5 (Appendix A) -- each slot carries ``taken``/``check``
+    flags; only ``TestAndSet`` is used, and the loser is elected by the
+    second pass over the table.
+
+The CAS/TAS variants are written as *step generators* (yielding before
+every shared-memory operation) so :mod:`repro.runtime.interleave` can
+drive them under adversarial schedules; the plain methods simply exhaust
+the generator and are safe to call from real threads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Hashable
+
+from .atomics import AtomicCell, AtomicFlag
+
+__all__ = ["MultimapFullError", "DictMultimap", "CASMultimap", "TASMultimap"]
+
+
+class MultimapFullError(RuntimeError):
+    """Raised when linear probing wraps all the way around the table."""
+
+
+def _drive(gen: Generator) -> Any:
+    """Run a step generator to completion and return its value."""
+    try:
+        while True:
+            next(gen)
+    except StopIteration as stop:
+        return stop.value
+
+
+class DictMultimap:
+    """Sequential reference multimap (used by deterministic executors).
+
+    Also asserts the paper's structural invariant that at most two
+    facets ever register under one ridge key.
+    """
+
+    def __init__(self) -> None:
+        self._first: dict[Hashable, Any] = {}
+        self._second: dict[Hashable, Any] = {}
+
+    def insert_and_set(self, key: Hashable, value: Any) -> bool:
+        if key in self._first:
+            if key in self._second:
+                raise AssertionError(
+                    f"third InsertAndSet on ridge {key!r}: structural "
+                    "invariant of Algorithm 3 violated"
+                )
+            self._second[key] = value
+            return False
+        self._first[key] = value
+        return True
+
+    def get_value(self, key: Hashable, value: Any) -> Any:
+        other = self._first[key]
+        if other is value:
+            other = self._second[key]
+        return other
+
+    def __len__(self) -> int:
+        return len(self._first)
+
+
+class CASMultimap:
+    """Algorithm 4: linear-probing hash table claimed via CompareAndSwap.
+
+    Each slot atomically holds ``None`` or the pair ``(key, value)``;
+    claiming a slot and publishing its contents is a single CAS, so
+    readers never observe a torn entry.
+    """
+
+    def __init__(self, capacity: int, hash_fn: Callable[[Hashable], int] | None = None):
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        self.capacity = capacity
+        self._cells = [AtomicCell(None) for _ in range(capacity)]
+        self._hash = hash_fn or (lambda k: hash(k) % capacity)
+
+    # -- step generators (preemption points for the interleaver) --------
+
+    def insert_and_set_steps(self, key: Hashable, value: Any) -> Generator:
+        i = self._hash(key) % self.capacity
+        probes = 0
+        while True:
+            yield ("cas", i)
+            if self._cells[i].compare_and_swap(None, (key, value)):
+                return True
+            yield ("read", i)
+            stored = self._cells[i].load()
+            if stored is not None and stored[0] == key:
+                return False
+            i = (i + 1) % self.capacity
+            probes += 1
+            if probes > self.capacity:
+                raise MultimapFullError("CASMultimap wrapped around")
+
+    def get_value_steps(self, key: Hashable, value: Any) -> Generator:
+        i = self._hash(key) % self.capacity
+        probes = 0
+        while True:
+            yield ("read", i)
+            stored = self._cells[i].load()
+            if stored is not None and stored[0] == key:
+                return stored[1]
+            i = (i + 1) % self.capacity
+            probes += 1
+            if probes > self.capacity:
+                raise MultimapFullError("GetValue scanned the full table")
+
+    # -- synchronous interface -------------------------------------------
+
+    def insert_and_set(self, key: Hashable, value: Any) -> bool:
+        return _drive(self.insert_and_set_steps(key, value))
+
+    def get_value(self, key: Hashable, value: Any) -> Any:
+        return _drive(self.get_value_steps(key, value))
+
+
+class _TASSlot:
+    __slots__ = ("taken", "check", "data")
+
+    def __init__(self) -> None:
+        self.taken = AtomicFlag()
+        self.check = AtomicFlag()
+        self.data: tuple[Hashable, Any] | None = None
+
+
+class TASMultimap:
+    """Algorithm 5 (Appendix A): the TestAndSet-only multimap.
+
+    Pass one reserves a slot by TAS on ``taken`` and then writes
+    ``data``; pass two rescans from the hash index and elects the loser
+    by TAS on the ``check`` flag of every slot holding the key.  Only
+    the weak TestAndSet primitive is used, matching the binary-forking
+    model's default.
+    """
+
+    def __init__(self, capacity: int, hash_fn: Callable[[Hashable], int] | None = None):
+        if capacity < 2:
+            raise ValueError("capacity must be >= 2")
+        self.capacity = capacity
+        self._slots = [_TASSlot() for _ in range(capacity)]
+        self._hash = hash_fn or (lambda k: hash(k) % capacity)
+
+    def insert_and_set_steps(self, key: Hashable, value: Any) -> Generator:
+        # Pass 1: reserve a slot and publish the entry (Lines 2-5).
+        i = self._hash(key) % self.capacity
+        probes = 0
+        while True:
+            yield ("tas-taken", i)
+            if not self._slots[i].taken.test_and_set():
+                break
+            i = (i + 1) % self.capacity
+            probes += 1
+            if probes > self.capacity:
+                raise MultimapFullError("TASMultimap wrapped around")
+        yield ("write-data", i)
+        self._slots[i].data = (key, value)
+        # Pass 2: rescan from the hash index; TAS the check flag of every
+        # slot holding our key; losing a TAS means the other facet got
+        # there first and we return False (Lines 6-12).
+        j = self._hash(key) % self.capacity
+        probes = 0
+        while True:
+            yield ("read-taken", j)
+            if not self._slots[j].taken.is_set():
+                return True
+            yield ("read-data", j)
+            data = self._slots[j].data
+            if data is not None and data[0] == key:
+                yield ("tas-check", j)
+                if self._slots[j].check.test_and_set():
+                    return False
+            j = (j + 1) % self.capacity
+            probes += 1
+            if probes > self.capacity:
+                return True
+
+    def get_value_steps(self, key: Hashable, value: Any) -> Generator:
+        i = self._hash(key) % self.capacity
+        probes = 0
+        while True:
+            yield ("read-taken", i)
+            if not self._slots[i].taken.is_set():
+                raise LookupError(f"key {key!r} not found in TASMultimap")
+            yield ("read-data", i)
+            data = self._slots[i].data
+            if data is not None and data[0] == key and data[1] is not value:
+                return data[1]
+            i = (i + 1) % self.capacity
+            probes += 1
+            if probes > self.capacity:
+                raise LookupError(f"no second value for key {key!r}")
+
+    def insert_and_set(self, key: Hashable, value: Any) -> bool:
+        return _drive(self.insert_and_set_steps(key, value))
+
+    def get_value(self, key: Hashable, value: Any) -> Any:
+        return _drive(self.get_value_steps(key, value))

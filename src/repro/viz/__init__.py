@@ -1,0 +1,18 @@
+"""Dependency-free SVG rendering of 2D runs (hull rounds, Delaunay,
+disk-intersection boundaries)."""
+
+from .svg import (
+    SVGCanvas,
+    render_delaunay,
+    render_depth_chart,
+    render_disk_boundary,
+    render_hull_rounds,
+)
+
+__all__ = [
+    "SVGCanvas",
+    "render_delaunay",
+    "render_depth_chart",
+    "render_disk_boundary",
+    "render_hull_rounds",
+]

@@ -1,0 +1,212 @@
+"""Dependency-free SVG rendering of 2D runs.
+
+Renders hulls, the parallel algorithm's rounds (facets coloured by the
+round that created them), Delaunay triangulations, half-plane polygons,
+and disk-intersection boundaries -- as plain SVG strings, so the output
+is testable and viewable without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SVGCanvas", "render_hull_rounds", "render_delaunay", "render_disk_boundary", "render_depth_chart"]
+
+#: Categorical palette for rounds (cycled).
+PALETTE = [
+    "#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+    "#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0",
+]
+
+
+@dataclass
+class SVGCanvas:
+    """Minimal SVG builder with a data-space -> pixel transform."""
+
+    width: int = 640
+    height: int = 640
+    margin: int = 24
+
+    def __post_init__(self) -> None:
+        self._elements: list[str] = []
+        self._xmin = self._ymin = -1.0
+        self._xmax = self._ymax = 1.0
+
+    def fit(self, points: np.ndarray) -> None:
+        """Set the data window to the bounding box of ``points``."""
+        points = np.asarray(points, dtype=float)
+        self._xmin, self._ymin = points.min(axis=0)
+        self._xmax, self._ymax = points.max(axis=0)
+        if self._xmax == self._xmin:
+            self._xmax += 1.0
+        if self._ymax == self._ymin:
+            self._ymax += 1.0
+
+    def _tx(self, x: float) -> float:
+        u = (x - self._xmin) / (self._xmax - self._xmin)
+        return self.margin + u * (self.width - 2 * self.margin)
+
+    def _ty(self, y: float) -> float:
+        v = (y - self._ymin) / (self._ymax - self._ymin)
+        return self.height - self.margin - v * (self.height - 2 * self.margin)
+
+    def circle(self, center, r_px: float, fill: str = "#222", opacity: float = 1.0) -> None:
+        self._elements.append(
+            f'<circle cx="{self._tx(center[0]):.2f}" cy="{self._ty(center[1]):.2f}" '
+            f'r="{r_px:.2f}" fill="{fill}" opacity="{opacity}"/>'
+        )
+
+    def line(self, a, b, stroke: str = "#444", width: float = 1.5,
+             dashed: bool = False, opacity: float = 1.0) -> None:
+        dash = ' stroke-dasharray="5,4"' if dashed else ""
+        self._elements.append(
+            f'<line x1="{self._tx(a[0]):.2f}" y1="{self._ty(a[1]):.2f}" '
+            f'x2="{self._tx(b[0]):.2f}" y2="{self._ty(b[1]):.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}" opacity="{opacity}"{dash}/>'
+        )
+
+    def polygon(self, pts, fill: str = "none", stroke: str = "#333",
+                width: float = 1.0, opacity: float = 1.0) -> None:
+        coords = " ".join(f"{self._tx(p[0]):.2f},{self._ty(p[1]):.2f}" for p in pts)
+        self._elements.append(
+            f'<polygon points="{coords}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{width}" opacity="{opacity}"/>'
+        )
+
+    def arc(self, center, radius_data: float, start: float, length: float,
+            stroke: str = "#333", width: float = 2.0) -> None:
+        """Circular arc in data space (angles in radians, CCW)."""
+        a0, a1 = start, start + length
+        p0 = (center[0] + radius_data * math.cos(a0), center[1] + radius_data * math.sin(a0))
+        p1 = (center[0] + radius_data * math.cos(a1), center[1] + radius_data * math.sin(a1))
+        rx = radius_data / (self._xmax - self._xmin) * (self.width - 2 * self.margin)
+        ry = radius_data / (self._ymax - self._ymin) * (self.height - 2 * self.margin)
+        large = 1 if length > math.pi else 0
+        # SVG y-axis is flipped, so a CCW data arc is a CW screen arc.
+        self._elements.append(
+            f'<path d="M {self._tx(p0[0]):.2f} {self._ty(p0[1]):.2f} '
+            f'A {rx:.2f} {ry:.2f} 0 {large} 0 '
+            f'{self._tx(p1[0]):.2f} {self._ty(p1[1]):.2f}" '
+            f'fill="none" stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def text(self, pos, s: str, size: int = 12, fill: str = "#000") -> None:
+        self._elements.append(
+            f'<text x="{self._tx(pos[0]):.2f}" y="{self._ty(pos[1]):.2f}" '
+            f'font-size="{size}" fill="{fill}" font-family="sans-serif">{s}</text>'
+        )
+
+    def raw(self, element: str) -> None:
+        self._elements.append(element)
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n{body}\n</svg>'
+        )
+
+
+def render_hull_rounds(run, show_points: bool = True) -> str:
+    """SVG of a 2D :class:`ParallelHullRun`: every facet ever created,
+    coloured by creation round (final hull edges drawn solid and thick,
+    replaced/buried edges dashed and faded)."""
+    pts = run.points
+    if pts.shape[1] != 2:
+        raise ValueError("render_hull_rounds is 2D only")
+    canvas = SVGCanvas()
+    canvas.fit(pts)
+    if show_points:
+        for p in pts:
+            canvas.circle(p, 2.0, fill="#999", opacity=0.7)
+    for f in run.created:
+        rnd = run.rounds.get(f.fid, 0)
+        color = PALETTE[rnd % len(PALETTE)]
+        a, b = pts[f.indices[0]], pts[f.indices[1]]
+        if f.alive:
+            canvas.line(a, b, stroke=color, width=2.5)
+        else:
+            canvas.line(a, b, stroke=color, width=1.0, dashed=True, opacity=0.45)
+    for i, rnd in enumerate(sorted({run.rounds.get(f.fid, 0) for f in run.created})):
+        canvas.raw(
+            f'<text x="10" y="{16 + 14 * i}" font-size="11" '
+            f'fill="{PALETTE[rnd % len(PALETTE)]}" font-family="sans-serif">'
+            f"round {rnd}</text>"
+        )
+    return canvas.render()
+
+
+def render_delaunay(result) -> str:
+    """SVG of a :class:`~repro.apps.delaunay.DelaunayResult`."""
+    pts = result.points
+    canvas = SVGCanvas()
+    canvas.fit(pts)
+    for t in result.triangles:
+        tri = [pts[i] for i in sorted(t)]
+        canvas.polygon(tri, stroke="#4269d0", width=0.8, opacity=0.9)
+    for p in pts:
+        canvas.circle(p, 1.8, fill="#222")
+    return canvas.render()
+
+
+def render_disk_boundary(result, show_circles: bool = True) -> str:
+    """SVG of a :class:`DiskIntersectionResult`: faded full circles plus
+    the boundary arcs of the intersection."""
+    centers = result.centers
+    canvas = SVGCanvas()
+    lo = centers.min(axis=0) - 1.1
+    hi = centers.max(axis=0) + 1.1
+    canvas.fit(np.array([lo, hi]))
+    if show_circles:
+        for c in centers:
+            canvas.arc(c, 1.0, 0.0, 2 * math.pi - 1e-6, stroke="#ccc", width=0.7)
+    for arc in result.boundary():
+        canvas.arc(centers[arc.owner], 1.0, arc.start, arc.length,
+                   stroke="#ff725c", width=2.5)
+    return canvas.render()
+
+
+def render_depth_chart(series: dict, title: str = "dependence depth vs n") -> str:
+    """Line chart of depth-vs-n series on a log-x scale.
+
+    ``series`` maps a label to a list of ``(n, depth)`` pairs.  Returns
+    an SVG string; used by ``examples/depth_chart.py`` to draw the E1
+    summary figure across problems.
+    """
+    import math as _math
+
+    if not series or not any(series.values()):
+        raise ValueError("series must contain at least one point")
+    canvas = SVGCanvas(width=720, height=480, margin=56)
+    xs = [(_math.log2(n)) for pts_ in series.values() for n, _ in pts_]
+    ys = [float(dep) for pts_ in series.values() for _, dep in pts_]
+    canvas.fit(np.array([[min(xs), 0.0], [max(xs), max(ys) * 1.1]]))
+    # Axes.
+    canvas.line((min(xs), 0), (max(xs), 0), stroke="#333", width=1.2)
+    canvas.line((min(xs), 0), (min(xs), max(ys) * 1.1), stroke="#333", width=1.2)
+    for x in sorted({round(v) for v in xs}):
+        canvas.text((x, -0.04 * max(ys)), f"2^{int(x)}", size=11, fill="#555")
+    for frac in (0.25, 0.5, 0.75, 1.0):
+        y = max(ys) * frac
+        canvas.text((min(xs) - 0.35, y), f"{y:.0f}", size=11, fill="#555")
+        canvas.line((min(xs), y), (max(xs), y), stroke="#eee", width=0.8)
+    for idx, (label, pts_) in enumerate(sorted(series.items())):
+        color = PALETTE[idx % len(PALETTE)]
+        data = sorted((_math.log2(n), float(dep)) for n, dep in pts_)
+        for a, b in zip(data, data[1:]):
+            canvas.line(a, b, stroke=color, width=2.0)
+        for p in data:
+            canvas.circle(p, 3.0, fill=color)
+        canvas.raw(
+            f'<text x="64" y="{20 + 14 * idx}" font-size="12" fill="{color}" '
+            f'font-family="sans-serif">{label}</text>'
+        )
+    canvas.raw(
+        f'<text x="{canvas.width // 2 - 80}" y="{canvas.height - 8}" '
+        f'font-size="12" fill="#333" font-family="sans-serif">{title}</text>'
+    )
+    return canvas.render()

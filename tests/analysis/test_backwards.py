@@ -1,0 +1,75 @@
+"""Tests of the backwards-analysis process (the proof engine of
+Theorem 4.2), executed on concrete instances."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.backwards import backwards_campaign, backwards_path
+from repro.configspace.spaces import HalfplaneSpace, HullFacetSpace, tangent_halfplanes
+from repro.configspace.theory import chernoff_tail, harmonic
+from repro.geometry import uniform_ball
+
+
+@pytest.fixture(scope="module")
+def hull_space():
+    pts = uniform_ball(14, 2, seed=3)
+    return HullFacetSpace(pts)
+
+
+class TestSinglePath:
+    def test_runs_and_counts(self, hull_space):
+        run = backwards_path(hull_space, list(range(14)), seed=1)
+        assert 0 <= run.length <= 14
+        assert len(run.extended_at) == run.length
+        assert all(d <= hull_space.degree for d in run.degrees)
+
+    def test_deterministic_given_seed(self, hull_space):
+        a = backwards_path(hull_space, list(range(14)), seed=5)
+        b = backwards_path(hull_space, list(range(14)), seed=5)
+        assert a.length == b.length and a.extended_at == b.extended_at
+
+    def test_custom_start(self, hull_space):
+        active = hull_space.active_set(range(14))
+        start = sorted(active, key=lambda c: sorted(c.defining))[-1]
+        run = backwards_path(hull_space, list(range(14)), seed=2, start=start)
+        assert run.length >= 0
+
+    def test_inactive_start_rejected(self, hull_space):
+        from repro.configspace import Config
+
+        fake = Config(defining=frozenset({0, 1}), tag=99, conflicts=frozenset())
+        with pytest.raises(ValueError):
+            backwards_path(hull_space, list(range(14)), seed=0, start=fake)
+
+
+class TestProofBounds:
+    def test_mean_length_below_gHn(self, hull_space):
+        """The proof's first inequality: E[L] <= g * H_n."""
+        stats = backwards_campaign(hull_space, list(range(14)), trials=120, seed=0)
+        assert stats["mean_length"] <= stats["bound_gHn"]
+
+    def test_extension_rate_bounded_by_g_over_i(self, hull_space):
+        """Per-step extension probability <= g/i (the proof's key
+        estimate), within sampling noise."""
+        trials = 300
+        stats = backwards_campaign(hull_space, list(range(14)), trials=trials, seed=1)
+        g = stats["g"]
+        for i, rate in stats["extension_rate_by_step"].items():
+            bound = min(1.0, g / i)
+            sigma = np.sqrt(bound * (1 - bound) / trials) if bound < 1 else 0.0
+            assert rate <= bound + 4 * sigma + 1e-9, (i, rate, bound)
+
+    def test_tail_dominated_by_chernoff(self, hull_space):
+        """Pr[L >= A] <= (e * gH_n / A)^A empirically."""
+        stats = backwards_campaign(hull_space, list(range(14)), trials=200, seed=2)
+        lengths = np.array(stats["lengths"])
+        mean_bound = stats["bound_gHn"]
+        for a in range(int(mean_bound) + 1, int(lengths.max()) + 2):
+            emp = float((lengths >= a).mean())
+            assert emp <= chernoff_tail(mean_bound, a) + 0.1
+
+    def test_halfplane_space_too(self):
+        normals, offsets = tangent_halfplanes(12, seed=4)
+        space = HalfplaneSpace(normals, offsets)
+        stats = backwards_campaign(space, list(range(12)), trials=60, seed=3)
+        assert stats["mean_length"] <= stats["bound_gHn"]

@@ -1,0 +1,53 @@
+"""Tests for the CRCW span accounting (E3's PRAM side)."""
+
+import math
+
+import pytest
+
+from repro.analysis.crcw import crcw_span
+from repro.geometry import on_sphere, uniform_ball
+from repro.hull import parallel_hull
+from repro.runtime.pram import log_star
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        n: parallel_hull(on_sphere(n, 2, seed=n), seed=5) for n in (128, 512, 2048)
+    }
+
+
+class TestCRCWSpan:
+    def test_span_exceeds_algorithm_rounds(self, runs):
+        for run in runs.values():
+            rep = crcw_span(run)
+            assert rep.span_rounds >= rep.algorithm_rounds
+            assert rep.work_ops > 0
+
+    def test_per_round_cost_small_and_stable(self, runs):
+        """Each algorithm round costs a near-constant handful of PRAM
+        rounds (the O(log* n) charge of Theorem 5.4)."""
+        per_round = [crcw_span(run).span_per_round for run in runs.values()]
+        assert all(2 <= c <= 25 for c in per_round)
+        assert max(per_round) / min(per_round) < 2.5
+
+    def test_normalized_span_bounded(self, runs):
+        for n, run in runs.items():
+            rep = crcw_span(run)
+            assert rep.normalized() < 15, (n, rep)
+
+    def test_exact_compaction_costs_more(self, runs):
+        run = runs[512]
+        approx = crcw_span(run, compaction="approximate")
+        exact = crcw_span(run, compaction="exact")
+        assert exact.span_rounds > approx.span_rounds
+
+    def test_invalid_mode(self, runs):
+        with pytest.raises(ValueError):
+            crcw_span(runs[128], compaction="fancy")
+
+    def test_deterministic_given_seed(self):
+        run = parallel_hull(uniform_ball(200, 2, seed=1), seed=2)
+        a = crcw_span(run, seed=7)
+        b = crcw_span(run, seed=7)
+        assert a.span_rounds == b.span_rounds

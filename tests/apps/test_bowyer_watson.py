@@ -1,0 +1,110 @@
+"""Tests for direct incremental Delaunay (Bowyer--Watson): correctness
+against scipy and the lifted-hull path, plus the [17]-style dependence
+structure (2-support, O(log n) depth)."""
+
+import numpy as np
+import pytest
+from scipy.spatial import Delaunay as ScipyDelaunay
+
+from repro.apps import delaunay
+from repro.apps.bowyer_watson import GHOST, bowyer_watson
+from repro.configspace.theory import harmonic
+from repro.geometry import gaussian, uniform_ball
+from repro.hull.common import HullSetupError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,seed", [(20, 1), (60, 2), (200, 3)])
+    def test_matches_scipy(self, n, seed):
+        pts = uniform_ball(n, 2, seed=seed)
+        bw = bowyer_watson(pts, seed=seed + 7)
+        assert bw.triangles == {frozenset(s) for s in ScipyDelaunay(pts).simplices}
+
+    @pytest.mark.parametrize("n,seed", [(50, 4), (150, 5)])
+    def test_matches_lifted_hull(self, n, seed):
+        pts = gaussian(n, 2, seed=seed)
+        bw = bowyer_watson(pts, seed=1)
+        lifted = delaunay(pts, seed=2)
+        assert bw.triangles == lifted.triangles
+
+    def test_insertion_order_irrelevant(self):
+        pts = uniform_ball(60, 2, seed=6)
+        ref = bowyer_watson(pts, seed=0).triangles
+        for seed in range(1, 4):
+            assert bowyer_watson(pts, seed=seed).triangles == ref
+
+    def test_minimal_input(self):
+        pts = np.array([[0.0, 0], [1, 0], [0, 1]])
+        bw = bowyer_watson(pts, order=np.arange(3))
+        assert bw.triangles == {frozenset({0, 1, 2})}
+
+    def test_collinear_rejected(self):
+        pts = np.array([[0.0, 0], [1, 0], [2, 0], [3, 0]])
+        with pytest.raises(HullSetupError):
+            bowyer_watson(pts, order=np.arange(4))
+
+    def test_too_few_points(self):
+        with pytest.raises(HullSetupError):
+            bowyer_watson(np.zeros((2, 2)))
+
+
+class TestDependenceStructure:
+    def test_supports_are_pairs(self):
+        pts = uniform_ball(80, 2, seed=7)
+        bw = bowyer_watson(pts, seed=8)
+        for tid, parents in bw.graph.parents.items():
+            assert len(parents) == 2
+            assert all(p < tid for p in parents)
+
+    def test_support_triangles_share_creation_edge(self):
+        pts = uniform_ball(60, 2, seed=9)
+        bw = bowyer_watson(pts, seed=10)
+        by_tid = {t.tid: t for t in bw.created}
+        for tid, (t_in_id, t_out_id) in bw.graph.parents.items():
+            child = by_tid[tid]
+            t_in, t_out = by_tid[t_in_id], by_tid[t_out_id]
+            shared = (
+                set(child.verts) & set(t_in.verts) & set(t_out.verts)
+            )
+            assert len(shared) >= 2  # the creation edge
+
+    def test_depth_logarithmic_scale(self):
+        depths = []
+        for n in (64, 256, 1024):
+            pts = uniform_ball(n, 2, seed=n)
+            bw = bowyer_watson(pts, seed=11)
+            depths.append(bw.dependence_depth() / harmonic(n))
+        # sigma = depth / H_n stays bounded, like the hull's.
+        assert max(depths) / min(depths) < 2.0
+        assert max(depths) < 12
+
+    def test_work_nlogn_shape(self):
+        tests = []
+        for n in (128, 512):
+            pts = uniform_ball(n, 2, seed=n + 1)
+            bw = bowyer_watson(pts, seed=12)
+            tests.append(bw.in_circle_tests / (n * np.log(n)))
+        assert max(tests) / min(tests) < 2.0
+
+
+class TestGhostStructure:
+    def test_ghost_triangles_trace_the_hull(self):
+        from repro.baselines import monotone_chain
+
+        pts = uniform_ball(50, 2, seed=13)
+        bw = bowyer_watson(pts, seed=14)
+        alive_ghost_edges = set()
+        for t in bw.created:
+            if t.alive and t.is_ghost:
+                u, v, _ = t.verts
+                alive_ghost_edges.add(
+                    frozenset((int(bw.order[u]), int(bw.order[v])))
+                )
+        hull = monotone_chain(pts)
+        hull_edges = {
+            frozenset((hull[i], hull[(i + 1) % len(hull)])) for i in range(len(hull))
+        }
+        assert alive_ghost_edges == hull_edges
+
+    def test_ghost_constant(self):
+        assert GHOST == -1

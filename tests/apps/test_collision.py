@@ -1,0 +1,127 @@
+"""Tests for GJK collision detection, cross-validated against an LP
+feasibility oracle (a point common to both hulls exists iff the bodies
+intersect)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.apps.collision import SupportBody, gjk_distance, gjk_intersects
+from repro.geometry import uniform_ball
+from repro.hull import Polytope, parallel_hull
+
+
+def lp_intersects(va: np.ndarray, vb: np.ndarray) -> bool:
+    """Oracle: exists x = conv(va) point == conv(vb) point?  Solve for
+    barycentric weights (la, lb) with equality constraints."""
+    na, nb = len(va), len(vb)
+    d = va.shape[1]
+    # Variables: la (na), lb (nb).
+    a_eq = []
+    b_eq = []
+    for j in range(d):
+        row = np.concatenate([va[:, j], -vb[:, j]])
+        a_eq.append(row)
+        b_eq.append(0.0)
+    a_eq.append(np.concatenate([np.ones(na), np.zeros(nb)]))
+    b_eq.append(1.0)
+    a_eq.append(np.concatenate([np.zeros(na), np.ones(nb)]))
+    b_eq.append(1.0)
+    res = linprog(
+        c=np.zeros(na + nb),
+        A_eq=np.array(a_eq),
+        b_eq=np.array(b_eq),
+        bounds=[(0, None)] * (na + nb),
+        method="highs",
+    )
+    return res.status == 0
+
+
+class TestKnownCases:
+    def test_overlapping_squares(self):
+        a = SupportBody.from_points([[0, 0], [2, 0], [2, 2], [0, 2]])
+        b = SupportBody.from_points([[1, 1], [3, 1], [3, 3], [1, 3]])
+        assert gjk_intersects(a, b)
+
+    def test_disjoint_squares(self):
+        a = SupportBody.from_points([[0, 0], [1, 0], [1, 1], [0, 1]])
+        b = SupportBody.from_points([[3, 0], [4, 0], [4, 1], [3, 1]])
+        assert not gjk_intersects(a, b)
+        assert gjk_distance(a, b) == pytest.approx(2.0, abs=1e-6)
+
+    def test_touching_squares(self):
+        a = SupportBody.from_points([[0, 0], [1, 0], [1, 1], [0, 1]])
+        b = SupportBody.from_points([[1, 0], [2, 0], [2, 1], [1, 1]])
+        assert gjk_distance(a, b) == pytest.approx(0.0, abs=1e-7)
+
+    def test_nested_bodies(self):
+        outer = SupportBody.from_points([[0, 0], [10, 0], [10, 10], [0, 10]])
+        inner = SupportBody.from_points([[4, 4], [5, 4], [5, 5], [4, 5]])
+        assert gjk_intersects(outer, inner)
+
+    def test_3d_tetrahedra(self):
+        a = SupportBody.from_points(np.vstack([np.zeros(3), np.eye(3)]))
+        b = SupportBody.from_points(np.vstack([np.zeros(3), np.eye(3)]) + 5.0)
+        assert not gjk_intersects(a, b)
+        c = SupportBody.from_points(np.vstack([np.zeros(3), np.eye(3)]) + 0.1)
+        assert gjk_intersects(a, c)
+
+    def test_dimension_mismatch(self):
+        a = SupportBody.from_points([[0, 0], [1, 1], [0, 1]])
+        b = SupportBody.from_points(np.vstack([np.zeros(3), np.eye(3)]))
+        with pytest.raises(ValueError):
+            gjk_intersects(a, b)
+
+
+class TestAgainstLPOracle:
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_random_pairs(self, d):
+        rng = np.random.default_rng(d)
+        agree = 0
+        for trial in range(30):
+            va = uniform_ball(12, d, seed=trial) + rng.uniform(-1.5, 1.5, size=d)
+            vb = uniform_ball(12, d, seed=trial + 100) + rng.uniform(-1.5, 1.5, size=d)
+            got = gjk_intersects(SupportBody.from_points(va),
+                                 SupportBody.from_points(vb), tol=1e-7)
+            want = lp_intersects(va, vb)
+            assert got == want, (d, trial)
+            agree += 1
+        assert agree == 30
+
+    def test_distance_symmetry(self):
+        for trial in range(10):
+            va = uniform_ball(10, 2, seed=trial) + np.array([3.0, 0.0])
+            vb = uniform_ball(10, 2, seed=trial + 50)
+            a, b = SupportBody.from_points(va), SupportBody.from_points(vb)
+            assert gjk_distance(a, b) == pytest.approx(gjk_distance(b, a), abs=1e-7)
+
+
+class TestFromPolytope:
+    def test_hull_to_body(self):
+        pts = uniform_ball(50, 2, seed=1)
+        run = parallel_hull(pts, seed=2)
+        body = SupportBody.from_polytope(Polytope.from_run(run))
+        far = SupportBody.from_points(pts + 10.0)
+        assert not gjk_intersects(body, far)
+        assert gjk_intersects(body, SupportBody.from_points(pts))
+
+
+class TestDegenerateBodies:
+    def test_point_vs_point(self):
+        a = SupportBody.from_points([[0.0, 0.0]])
+        b = SupportBody.from_points([[3.0, 4.0]])
+        assert gjk_distance(a, b) == pytest.approx(5.0, abs=1e-9)
+        assert not gjk_intersects(a, b)
+        assert gjk_intersects(a, SupportBody.from_points([[0.0, 0.0]]))
+
+    def test_segment_vs_point(self):
+        seg = SupportBody.from_points([[0.0, 0.0], [2.0, 0.0]])
+        p_on = SupportBody.from_points([[1.0, 0.0]])
+        p_off = SupportBody.from_points([[1.0, 1.0]])
+        assert gjk_intersects(seg, p_on)
+        assert gjk_distance(seg, p_off) == pytest.approx(1.0, abs=1e-7)
+
+    def test_collinear_segments(self):
+        a = SupportBody.from_points([[0.0, 0.0], [1.0, 0.0]])
+        b = SupportBody.from_points([[2.0, 0.0], [3.0, 0.0]])
+        assert gjk_distance(a, b) == pytest.approx(1.0, abs=1e-7)

@@ -1,0 +1,90 @@
+"""Experiment E14: Delaunay triangulation via the lifted parallel hull."""
+
+import numpy as np
+import pytest
+from scipy.spatial import Delaunay as ScipyDelaunay
+
+from repro.apps import delaunay
+from repro.geometry import uniform_ball, uniform_cube
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,seed", [(30, 1), (100, 2), (250, 3)])
+    def test_matches_scipy(self, n, seed):
+        pts = uniform_ball(n, 2, seed=seed)
+        res = delaunay(pts, seed=seed + 7)
+        scipy_tris = {frozenset(s) for s in ScipyDelaunay(pts).simplices}
+        assert res.triangles == scipy_tris
+
+    def test_sequential_backend_agrees(self):
+        pts = uniform_cube(80, 2, seed=4)
+        a = delaunay(pts, seed=1, backend="parallel")
+        b = delaunay(pts, seed=1, backend="sequential")
+        assert a.triangles == b.triangles
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            delaunay(uniform_ball(10, 2, seed=0), backend="gpu")
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            delaunay(uniform_ball(10, 3, seed=0))
+
+    def test_triangle_count_euler(self):
+        """For n points with h on the hull: T = 2n - h - 2."""
+        pts = uniform_ball(120, 2, seed=5)
+        res = delaunay(pts, seed=2)
+        from repro.baselines import monotone_chain
+
+        h = len(monotone_chain(pts))
+        assert res.n_triangles == 2 * 120 - h - 2
+
+
+class TestStructure:
+    def test_edges_shared_by_at_most_two_triangles(self):
+        pts = uniform_ball(60, 2, seed=6)
+        res = delaunay(pts, seed=3)
+        edge_count: dict = {}
+        for t in res.triangles:
+            tl = sorted(t)
+            for e in ((tl[0], tl[1]), (tl[0], tl[2]), (tl[1], tl[2])):
+                edge_count[e] = edge_count.get(e, 0) + 1
+        assert set(edge_count.values()) <= {1, 2}
+
+    def test_empty_circumcircle_property(self):
+        from repro.geometry.predicates import in_circle, orient_exact
+
+        pts = uniform_ball(40, 2, seed=7)
+        res = delaunay(pts, seed=4)
+        for t in list(res.triangles)[:20]:
+            i, j, k = sorted(t)
+            a, b, c = pts[i], pts[j], pts[k]
+            sign = orient_exact(np.array([a, b]), c)
+            for q in range(40):
+                if q in t:
+                    continue
+                assert in_circle(a, b, c, pts[q]) * sign <= 0
+
+    def test_depth_recorded(self):
+        pts = uniform_ball(150, 2, seed=8)
+        res = delaunay(pts, seed=5)
+        depth = res.dependence_depth()
+        assert 1 <= depth <= 60
+
+    def test_sequential_backend_has_no_depth(self):
+        pts = uniform_ball(30, 2, seed=9)
+        res = delaunay(pts, seed=6, backend="sequential")
+        with pytest.raises(TypeError):
+            res.dependence_depth()
+
+    def test_edge_set(self):
+        pts = uniform_ball(25, 2, seed=10)
+        res = delaunay(pts, seed=7)
+        edges = res.edge_set()
+        assert all(len(e) == 2 for e in edges)
+        tri_edges = {
+            frozenset(e)
+            for t in res.triangles
+            for e in [list(t)[:2], list(t)[1:], [list(t)[0], list(t)[2]]]
+        }
+        assert edges == tri_edges

@@ -1,0 +1,144 @@
+"""Experiment E8 (algorithm side): half-plane intersection by duality
+and by the direct incremental algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.apps import halfplane_intersection, incremental_halfplanes
+from repro.configspace.spaces import HalfplaneSpace, tangent_halfplanes
+
+
+class TestDualityMethod:
+    @pytest.mark.parametrize("n,seed", [(10, 1), (30, 2), (100, 3)])
+    def test_vertices_match_brute_force(self, n, seed):
+        normals, offsets = tangent_halfplanes(n, seed=seed)
+        res = halfplane_intersection(normals, offsets, seed=seed)
+        space = HalfplaneSpace(normals, offsets)
+        brute = {
+            c.defining for c in space.active_set(range(n)) if len(c.defining) == 2
+        }
+        assert {frozenset(p) for p in res.vertex_pairs} == brute
+
+    def test_vertices_satisfy_all_constraints(self):
+        normals, offsets = tangent_halfplanes(40, seed=4)
+        res = halfplane_intersection(normals, offsets, seed=1)
+        for v in res.vertices:
+            assert (normals @ v <= offsets + 1e-9).all()
+
+    def test_polygon_is_ccw_or_cw_consistent(self):
+        normals, offsets = tangent_halfplanes(25, seed=5)
+        res = halfplane_intersection(normals, offsets, seed=2)
+        v = res.vertices
+        e1 = np.roll(v, -1, axis=0) - v
+        e2 = np.roll(v, -2, axis=0) - v
+        cross = e1[:, 0] * e2[:, 1] - e1[:, 1] * e2[:, 0]
+        assert (cross > 0).all() or (cross < 0).all()
+
+    def test_contains(self):
+        normals, offsets = tangent_halfplanes(20, seed=6)
+        res = halfplane_intersection(normals, offsets, seed=3)
+        assert res.contains([0.0, 0.0])
+        assert not res.contains([100.0, 100.0])
+
+    def test_depth_available(self):
+        normals, offsets = tangent_halfplanes(64, seed=7)
+        res = halfplane_intersection(normals, offsets, seed=4)
+        assert 1 <= res.dependence_depth() <= 40
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            halfplane_intersection(np.ones((3, 2)), np.array([-1.0, 1, 1]))
+        with pytest.raises(ValueError):
+            halfplane_intersection(np.ones((3, 3)), np.ones(3))
+
+
+class TestDirectIncremental:
+    @pytest.mark.parametrize("n,seed", [(10, 11), (30, 12), (100, 13)])
+    def test_agrees_with_duality(self, n, seed):
+        normals, offsets = tangent_halfplanes(n, seed=seed)
+        dual = halfplane_intersection(normals, offsets, seed=seed)
+        direct = incremental_halfplanes(normals, offsets, seed=seed)
+        assert {frozenset(p) for p in direct.vertex_pairs} == {
+            frozenset(p) for p in dual.vertex_pairs
+        }
+
+    def test_order_invariance_of_result(self):
+        normals, offsets = tangent_halfplanes(40, seed=14)
+        results = [
+            {frozenset(p) for p in incremental_halfplanes(normals, offsets, seed=s).vertex_pairs}
+            for s in range(4)
+        ]
+        assert all(r == results[0] for r in results)
+
+    def test_depth_tracked_and_small(self):
+        normals, offsets = tangent_halfplanes(128, seed=15)
+        res = incremental_halfplanes(normals, offsets, seed=5)
+        assert 1 <= res.dependence_depth() <= 50
+
+    def test_support_parents_are_pairs(self):
+        normals, offsets = tangent_halfplanes(30, seed=16)
+        res = incremental_halfplanes(normals, offsets, seed=6)
+        for key, parents in res.graph.parents.items():
+            assert len(parents) == 2
+
+    def test_cut_counts_recorded(self):
+        normals, offsets = tangent_halfplanes(50, seed=17)
+        res = incremental_halfplanes(normals, offsets, seed=7)
+        assert len(res.cut_counts) == 50
+        assert all(c >= 0 for c in res.cut_counts)
+
+    def test_redundant_halfplane_cuts_nothing(self):
+        normals = np.array([[1.0, 0], [-1, 0], [0, 1], [0, -1], [0.707106, 0.707106]])
+        offsets = np.array([1.0, 1, 1, 1, 10.0])
+        res = incremental_halfplanes(normals, offsets, order=np.arange(5))
+        assert res.cut_counts[-1] == 0
+        assert all(4 not in p for p in res.vertex_pairs)
+
+
+class TestHalfspace3D:
+    @pytest.fixture
+    def system(self):
+        from repro.apps import halfspace_intersection_3d
+
+        rng = np.random.default_rng(31)
+        normals = rng.standard_normal((40, 3))
+        normals /= np.linalg.norm(normals, axis=1, keepdims=True)
+        return halfspace_intersection_3d, normals, np.ones(40)
+
+    def test_vertices_feasible(self, system):
+        fn, normals, offsets = system
+        res = fn(normals, offsets, seed=1)
+        for v in res.vertices:
+            assert res.contains(v, tol=1e-7)
+
+    def test_vertices_are_tight_triples(self, system):
+        fn, normals, offsets = system
+        res = fn(normals, offsets, seed=2)
+        for tri, v in zip(res.vertex_triples, res.vertices):
+            for i in tri:
+                assert abs(float(normals[i] @ v) - offsets[i]) < 1e-7
+
+    def test_origin_inside(self, system):
+        fn, normals, offsets = system
+        res = fn(normals, offsets, seed=3)
+        assert res.contains(np.zeros(3))
+
+    def test_depth_logarithmic_scale(self, system):
+        fn, normals, offsets = system
+        res = fn(normals, offsets, seed=4)
+        assert 1 <= res.dependence_depth() <= 40
+
+    def test_euler_formula(self, system):
+        """Vertices of a simple 3D polytope: V = 2F - 4 where F counts
+        the non-redundant half-spaces (dual to simplicial 3D hulls)."""
+        fn, normals, offsets = system
+        res = fn(normals, offsets, seed=5)
+        used = {i for tri in res.vertex_triples for i in tri}
+        assert len(res.vertex_triples) == 2 * len(used) - 4
+
+    def test_input_validation(self, system):
+        fn, _n, _o = system
+        with pytest.raises(ValueError):
+            fn(np.ones((4, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            fn(np.ones((4, 3)), -np.ones(4))

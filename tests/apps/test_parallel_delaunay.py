@@ -1,0 +1,79 @@
+"""Tests for parallel incremental Delaunay (Algorithm 3's machinery on
+triangles): the paper's equivalence and depth claims transferred to its
+sister problem."""
+
+import numpy as np
+import pytest
+from scipy.spatial import Delaunay as ScipyDelaunay
+
+from repro.apps import delaunay
+from repro.apps.bowyer_watson import bowyer_watson
+from repro.apps.parallel_delaunay import parallel_delaunay
+from repro.configspace.theory import harmonic
+from repro.geometry import gaussian, uniform_ball
+from repro.hull.common import HullSetupError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,seed", [(20, 1), (80, 2), (250, 3)])
+    def test_matches_scipy(self, n, seed):
+        pts = uniform_ball(n, 2, seed=seed)
+        pd = parallel_delaunay(pts, seed=seed + 5)
+        assert pd.triangles == {frozenset(s) for s in ScipyDelaunay(pts).simplices}
+
+    def test_matches_lifted_hull(self):
+        pts = gaussian(120, 2, seed=4)
+        assert parallel_delaunay(pts, seed=1).triangles == delaunay(pts, seed=2).triangles
+
+    def test_collinear_rejected(self):
+        with pytest.raises(HullSetupError):
+            parallel_delaunay(np.array([[0.0, 0], [1, 0], [2, 0]]), order=np.arange(3))
+
+
+class TestEquivalenceWithSequential:
+    """The Theorem 5.4 story, for Delaunay: same triangles created, same
+    in-circle tests, relaxed order."""
+
+    @pytest.mark.parametrize("n,seed", [(50, 1), (150, 2), (400, 3)])
+    def test_same_created_and_same_tests(self, n, seed):
+        pts = uniform_ball(n, 2, seed=seed)
+        order = np.random.default_rng(seed + 9).permutation(n)
+        pd = parallel_delaunay(pts, order=order.copy())
+        bw = bowyer_watson(pts, order=order.copy())
+        pd_created = sorted(tuple(sorted(t.verts)) for t in pd.created)
+        bw_created = sorted(tuple(sorted(t.verts)) for t in bw.created)
+        assert pd_created == bw_created
+        assert pd.in_circle_tests == bw.in_circle_tests
+        assert pd.triangles == bw.triangles
+
+    def test_identical_conflict_sets(self):
+        pts = uniform_ball(100, 2, seed=6)
+        order = np.random.default_rng(7).permutation(100)
+        pd = parallel_delaunay(pts, order=order.copy())
+        bw = bowyer_watson(pts, order=order.copy())
+        pd_conf = {tuple(sorted(t.verts)): t.conflicts.tolist() for t in pd.created}
+        bw_conf = {tuple(sorted(t.verts)): t.conflicts.tolist() for t in bw.created}
+        assert pd_conf == bw_conf
+
+
+class TestDepth:
+    def test_rounds_track_depth(self):
+        pts = uniform_ball(300, 2, seed=8)
+        pd = parallel_delaunay(pts, seed=9)
+        assert pd.dependence_depth() <= pd.rounds <= pd.dependence_depth() + 2
+
+    def test_sigma_bounded(self):
+        sigmas = []
+        for n in (64, 256, 1024):
+            pts = uniform_ball(n, 2, seed=n)
+            pd = parallel_delaunay(pts, seed=10)
+            sigmas.append(pd.dependence_depth() / harmonic(n))
+        assert max(sigmas) < 12
+        assert max(sigmas) / min(sigmas) < 2.0
+
+    def test_supports_are_pairs(self):
+        pts = uniform_ball(90, 2, seed=11)
+        pd = parallel_delaunay(pts, seed=12)
+        for tid, parents in pd.graph.parents.items():
+            assert len(parents) == 2
+            assert all(p < tid for p in parents)

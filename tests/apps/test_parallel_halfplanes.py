@@ -1,0 +1,82 @@
+"""Tests for parallel half-plane intersection (Algorithm 3's machinery
+on the Section 7 vertex space)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import halfplane_intersection, incremental_halfplanes
+from repro.apps.parallel_halfplanes import parallel_halfplanes
+from repro.configspace.spaces import tangent_halfplanes
+from repro.configspace.theory import harmonic
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,seed", [(10, 1), (60, 2), (300, 3)])
+    def test_matches_sequential_clipping(self, n, seed):
+        normals, offsets = tangent_halfplanes(n, seed=seed)
+        order = np.random.default_rng(seed + 5).permutation(n)
+        pp = parallel_halfplanes(normals, offsets, order=order.copy())
+        inc = incremental_halfplanes(normals, offsets, order=order.copy())
+        assert {frozenset(p) for p in pp.vertex_pairs} == {
+            frozenset(p) for p in inc.vertex_pairs
+        }
+
+    def test_matches_dual_hull(self):
+        normals, offsets = tangent_halfplanes(80, seed=4)
+        pp = parallel_halfplanes(normals, offsets, seed=5)
+        dual = halfplane_intersection(normals, offsets, seed=6)
+        assert {frozenset(p) for p in pp.vertex_pairs} == {
+            frozenset(p) for p in dual.vertex_pairs
+        }
+
+    def test_vertices_feasible(self):
+        normals, offsets = tangent_halfplanes(50, seed=7)
+        pp = parallel_halfplanes(normals, offsets, seed=8)
+        for v in pp.vertices:
+            assert (normals @ v <= offsets + 1e-7).all()
+
+    def test_redundant_halfplane_absent(self):
+        normals = np.array([[1.0, 0], [-1, 0], [0, 1], [0, -1], [0.6, 0.8]])
+        offsets = np.array([1.0, 1, 1, 1, 9.0])
+        pp = parallel_halfplanes(normals, offsets, order=np.arange(5))
+        assert all(4 not in p for p in pp.vertex_pairs)
+        assert len(pp.vertex_pairs) == 4
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            parallel_halfplanes(np.ones((3, 3)), np.ones(3))
+        with pytest.raises(ValueError):
+            parallel_halfplanes(np.ones((3, 2)), -np.ones(3))
+
+
+class TestDependence:
+    def test_supports_are_pairs(self):
+        normals, offsets = tangent_halfplanes(60, seed=9)
+        pp = parallel_halfplanes(normals, offsets, seed=10)
+        for vid, parents in pp.graph.parents.items():
+            assert len(parents) == 2
+            assert all(p < vid for p in parents)
+
+    def test_rounds_track_depth(self):
+        normals, offsets = tangent_halfplanes(200, seed=11)
+        pp = parallel_halfplanes(normals, offsets, seed=12)
+        assert pp.dependence_depth() <= pp.rounds <= pp.dependence_depth() + 2
+
+    def test_sigma_bounded(self):
+        sigmas = []
+        for n in (64, 256, 1024):
+            normals, offsets = tangent_halfplanes(n, seed=n)
+            pp = parallel_halfplanes(normals, offsets, seed=13)
+            sigmas.append(pp.dependence_depth() / harmonic(n))
+        assert max(sigmas) < 10
+        assert max(sigmas) / min(sigmas) < 2.0
+
+    def test_order_invariance_of_polygon(self):
+        normals, offsets = tangent_halfplanes(40, seed=14)
+        ref = None
+        for seed in range(4):
+            pp = parallel_halfplanes(normals, offsets, seed=seed)
+            got = {frozenset(p) for p in pp.vertex_pairs}
+            if ref is None:
+                ref = got
+            assert got == ref

@@ -1,0 +1,82 @@
+"""Tests for the 2D baseline hull algorithms (experiment E12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import chan, divide_and_conquer, gift_wrapping, monotone_chain
+from repro.geometry import gaussian, on_circle, uniform_ball
+
+ALGOS = [monotone_chain, gift_wrapping, divide_and_conquer, chan]
+IDS = ["monotone_chain", "gift_wrapping", "divide_and_conquer", "chan"]
+
+
+@pytest.mark.parametrize("algo", ALGOS, ids=IDS)
+class TestEveryAlgorithm:
+    def test_square(self, algo):
+        pts = np.array([[0.0, 0], [2, 0], [2, 2], [0, 2], [1, 1]])
+        assert set(algo(pts)) == {0, 1, 2, 3}
+
+    def test_tiny_inputs(self, algo):
+        assert set(algo(np.array([[0.0, 0], [1, 1]]))) == {0, 1}
+
+    def test_all_on_circle(self, algo):
+        pts = on_circle(24, seed=1)
+        assert set(algo(pts)) == set(range(24))
+
+    def test_matches_reference(self, algo):
+        pts = uniform_ball(150, 2, seed=2)
+        assert set(algo(pts)) == set(monotone_chain(pts))
+
+    def test_output_is_convex_cycle(self, algo):
+        from repro.geometry.predicates import orient
+
+        pts = gaussian(100, 2, seed=3)
+        hull = algo(pts)
+        m = len(hull)
+        turns = {
+            orient(pts[[hull[i], hull[(i + 1) % m]]], pts[hull[(i + 2) % m]])
+            for i in range(m)
+        }
+        assert turns == {1} or turns == {-1}  # consistently convex
+
+
+class TestCrossValidation:
+    @given(st.integers(0, 10_000), st.integers(5, 60))
+    @settings(max_examples=60, deadline=None)
+    def test_all_algorithms_agree(self, seed, n):
+        pts = uniform_ball(n, 2, seed=seed)
+        ref = set(monotone_chain(pts))
+        for algo in (gift_wrapping, divide_and_conquer, chan):
+            assert set(algo(pts)) == ref
+
+    def test_against_scipy(self):
+        from scipy.spatial import ConvexHull as ScipyHull
+
+        for seed in range(5):
+            pts = uniform_ball(200, 2, seed=seed)
+            assert set(monotone_chain(pts)) == set(ScipyHull(pts).vertices.tolist())
+
+
+class TestCollinearHandling:
+    def test_collinear_boundary_points_dropped(self):
+        pts = np.array([[0.0, 0], [1, 0], [2, 0], [2, 2], [0, 2]])
+        for algo, name in zip(ALGOS, IDS):
+            assert set(algo(pts)) == {0, 2, 3, 4}, name
+
+    def test_grid(self):
+        from repro.geometry import integer_grid
+
+        pts = integer_grid(4, 2, shuffle=False)
+        for algo, name in zip(ALGOS, IDS):
+            got = {tuple(pts[i]) for i in algo(pts)}
+            assert got == {(0.0, 0.0), (3.0, 0.0), (0.0, 3.0), (3.0, 3.0)}, name
+
+
+class TestDivideAndConquer:
+    def test_leaf_size_variations(self):
+        pts = uniform_ball(120, 2, seed=9)
+        ref = set(monotone_chain(pts))
+        for leaf in (3, 8, 40, 200):
+            assert set(divide_and_conquer(pts, leaf_size=leaf)) == ref

@@ -1,0 +1,181 @@
+"""Experiment E7: the Section 6 corner configuration space for
+degenerate 3D hulls -- Lemma 6.1 (active set == hull corners) and
+Lemma 6.2 (4-support), certified exactly on engineered degenerate
+inputs."""
+
+import numpy as np
+import pytest
+
+from repro.configspace import check_k_support
+from repro.configspace.spaces import CornerConfigSpace
+
+
+def cube_points(midpoints=0, seed=0):
+    """Unit-cube corners (scaled by 2 for integer midpoints) plus
+    ``midpoints`` face/edge midpoints -- heavily coplanar."""
+    base = np.array(
+        [[x, y, z] for x in (0.0, 2) for y in (0.0, 2) for z in (0.0, 2)]
+    )
+    extras = np.array(
+        [[1.0, 1, 0], [1, 0, 1], [0, 1, 1], [1, 1, 2], [1, 2, 1], [2, 1, 1],
+         [1.0, 0, 0], [0, 1, 0], [0, 0, 1]]
+    )
+    return np.vstack([base, extras[:midpoints]])
+
+
+def pyramid_with_square_base():
+    """A 4-coplanar base: the canonical degenerate facet."""
+    return np.array(
+        [[0.0, 0, 0], [2, 0, 0], [2, 2, 0], [0, 2, 0], [1, 1, 2]]
+    )
+
+
+class TestConstants:
+    def test_parameters(self):
+        space = CornerConfigSpace(cube_points())
+        assert space.degree == 3
+        assert space.multiplicity == 6
+        assert space.support_k == 4
+        assert space.base_size == 4
+
+    def test_requires_3d(self):
+        with pytest.raises(ValueError):
+            CornerConfigSpace(np.zeros((4, 2)))
+
+
+class TestLemma61:
+    """T(Y) contains exactly one configuration per corner of the hull."""
+
+    @pytest.mark.parametrize("midpoints", [0, 3, 6, 9])
+    def test_cube_with_midpoints(self, midpoints):
+        pts = cube_points(midpoints)
+        space = CornerConfigSpace(pts)
+        Y = list(range(len(pts)))
+        active = {c.key() for c in space.active_set(Y)}
+        assert active == space.hull_corners(Y)
+
+    def test_pyramid(self):
+        pts = pyramid_with_square_base()
+        space = CornerConfigSpace(pts)
+        Y = list(range(5))
+        active = {c.key() for c in space.active_set(Y)}
+        geometric = space.hull_corners(Y)
+        assert active == geometric
+        # Square base contributes 4 corners; each of the 4 triangular
+        # side faces contributes 3.
+        assert len(active) == 4 + 4 * 3
+
+    def test_cube_corner_count(self):
+        pts = cube_points(0)
+        space = CornerConfigSpace(pts)
+        active = space.active_set(range(8))
+        # 6 square faces x 4 corners each.
+        assert len(active) == 24
+
+    def test_edge_midpoints_are_not_corners(self):
+        pts = cube_points(9)  # includes edge midpoints (1,0,0), (0,1,0), (0,0,1)
+        space = CornerConfigSpace(pts)
+        active = space.active_set(range(len(pts)))
+        corner_points = {tag[0] for c in active for tag in [c.tag]}
+        for edge_mid in (14, 15, 16):  # indices of the edge midpoints
+            assert edge_mid not in corner_points
+
+    def test_general_position_matches_facets(self):
+        rng = np.random.default_rng(5)
+        pts = rng.standard_normal((8, 3))
+        space = CornerConfigSpace(pts)
+        active = space.active_set(range(8))
+        from repro.hull import sequential_hull
+
+        hull = sequential_hull(pts, order=np.arange(8))
+        # Triangular facets: 3 corners each.
+        assert len(active) == 3 * len(hull.facets)
+
+    def test_all_coplanar_raises(self):
+        pts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0], [2, 1, 0]])
+        space = CornerConfigSpace(pts)
+        with pytest.raises(ValueError):
+            space.hull_corners(range(5))
+
+
+class TestLemma62:
+    """4-support, verified exhaustively per (config, defining object)."""
+
+    @pytest.mark.parametrize(
+        "pts_fn,label",
+        [
+            (lambda: cube_points(0), "cube"),
+            (lambda: cube_points(3), "cube+face-mids"),
+            (pyramid_with_square_base, "pyramid"),
+        ],
+    )
+    def test_four_support(self, pts_fn, label):
+        pts = pts_fn()
+        space = CornerConfigSpace(pts)
+        report = check_k_support(space, range(len(pts)), k=4)
+        assert report.ok, (label, report.failures)
+        assert report.max_support_size() <= 4
+
+    def test_general_position_needs_at_most_four(self):
+        rng = np.random.default_rng(7)
+        pts = rng.standard_normal((7, 3))
+        space = CornerConfigSpace(pts)
+        report = check_k_support(space, range(7), k=4)
+        assert report.ok, report.failures
+
+
+class TestConflictRules:
+    def test_points_above_plane_conflict(self):
+        pts = pyramid_with_square_base()
+        space = CornerConfigSpace(pts)
+        # Base corner config 0-1-2 on the apex side conflicts with the
+        # apex (index 4).
+        for side in (1, -1):
+            cfg = space._config(0, 1, 2, side)
+            assert cfg is not None
+        sides = [space._config(0, 1, 2, s) for s in (1, -1)]
+        assert any(4 in c.conflicts for c in sides)
+        assert any(4 not in c.conflicts for c in sides)
+
+    def test_collinear_beyond_conflicts(self):
+        # Points on the line pm->pl beyond pl conflict; between, not.
+        pts = np.array(
+            [[0.0, 0, 0], [2, 0, 0], [0, 2, 0],  # pl-ish config points
+             [3, 0, 0],   # beyond (2,0,0) on the pm->pl line
+             [1, 0, 0],   # between
+             [0, 0, 2]]
+        )
+        space = CornerConfigSpace(pts)
+        # Corner at pm=0 with pl=1, pr=2 (both sides).
+        for side in (1, -1):
+            cfg = space._config(1, 0, 2, side)
+            assert 3 in cfg.conflicts      # beyond pl: always a conflict
+            assert 4 not in cfg.conflicts  # between pm and pl: never
+
+
+class TestPropertyBased:
+    """Random degenerate sub-instances of the integer grid: Lemma 6.1
+    and 4-support must hold on every full-dimensional subset."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_grid_subsets(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = np.array(
+            [[x, y, z] for x in (0.0, 1, 2) for y in (0.0, 1, 2) for z in (0.0, 1, 2)]
+        )
+        idx = rng.choice(len(grid), size=8, replace=False)
+        pts = grid[idx]
+        space = CornerConfigSpace(pts)
+        Y = list(range(8))
+        try:
+            geometric = space.hull_corners(Y)
+        except ValueError:
+            return  # subset not full-dimensional: out of scope
+        active = {c.key() for c in space.active_set(Y)}
+        assert active == geometric
+        report = check_k_support(space, Y, k=4)
+        assert report.ok, report.failures

@@ -1,0 +1,86 @@
+"""Tests for the configuration dependence graph (Definition 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.configspace import build_dependence_graph, graph_from_hull_run
+from repro.configspace.depgraph import DependenceGraph
+from repro.configspace.spaces import HullFacetSpace
+from repro.geometry import uniform_ball
+from repro.hull import parallel_hull
+
+
+class TestDependenceGraphStructure:
+    def test_depth_of_chain(self):
+        g = DependenceGraph()
+        g.order = ["a", "b", "c"]
+        g.parents = {"b": ("a",), "c": ("b",)}
+        assert g.depth() == 2
+        assert g.levels() == {"a": 0, "b": 1, "c": 2}
+
+    def test_depth_of_roots_only(self):
+        g = DependenceGraph()
+        g.order = ["a", "b"]
+        assert g.depth() == 0
+
+    def test_networkx_export(self):
+        g = DependenceGraph()
+        g.order = ["a", "b", "c"]
+        g.parents = {"c": ("a", "b")}
+        nxg = g.to_networkx()
+        assert set(nxg.nodes) == {"a", "b", "c"}
+        assert set(nxg.edges) == {("a", "c"), ("b", "c")}
+        assert len(g) == 3
+
+
+class TestDefinitionalConstruction:
+    def test_hull_space_depth_small(self):
+        pts = uniform_ball(10, 2, seed=5)
+        space = HullFacetSpace(pts)
+        graph = build_dependence_graph(space, list(range(10)))
+        assert graph.depth() >= 1
+        # Every non-root has at most k = 2 parents.
+        for key, parents in graph.parents.items():
+            assert 1 <= len(parents) <= 2
+
+    def test_strict_failure_on_impossible_k(self):
+        pts = uniform_ball(8, 2, seed=6)
+        space = HullFacetSpace(pts)
+        space.support_k = 0  # sabotage
+        with pytest.raises(AssertionError):
+            build_dependence_graph(space, list(range(8)))
+
+    def test_added_at_increasing_along_edges(self):
+        pts = uniform_ball(9, 2, seed=7)
+        space = HullFacetSpace(pts)
+        graph = build_dependence_graph(space, list(range(9)))
+        for key, parents in graph.parents.items():
+            for p in parents:
+                assert graph.added_at[p] < graph.added_at[key]
+
+
+class TestAgainstHullRun:
+    """The definitional graph and the algorithmic support DAG must agree
+    on depth: both realise Definition 4.1 for the facet space."""
+
+    @pytest.mark.parametrize("n,seed", [(9, 1), (11, 2), (13, 3)])
+    def test_depths_match(self, n, seed):
+        pts = uniform_ball(n, 2, seed=seed)
+        order = np.arange(n)
+        space = HullFacetSpace(pts)
+        definitional = build_dependence_graph(space, list(order))
+        run = parallel_hull(pts, order=order)
+        algorithmic = graph_from_hull_run(run)
+        assert definitional.depth() == algorithmic.depth() == run.dependence_depth()
+
+    def test_same_number_of_configurations(self):
+        n, seed = 11, 9
+        pts = uniform_ball(n, 2, seed=seed)
+        order = np.arange(n)
+        space = HullFacetSpace(pts)
+        definitional = build_dependence_graph(space, list(order))
+        run = parallel_hull(pts, order=order)
+        # The definitional graph counts configurations that *become
+        # active*; the run counts created facets.  They coincide for
+        # hulls (every created facet was active when created).
+        assert len(definitional) == len(run.created)

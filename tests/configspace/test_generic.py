@@ -1,0 +1,84 @@
+"""Tests for Algorithm 1 (the generic parallel incremental algorithm):
+it must compute the correct active set for *every* configuration space,
+with round count bounded by the dependence-graph depth."""
+
+import numpy as np
+import pytest
+
+from repro.configspace import build_dependence_graph, generic_parallel_incremental
+from repro.configspace.spaces import (
+    CornerConfigSpace,
+    DelaunayLiftedSpace,
+    HalfplaneSpace,
+    HullFacetSpace,
+    HullRidgeSpace,
+    UnitCircleArcSpace,
+    clustered_unit_circles,
+    tangent_halfplanes,
+)
+from repro.geometry import uniform_ball
+
+
+def spaces_under_test():
+    pts2 = uniform_ball(9, 2, seed=1)
+    pts3 = uniform_ball(8, 3, seed=2)
+    normals, offsets = tangent_halfplanes(9, seed=3)
+    centers = clustered_unit_circles(8, seed=4)
+    cube = np.array([[x, y, z] for x in (0.0, 2) for y in (0.0, 2) for z in (0.0, 2)])
+    return [
+        ("hull2d", HullFacetSpace(pts2), 9),
+        ("hull3d", HullFacetSpace(pts3), 8),
+        ("ridges2d", HullRidgeSpace(pts2), 9),
+        ("halfplanes", HalfplaneSpace(normals, offsets), 9),
+        ("circles", UnitCircleArcSpace(centers), 8),
+        ("corners-cube", CornerConfigSpace(cube), 8),
+        ("delaunay-lifted", DelaunayLiftedSpace(uniform_ball(8, 2, seed=5)), 8),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,space,n", spaces_under_test(), ids=[s[0] for s in spaces_under_test()]
+)
+class TestEverySpace:
+    def test_active_set_correct(self, name, space, n):
+        run = generic_parallel_incremental(space, range(n))
+        assert run.active == space.active_set(range(n)), name
+
+    def test_rounds_at_most_definitional_depth(self, name, space, n):
+        run = generic_parallel_incremental(space, range(n))
+        graph = build_dependence_graph(space, list(range(n)), strict=False)
+        # Algorithm 1 may discover shallower (non-canonical) support
+        # sets, so rounds <= the canonical depth... plus the base round.
+        assert run.rounds <= graph.depth() + 1, name
+
+    def test_supports_within_k(self, name, space, n):
+        run = generic_parallel_incremental(space, range(n))
+        for key, sup in run.supports.items():
+            assert 1 <= len(sup) <= space.support_k, (name, key)
+
+
+class TestDeterminism:
+    def test_same_order_same_run(self):
+        pts = uniform_ball(9, 2, seed=6)
+        space = HullFacetSpace(pts)
+        a = generic_parallel_incremental(space, range(9))
+        b = generic_parallel_incremental(space, range(9))
+        assert a.added_round == b.added_round
+        assert a.rounds == b.rounds
+
+    def test_different_orders_same_active(self):
+        pts = uniform_ball(9, 2, seed=7)
+        space = HullFacetSpace(pts)
+        ref = generic_parallel_incremental(space, range(9)).active
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            order = rng.permutation(9)
+            assert generic_parallel_incremental(space, list(order)).active == ref
+
+
+class TestValidation:
+    def test_too_few_objects(self):
+        pts = uniform_ball(5, 2, seed=8)
+        space = HullFacetSpace(pts)
+        with pytest.raises(ValueError):
+            generic_parallel_incremental(space, range(2))

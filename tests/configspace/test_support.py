@@ -1,0 +1,100 @@
+"""Tests for support sets (Definition 3.2) and the k-support checker."""
+
+import numpy as np
+import pytest
+
+from repro.configspace import Config, check_k_support, find_support_set, is_support_set
+from repro.configspace.spaces import HullFacetSpace
+from repro.geometry import uniform_ball
+
+
+def cfg(defining, conflicts, tag=None):
+    return Config(defining=frozenset(defining), tag=tag, conflicts=frozenset(conflicts))
+
+
+class TestIsSupportSet:
+    def test_definition_satisfied(self):
+        pi = cfg({1, 2}, {5})
+        t1 = cfg({1, 3}, {2, 5, 6}, tag="a")
+        t2 = cfg({1, 4}, {2, 7}, tag="b")
+        # D(pi)={1,2} subseteq D(phi)+{2}={1,3,4}+{2}; C(pi)+{2}={5,2}
+        # subseteq C(phi)={2,5,6,7}.
+        assert is_support_set(pi, 2, (t1, t2))
+
+    def test_x_must_be_defining(self):
+        pi = cfg({1, 2}, {5})
+        t1 = cfg({1, 2}, {3, 5}, tag="a")
+        assert not is_support_set(pi, 9, (t1,))
+
+    def test_missing_conflict_coverage(self):
+        pi = cfg({1, 2}, {5, 8})
+        t1 = cfg({1, 3}, {2, 5}, tag="a")  # does not cover conflict 8
+        assert not is_support_set(pi, 2, (t1,))
+
+    def test_x_must_conflict_with_phi(self):
+        pi = cfg({1, 2}, set())
+        t1 = cfg({1, 3}, {9}, tag="a")  # 2 not in C(phi)
+        assert not is_support_set(pi, 2, (t1,))
+
+    def test_missing_defining_coverage(self):
+        pi = cfg({1, 2, 6}, set())
+        t1 = cfg({1, 3}, {2}, tag="a")  # 6 uncovered
+        assert not is_support_set(pi, 2, (t1,))
+
+    def test_empty_phi_never_supports(self):
+        pi = cfg({1}, set())
+        assert not is_support_set(pi, 1, ())
+
+
+class TestFindSupportSet:
+    def test_finds_minimal(self):
+        pi = cfg({1, 2}, {5})
+        good = cfg({1, 9}, {2, 5}, tag="g")
+        noise = cfg({7, 8}, {42}, tag="n")
+        phi = find_support_set([noise, good], pi, 2, k=2)
+        assert phi == (good,)
+
+    def test_returns_none_when_absent(self):
+        pi = cfg({1, 2}, {5})
+        noise = cfg({7, 8}, {42}, tag="n")
+        assert find_support_set([noise], pi, 2, k=2) is None
+
+    def test_respects_k(self):
+        # Covering D(pi) \ {x} = {1, 3, 4} needs all three singleton
+        # configurations, so no support of size <= 2 exists.
+        pi = cfg({1, 2, 3, 4}, set())
+        parts = [
+            cfg({1}, {2}, tag="p1"),
+            cfg({3}, {2}, tag="p3"),
+            cfg({4}, {2}, tag="p4"),
+        ]
+        assert find_support_set(parts, pi, 2, k=2) is None
+        assert find_support_set(parts, pi, 2, k=3) is not None
+
+
+class TestCheckKSupport:
+    def test_hull_2support_report(self):
+        pts = uniform_ball(8, 2, seed=1)
+        space = HullFacetSpace(pts)
+        report = check_k_support(space, range(8))
+        assert report.ok
+        assert report.checked > 0
+        assert report.max_support_size() <= 2
+        # Every witness pair shares the configuration's ridge.
+        for (key, x), phi in report.witnesses.items():
+            defining, _tag = key
+            ridge = defining - {x}
+            for p_defining, _p_tag in phi:
+                assert ridge <= p_defining
+
+    def test_k_below_true_support_fails(self):
+        pts = uniform_ball(8, 2, seed=2)
+        space = HullFacetSpace(pts)
+        report = check_k_support(space, range(8), k=0)
+        assert not report.ok
+
+    def test_witness_recording_optional(self):
+        pts = uniform_ball(7, 2, seed=3)
+        space = HullFacetSpace(pts)
+        report = check_k_support(space, range(7), record_witnesses=False)
+        assert report.ok and not report.witnesses

@@ -1,0 +1,82 @@
+"""Tests for the analytic bound calculators (Theorems 3.1 and 4.2)."""
+
+import math
+
+import pytest
+
+from repro.configspace.theory import (
+    chernoff_tail,
+    clarkson_shor_conflict_bound,
+    depth_bound_whp,
+    depth_tail_bound,
+    expected_path_length_bound,
+    harmonic,
+    min_sigma,
+)
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0
+        assert harmonic(1) == 1
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_asymptotic_form(self):
+        n = 1000
+        assert harmonic(n) == pytest.approx(math.log(n) + 0.5772156649, abs=1e-3)
+
+    def test_large_n_expansion(self):
+        n = 50_000_000
+        approx = harmonic(n)
+        assert approx == pytest.approx(math.log(n) + 0.5772156649, abs=1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+
+class TestChernoff:
+    def test_decreasing_in_a(self):
+        vals = [chernoff_tail(2.0, a) for a in (6, 10, 20)]
+        assert vals[0] > vals[1] > vals[2]
+
+    def test_trivial_for_nonpositive_a(self):
+        assert chernoff_tail(2.0, 0) == 1.0
+
+
+class TestDepthTail:
+    def test_matches_formula(self):
+        # c * n^-(sigma - g) with g=2, k=2, c=2.
+        sigma = min_sigma(2, 2) + 1
+        p = depth_tail_bound(1000, sigma, g=2, k=2, c=2)
+        assert p == pytest.approx(min(1.0, 2 * 1000.0 ** (-(sigma - 2))))
+
+    def test_sigma_threshold_enforced(self):
+        with pytest.raises(ValueError):
+            depth_tail_bound(100, sigma=1.0, g=2, k=2, c=2)
+
+    def test_probability_clamped(self):
+        assert depth_tail_bound(2, min_sigma(1, 1) + 0.1, g=1, k=1, c=100) <= 1.0
+
+    def test_whp_bound_is_log_scale(self):
+        b1 = depth_bound_whp(1000, g=2, k=2, c=2)
+        b2 = depth_bound_whp(1_000_000, g=2, k=2, c=2)
+        # Doubling log n should roughly double the bound.
+        assert b2 / b1 == pytest.approx(harmonic(1_000_000) / harmonic(1000))
+
+    def test_expected_path_bound(self):
+        assert expected_path_length_bound(100, 3) == pytest.approx(3 * harmonic(100))
+
+
+class TestClarksonShor:
+    def test_linear_active_sets_give_nlogn(self):
+        # t_i = i (e.g. 2D/3D hulls): bound = n g^2 sum i/i^2 = n g^2 H_n.
+        n, g = 256, 2
+        bound = clarkson_shor_conflict_bound([float(i) for i in range(1, n + 1)], g)
+        assert bound == pytest.approx(n * g * g * harmonic(n))
+
+    def test_constant_active_sets_give_linear(self):
+        n, g = 100, 2
+        bound = clarkson_shor_conflict_bound([5.0] * n, g)
+        assert bound == pytest.approx(n * g * g * 5.0 * sum(1 / (i * i) for i in range(1, n + 1)))

@@ -1,0 +1,87 @@
+"""Tests for oriented hyperplanes and batch visibility."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.predicates import orient_exact
+
+
+class TestThrough:
+    def test_orientation_against_reference(self):
+        plane = Hyperplane.through(np.array([[0.0, 0], [1, 0]]), below=[0.5, -1.0])
+        assert plane.side([0.5, -1.0]) == -1
+        assert plane.side([0.5, 1.0]) == 1
+
+    def test_reference_on_plane_raises(self):
+        with pytest.raises(ValueError):
+            Hyperplane.through(np.array([[0.0, 0], [1, 0]]), below=[0.5, 0.0])
+
+    def test_3d(self):
+        pts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0]])
+        plane = Hyperplane.through(pts, below=[0, 0, -1.0])
+        assert plane.side([0.3, 0.3, 0.5]) == 1
+        assert plane.side([0.3, 0.3, -0.5]) == -1
+        assert plane.side([0.3, 0.3, 0.0]) == 0
+
+    def test_high_dim(self):
+        pts = np.eye(5)
+        plane = Hyperplane.through(pts, below=np.zeros(5))
+        assert plane.side(np.full(5, 1.0)) == 1
+        # (0.5, 0.5, 0, 0, 0) sums to exactly 1: on the hyperplane.
+        # (np.full(0.2) would NOT be: float 0.2 is not 1/5.)
+        assert plane.side(np.array([0.5, 0.5, 0.0, 0.0, 0.0])) == 0
+
+
+class TestSide:
+    def test_defining_points_are_on_plane(self, rng):
+        for _ in range(50):
+            pts = rng.standard_normal((3, 3))
+            plane = Hyperplane.through(pts, below=pts.mean(axis=0) + rng.standard_normal(3))
+            for p in pts:
+                assert plane.side(p) == 0
+
+    def test_scalar_matches_exact(self, rng):
+        for _ in range(100):
+            pts = rng.standard_normal((2, 2)) * 10
+            below = rng.standard_normal(2) * 10
+            if orient_exact(pts, below) == 0:
+                continue
+            plane = Hyperplane.through(pts, below=below)
+            q = rng.standard_normal(2) * 10
+            probe = pts[0] + plane.normal
+            ref = orient_exact(pts, q)
+            probe_ref = orient_exact(pts, probe)
+            expected = ref if probe_ref > 0 else -ref
+            assert plane.side(q) == expected
+
+
+class TestVisibleMask:
+    def test_empty_batch(self):
+        plane = Hyperplane.through(np.array([[0.0, 0], [1, 0]]), below=[0.5, -1.0])
+        assert plane.visible_mask(np.zeros((0, 2))).shape == (0,)
+
+    def test_mask_matches_scalar(self, rng):
+        pts = rng.standard_normal((2, 2))
+        plane = Hyperplane.through(pts, below=[0, -10.0])
+        batch = rng.standard_normal((200, 2)) * 3
+        mask = plane.visible_mask(batch)
+        for q, m in zip(batch, mask):
+            assert m == (plane.side(q) > 0)
+
+    def test_on_plane_points_not_visible(self):
+        plane = Hyperplane.through(np.array([[0.0, 0], [2, 0]]), below=[1, -1.0])
+        batch = np.array([[0.5, 0.0], [1.5, 0.0], [7.0, 0.0], [1.0, 1e-3]])
+        mask = plane.visible_mask(batch)
+        assert mask.tolist() == [False, False, False, True]
+
+    def test_degenerate_margins_resolved_exactly(self):
+        # Integer-coordinate plane with many exactly-on-plane points.
+        plane = Hyperplane.through(
+            np.array([[0.0, 0, 0], [4, 0, 0], [0, 4, 0]]), below=[1, 1, -1.0]
+        )
+        batch = np.array(
+            [[1.0, 1, 0], [2, 2, 0], [1, 1, 1e-20], [1, 1, -1e-20], [3, 3, 5]]
+        )
+        mask = plane.visible_mask(batch)
+        assert mask.tolist() == [False, False, True, False, True]

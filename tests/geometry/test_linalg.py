@@ -1,0 +1,169 @@
+"""Unit and property tests for the small-matrix linear algebra kernel."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.linalg import (
+    cofactor_normal,
+    cofactor_normal_exact,
+    det_exact,
+    det_with_error_bound,
+    sign_exact,
+    solve_exact,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def square(n, elems=finite_floats):
+    return st.lists(st.lists(elems, min_size=n, max_size=n), min_size=n, max_size=n)
+
+
+class TestDetExact:
+    def test_identity(self):
+        assert det_exact([[1, 0], [0, 1]]) == 1
+        assert det_exact([[1, 0, 0], [0, 1, 0], [0, 0, 1]]) == 1
+
+    def test_empty_matrix_is_one(self):
+        assert det_exact([]) == 1
+
+    def test_known_2x2(self):
+        assert det_exact([[1, 2], [3, 4]]) == -2
+
+    def test_known_3x3(self):
+        assert det_exact([[2, 0, 1], [1, 3, 2], [1, 1, 4]]) == 18
+
+    def test_singular(self):
+        assert det_exact([[1, 2], [2, 4]]) == 0
+
+    def test_zero_pivot_requires_swap(self):
+        # a[0][0] == 0 forces the row-swap branch of Bareiss.
+        assert det_exact([[0, 1], [1, 0]]) == -1
+        assert det_exact([[0, 1, 2], [1, 0, 3], [4, 5, 0]]) == 22
+
+    def test_fractions_are_exact(self):
+        rows = [[Fraction(1, 3), Fraction(1, 7)], [Fraction(2, 5), Fraction(3, 11)]]
+        expect = Fraction(1, 3) * Fraction(3, 11) - Fraction(1, 7) * Fraction(2, 5)
+        assert det_exact(rows) == expect
+
+    def test_floats_converted_exactly(self):
+        # 0.1 is not 1/10 in binary; the exact determinant must reflect
+        # the *float* value, not the decimal literal.
+        d = det_exact([[0.1, 0.0], [0.0, 1.0]])
+        assert d == Fraction(0.1)
+        assert d != Fraction(1, 10)
+
+    @given(square(3, st.integers(min_value=-50, max_value=50)))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy_on_integers(self, rows):
+        exact = det_exact(rows)
+        approx = np.linalg.det(np.array(rows, dtype=np.float64))
+        assert abs(float(exact) - approx) < 1e-6 * max(1.0, abs(float(exact)))
+
+    @given(square(3, st.integers(min_value=-9, max_value=9)))
+    @settings(max_examples=60, deadline=None)
+    def test_row_swap_flips_sign(self, rows):
+        d1 = det_exact(rows)
+        swapped = [rows[1], rows[0], rows[2]]
+        assert det_exact(swapped) == -d1
+
+    @given(square(4, st.integers(min_value=-5, max_value=5)))
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_invariance(self, rows):
+        m = np.array(rows)
+        assert det_exact(rows) == det_exact(m.T.tolist())
+
+
+class TestDetWithErrorBound:
+    def test_sizes_0_to_4(self):
+        for n in range(5):
+            m = np.eye(n)
+            det, err = det_with_error_bound(m)
+            assert det == pytest.approx(1.0)
+            assert err >= 0.0
+
+    @given(square(3))
+    @settings(max_examples=100, deadline=None)
+    def test_bound_contains_truth(self, rows):
+        det, err = det_with_error_bound(np.array(rows))
+        exact = float(det_exact(rows))
+        assert abs(det - exact) <= err + 1e-12 * abs(exact)
+
+    def test_near_singular_is_flagged_uncertain(self):
+        # Rows differing by ~1 ulp: float det is noise, bound must cover 0.
+        a = np.array([[1.0, 1.0], [1.0, 1.0 + 1e-16]])
+        det, err = det_with_error_bound(a)
+        assert abs(det) <= err
+
+
+class TestSignExact:
+    def test_signs(self):
+        assert sign_exact([[2, 0], [0, 3]]) == 1
+        assert sign_exact([[0, 1], [1, 0]]) == -1
+        assert sign_exact([[1, 1], [1, 1]]) == 0
+
+
+class TestCofactorNormal:
+    def test_2d_rotation(self):
+        n = cofactor_normal(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        # Perpendicular to the x-axis edge.
+        assert n @ np.array([1.0, 0.0]) == pytest.approx(0.0)
+
+    def test_3d_matches_cross_product(self):
+        pts = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0]])
+        n = cofactor_normal(pts)
+        assert np.allclose(np.abs(n), [0, 0, 1])
+
+    @given(square(4))
+    @settings(max_examples=50, deadline=None)
+    def test_orthogonal_to_all_edges_4d(self, rows):
+        pts = np.array(rows)
+        n = cofactor_normal(pts)
+        scale = np.abs(pts).max() + 1.0
+        for i in range(1, 4):
+            assert abs(n @ (pts[i] - pts[0])) <= 1e-6 * scale**4
+
+    def test_exact_agrees_with_float(self):
+        pts = [[0, 0, 0], [2, 1, 0], [1, 3, 1]]
+        nf = cofactor_normal(np.array(pts, dtype=float))
+        ne = [float(x) for x in cofactor_normal_exact(pts)]
+        assert np.allclose(nf, ne)
+
+    def test_wrong_shape_raises(self):
+        with pytest.raises(ValueError):
+            cofactor_normal(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            cofactor_normal_exact([[0, 0, 0], [1, 1, 1]])
+
+
+class TestSolveExact:
+    def test_simple_system(self):
+        x = solve_exact([[2, 0], [0, 4]], [4, 8])
+        assert x == [Fraction(2), Fraction(2)]
+
+    def test_requires_pivoting(self):
+        x = solve_exact([[0, 1], [1, 0]], [5, 7])
+        assert x == [Fraction(7), Fraction(5)]
+
+    def test_singular_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            solve_exact([[1, 2], [2, 4]], [1, 1])
+
+    @given(
+        st.lists(st.integers(-20, 20), min_size=4, max_size=4),
+        st.lists(st.integers(-20, 20), min_size=2, max_size=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_solution_satisfies_system(self, flat, rhs):
+        rows = [flat[:2], flat[2:]]
+        if det_exact(rows) == 0:
+            return
+        x = solve_exact(rows, rhs)
+        for row, b in zip(rows, rhs):
+            assert sum(Fraction(r) * xi for r, xi in zip(row, x)) == b

@@ -1,0 +1,95 @@
+"""Tests for the workload generators: shape, determinism, and the
+geometric properties each regime is supposed to have."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import points as gen
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "fn,args",
+        [
+            (gen.uniform_ball, (50, 3)),
+            (gen.uniform_cube, (50, 3)),
+            (gen.on_sphere, (50, 3)),
+            (gen.gaussian, (50, 3)),
+            (gen.collinear_cluster, (50, 3)),
+            (gen.anisotropic, (50, 3)),
+        ],
+    )
+    def test_same_seed_same_points(self, fn, args):
+        assert np.array_equal(fn(*args, seed=7), fn(*args, seed=7))
+        assert not np.array_equal(fn(*args, seed=7), fn(*args, seed=8))
+
+    def test_on_circle_and_paraboloid(self):
+        assert np.array_equal(gen.on_circle(20, seed=3), gen.on_circle(20, seed=3))
+        assert np.array_equal(gen.on_paraboloid(20, seed=3), gen.on_paraboloid(20, seed=3))
+
+
+class TestGeometry:
+    def test_ball_points_inside_unit_ball(self):
+        pts = gen.uniform_ball(500, 4, seed=1)
+        assert pts.shape == (500, 4)
+        assert (np.linalg.norm(pts, axis=1) <= 1.0 + 1e-12).all()
+
+    def test_sphere_points_on_unit_sphere(self):
+        pts = gen.on_sphere(500, 3, seed=2)
+        assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+    def test_cube_points_in_box(self):
+        pts = gen.uniform_cube(500, 5, seed=3)
+        assert (np.abs(pts) <= 1.0).all()
+
+    def test_paraboloid_lift_is_exact(self):
+        pts = gen.on_paraboloid(100, seed=4)
+        assert np.allclose(pts[:, 2], pts[:, 0] ** 2 + pts[:, 1] ** 2)
+
+    def test_circle_jitter_stays_inside(self):
+        pts = gen.on_circle(200, seed=5, jitter=0.3)
+        r = np.linalg.norm(pts, axis=1)
+        assert (r <= 1.0 + 1e-12).all() and (r >= 0.7 - 1e-12).all()
+
+    def test_integer_grid_contents(self):
+        pts = gen.integer_grid(3, 2, shuffle=False)
+        assert pts.shape == (9, 2)
+        assert {tuple(p) for p in pts} == {(float(i), float(j)) for i in range(3) for j in range(3)}
+
+    def test_integer_grid_shuffle_preserves_set(self):
+        a = gen.integer_grid(3, 3, seed=1, shuffle=True)
+        b = gen.integer_grid(3, 3, shuffle=False)
+        assert {tuple(p) for p in a} == {tuple(p) for p in b}
+
+    def test_collinear_cluster_has_collinear_run(self):
+        pts = gen.collinear_cluster(40, 2, seed=6, frac=0.5)
+        assert pts.shape == (40, 2)
+
+    def test_coplanar_3d_shape(self):
+        pts = gen.coplanar_3d(30, seed=7)
+        assert pts.shape == (30, 3)
+
+    def test_anisotropic_is_stretched(self):
+        pts = gen.anisotropic(500, 2, seed=8, ratio=100.0)
+        assert pts[:, 0].std() > 20 * pts[:, 1].std()
+
+
+class TestFigure1:
+    def test_labels_align(self):
+        pts, labels = gen.figure1_points()
+        assert pts.shape == (10, 2)
+        assert labels == ["u", "v", "w", "x", "y", "z", "t", "a", "b", "c"]
+
+    def test_initial_seven_in_convex_position(self):
+        from repro.baselines import monotone_chain
+
+        pts, _ = gen.figure1_points()
+        assert sorted(monotone_chain(pts[:7])) == list(range(7))
+
+    def test_abc_inside_initial_hull_union_region(self):
+        # a, b, c extend the hull below; u stays a vertex of the final hull.
+        from repro.baselines import monotone_chain
+
+        pts, labels = gen.figure1_points()
+        final = {labels[i] for i in monotone_chain(pts)}
+        assert final == {"u", "v", "c", "z", "t"}

@@ -1,0 +1,139 @@
+"""Tests for the adaptive-exact orientation and in-circle predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.predicates import STATS, in_circle, orient, orient_exact
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False, allow_infinity=False)
+
+
+def point(d):
+    return st.lists(coord, min_size=d, max_size=d).map(np.array)
+
+
+class TestOrient2D:
+    def test_left_turn(self):
+        assert orient(np.array([[0.0, 0], [1, 0]]), [0.5, 1.0]) == 1
+
+    def test_right_turn(self):
+        assert orient(np.array([[0.0, 0], [1, 0]]), [0.5, -1.0]) == -1
+
+    def test_collinear_exact_zero(self):
+        # Points chosen so naive float evaluation is noisy but the exact
+        # answer is zero.
+        a, b = 0.1, 0.3
+        assert orient(np.array([[a, a], [b, b]]), [0.2, 0.2]) == 0
+
+    def test_near_degenerate_decided_exactly(self):
+        # q a hair above the line y = x: must be +1, not 0 or -1.
+        base = np.array([[0.0, 0.0], [1e8, 1e8]])
+        q = [0.5e8, 0.5e8 * (1 + 2e-16)]
+        assert orient(base, q) == orient_exact(base, q)
+
+    @given(point(2), point(2), point(2))
+    @settings(max_examples=150, deadline=None)
+    def test_antisymmetry(self, a, b, c):
+        assert orient(np.array([a, b]), c) == -orient(np.array([b, a]), c)
+
+    @given(point(2), point(2), point(2), point(2))
+    @settings(max_examples=100, deadline=None)
+    def test_translation_invariance(self, a, b, c, t):
+        s1 = orient(np.array([a, b]), c)
+        s2 = orient(np.array([a + t, b + t]), c + t)
+        # Exact predicates on translated floats can differ only through
+        # rounding of the inputs themselves; re-check exactly.
+        assert s1 == orient_exact(np.array([a, b]), c)
+        assert s2 == orient_exact(np.array([a + t, b + t]), c + t)
+
+    @given(point(2), point(2), point(2))
+    @settings(max_examples=150, deadline=None)
+    def test_cyclic_permutation_invariance(self, a, b, c):
+        # orient(a, b; c) is the signed area: invariant under cyclic
+        # rotation of (a, b, c).
+        assert orient(np.array([a, b]), c) == orient(np.array([b, c]), a)
+
+
+class TestOrient3D:
+    def test_above_below_plane(self):
+        simplex = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0]])
+        up = orient(simplex, [0.2, 0.2, 1.0])
+        down = orient(simplex, [0.2, 0.2, -1.0])
+        assert up == -down != 0
+
+    def test_coplanar_is_zero(self):
+        simplex = np.array([[0.0, 0, 0], [1, 0, 0], [0, 1, 0]])
+        assert orient(simplex, [0.3, 0.4, 0.0]) == 0
+
+    @given(point(3), point(3), point(3), point(3))
+    @settings(max_examples=100, deadline=None)
+    def test_swap_antisymmetry(self, a, b, c, q):
+        s1 = orient(np.array([a, b, c]), q)
+        s2 = orient(np.array([b, a, c]), q)
+        assert s1 == -s2
+
+    def test_matches_exact_on_random(self, rng):
+        for _ in range(200):
+            pts = rng.standard_normal((3, 3))
+            q = rng.standard_normal(3)
+            assert orient(pts, q) == orient_exact(pts, q)
+
+
+class TestHigherDim:
+    def test_4d_simplex(self):
+        simplex = np.eye(4)
+        below = orient(simplex, np.zeros(4))       # sum of coords < 1
+        above = orient(simplex, np.full(4, 10.0))  # sum of coords > 1
+        assert below == -above != 0
+        # The centroid of the simplex's points lies exactly on the
+        # hyperplane sum(x) == 1.
+        assert orient(simplex, np.full(4, 0.25)) == 0
+
+    def test_4d_degenerate(self):
+        simplex = np.eye(4)
+        on_plane = np.array([0.5, 0.5, 0.0, 0.0])
+        assert orient(simplex, on_plane) == 0
+
+
+class TestExactFallback:
+    def test_exact_path_fires_on_degeneracy(self):
+        STATS.reset()
+        orient(np.array([[0.0, 0], [1, 1]]), [2.0, 2.0])
+        assert STATS.exact_calls >= 1
+
+    def test_fast_path_on_generic_input(self):
+        STATS.reset()
+        orient(np.array([[0.0, 0], [1, 0]]), [0.5, 5.0])
+        assert STATS.exact_calls == 0
+        assert STATS.float_calls == 1
+
+
+class TestInCircle:
+    def test_inside_unit_circle(self):
+        a, b, c = [1, 0], [0, 1], [-1, 0]
+        assert in_circle(a, b, c, [0.0, 0.0]) == 1
+
+    def test_outside(self):
+        a, b, c = [1, 0], [0, 1], [-1, 0]
+        assert in_circle(a, b, c, [2.0, 0.0]) == -1
+
+    def test_cocircular_zero(self):
+        a, b, c = [1, 0], [0, 1], [-1, 0]
+        assert in_circle(a, b, c, [0.0, -1.0]) == 0
+
+    def test_orientation_flips_sign(self):
+        a, b, c, q = [1, 0], [0, 1], [-1, 0], [0.0, 0.0]
+        assert in_circle(a, b, c, q) == -in_circle(a, c, b, q)
+
+    @given(point(2))
+    @settings(max_examples=100, deadline=None)
+    def test_consistent_with_radius(self, q):
+        a, b, c = [3, 0], [0, 3], [-3, 0]  # circle of radius 3 at origin
+        r2 = float(q @ q)
+        s = in_circle(a, b, c, q)
+        if r2 < 9 - 1e-9:
+            assert s == 1
+        elif r2 > 9 + 1e-9:
+            assert s == -1

@@ -1,0 +1,57 @@
+"""Tests for the Facet/Ridge value types."""
+
+import numpy as np
+
+from repro.geometry.hyperplane import Hyperplane
+from repro.geometry.simplex import Facet, facet_ridges
+
+
+def _facet(fid, indices, conflicts=()):
+    d = len(indices)
+    pts = np.eye(d) + 0.01 * np.arange(d)[:, None]
+    plane = Hyperplane.through(pts, below=np.zeros(d))
+    return Facet(
+        fid=fid,
+        indices=tuple(sorted(indices)),
+        plane=plane,
+        conflicts=np.array(sorted(conflicts), dtype=np.int64),
+    )
+
+
+class TestRidges:
+    def test_2d_facet_has_two_vertex_ridges(self):
+        assert set(facet_ridges((3, 7))) == {frozenset({3}), frozenset({7})}
+
+    def test_3d_facet_has_three_edge_ridges(self):
+        ridges = set(facet_ridges((1, 2, 5)))
+        assert ridges == {frozenset({1, 2}), frozenset({1, 5}), frozenset({2, 5})}
+
+    def test_count_equals_dimension(self):
+        for d in range(2, 7):
+            assert len(list(facet_ridges(tuple(range(d))))) == d
+
+
+class TestFacet:
+    def test_identity_by_fid(self):
+        a = _facet(1, (0, 1))
+        b = _facet(1, (2, 3))
+        c = _facet(2, (0, 1))
+        assert a == b  # same fid
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_pivot_is_min_conflict(self):
+        f = _facet(0, (0, 1), conflicts=(9, 4, 7))
+        assert f.pivot == 4
+
+    def test_empty_conflicts_pivot_sentinel(self):
+        f = _facet(0, (0, 1))
+        assert f.pivot == -1
+
+    def test_key_is_geometric(self):
+        a = _facet(1, (0, 1))
+        b = _facet(2, (0, 1))
+        assert a.key() == b.key()
+
+    def test_alive_default(self):
+        assert _facet(0, (0, 1)).alive

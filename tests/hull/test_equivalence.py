@@ -1,0 +1,73 @@
+"""Experiment E2: Algorithm 3 does exactly Algorithm 2's computation.
+
+The paper (Section 5.2): the parallel variant "creates the exact same
+set of facets along the way and runs the exact same set of visibility
+tests, but in a relaxed order" -- with the caveat that buried ridges
+let it *skip* some tests.  Verified here facet-for-facet and
+count-for-count under shared insertion orders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_work
+from repro.geometry import gaussian, on_sphere, uniform_ball, uniform_cube
+from repro.hull import parallel_hull, sequential_hull
+
+WORKLOADS = [
+    (uniform_ball, 2, 200),
+    (uniform_ball, 3, 150),
+    (uniform_ball, 4, 80),
+    (on_sphere, 2, 120),
+    (on_sphere, 3, 120),
+    (uniform_cube, 3, 150),
+    (gaussian, 2, 300),
+]
+
+
+@pytest.mark.parametrize("gen,d,n", WORKLOADS)
+def test_same_facets_created(gen, d, n):
+    pts = gen(n, d, seed=d * 1000 + n)
+    order = np.random.default_rng(99).permutation(n)
+    seq = sequential_hull(pts, order=order.copy())
+    par = parallel_hull(pts, order=order.copy())
+    assert par.facet_keys() == seq.facet_keys()
+    assert par.created_keys() == seq.created_keys()
+
+
+@pytest.mark.parametrize("gen,d,n", WORKLOADS)
+def test_visibility_tests_never_exceed_sequential(gen, d, n):
+    pts = gen(n, d, seed=d * 2000 + n)
+    cmpn = compare_work(pts, seed=7)
+    assert cmpn.par.counters.visibility_tests <= cmpn.seq.counters.visibility_tests
+    # And not wildly fewer: the computation is the same, reshuffled.
+    assert cmpn.test_ratio > 0.5
+
+
+def test_same_facet_count_many_seeds():
+    pts = uniform_ball(100, 2, seed=0)
+    for seed in range(10):
+        cmpn = compare_work(pts, seed=seed)
+        assert cmpn.same_facets
+        assert cmpn.same_created
+        assert len(cmpn.par.created) == len(cmpn.seq.created)
+
+
+def test_conflict_sets_identical_per_facet():
+    """Stronger than facet equality: each created facet carries the same
+    conflict set in both algorithms."""
+    pts = uniform_ball(120, 2, seed=5)
+    order = np.random.default_rng(3).permutation(120)
+    seq = sequential_hull(pts, order=order.copy())
+    par = parallel_hull(pts, order=order.copy())
+    seq_conf = {f.key(): f.conflicts.tolist() for f in seq.created}
+    par_conf = {f.key(): f.conflicts.tolist() for f in par.created}
+    assert seq_conf == par_conf
+
+
+def test_work_ratio_close_to_one_on_sphere():
+    """On all-extreme inputs almost nothing is buried, so the parallel
+    test count should be nearly identical to the sequential one."""
+    pts = on_sphere(300, 2, seed=8)
+    cmpn = compare_work(pts, seed=11)
+    assert 0.9 <= cmpn.test_ratio <= 1.0

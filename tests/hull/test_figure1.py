@@ -1,0 +1,135 @@
+"""Experiment E4: the paper's Figure 1 / Section 5.3 worked example,
+reproduced event-for-event.
+
+Starting from the hull u-v-w-x-y-z-t with a, b, c pending in insertion
+order, the paper's parallel schedule is:
+
+* round 1: v-c, w-b, x-a, a-z created in parallel (replacing v-w, w-x,
+  x-y, y-z);
+* round 2: b-a replaces x-a, c-z replaces a-z;
+* round 3: the corner w-b-a is buried by c; v-c and c-z finalise.
+
+The final hull is u-v-c-z-t.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import figure1_points
+from repro.hull import parallel_hull, sequential_hull
+
+
+@pytest.fixture(scope="module")
+def run():
+    pts, _ = figure1_points()
+    return parallel_hull(pts, order=np.arange(10), base_size=7)
+
+
+@pytest.fixture(scope="module")
+def labels():
+    _, labels = figure1_points()
+    return labels
+
+
+def edge_name(run, labels, fid):
+    f = next(x for x in run.created if x.fid == fid)
+    return frozenset(labels[i] for i in f.indices)
+
+
+def creates_in_round(run, labels, rnd):
+    return {
+        (edge_name(run, labels, e.created), edge_name(run, labels, e.removed), labels[e.pivot])
+        for e in run.events
+        if e.kind == "create" and e.round == rnd
+    }
+
+
+class TestFigure1:
+    def test_three_rounds(self, run):
+        assert run.exec_stats.rounds == 3
+
+    def test_round1_parallel_creates(self, run, labels):
+        expected = {
+            (frozenset("vc"), frozenset("vw"), "c"),
+            (frozenset("wb"), frozenset("wx"), "b"),
+            (frozenset("xa"), frozenset("xy"), "a"),
+            (frozenset("az"), frozenset("yz"), "a"),
+        }
+        assert creates_in_round(run, labels, 0) == expected
+
+    def test_round2_creates(self, run, labels):
+        expected = {
+            (frozenset("ba"), frozenset("xa"), "b"),
+            (frozenset("cz"), frozenset("az"), "c"),
+        }
+        assert creates_in_round(run, labels, 1) == expected
+
+    def test_round3_no_creates(self, run, labels):
+        assert creates_in_round(run, labels, 2) == set()
+
+    def test_round3_buries_wb_ba_corner(self, run, labels):
+        # The paper: "For w-b-a, both of the edges w-b and b-a see c as
+        # their conflict pivot ... which directly buries w-b and b-a."
+        bury_pairs = {
+            frozenset(
+                (edge_name(run, labels, e.removed_pair[0]),
+                 edge_name(run, labels, e.removed_pair[1]))
+            )
+            for e in run.events
+            if e.kind == "bury" and e.round == 2
+        }
+        assert frozenset((frozenset("wb"), frozenset("ba"))) in bury_pairs
+
+    def test_round3_finalises_vcz_corner(self, run, labels):
+        final_ridges = {
+            frozenset(labels[i] for i in e.ridge)
+            for e in run.events
+            if e.kind == "final" and e.round == 2
+        }
+        assert frozenset("c") in final_ridges  # the corner v-c-z
+
+    def test_final_hull_is_uvczt(self, run, labels):
+        edges = {edge_name(run, labels, f.fid) for f in run.facets}
+        assert edges == {
+            frozenset("uv"),
+            frozenset("vc"),
+            frozenset("cz"),
+            frozenset("zt"),
+            frozenset("ut"),
+        }
+
+    def test_dependence_depth_two(self, run):
+        # v-c etc. at depth 1; b-a and c-z at depth 2.
+        assert run.dependence_depth() == 2
+
+    def test_same_final_hull_as_sequential(self, run):
+        pts, _ = figure1_points()
+        seq = sequential_hull(pts, order=np.arange(10))
+        assert run.facet_keys() == seq.facet_keys()
+
+    def test_same_created_with_matching_base(self):
+        # "Same facets created" requires the same bootstrap: sequential
+        # grows from a 3-point simplex, so compare against the parallel
+        # run at the default base size (d+1 = 3), not the 7-point one
+        # used for the walkthrough.
+        pts, _ = figure1_points()
+        seq = sequential_hull(pts, order=np.arange(10))
+        par = parallel_hull(pts, order=np.arange(10))
+        assert par.created_keys() == seq.created_keys()
+        assert par.facet_keys() == seq.facet_keys()
+
+    def test_pivot_visibility_pattern(self, run, labels):
+        """The visibility structure the figure depends on: a sees x-y and
+        y-z; b sees w-x (not v-w); c sees everything between v and z but
+        not u-v or z-t."""
+        conf = {
+            edge_name(run, labels, f.fid): {labels[int(v)] for v in f.conflicts}
+            for f in run.created[:7]
+        }
+        assert conf[frozenset("uv")] == set()
+        assert conf[frozenset("ut")] == set()
+        assert conf[frozenset("zt")] == set()
+        assert conf[frozenset("vw")] == {"c"}
+        assert "b" in conf[frozenset("wx")] and "a" not in conf[frozenset("wx")]
+        assert "a" in conf[frozenset("xy")]
+        assert min(conf[frozenset("yz")], key=labels.index) == "a"

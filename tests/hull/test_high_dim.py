@@ -1,0 +1,39 @@
+"""Higher-dimension coverage (d = 5, 6): the paper's bounds are for any
+constant dimension; verify the machinery doesn't silently assume
+d <= 4 anywhere."""
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull as ScipyHull
+
+from repro.geometry import uniform_ball
+from repro.hull import parallel_hull, sequential_hull, validate_hull
+
+
+@pytest.mark.parametrize("d,n", [(5, 32), (6, 24)])
+class TestHighDimensions:
+    def test_sequential(self, d, n):
+        pts = uniform_ball(n, d, seed=d)
+        res = sequential_hull(pts, seed=1)
+        validate_hull(res.facets, res.points)
+        assert res.vertex_indices() == set(ScipyHull(pts).vertices.tolist())
+
+    def test_parallel_matches(self, d, n):
+        pts = uniform_ball(n, d, seed=d + 10)
+        order = np.random.default_rng(2).permutation(n)
+        seq = sequential_hull(pts, order=order.copy())
+        par = parallel_hull(pts, order=order.copy())
+        assert par.created_keys() == seq.created_keys()
+        assert par.facet_keys() == seq.facet_keys()
+
+    def test_depth_still_shallow(self, d, n):
+        pts = uniform_ball(n, d, seed=d + 20)
+        run = parallel_hull(pts, seed=3)
+        # Even in d=6, depth stays far below n for these sizes.
+        assert run.dependence_depth() < n
+
+    def test_each_facet_has_d_indices(self, d, n):
+        pts = uniform_ball(n, d, seed=d + 30)
+        run = parallel_hull(pts, seed=4)
+        for f in run.facets:
+            assert len(f.indices) == d

@@ -1,0 +1,62 @@
+"""Tests for the joggled-hull wrapper on degenerate inputs."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import collinear_cluster, integer_grid, uniform_ball
+from repro.hull import HullSetupError
+from repro.hull.joggle import joggled_hull
+
+
+class TestJoggle:
+    def test_generic_input_unharmed(self):
+        pts = uniform_ball(100, 2, seed=1)
+        res = joggled_hull(pts, seed=2)
+        assert res.attempts == 1
+        # With a 1e-9-relative joggle, the vertex set matches the
+        # unperturbed hull on generic inputs.
+        from repro.hull import parallel_hull
+
+        ref = parallel_hull(pts, seed=3).vertex_indices()
+        assert res.vertex_indices() == ref
+
+    def test_integer_grid(self):
+        pts = integer_grid(5, 2, seed=4)
+        res = joggled_hull(pts, seed=5)
+        # Corner points of the grid must be among the joggled vertices.
+        hi = 4.0
+        corner_coords = {(0.0, 0.0), (0.0, hi), (hi, 0.0), (hi, hi)}
+        got = {tuple(res.original[i]) for i in
+               (int(res.run.order[r]) for f in res.run.facets for r in f.indices)}
+        assert corner_coords <= got
+
+    def test_degenerate_3d_grid(self):
+        pts = integer_grid(3, 3, seed=6)
+        res = joggled_hull(pts, seed=7)
+        assert len(res.run.facets) >= 4
+
+    def test_collinear_heavy_input(self):
+        pts = collinear_cluster(60, 2, seed=8, frac=0.7)
+        res = joggled_hull(pts, seed=9)
+        assert res.run.facets
+
+    def test_flat_input_retries_then_fails(self):
+        # Exactly collinear cloud can never become full-dimensional at
+        # reasonable amplitude?  It can -- joggling adds dimension, so it
+        # should SUCCEED after a retry instead of failing.
+        line = np.column_stack([np.linspace(0, 1, 30), np.zeros(30)])
+        res = joggled_hull(line, seed=10)
+        assert res.run.facets  # a thin sliver hull
+
+    def test_duplicate_points(self):
+        pts = np.array([[0.0, 0], [1, 0], [0, 1]] * 5)
+        res = joggled_hull(pts, seed=11)
+        assert len(res.run.facets) >= 3
+
+    def test_max_attempts_exhausted(self):
+        # Zero amplitude never un-degenerates the input (any nonzero
+        # amplitude would: the exact predicates notice even sub-ulp
+        # jitter on small coordinates), so the retry loop must exhaust.
+        line = np.column_stack([np.linspace(0, 1, 10), np.zeros(10)])
+        with pytest.raises(HullSetupError):
+            joggled_hull(line, seed=12, rel_amplitude=0.0, max_attempts=2)

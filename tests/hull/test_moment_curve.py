@@ -1,0 +1,107 @@
+"""Cyclic-polytope workloads (moment curve): the regime that exercises
+the n^{floor(d/2)} term of Theorem 5.4's work bound -- and the
+regression suite for the predicate-envelope bug it exposed (the float
+cofactor normal's own error must be inside the filter envelope)."""
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull as ScipyHull
+
+from repro.geometry import moment_curve, two_clusters
+from repro.hull import (
+    facet_sets_global,
+    parallel_hull,
+    sequential_hull,
+    validate_hull,
+)
+
+
+class TestCyclicPolytopes:
+    @pytest.mark.parametrize("d,n", [(3, 60), (4, 40), (4, 80)])
+    def test_matches_scipy_exactly(self, d, n):
+        """Regression: ill-conditioned t^d coordinates must not corrupt
+        visibility decisions (this failed facet-for-facet before the
+        envelope fix)."""
+        pts = moment_curve(n, d, seed=n + d)
+        seq = sequential_hull(pts, seed=1)
+        validate_hull(seq.facets, seq.points)
+        assert facet_sets_global(seq.facets, seq.order) == {
+            frozenset(s) for s in ScipyHull(pts).simplices
+        }
+
+    @pytest.mark.parametrize("d,n", [(4, 60)])
+    def test_parallel_agrees(self, d, n):
+        pts = moment_curve(n, d, seed=7)
+        order = np.random.default_rng(2).permutation(n)
+        seq = sequential_hull(pts, order=order.copy())
+        par = parallel_hull(pts, order=order.copy())
+        assert par.created_keys() == seq.created_keys()
+        validate_hull(par.facets, par.points)
+
+    def test_all_points_extreme(self):
+        # Every moment-curve point is a vertex of the cyclic polytope.
+        pts = moment_curve(50, 4, seed=3)
+        seq = sequential_hull(pts, seed=4)
+        assert seq.vertex_indices() == set(range(50))
+
+    def test_quadratic_facet_growth_d4(self):
+        """Theorem 5.4's first term: facet count grows ~quadratically in
+        d=4 (upper bound theorem shape)."""
+        counts = []
+        for n in (20, 40, 80):
+            pts = moment_curve(n, 4, seed=n)
+            counts.append(len(sequential_hull(pts, seed=5).facets))
+        # Doubling n should roughly quadruple facets (ratio in [3, 5.5]).
+        assert 3.0 < counts[1] / counts[0] < 5.5
+        assert 3.0 < counts[2] / counts[1] < 5.5
+
+    def test_linear_facet_growth_d3(self):
+        counts = []
+        for n in (40, 80, 160):
+            pts = moment_curve(n, 3, seed=n)
+            counts.append(len(sequential_hull(pts, seed=6).facets))
+        assert 1.7 < counts[1] / counts[0] < 2.3
+        assert 1.7 < counts[2] / counts[1] < 2.3
+
+    def test_depth_still_logarithmic(self):
+        """Even at Theta(n^2) facets, the dependence depth stays small."""
+        pts = moment_curve(200, 4, seed=9)
+        run = parallel_hull(pts, seed=10)
+        assert run.dependence_depth() < 120
+
+
+class TestTwoClusters:
+    def test_valid_hull(self):
+        pts = two_clusters(200, 3, seed=1)
+        run = parallel_hull(pts, seed=2)
+        validate_hull(run.facets, run.points)
+
+    def test_matches_scipy(self):
+        pts = two_clusters(150, 2, seed=3)
+        run = parallel_hull(pts, seed=4)
+        assert run.vertex_indices() == set(ScipyHull(pts).vertices.tolist())
+
+
+class TestIllConditionedPlanes:
+    def test_near_collinear_facet_decides_exactly(self):
+        """A simplex with a tiny exact normal must route queries through
+        rational arithmetic rather than trust the float normal."""
+        from repro.geometry.hyperplane import Hyperplane
+
+        base = np.array([[0.0, 0.0], [1.0, 1e-14]])
+        plane = Hyperplane.through(base, below=[0.5, -1.0])
+        # Points just above/below the nearly-flat line.
+        assert plane.side([0.5, 1e-13]) == 1
+        assert plane.side([0.5, -1e-13]) == -1
+        assert plane.side([0.5, 0.5e-14]) == 0
+
+    def test_always_exact_mode_triggers(self):
+        from repro.geometry.hyperplane import Hyperplane
+
+        base = np.array([[0.0, 0.0], [1.0, 1e-14]])
+        # Reference within the envelope of this ill-conditioned plane
+        # (the envelope here is ~6e-14, so a 3e-14 margin is ambiguous).
+        plane = Hyperplane.through(base, below=[0.5, -3e-14])
+        assert plane.always_exact
+        mask = plane.visible_mask(np.array([[0.5, 1e-13], [0.5, -1e-13]]))
+        assert mask.tolist() == [True, False]

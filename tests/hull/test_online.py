@@ -1,0 +1,104 @@
+"""Tests for the online (streaming) hull builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import uniform_ball
+from repro.hull import HullSetupError, facet_sets_global, sequential_hull, validate_hull
+from repro.hull.online import OnlineHull
+
+
+class TestBootstrap:
+    def test_buffers_until_full_dimensional(self):
+        h = OnlineHull(2)
+        assert h.add([0, 0]) == "buffered"
+        assert h.add([1, 0]) == "buffered"
+        assert not h.is_full_dimensional
+        assert h.add([0, 1]) == "extreme"
+        assert h.is_full_dimensional
+        assert len(h.facets) == 3
+
+    def test_collinear_prefix_keeps_buffering(self):
+        h = OnlineHull(2)
+        for x in range(4):
+            assert h.add([float(x), 0.0]) == "buffered"
+        assert h.add([0.0, 1.0]) == "extreme"
+        # Buffered collinear points are flushed through insertion.
+        assert h.is_full_dimensional
+        validate_hull(h.facets, h.points)
+
+    def test_dimension_validation(self):
+        with pytest.raises(HullSetupError):
+            OnlineHull(1)
+        h = OnlineHull(3)
+        with pytest.raises(HullSetupError):
+            h.add([1.0, 2.0])
+        with pytest.raises(HullSetupError):
+            h.add([1.0, np.nan, 0.0])
+
+    def test_contains_requires_bootstrap(self):
+        h = OnlineHull(2)
+        h.add([0, 0])
+        with pytest.raises(HullSetupError):
+            h.contains([0, 0])
+
+
+class TestMaintenance:
+    @pytest.mark.parametrize("d,n", [(2, 150), (3, 100), (4, 50)])
+    def test_matches_batch_hull(self, d, n):
+        pts = uniform_ball(n, d, seed=d * 7 + n)
+        h = OnlineHull(d)
+        statuses = h.extend(pts)
+        validate_hull(h.facets, h.points)
+        batch = sequential_hull(pts, seed=1)
+        assert facet_sets_global(h.facets, np.arange(n)) == facet_sets_global(
+            batch.facets, batch.order
+        )
+        assert statuses.count("interior") == h.interior_points
+
+    def test_insertion_order_irrelevant(self):
+        pts = uniform_ball(60, 2, seed=9)
+        ref = None
+        for seed in range(3):
+            order = np.random.default_rng(seed).permutation(60)
+            h = OnlineHull(2)
+            h.extend(pts[order])
+            verts = {tuple(h.points[i]) for i in h.vertex_indices()}
+            if ref is None:
+                ref = verts
+            assert verts == ref
+
+    def test_interior_point_is_noop(self):
+        h = OnlineHull(2)
+        h.extend([[0, 0], [4, 0], [0, 4]])
+        before = {f.fid for f in h.facets}
+        assert h.add([1.0, 1.0]) == "interior"
+        assert {f.fid for f in h.facets} == before
+
+    def test_contains_tracks_growth(self):
+        h = OnlineHull(2)
+        h.extend([[0, 0], [1, 0], [0, 1]])
+        assert not h.contains([2.0, 2.0])
+        h.add([5.0, 5.0])
+        assert h.contains([2.0, 2.0], strict=True)
+
+    def test_counters(self):
+        pts = uniform_ball(100, 2, seed=11)
+        h = OnlineHull(2)
+        h.extend(pts)
+        assert h.inserted == 100
+        assert 0 < h.interior_points < 100
+
+
+@given(st.integers(0, 5000), st.integers(8, 60))
+@settings(max_examples=25, deadline=None)
+def test_online_equals_batch_property(seed, n):
+    pts = uniform_ball(n, 2, seed=seed)
+    h = OnlineHull(2)
+    h.extend(pts)
+    batch = sequential_hull(pts, seed=seed + 1)
+    assert facet_sets_global(h.facets, np.arange(n)) == facet_sets_global(
+        batch.facets, batch.order
+    )

@@ -1,0 +1,71 @@
+"""Tests for polytope post-processing (volume, adjacency, membership)."""
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull as ScipyHull
+
+from repro.geometry import uniform_ball
+from repro.hull import Polytope, parallel_hull, sequential_hull
+
+
+@pytest.fixture
+def cube_poly():
+    corners = np.array(
+        [[x, y, z] for x in (0.0, 1) for y in (0.0, 1) for z in (0.0, 1)]
+    )
+    rng = np.random.default_rng(0)
+    inner = rng.random((20, 3)) * 0.8 + 0.1
+    pts = np.vstack([corners, inner])
+    run = sequential_hull(pts, seed=1)
+    return Polytope.from_run(run)
+
+
+class TestVolume:
+    def test_unit_cube(self, cube_poly):
+        assert cube_poly.volume() == pytest.approx(1.0, rel=1e-9)
+
+    def test_unit_cube_surface(self, cube_poly):
+        assert cube_poly.surface_measure() == pytest.approx(6.0, rel=1e-9)
+
+    def test_triangle_area_and_perimeter(self):
+        pts = np.array([[0.0, 0], [4, 0], [0, 3], [1, 1]])
+        run = sequential_hull(pts, order=np.arange(4))
+        poly = Polytope.from_run(run)
+        assert poly.volume() == pytest.approx(6.0)
+        assert poly.surface_measure() == pytest.approx(12.0)
+
+    @pytest.mark.parametrize("d", [2, 3])
+    def test_matches_scipy_volume(self, d):
+        pts = uniform_ball(100, d, seed=d)
+        run = parallel_hull(pts, seed=2)
+        poly = Polytope.from_run(run)
+        sp = ScipyHull(pts)
+        assert poly.volume() == pytest.approx(sp.volume, rel=1e-9)
+
+
+class TestStructure:
+    def test_vertices_sorted_unique(self, cube_poly):
+        v = cube_poly.vertices()
+        assert v == sorted(set(v))
+        assert len(v) == 8
+
+    def test_adjacency_regular(self, cube_poly):
+        adj = cube_poly.adjacency()
+        # Simplicial 3D: every facet has exactly 3 neighbours.
+        assert all(len(nbrs) == 3 for nbrs in adj.values())
+        # Symmetry.
+        for fid, nbrs in adj.items():
+            for m in nbrs:
+                assert fid in adj[m]
+
+
+class TestMembership:
+    def test_interior_point(self, cube_poly):
+        assert cube_poly.contains([0.5, 0.5, 0.5], strict=True)
+
+    def test_boundary_point(self, cube_poly):
+        assert cube_poly.contains([0.5, 0.5, 0.0])
+        assert not cube_poly.contains([0.5, 0.5, 0.0], strict=True)
+
+    def test_outside_point(self, cube_poly):
+        assert not cube_poly.contains([1.5, 0.5, 0.5])

@@ -1,0 +1,117 @@
+"""End-to-end property-based tests: for arbitrary random instances, the
+paper's structural invariants must hold.  These are the hypothesis
+counterpart of the targeted unit tests -- broad, instance-agnostic
+checks on the whole pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configspace.theory import harmonic, min_sigma
+from repro.geometry import uniform_ball
+from repro.hull import (
+    Polytope,
+    parallel_hull,
+    sequential_hull,
+    validate_hull,
+)
+
+# Instances are derived from (seed, n, d) triples so hypothesis shrinks
+# over a compact space while the geometry stays generic-position floats.
+instances_2d = st.tuples(
+    st.integers(0, 10_000), st.integers(8, 120)
+)
+instances_3d = st.tuples(
+    st.integers(0, 10_000), st.integers(10, 80)
+)
+
+
+@given(instances_2d)
+@settings(max_examples=40, deadline=None)
+def test_parallel_always_valid_2d(params):
+    seed, n = params
+    pts = uniform_ball(n, 2, seed=seed)
+    run = parallel_hull(pts, seed=seed + 1)
+    validate_hull(run.facets, run.points)
+
+
+@given(instances_3d)
+@settings(max_examples=25, deadline=None)
+def test_parallel_always_valid_3d(params):
+    seed, n = params
+    pts = uniform_ball(n, 3, seed=seed)
+    run = parallel_hull(pts, seed=seed + 1)
+    validate_hull(run.facets, run.points)
+
+
+@given(instances_2d)
+@settings(max_examples=40, deadline=None)
+def test_parallel_equals_sequential(params):
+    seed, n = params
+    pts = uniform_ball(n, 2, seed=seed)
+    order = np.random.default_rng(seed).permutation(n)
+    seq = sequential_hull(pts, order=order.copy())
+    par = parallel_hull(pts, order=order.copy())
+    assert par.created_keys() == seq.created_keys()
+    assert par.counters.visibility_tests <= seq.counters.visibility_tests
+
+
+@given(instances_2d)
+@settings(max_examples=40, deadline=None)
+def test_depth_below_whp_bound(params):
+    seed, n = params
+    pts = uniform_ball(n, 2, seed=seed)
+    run = parallel_hull(pts, seed=seed + 2)
+    # A single instance exceeding sigma = g*k*e^2 would falsify the
+    # theorem outright (the bound holds whp, and these n are tiny).
+    assert run.dependence_depth() <= min_sigma(2, 2) * harmonic(n)
+
+
+@given(instances_2d)
+@settings(max_examples=30, deadline=None)
+def test_hull_vertices_invariant_under_order(params):
+    seed, n = params
+    pts = uniform_ball(n, 2, seed=seed)
+    a = parallel_hull(pts, seed=seed).vertex_indices()
+    b = parallel_hull(pts, seed=seed + 77).vertex_indices()
+    assert a == b
+
+
+@given(instances_2d)
+@settings(max_examples=30, deadline=None)
+def test_volume_and_containment_consistent(params):
+    seed, n = params
+    pts = uniform_ball(n, 2, seed=seed)
+    run = parallel_hull(pts, seed=seed + 3)
+    poly = Polytope.from_run(run)
+    # Hull of points in the unit disk: area within the disk's.
+    assert 0 < poly.volume() <= np.pi + 1e-9
+    # Every input point is contained (non-strictly).
+    for p in run.points[:: max(1, n // 10)]:
+        assert poly.contains(p)
+
+
+@given(instances_2d)
+@settings(max_examples=30, deadline=None)
+def test_support_dag_is_well_formed(params):
+    seed, n = params
+    pts = uniform_ball(n, 2, seed=seed)
+    run = parallel_hull(pts, seed=seed + 4)
+    fids = {f.fid for f in run.created}
+    for fid, (a, b) in run.support.items():
+        assert fid in fids and a in fids and b in fids
+        assert a < fid and b < fid
+    # Pivot ranks strictly exceed those of the base hull points.
+    for fid, p in run.pivots.items():
+        assert p >= run.points.shape[1] + 1
+
+
+@given(st.integers(0, 10_000), st.integers(6, 40))
+@settings(max_examples=25, deadline=None)
+def test_scipy_agreement(seed, n):
+    from scipy.spatial import ConvexHull as ScipyHull
+
+    pts = uniform_ball(n, 2, seed=seed)
+    run = parallel_hull(pts, seed=seed + 5)
+    assert run.vertex_indices() == set(ScipyHull(pts).vertices.tolist())

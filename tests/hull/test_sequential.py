@@ -1,0 +1,159 @@
+"""Tests for Algorithm 2 (sequential randomized incremental hull)."""
+
+import numpy as np
+import pytest
+from scipy.spatial import ConvexHull as ScipyHull
+
+from repro.geometry import on_sphere, uniform_ball, uniform_cube
+from repro.hull import (
+    HullSetupError,
+    brute_force_facet_sets,
+    facet_sets_global,
+    sequential_hull,
+    validate_hull,
+)
+
+
+class TestBasic:
+    def test_triangle(self):
+        pts = np.array([[0.0, 0], [1, 0], [0, 1]])
+        res = sequential_hull(pts, order=np.arange(3))
+        assert len(res.facets) == 3
+        validate_hull(res.facets, res.points)
+
+    def test_square_with_center(self):
+        pts = np.array([[0.0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]])
+        res = sequential_hull(pts, order=np.arange(5))
+        assert res.vertex_indices() == {0, 1, 2, 3}
+        assert len(res.facets) == 4
+
+    def test_tetrahedron_with_inner_point(self):
+        pts = np.array(
+            [[0.0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1], [0.1, 0.1, 0.1]]
+        )
+        res = sequential_hull(pts, order=np.arange(5))
+        assert res.vertex_indices() == {0, 1, 2, 3}
+        assert len(res.facets) == 4
+
+    @pytest.mark.parametrize("d", [2, 3, 4])
+    def test_simplex_only(self, d):
+        pts = np.vstack([np.zeros(d), np.eye(d)])
+        res = sequential_hull(pts, order=np.arange(d + 1))
+        assert len(res.facets) == d + 1
+        validate_hull(res.facets, res.points)
+
+
+class TestAgainstScipy:
+    @pytest.mark.parametrize("d,n", [(2, 200), (3, 150), (4, 80)])
+    def test_vertices_match_qhull(self, d, n):
+        pts = uniform_ball(n, d, seed=d * 31 + n)
+        res = sequential_hull(pts, seed=5)
+        assert res.vertex_indices() == set(ScipyHull(pts).vertices.tolist())
+
+    def test_sphere_all_extreme(self):
+        pts = on_sphere(120, 3, seed=9)
+        res = sequential_hull(pts, seed=2)
+        assert res.vertex_indices() == set(range(120))
+        validate_hull(res.facets, res.points)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("d,n,seed", [(2, 10, 0), (2, 12, 1), (3, 9, 2), (4, 8, 3)])
+    def test_facets_match_exhaustive(self, d, n, seed):
+        pts = uniform_ball(n, d, seed=seed)
+        res = sequential_hull(pts, seed=seed + 50)
+        got = facet_sets_global(res.facets, res.order)
+        assert got == brute_force_facet_sets(pts)
+
+
+class TestOrderIndependence:
+    def test_same_hull_any_order(self):
+        pts = uniform_cube(60, 3, seed=13)
+        reference = None
+        for seed in range(5):
+            res = sequential_hull(pts, seed=seed)
+            validate_hull(res.facets, res.points)
+            sets = facet_sets_global(res.facets, res.order)
+            if reference is None:
+                reference = sets
+            assert sets == reference
+
+    def test_explicit_order_is_deterministic(self):
+        pts = uniform_ball(50, 2, seed=3)
+        order = np.random.default_rng(0).permutation(50)
+        a = sequential_hull(pts, order=order.copy())
+        b = sequential_hull(pts, order=order.copy())
+        assert a.facet_keys() == b.facet_keys()
+        assert a.counters.visibility_tests == b.counters.visibility_tests
+        assert [f.indices for f in a.created] == [f.indices for f in b.created]
+
+
+class TestInstrumentation:
+    def test_created_superset_of_alive(self):
+        pts = uniform_ball(80, 2, seed=21)
+        res = sequential_hull(pts, seed=4)
+        created_ids = {f.fid for f in res.created}
+        assert {f.fid for f in res.facets} <= created_ids
+        assert res.counters.facets_created == len(res.created)
+
+    def test_creation_steps_monotone(self):
+        pts = uniform_ball(60, 3, seed=22)
+        res = sequential_hull(pts, seed=5)
+        for f in res.created:
+            assert res.creation_step[f.fid] <= res.points.shape[0]
+
+    def test_dead_facets_marked(self):
+        pts = uniform_ball(60, 2, seed=23)
+        res = sequential_hull(pts, seed=6)
+        alive = {f.fid for f in res.facets}
+        for f in res.created:
+            assert f.alive == (f.fid in alive)
+
+    def test_work_counts_positive(self):
+        pts = uniform_ball(100, 2, seed=24)
+        res = sequential_hull(pts, seed=7)
+        assert res.counters.visibility_tests > 100
+
+
+class TestInputValidation:
+    def test_too_few_points(self):
+        with pytest.raises(HullSetupError):
+            sequential_hull(np.zeros((2, 2)))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(HullSetupError):
+            sequential_hull(np.zeros(5))
+
+    def test_non_finite(self):
+        pts = np.array([[0.0, 0], [1, 0], [0, np.inf]])
+        with pytest.raises(HullSetupError):
+            sequential_hull(pts)
+
+    def test_bad_order(self):
+        pts = np.array([[0.0, 0], [1, 0], [0, 1]])
+        with pytest.raises(HullSetupError):
+            sequential_hull(pts, order=np.array([0, 0, 1]))
+
+    def test_not_full_dimensional(self):
+        pts = np.array([[0.0, 0], [1, 1], [2, 2], [3, 3]])
+        with pytest.raises(HullSetupError):
+            sequential_hull(pts, order=np.arange(4))
+
+    def test_1d_rejected(self):
+        with pytest.raises(HullSetupError):
+            sequential_hull(np.arange(6, dtype=float).reshape(6, 1))
+
+
+class TestDegenerateBootstrap:
+    def test_collinear_prefix_is_skipped(self):
+        # First three points collinear: the initial simplex must pull in
+        # a later point instead of failing.  Point 1 sits on the interior
+        # of a hull edge; the simplicial representation may keep it as a
+        # vertex of two collinear edges (depending on bootstrap) but the
+        # true extreme points {0, 2, 3} must be present and 4 must not.
+        pts = np.array([[0.0, 0], [1, 0], [2, 0], [1, 1], [0.5, 0.2]])
+        res = sequential_hull(pts, order=np.arange(5))
+        from repro.hull.validate import check_containment
+
+        check_containment(res.facets, res.points)
+        assert {0, 2, 3} <= res.vertex_indices() <= {0, 1, 2, 3}

@@ -1,0 +1,80 @@
+"""Tests for the hull validators themselves (they must catch broken
+hulls, not just bless good ones)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import uniform_ball
+from repro.hull import sequential_hull
+from repro.hull.validate import (
+    HullValidationError,
+    brute_force_extreme_ranks,
+    brute_force_facet_sets,
+    check_containment,
+    check_counts,
+    check_ridge_manifold,
+    validate_hull,
+)
+
+
+@pytest.fixture
+def good_run():
+    pts = uniform_ball(40, 2, seed=1)
+    return sequential_hull(pts, seed=2)
+
+
+class TestPositive:
+    def test_good_hull_passes(self, good_run):
+        validate_hull(good_run.facets, good_run.points)
+
+    def test_3d_counts(self):
+        pts = uniform_ball(50, 3, seed=3)
+        res = sequential_hull(pts, seed=4)
+        check_counts(res.facets, 3)
+
+
+class TestNegative:
+    def test_missing_facet_breaks_manifold(self, good_run):
+        broken = good_run.facets[1:]
+        with pytest.raises(HullValidationError):
+            check_ridge_manifold(broken)
+
+    def test_outside_point_breaks_containment(self, good_run):
+        pts = np.vstack([good_run.points, [[50.0, 50.0]]])
+        with pytest.raises(HullValidationError):
+            check_containment(good_run.facets, pts)
+
+    def test_empty_hull_rejected(self, good_run):
+        with pytest.raises(HullValidationError):
+            validate_hull([], good_run.points)
+
+    def test_wrong_2d_count(self, good_run):
+        with pytest.raises(HullValidationError):
+            check_counts(good_run.facets[:-1], 2)
+
+
+class TestBruteForce:
+    def test_square(self):
+        pts = np.array([[0.0, 0], [2, 0], [2, 2], [0, 2], [1, 1]])
+        facets = brute_force_facet_sets(pts)
+        assert facets == {
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+            frozenset({0, 3}),
+        }
+        assert brute_force_extreme_ranks(pts) == {0, 1, 2, 3}
+
+    def test_tetrahedron(self):
+        pts = np.vstack([np.zeros(3), np.eye(3), [[0.1, 0.1, 0.1]]])
+        facets = brute_force_facet_sets(pts)
+        assert len(facets) == 4
+        assert brute_force_extreme_ranks(pts) == {0, 1, 2, 3}
+
+    def test_degenerate_facets_skipped(self):
+        # Four collinear points: no 2-subset on the line is a valid
+        # simplicial facet against the others.
+        pts = np.array([[0.0, 0], [1, 0], [2, 0], [3, 0], [1, 2]])
+        facets = brute_force_facet_sets(pts)
+        for f in facets:
+            assert f != frozenset({0, 1})

@@ -1,0 +1,106 @@
+"""Tests for the atomic primitives, including real-thread hammering."""
+
+import threading
+
+from repro.runtime import AtomicCell, AtomicCounter, AtomicFlag
+
+
+class TestAtomicCell:
+    def test_load_store(self):
+        c = AtomicCell(5)
+        assert c.load() == 5
+        c.store(7)
+        assert c.load() == 7
+
+    def test_cas_success_and_failure(self):
+        c = AtomicCell(None)
+        assert c.compare_and_swap(None, "a")
+        assert not c.compare_and_swap(None, "b")
+        assert c.load() == "a"
+
+    def test_cas_on_equal_values(self):
+        c = AtomicCell((1, 2))
+        assert c.compare_and_swap((1, 2), "next")
+        assert c.load() == "next"
+
+    def test_cas_race_single_winner(self):
+        c = AtomicCell(None)
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def racer(i):
+            barrier.wait()
+            if c.compare_and_swap(None, i):
+                wins.append(i)
+
+        threads = [threading.Thread(target=racer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1
+        assert c.load() == wins[0]
+
+
+class TestAtomicFlag:
+    def test_first_tas_wins(self):
+        f = AtomicFlag()
+        assert f.test_and_set() is False  # previous value
+        assert f.test_and_set() is True
+        assert f.is_set()
+
+    def test_tas_race_single_winner(self):
+        f = AtomicFlag()
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def racer(i):
+            barrier.wait()
+            if not f.test_and_set():
+                winners.append(i)
+
+        threads = [threading.Thread(target=racer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == 1
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_previous(self):
+        c = AtomicCounter(10)
+        assert c.fetch_add(5) == 10
+        assert c.value == 15
+
+    def test_concurrent_increments_all_counted(self):
+        c = AtomicCounter()
+        n_threads, per_thread = 8, 500
+
+        def work():
+            for _ in range(per_thread):
+                c.fetch_add()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread
+
+    def test_unique_tickets(self):
+        c = AtomicCounter()
+        tickets: list[int] = []
+        lock = threading.Lock()
+
+        def work():
+            mine = [c.fetch_add() for _ in range(200)]
+            with lock:
+                tickets.extend(mine)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(tickets)) == len(tickets) == 1200

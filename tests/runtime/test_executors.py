@@ -1,0 +1,95 @@
+"""Tests for the task executors over synthetic dynamic task DAGs."""
+
+import threading
+
+import pytest
+
+from repro.runtime import ExecutionStats, RoundExecutor, SerialExecutor, ThreadExecutor
+
+
+def binary_spawner(depth):
+    """Step function: task (level, i) spawns two children until depth."""
+
+    def fn(task):
+        level, i = task
+        if level >= depth:
+            return []
+        return [(level + 1, 2 * i), (level + 1, 2 * i + 1)]
+
+    return fn
+
+
+@pytest.mark.parametrize(
+    "executor",
+    [SerialExecutor(), RoundExecutor(), RoundExecutor(seed=3), ThreadExecutor(4)],
+    ids=["serial", "round", "round-shuffled", "threads"],
+)
+class TestAllExecutors:
+    def test_executes_full_tree(self, executor):
+        stats = executor.run([(0, 0)], binary_spawner(5))
+        assert stats.tasks_executed == 2**6 - 1
+
+    def test_empty_initial(self, executor):
+        stats = executor.run([], binary_spawner(3))
+        assert stats.tasks_executed == 0
+
+    def test_no_children(self, executor):
+        stats = executor.run([(9, 0), (9, 1)], binary_spawner(5))
+        assert stats.tasks_executed == 2
+
+
+class TestRoundSemantics:
+    def test_rounds_equal_tree_depth(self):
+        stats = RoundExecutor().run([(0, 0)], binary_spawner(4))
+        assert stats.rounds == 5
+        assert stats.round_sizes == [1, 2, 4, 8, 16]
+        assert stats.max_round_width == 16
+
+    def test_shuffle_does_not_change_counts(self):
+        a = RoundExecutor().run([(0, 0)], binary_spawner(4))
+        b = RoundExecutor(seed=11).run([(0, 0)], binary_spawner(4))
+        assert a.tasks_executed == b.tasks_executed
+        assert a.rounds == b.rounds
+
+
+class TestSerialSemantics:
+    def test_depth_first_order(self):
+        seen = []
+
+        def fn(task):
+            seen.append(task)
+            level, i = task
+            return [] if level >= 2 else [(level + 1, 2 * i), (level + 1, 2 * i + 1)]
+
+        SerialExecutor().run([(0, 0)], fn)
+        # LIFO: the second child of the root is explored after the first
+        # child's entire subtree... (stack pops last-appended first).
+        assert seen[0] == (0, 0)
+        assert seen[1][0] == 1
+
+
+class TestThreadSemantics:
+    def test_worker_exception_propagates(self):
+        def fn(task):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            ThreadExecutor(3).run([1, 2, 3], fn)
+
+    def test_all_tasks_seen_exactly_once(self):
+        seen = set()
+        lock = threading.Lock()
+
+        def fn(task):
+            with lock:
+                assert task not in seen
+                seen.add(task)
+            level, i = task
+            return [] if level >= 6 else [(level + 1, 2 * i), (level + 1, 2 * i + 1)]
+
+        stats = ThreadExecutor(8).run([(0, 0)], fn)
+        assert stats.tasks_executed == len(seen) == 2**7 - 1
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadExecutor(0)

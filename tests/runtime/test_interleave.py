@@ -1,0 +1,93 @@
+"""Tests for the interleaving scheduler itself."""
+
+import pytest
+
+from repro.runtime import all_schedules, run_interleaved, run_schedule
+
+
+def make_op(log, name, steps):
+    def gen():
+        for i in range(steps):
+            log.append((name, i))
+            yield (name, i)
+        return f"{name}-done"
+
+    return gen
+
+
+class TestRunSchedule:
+    def test_follows_schedule(self):
+        log = []
+        ops = {"a": make_op(log, "a", 2)(), "b": make_op(log, "b", 2)()}
+        results = run_schedule(ops, ["a", "b", "a", "b"])
+        assert results["a"].value == "a-done"
+        assert results["b"].value == "b-done"
+        assert log == [("a", 0), ("b", 0), ("a", 1), ("b", 1)]
+
+    def test_prefix_completed_in_name_order(self):
+        log = []
+        ops = {"b": make_op(log, "b", 3)(), "a": make_op(log, "a", 3)()}
+        run_schedule(ops, [])
+        # No schedule: everything runs to completion, 'a' first.
+        assert log[:3] == [("a", 0), ("a", 1), ("a", 2)]
+
+    def test_mentions_of_finished_ops_skipped(self):
+        log = []
+        ops = {"a": make_op(log, "a", 1)()}
+        results = run_schedule(ops, ["a", "a", "a", "a"])
+        assert results["a"].value == "a-done"
+        assert results["a"].steps == 1
+
+    def test_error_propagates_when_strict(self):
+        def boom():
+            yield "x"
+            raise ValueError("bad")
+
+        with pytest.raises(ValueError):
+            run_schedule({"a": boom()}, ["a", "a"])
+
+    def test_error_captured_when_lenient(self):
+        def boom():
+            yield "x"
+            raise ValueError("bad")
+
+        results = run_schedule({"a": boom()}, ["a", "a"], strict=False)
+        assert isinstance(results["a"].error, ValueError)
+
+
+class TestRunInterleaved:
+    def test_deterministic_given_seed(self):
+        def build(tag, log):
+            return {
+                "p": make_op(log, "p", 5),
+                "q": make_op(log, "q", 5),
+            }
+
+        log1, log2 = [], []
+        run_interleaved(build("x", log1), seed=42)
+        run_interleaved(build("x", log2), seed=42)
+        assert log1 == log2
+
+    def test_different_seeds_vary(self):
+        logs = []
+        for seed in range(20):
+            log = []
+            run_interleaved(
+                {"p": make_op(log, "p", 4), "q": make_op(log, "q", 4)}, seed=seed
+            )
+            logs.append(tuple(log))
+        assert len(set(logs)) > 1
+
+    def test_nonterminating_op_raises(self):
+        def forever():
+            while True:
+                yield "spin"
+
+        with pytest.raises(RuntimeError):
+            run_interleaved({"a": lambda: forever()}, seed=0, max_steps=50)
+
+
+class TestAllSchedules:
+    def test_counts(self):
+        assert len(list(all_schedules(["a", "b"], 3))) == 8
+        assert len(list(all_schedules(["a", "b", "c"], 2))) == 9

@@ -1,0 +1,231 @@
+"""Experiment E11: the concurrent multimap of Algorithms 4 and 5.
+
+Theorem A.1: of two ``InsertAndSet`` calls on the same ridge, exactly
+one returns False.  Theorem A.2: when ``GetValue`` runs (only after an
+``InsertAndSet`` lost), both entries are present and the other facet is
+returned.  Verified under sequential use, randomized step-level
+interleavings (hypothesis-driven), exhaustive small schedules, forced
+hash collisions, and real threads.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import (
+    CASMultimap,
+    DictMultimap,
+    MultimapFullError,
+    TASMultimap,
+    run_interleaved,
+    run_schedule,
+)
+
+IMPLS = [
+    ("dict", lambda: DictMultimap()),
+    ("cas", lambda: CASMultimap(capacity=16)),
+    ("tas", lambda: TASMultimap(capacity=16)),
+]
+
+
+@pytest.mark.parametrize("name,make", IMPLS)
+class TestSequentialSemantics:
+    def test_first_insert_true_second_false(self, name, make):
+        m = make()
+        assert m.insert_and_set("r", "t1") is True
+        assert m.insert_and_set("r", "t2") is False
+
+    def test_get_value_returns_other(self, name, make):
+        m = make()
+        m.insert_and_set("r", "t1")
+        m.insert_and_set("r", "t2")
+        assert m.get_value("r", "t2") == "t1"
+
+    def test_independent_keys(self, name, make):
+        m = make()
+        for k in range(5):
+            assert m.insert_and_set(("ridge", k), f"first{k}") is True
+        for k in range(5):
+            assert m.insert_and_set(("ridge", k), f"second{k}") is False
+            assert m.get_value(("ridge", k), f"second{k}") == f"first{k}"
+
+
+class TestDictInvariant:
+    def test_third_insert_asserts(self):
+        m = DictMultimap()
+        m.insert_and_set("r", 1)
+        m.insert_and_set("r", 2)
+        with pytest.raises(AssertionError):
+            m.insert_and_set("r", 3)
+
+    def test_len(self):
+        m = DictMultimap()
+        m.insert_and_set("a", 1)
+        m.insert_and_set("b", 1)
+        m.insert_and_set("a", 2)
+        assert len(m) == 2
+
+
+class TestCollisions:
+    @pytest.mark.parametrize("cls", [CASMultimap, TASMultimap])
+    def test_all_keys_hash_to_same_slot(self, cls):
+        m = cls(capacity=32, hash_fn=lambda k: 0)
+        for k in range(10):
+            assert m.insert_and_set(k, f"a{k}") is True
+        for k in range(10):
+            assert m.insert_and_set(k, f"b{k}") is False
+            assert m.get_value(k, f"b{k}") == f"a{k}"
+
+    @pytest.mark.parametrize("cls", [CASMultimap, TASMultimap])
+    def test_table_full_raises(self, cls):
+        m = cls(capacity=4, hash_fn=lambda k: 0)
+        with pytest.raises(MultimapFullError):
+            for k in range(10):
+                m.insert_and_set(k, "v")
+
+    @pytest.mark.parametrize("cls", [CASMultimap, TASMultimap])
+    def test_capacity_validation(self, cls):
+        with pytest.raises(ValueError):
+            cls(capacity=1)
+
+
+def _theorem_a1_a2(make_map, seed, collide=False):
+    """One randomized interleaving of the two racing inserts; asserts
+    both theorems."""
+    m = make_map()
+    results = run_interleaved(
+        {
+            "p": lambda: m.insert_and_set_steps("ridge", "t1"),
+            "q": lambda: m.insert_and_set_steps("ridge", "t2"),
+        },
+        seed=seed,
+    )
+    values = sorted([results["p"].value, results["q"].value])
+    assert values == [False, True], f"A.1 violated: {values}"
+    loser = "t1" if results["p"].value is False else "t2"
+    winner = "t2" if loser == "t1" else "t1"
+    assert m.get_value("ridge", loser) == winner, "A.2 violated"
+
+
+class TestInterleavedTheorems:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_cas_theorem_a1_a2(self, seed):
+        _theorem_a1_a2(lambda: CASMultimap(capacity=8), seed)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_tas_theorem_a1_a2(self, seed):
+        _theorem_a1_a2(lambda: TASMultimap(capacity=8), seed)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_tas_with_forced_collisions(self, seed):
+        """Collisions plus a third concurrent op on another key sharing
+        every slot: the adversarial regime of the Appendix A proof."""
+        m = TASMultimap(capacity=8, hash_fn=lambda k: 0)
+        results = run_interleaved(
+            {
+                "p": lambda: m.insert_and_set_steps("r1", "t1"),
+                "q": lambda: m.insert_and_set_steps("r1", "t2"),
+                "z": lambda: m.insert_and_set_steps("r2", "t3"),
+            },
+            seed=seed,
+        )
+        assert sorted([results["p"].value, results["q"].value]) == [False, True]
+        assert results["z"].value is True
+        loser = "t1" if results["p"].value is False else "t2"
+        winner = "t2" if loser == "t1" else "t1"
+        assert m.get_value("r1", loser) == winner
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_cas_with_forced_collisions(self, seed):
+        m = CASMultimap(capacity=8, hash_fn=lambda k: 0)
+        results = run_interleaved(
+            {
+                "p": lambda: m.insert_and_set_steps("r1", "t1"),
+                "q": lambda: m.insert_and_set_steps("r1", "t2"),
+                "z": lambda: m.insert_and_set_steps("r2", "t3"),
+            },
+            seed=seed,
+        )
+        assert sorted([results["p"].value, results["q"].value]) == [False, True]
+        assert results["z"].value is True
+
+
+class TestExhaustiveSmallSchedules:
+    """Exhaustively check every schedule prefix of bounded length for
+    the two-inserter race (the suffix completes deterministically, so
+    prefixes of length 8 cover all distinct interleavings of these
+    short operations)."""
+
+    @pytest.mark.parametrize("cls", [CASMultimap, TASMultimap])
+    def test_all_prefixes(self, cls):
+        from itertools import product
+
+        for prefix in product("pq", repeat=8):
+            m = cls(capacity=8, hash_fn=lambda k: 0)
+            ops = {
+                "p": m.insert_and_set_steps("ridge", "t1"),
+                "q": m.insert_and_set_steps("ridge", "t2"),
+            }
+            results = run_schedule(ops, prefix)
+            values = sorted([results["p"].value, results["q"].value])
+            assert values == [False, True], f"schedule {prefix}: {values}"
+            loser = "t1" if results["p"].value is False else "t2"
+            winner = "t2" if loser == "t1" else "t1"
+            assert m.get_value("ridge", loser) == winner
+
+
+class TestRealThreads:
+    @pytest.mark.parametrize("cls", [CASMultimap, TASMultimap])
+    def test_hammer(self, cls):
+        m = cls(capacity=4096)
+        n_keys = 300
+        outcomes: dict[int, list] = {k: [] for k in range(n_keys)}
+        lock = threading.Lock()
+        barrier = threading.Barrier(2)
+
+        def worker(tag):
+            barrier.wait()
+            for k in range(n_keys):
+                r = m.insert_and_set(k, tag)
+                with lock:
+                    outcomes[k].append((tag, r))
+
+        t1 = threading.Thread(target=worker, args=("A",))
+        t2 = threading.Thread(target=worker, args=("B",))
+        t1.start(); t2.start(); t1.join(); t2.join()
+        for k, res in outcomes.items():
+            rets = sorted(r for _tag, r in res)
+            assert rets == [False, True], f"key {k}: {res}"
+            (loser_tag,) = [tag for tag, r in res if r is False]
+            other = "B" if loser_tag == "A" else "A"
+            assert m.get_value(k, loser_tag) == other
+
+
+class TestExhaustiveThreeOps:
+    """Exhaustive schedules over THREE racing operations (two on one
+    key, one on a colliding key) for bounded prefix lengths -- a denser
+    slice of the Appendix A adversary than the random sweep."""
+
+    @pytest.mark.parametrize("cls", [CASMultimap, TASMultimap])
+    def test_all_three_op_prefixes(self, cls):
+        from itertools import product
+
+        for prefix in product("pqz", repeat=6):
+            m = cls(capacity=8, hash_fn=lambda k: 0)
+            ops = {
+                "p": m.insert_and_set_steps("r1", "t1"),
+                "q": m.insert_and_set_steps("r1", "t2"),
+                "z": m.insert_and_set_steps("r2", "t3"),
+            }
+            results = run_schedule(ops, prefix)
+            assert sorted([results["p"].value, results["q"].value]) == [False, True]
+            assert results["z"].value is True
+            loser = "t1" if results["p"].value is False else "t2"
+            winner = "t2" if loser == "t1" else "t1"
+            assert m.get_value("r1", loser) == winner

@@ -1,0 +1,138 @@
+"""Tests for the round-counting CRCW PRAM primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.pram import (
+    PRAM,
+    ParallelHashTable,
+    compact,
+    log_star,
+    pram_min,
+    prefix_sum,
+)
+
+
+class TestLogStar:
+    def test_small_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        # 2^65536 overflows a float; 2^1024 is representable-ish via
+        # math.ldexp and still has log* == 5.
+        assert log_star(2.0**1000) == 5
+
+
+class TestPRAM:
+    def test_counters(self):
+        p = PRAM()
+        p.step(10, "a")
+        p.step(5)
+        assert p.rounds == 2 and p.work == 15
+        assert p.log == [(1, "a", 10)]
+        p.reset()
+        assert p.rounds == p.work == 0
+
+    def test_negative_ops_rejected(self):
+        with pytest.raises(ValueError):
+            PRAM().step(-1)
+
+
+class TestPrefixSum:
+    @given(st.lists(st.integers(-100, 100), max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_numpy(self, xs):
+        p = PRAM()
+        out = prefix_sum(p, np.array(xs, dtype=np.int64))
+        expect = np.concatenate([[0], np.cumsum(xs)[:-1]]) if xs else np.array([])
+        assert np.array_equal(out, expect.astype(np.int64))
+
+    def test_rounds_logarithmic(self):
+        for n in (64, 1024, 16384):
+            p = PRAM()
+            prefix_sum(p, np.ones(n, dtype=np.int64))
+            assert p.rounds == 2 * math.ceil(math.log2(n))
+            assert p.work <= 4 * n
+
+
+class TestCompact:
+    @given(st.lists(st.booleans(), max_size=150))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_nonzero(self, flags):
+        p = PRAM()
+        out = compact(p, np.array(flags, dtype=bool))
+        assert np.array_equal(out, np.nonzero(flags)[0])
+
+    def test_rounds_logarithmic(self):
+        p = PRAM()
+        compact(p, np.arange(4096) % 3 == 0)
+        assert p.rounds <= 2 * math.ceil(math.log2(4096)) + 1
+
+
+class TestPramMin:
+    @given(st.lists(st.integers(-10**6, 10**6), min_size=1, max_size=300),
+           st.integers(0, 1000))
+    @settings(max_examples=80, deadline=None)
+    def test_correct(self, xs, seed):
+        p = PRAM()
+        rng = np.random.default_rng(seed)
+        assert pram_min(p, np.array(xs), rng) == min(xs)
+
+    def test_constant_expected_rounds(self):
+        """O(1) rounds whp: over many trials on n = 10^4, the mean round
+        count stays tiny and the max bounded."""
+        rounds = []
+        for seed in range(30):
+            p = PRAM()
+            rng = np.random.default_rng(seed)
+            arr = rng.integers(0, 10**9, size=10_000)
+            pram_min(p, arr, rng)
+            rounds.append(p.rounds)
+        assert np.mean(rounds) < 10
+        assert max(rounds) < 16
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pram_min(PRAM(), np.array([]), np.random.default_rng(0))
+
+
+class TestParallelHashTable:
+    def test_insert_and_find_all(self):
+        p = PRAM()
+        table = ParallelHashTable(capacity=256, seed=1)
+        keys = np.arange(100) * 7 + 1
+        placed = table.insert_all(p, keys)
+        assert set(placed) == set(int(k) for k in keys)
+        for k, pos in placed.items():
+            assert table.slots[pos] == k
+
+    def test_rounds_doubly_logarithmic(self):
+        """At load factor 1/2 the retry scheme converges in very few
+        rounds -- the executable stand-in for [39]'s O(log* n)."""
+        for n in (256, 1024, 4096):
+            p = PRAM()
+            table = ParallelHashTable(capacity=2 * n, seed=2)
+            table.insert_all(p, np.arange(n) + 1)
+            assert p.rounds <= 3 * math.ceil(math.log2(math.log2(n))) + 6, (n, p.rounds)
+
+    def test_capacity_guard(self):
+        table = ParallelHashTable(capacity=4)
+        with pytest.raises(ValueError):
+            table.insert_all(PRAM(), np.arange(10))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ParallelHashTable(capacity=0)
+
+    def test_work_linearish(self):
+        n = 2048
+        p = PRAM()
+        table = ParallelHashTable(capacity=2 * n, seed=3)
+        table.insert_all(p, np.arange(n) + 1)
+        assert p.work <= 4 * n

@@ -1,0 +1,162 @@
+"""Tests for the work-span tracker and the greedy-schedule simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import WorkSpanTracker
+
+
+def chain(tracker, n, cost=1):
+    prev = ()
+    tids = []
+    for _ in range(n):
+        t = tracker.add_task(cost, deps=prev)
+        prev = (t,)
+        tids.append(t)
+    return tids
+
+
+class TestWorkSpan:
+    def test_empty(self):
+        t = WorkSpanTracker()
+        assert t.work == 0
+        assert t.span == 0
+        assert len(t) == 0
+
+    def test_chain_span_equals_work(self):
+        t = WorkSpanTracker()
+        chain(t, 10, cost=3)
+        assert t.work == 30
+        assert t.span == 30
+        assert t.depth == 10
+        assert t.parallelism == 1.0
+
+    def test_independent_tasks(self):
+        t = WorkSpanTracker()
+        for _ in range(10):
+            t.add_task(cost=4)
+        assert t.work == 40
+        assert t.span == 4
+        assert t.depth == 1
+        assert t.parallelism == 10.0
+
+    def test_diamond(self):
+        t = WorkSpanTracker()
+        a = t.add_task(1)
+        b = t.add_task(10, deps=(a,))
+        c = t.add_task(2, deps=(a,))
+        d = t.add_task(1, deps=(b, c))
+        assert t.work == 14
+        assert t.span == 12  # a -> b -> d
+        assert t.depth == 3
+
+    def test_unknown_dep_rejected(self):
+        t = WorkSpanTracker()
+        with pytest.raises(KeyError):
+            t.add_task(1, deps=(42,))
+
+    def test_min_cost_clamped_to_one(self):
+        t = WorkSpanTracker()
+        t.add_task(0)
+        assert t.work == 1
+
+
+class TestGreedySchedule:
+    def test_one_processor_is_total_work(self):
+        t = WorkSpanTracker()
+        for _ in range(5):
+            t.add_task(3)
+        assert t.simulate_greedy(1).makespan == 15
+
+    def test_infinite_processors_is_span(self):
+        t = WorkSpanTracker()
+        a = t.add_task(2)
+        t.add_task(5, deps=(a,))
+        t.add_task(3, deps=(a,))
+        assert t.simulate_greedy(100).makespan == t.span == 7
+
+    def test_processor_validation(self):
+        t = WorkSpanTracker()
+        t.add_task(1)
+        with pytest.raises(ValueError):
+            t.simulate_greedy(0)
+
+    def test_utilisation_bounds(self):
+        t = WorkSpanTracker()
+        chain(t, 4, cost=2)
+        for _ in range(4):
+            t.add_task(2)
+        r = t.simulate_greedy(2)
+        assert 0 < r.utilisation <= 1
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 9), st.integers(0, 4)), min_size=1, max_size=40
+        ),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_brent_bound_holds(self, spec, p):
+        """The simulated greedy makespan must satisfy both the Brent
+        upper bound and the trivial lower bounds max(W/P, S)."""
+        t = WorkSpanTracker()
+        tids = []
+        for cost, back in spec:
+            deps = tuple(tids[-back:]) if back and tids else ()
+            tids.append(t.add_task(cost, deps=deps))
+        m = t.simulate_greedy(p).makespan
+        assert m <= t.work / p + t.span + 1e-9
+        assert m >= t.span
+        assert m >= t.work / p - 1e-9
+
+    def test_speedup_curve_monotone(self):
+        t = WorkSpanTracker()
+        for i in range(50):
+            deps = (max(0, i - 3),) if i else ()
+            t.add_task(2, deps=deps if i else ())
+        curve = t.speedup_curve([1, 2, 4, 8])
+        values = [curve[p] for p in (1, 2, 4, 8)]
+        assert values[0] == pytest.approx(1.0)
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestSpanCostModel:
+    """Tasks with internal parallelism: span_cost < cost."""
+
+    def test_span_uses_span_cost(self):
+        t = WorkSpanTracker()
+        a = t.add_task(1000, span_cost=10)
+        t.add_task(1000, deps=(a,), span_cost=10)
+        assert t.work == 2000
+        assert t.span == 20
+        assert t.cost_span == 2000
+
+    def test_default_span_cost_equals_cost(self):
+        t = WorkSpanTracker()
+        t.add_task(7)
+        assert t.span == t.cost_span == 7
+
+    def test_model_speedup_beats_nonmalleable(self):
+        t = WorkSpanTracker()
+        prev = ()
+        for _ in range(20):
+            tid = t.add_task(500, deps=prev, span_cost=5)
+            prev = (tid,)
+            for _ in range(3):
+                t.add_task(500, deps=prev, span_cost=5)
+        p = 16
+        greedy = t.work / t.simulate_greedy(p).makespan
+        model = t.brent_speedup(p)
+        assert model >= greedy - 1e-9
+
+    def test_model_speedup_bounded_by_p_and_parallelism(self):
+        t = WorkSpanTracker()
+        prev = ()
+        for _ in range(30):
+            tid = t.add_task(100, deps=prev, span_cost=4)
+            prev = (tid,)
+        for p in (2, 8, 64):
+            s = t.brent_speedup(p)
+            assert s <= p + 1e-9
+            assert s <= t.parallelism + 1e-9

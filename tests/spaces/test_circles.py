@@ -1,0 +1,114 @@
+"""Experiment E9 (space side): the unit-circle arc configuration space
+-- arcs on the boundary, bounded multiplicity, 2-support."""
+
+import numpy as np
+import pytest
+
+from repro.configspace import check_k_support
+from repro.configspace.spaces import UnitCircleArcSpace, clustered_unit_circles
+
+
+class TestConstruction:
+    def test_generator_disks_share_origin(self):
+        centers = clustered_unit_circles(20, seed=1)
+        assert (np.linalg.norm(centers, axis=1) < 1.0).all()
+
+    def test_duplicate_centers_rejected(self):
+        centers = np.array([[0.1, 0.2], [0.1, 0.2], [0.5, 0]])
+        with pytest.raises(ValueError):
+            UnitCircleArcSpace(centers)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            UnitCircleArcSpace(np.zeros((3, 3)))
+
+
+class TestActiveSets:
+    def test_two_circles_two_arcs(self):
+        centers = np.array([[0.0, 0.0], [0.8, 0.0]])
+        space = UnitCircleArcSpace(centers)
+        active = space.active_set(range(2))
+        assert len(active) == 2
+        owners = {c.tag[0] for c in active}
+        assert owners == {0, 1}
+        for c in active:
+            assert c.defining == frozenset({0, 1})
+
+    def test_far_apart_no_arcs(self):
+        centers = np.array([[0.0, 0.0], [5.0, 0.0]])
+        space = UnitCircleArcSpace(centers)
+        assert space.active_set(range(2)) == set()
+
+    def test_single_circle_no_arcs(self):
+        centers = np.array([[0.0, 0.0], [0.5, 0.0]])
+        space = UnitCircleArcSpace(centers)
+        assert space.active_set([0]) == set()
+
+    def test_contained_circle_contributes_no_cut(self):
+        # Three clustered circles: the boundary arc owners are exactly
+        # the circles whose boundary touches the intersection.
+        centers = clustered_unit_circles(3, seed=2)
+        space = UnitCircleArcSpace(centers)
+        active = space.active_set(range(3))
+        assert active
+        for c in active:
+            assert len(c.defining) in (2, 3)
+
+    @pytest.mark.parametrize("n,seed", [(5, 3), (8, 4), (12, 5)])
+    def test_boundary_is_closed_cycle(self, n, seed):
+        """Walking arcs by their cut circles must traverse one closed
+        cycle covering every active arc."""
+        centers = clustered_unit_circles(n, seed=seed)
+        space = UnitCircleArcSpace(centers)
+        active = list(space.active_set(range(n)))
+        if not active:
+            pytest.skip("empty boundary for this seed")
+        # Each arc ends where exactly one other arc begins: the arc on
+        # the cutting circle.
+        starts = {(c.tag[0], c.tag[1]) for c in active}  # (owner, cut_start)
+        ends = {(c.tag[2], c.tag[0]) for c in active}    # next arc's (owner, cut_start)
+        assert starts == ends
+
+    def test_multiplicity_within_bound(self):
+        for seed in range(8):
+            centers = clustered_unit_circles(10, seed=seed)
+            space = UnitCircleArcSpace(centers)
+            active = space.active_set(range(10))
+            by_defining: dict = {}
+            for c in active:
+                by_defining.setdefault(c.defining, set()).add(c.tag)
+            assert all(len(tags) <= space.multiplicity for tags in by_defining.values())
+
+
+@pytest.mark.parametrize("n,seed", [(6, 1), (7, 2), (8, 3), (9, 4)])
+def test_two_support(n, seed):
+    centers = clustered_unit_circles(n, seed=seed)
+    space = UnitCircleArcSpace(centers)
+    report = check_k_support(space, range(n))
+    assert report.ok, report.failures
+    assert report.max_support_size() <= 2
+
+
+class TestPropertyBased:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(0, 5000), st.integers(4, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_two_support_random_instances(self, seed, n):
+        centers = clustered_unit_circles(n, seed=seed)
+        space = UnitCircleArcSpace(centers)
+        report = check_k_support(space, range(n))
+        assert report.ok, report.failures
+
+    @given(st.integers(0, 5000), st.integers(4, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_matches_brute_force(self, seed, n):
+        from repro.apps import incremental_disk_intersection
+
+        centers = clustered_unit_circles(n, seed=seed)
+        res = incremental_disk_intersection(centers, seed=seed + 1)
+        space = UnitCircleArcSpace(centers)
+        got = {(a.owner, a.cut_start, a.cut_end) for a in res.boundary()}
+        want = {c.tag for c in space.active_set(range(n))}
+        assert got == want

@@ -1,0 +1,101 @@
+"""Experiment E14 (space side): the Delaunay configuration spaces --
+the naive in-circle space FAILS 2-support at the boundary (a documented
+negative result), the lifted space inherits 2-support from Theorem 5.1.
+"""
+
+import numpy as np
+import pytest
+from scipy.spatial import Delaunay as ScipyDelaunay
+
+from repro.configspace import check_k_support
+from repro.configspace.spaces import (
+    DelaunayLiftedSpace,
+    NaiveDelaunaySpace,
+    lift_to_paraboloid,
+)
+from repro.geometry import uniform_ball
+
+
+class TestLifting:
+    def test_lift_coordinates(self):
+        pts = np.array([[1.0, 2.0], [-1.0, 0.5]])
+        lifted = lift_to_paraboloid(pts)
+        assert np.allclose(lifted[:, 2], [5.0, 1.25])
+
+    def test_lifted_space_requires_2d_input(self):
+        with pytest.raises(ValueError):
+            DelaunayLiftedSpace(np.zeros((5, 3)))
+
+
+class TestNaiveSpace:
+    def test_active_set_is_delaunay(self):
+        pts = uniform_ball(9, 2, seed=1)
+        space = NaiveDelaunaySpace(pts)
+        active = {c.defining for c in space.active_set(range(9))}
+        scipy_tris = {frozenset(s) for s in ScipyDelaunay(pts).simplices}
+        assert active == scipy_tris
+
+    def test_collinear_rejected(self):
+        pts = np.array([[0.0, 0], [1, 0], [2, 0], [0, 1]])
+        space = NaiveDelaunaySpace(pts)
+        with pytest.raises(ValueError):
+            space.active_set(range(4))
+
+    def test_naive_space_lacks_2_support(self):
+        """The documented negative result: boundary steps break
+        2-support for the bare in-circle space."""
+        failures = 0
+        for seed in (5, 6, 7):
+            pts = uniform_ball(8, 2, seed=seed)
+            report = check_k_support(NaiveDelaunaySpace(pts), range(8))
+            failures += len(report.failures)
+        assert failures > 0
+
+    def test_failures_are_boundary_cases(self):
+        """Every 2-support failure of the naive space involves a hull
+        edge of Y \\ {x} (the regime the lifted space fixes)."""
+        from repro.hull import brute_force_facet_sets
+
+        pts = uniform_ball(8, 2, seed=5)
+        space = NaiveDelaunaySpace(pts)
+        report = check_k_support(space, range(8))
+        for (key, x) in report.failures:
+            defining, _tag = key
+            edge = defining - {x}
+            remaining = [i for i in range(8) if i != x]
+            hull_edges = brute_force_facet_sets(pts[remaining])
+            hull_edges_global = {
+                frozenset(remaining[i] for i in e) for e in hull_edges
+            }
+            assert edge in hull_edges_global
+
+
+class TestLiftedSpace:
+    @pytest.mark.parametrize("n,seed", [(8, 1), (9, 2), (10, 3)])
+    def test_two_support(self, n, seed):
+        pts = uniform_ball(n, 2, seed=seed)
+        report = check_k_support(DelaunayLiftedSpace(pts), range(n))
+        assert report.ok, report.failures
+
+    def test_triangles_match_scipy(self):
+        pts = uniform_ball(12, 2, seed=4)
+        space = DelaunayLiftedSpace(pts)
+        tris = space.delaunay_triangles(range(12))
+        scipy_tris = {frozenset(s) for s in ScipyDelaunay(pts).simplices}
+        assert tris == scipy_tris
+
+    def test_triangles_match_naive_active_set(self):
+        pts = uniform_ball(10, 2, seed=5)
+        lifted = DelaunayLiftedSpace(pts).delaunay_triangles(range(10))
+        naive = {c.defining for c in NaiveDelaunaySpace(pts).active_set(range(10))}
+        assert lifted == naive
+
+    def test_subset_triangulation(self):
+        pts = uniform_ball(12, 2, seed=6)
+        space = DelaunayLiftedSpace(pts)
+        sub = [0, 2, 4, 6, 8, 10]
+        tris = space.delaunay_triangles(sub)
+        scipy_tris = {
+            frozenset(sub[i] for i in s) for s in ScipyDelaunay(pts[sub]).simplices
+        }
+        assert tris == scipy_tris

@@ -1,0 +1,97 @@
+"""Experiment E8 (space side): the half-plane intersection
+configuration space -- activity == polygon vertices, 2-support."""
+
+import numpy as np
+import pytest
+
+from repro.configspace import build_dependence_graph, check_k_support
+from repro.configspace.spaces import HalfplaneSpace, tangent_halfplanes
+
+
+class TestConstruction:
+    def test_generator_contains_origin(self):
+        normals, offsets = tangent_halfplanes(20, seed=1)
+        assert (offsets > 0).all()
+        assert np.allclose(np.linalg.norm(normals, axis=1), 1.0)
+
+    def test_rejects_origin_excluded(self):
+        with pytest.raises(ValueError):
+            HalfplaneSpace(np.array([[1.0, 0]]), np.array([-1.0]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            HalfplaneSpace(np.ones((3, 3)), np.ones(3))
+
+    def test_parallel_lines_no_configuration(self):
+        normals = np.array([[1.0, 0], [1.0, 0], [0, 1.0]])
+        offsets = np.array([1.0, 2.0, 1.0])
+        space = HalfplaneSpace(normals, offsets)
+        assert space._config(frozenset({0, 1})) is None
+        assert space._config(frozenset({0, 2})) is not None
+
+
+class TestActiveSets:
+    def test_square(self):
+        # x <= 1, -x <= 1, y <= 1, -y <= 1: the unit square, 4 vertices.
+        normals = np.array([[1.0, 0], [-1, 0], [0, 1], [0, -1]])
+        offsets = np.ones(4)
+        space = HalfplaneSpace(normals, offsets)
+        active = space.active_set(range(4))
+        assert {c.defining for c in active} == {
+            frozenset({0, 2}), frozenset({0, 3}), frozenset({1, 2}), frozenset({1, 3})
+        }
+
+    def test_redundant_halfplane_inactive(self):
+        normals = np.array([[1.0, 0], [-1, 0], [0, 1], [0, -1], [1.0, 0]])
+        offsets = np.array([1.0, 1, 1, 1, 5.0])  # last is slack everywhere
+        space = HalfplaneSpace(normals, offsets)
+        active = space.active_set(range(5))
+        assert all(4 not in c.defining for c in active)
+
+    def test_vertex_count_matches_polygon(self):
+        normals, offsets = tangent_halfplanes(15, seed=2)
+        space = HalfplaneSpace(normals, offsets)
+        active = space.active_set(range(15))
+        # Tangent half-planes to a circle are all non-redundant whp.
+        assert len(active) == 15
+
+    def test_exact_vertex(self):
+        normals = np.array([[1.0, 0], [0, 1.0], [-1, 0], [0, -1]])
+        offsets = np.array([2.0, 3.0, 1.0, 1.0])
+        space = HalfplaneSpace(normals, offsets)
+        v = space.vertex(0, 1)
+        assert (float(v[0]), float(v[1])) == (2.0, 3.0)
+
+
+@pytest.mark.parametrize("n,seed", [(8, 3), (10, 4), (12, 5)])
+def test_two_support(n, seed):
+    normals, offsets = tangent_halfplanes(n, seed=seed)
+    space = HalfplaneSpace(normals, offsets)
+    report = check_k_support(space, range(n))
+    assert report.ok, report.failures
+    assert report.max_support_size() <= 2
+
+
+def test_dependence_graph_builds():
+    normals, offsets = tangent_halfplanes(10, seed=6)
+    space = HalfplaneSpace(normals, offsets)
+    graph = build_dependence_graph(space, list(range(10)))
+    assert graph.depth() >= 1
+    for _key, parents in graph.parents.items():
+        assert len(parents) <= 2
+
+
+class TestPropertyBased:
+    """Hypothesis sweep: 2-support holds on arbitrary tangent-half-plane
+    instances (small n; the checker is brute force)."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(st.integers(0, 5000), st.integers(5, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_two_support_random_instances(self, seed, n):
+        normals, offsets = tangent_halfplanes(n, seed=seed)
+        space = HalfplaneSpace(normals, offsets)
+        report = check_k_support(space, range(n))
+        assert report.ok, report.failures

@@ -1,0 +1,82 @@
+"""Experiment E8 at d=3: the half-space configuration space with the
+paper's direction (edge-ray) boundary configurations."""
+
+import numpy as np
+import pytest
+
+from repro.apps import halfspace_intersection_3d
+from repro.configspace import check_k_support
+from repro.configspace.spaces.halfspaces3d import (
+    HalfspaceSpace3D,
+    tangent_halfspaces_3d,
+)
+
+
+class TestConstruction:
+    def test_parameters(self):
+        normals, offsets = tangent_halfspaces_3d(6, seed=1)
+        sp = HalfspaceSpace3D(normals, offsets)
+        assert sp.degree == 3 and sp.support_k == 2
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            HalfspaceSpace3D(np.ones((4, 2)), np.ones(4))
+        with pytest.raises(ValueError):
+            HalfspaceSpace3D(np.ones((4, 3)), -np.ones(4))
+
+    def test_parallel_planes_no_ray(self):
+        normals = np.array([[1.0, 0, 0], [1.0, 0, 0], [0, 1.0, 0]])
+        offsets = np.array([1.0, 2.0, 1.0])
+        sp = HalfspaceSpace3D(normals, offsets)
+        assert sp._ray_config(0, 1, 1) is None
+        assert sp._ray_config(0, 2, 1) is not None
+
+
+class TestActiveSets:
+    def test_unit_cube(self):
+        # x,y,z each in [-1, 1]: the cube -- 8 vertices, bounded so no rays.
+        normals = np.array(
+            [[1.0, 0, 0], [-1, 0, 0], [0, 1.0, 0], [0, -1, 0], [0, 0, 1.0], [0, 0, -1]]
+        )
+        offsets = np.ones(6)
+        sp = HalfspaceSpace3D(normals, offsets)
+        active = sp.active_set(range(6))
+        vertices = [c for c in active if c.tag == "vertex"]
+        rays = [c for c in active if c.tag != "vertex"]
+        assert len(vertices) == 8
+        assert rays == []
+
+    def test_open_wedge_has_rays(self):
+        # Only two half-spaces: the wedge is unbounded; both edge rays
+        # of their shared line are active.
+        normals = np.array([[1.0, 0, 0], [0, 1.0, 0], [0, 0, 1.0]])
+        offsets = np.ones(3)
+        sp = HalfspaceSpace3D(normals, offsets)
+        active = sp.active_set([0, 1])
+        assert {c.tag for c in active} == {("ray", 1), ("ray", -1)}
+
+    def test_vertices_match_dual_hull_app(self):
+        normals, offsets = tangent_halfspaces_3d(20, seed=2)
+        sp = HalfspaceSpace3D(normals, offsets)
+        active_vertices = {
+            c.defining for c in sp.active_set(range(20)) if c.tag == "vertex"
+        }
+        res = halfspace_intersection_3d(normals, offsets, seed=3)
+        assert active_vertices == {frozenset(t) for t in res.vertex_triples}
+
+    def test_bounded_intersection_no_active_rays(self):
+        normals, offsets = tangent_halfspaces_3d(20, seed=4)
+        sp = HalfspaceSpace3D(normals, offsets)
+        rays = [c for c in sp.active_set(range(20)) if c.tag != "vertex"]
+        assert rays == []
+
+
+@pytest.mark.parametrize("n,seed", [(7, 1), (8, 2), (9, 4)])
+def test_two_support_with_rays(n, seed):
+    """The paper's d-dimensional boundary prescription, checked at d=3:
+    with edge-ray configurations the space certifies 2-support."""
+    normals, offsets = tangent_halfspaces_3d(n, seed=seed)
+    sp = HalfspaceSpace3D(normals, offsets)
+    report = check_k_support(sp, range(n))
+    assert report.ok, report.failures
+    assert report.max_support_size() <= 2

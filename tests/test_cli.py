@@ -1,0 +1,84 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestHull:
+    def test_json_output(self, capsys):
+        main(["hull", "--n", "200", "--d", "2", "--seed", "3"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["n"] == 200
+        assert out["hull_facets"] == out["hull_vertices"]
+        assert out["dependence_depth"] >= 1
+
+    def test_sphere_workload(self, capsys):
+        main(["hull", "--n", "100", "--d", "3", "--workload", "sphere"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["hull_vertices"] == 100
+
+    def test_thread_executor(self, capsys):
+        main(["hull", "--n", "150", "--executor", "threads", "--workers", "2"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["executor"] == "threads"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["hull", "--workload", "torus"])
+
+
+class TestDepth:
+    def test_table_printed(self, capsys):
+        main(["depth", "--sizes", "64", "128", "--seeds", "2"])
+        out = capsys.readouterr().out
+        assert "mean depth" in out
+        assert "64" in out and "128" in out
+        assert "slope" in out
+
+
+class TestWork:
+    def test_equivalence_reported(self, capsys):
+        main(["work", "--n", "150", "--seed", "1"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["same_created"] in (True, "True")
+        assert out["ratio"] <= 1.0
+
+
+class TestSpeedup:
+    def test_table(self, capsys):
+        main(["speedup", "--n", "200", "--procs", "1", "4"])
+        out = capsys.readouterr().out
+        assert "speedup" in out and "model" in out
+
+
+class TestFigure1:
+    def test_walkthrough(self, capsys):
+        main(["figure1"])
+        out = capsys.readouterr().out
+        assert "round 1:" in out and "round 3:" in out
+        assert "create v-c" in out
+        assert "final hull:" in out
+
+
+class TestCRCW:
+    def test_both_modes(self, capsys):
+        main(["crcw", "--n", "150"])
+        out = capsys.readouterr().out
+        assert "approximate" in out and "exact" in out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDelaunayCommand:
+    def test_three_way_agreement(self, capsys):
+        main(["delaunay", "--n", "80", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert "all agree: True" in out
+        assert "identical tests BW==parallel: True" in out

@@ -1,0 +1,32 @@
+"""Smoke tests for the repository tools (fuzzer, report generator)."""
+
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+TOOLS_DIR = str(pathlib.Path(__file__).resolve().parent.parent / "tools")
+
+
+class TestFuzzer:
+    def test_cases_agree(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            from fuzz import one_case
+        finally:
+            sys.path.pop(0)
+        rng = np.random.default_rng(123)
+        for _ in range(8):
+            assert one_case(rng, verbose=False) is None
+
+
+class TestReportHelpers:
+    def test_banner_and_sections_importable(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            import make_report
+        finally:
+            sys.path.pop(0)
+        # The cheapest section end-to-end.
+        make_report.e4_figure1()

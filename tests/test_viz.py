@@ -1,0 +1,111 @@
+"""Tests for the SVG rendering module (structure-level: the output is a
+well-formed SVG string with the expected element counts)."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.apps import delaunay, incremental_disk_intersection
+from repro.configspace.spaces import clustered_unit_circles
+from repro.geometry import figure1_points, uniform_ball
+from repro.hull import parallel_hull
+from repro.viz import SVGCanvas, render_delaunay, render_disk_boundary, render_hull_rounds
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+NS = "{http://www.w3.org/2000/svg}"
+
+
+class TestCanvas:
+    def test_empty_canvas_is_valid_svg(self):
+        root = parse(SVGCanvas().render())
+        assert root.tag == f"{NS}svg"
+
+    def test_elements_accumulate(self):
+        c = SVGCanvas()
+        c.fit(np.array([[0.0, 0], [1, 1]]))
+        c.circle([0.5, 0.5], 3)
+        c.line([0, 0], [1, 1])
+        c.polygon([[0, 0], [1, 0], [0, 1]])
+        c.text([0.5, 0.5], "hi")
+        root = parse(c.render())
+        tags = [child.tag for child in root]
+        assert f"{NS}circle" in tags and f"{NS}line" in tags
+        assert f"{NS}polygon" in tags and f"{NS}text" in tags
+
+    def test_transform_orientation(self):
+        # Higher data y must map to a smaller pixel y (SVG is flipped).
+        c = SVGCanvas()
+        c.fit(np.array([[0.0, 0], [1, 1]]))
+        assert c._ty(1.0) < c._ty(0.0)
+
+    def test_degenerate_extent_guarded(self):
+        c = SVGCanvas()
+        c.fit(np.array([[2.0, 3.0], [2.0, 3.0]]))
+        c.circle([2, 3], 2)
+        parse(c.render())
+
+
+class TestHullRounds:
+    def test_figure1_rendering(self):
+        pts, _ = figure1_points()
+        run = parallel_hull(pts, order=np.arange(10), base_size=7)
+        svg = render_hull_rounds(run)
+        root = parse(svg)
+        lines = [e for e in root if e.tag == f"{NS}line"]
+        assert len(lines) == len(run.created)
+        solid = [l for l in lines if l.get("stroke-dasharray") is None]
+        assert len(solid) == len(run.facets)
+
+    def test_3d_rejected(self):
+        run = parallel_hull(uniform_ball(20, 3, seed=1), seed=2)
+        with pytest.raises(ValueError):
+            render_hull_rounds(run)
+
+    def test_round_legend_present(self):
+        run = parallel_hull(uniform_ball(60, 2, seed=3), seed=4)
+        svg = render_hull_rounds(run)
+        assert "round 0" in svg
+
+
+class TestDelaunay:
+    def test_triangle_count(self):
+        pts = uniform_ball(30, 2, seed=5)
+        res = delaunay(pts, seed=6)
+        root = parse(render_delaunay(res))
+        polys = [e for e in root if e.tag == f"{NS}polygon"]
+        assert len(polys) == res.n_triangles
+
+
+class TestDiskBoundary:
+    def test_arc_count(self):
+        centers = clustered_unit_circles(12, seed=7)
+        res = incremental_disk_intersection(centers, seed=8)
+        root = parse(render_disk_boundary(res, show_circles=False))
+        paths = [e for e in root if e.tag == f"{NS}path"]
+        assert len(paths) == len(res.boundary())
+
+
+class TestDepthChart:
+    def test_chart_structure(self):
+        from repro.viz import render_depth_chart
+
+        series = {
+            "hull": [(64, 12), (256, 18), (1024, 25)],
+            "delaunay": [(64, 14), (256, 20), (1024, 28)],
+        }
+        root = parse(render_depth_chart(series))
+        texts = [e.text for e in root if e.tag == f"{NS}text"]
+        assert "hull" in texts and "delaunay" in texts
+        circles = [e for e in root if e.tag == f"{NS}circle"]
+        assert len(circles) == 6
+
+    def test_empty_series_rejected(self):
+        from repro.viz import render_depth_chart
+
+        with pytest.raises(ValueError):
+            render_depth_chart({})

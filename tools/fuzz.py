@@ -1,0 +1,132 @@
+"""Differential fuzzing harness for the hull implementations.
+
+Random (workload, n, d, seed) instances are run through every hull
+implementation in the library -- sequential (Algorithm 2), parallel
+(Algorithm 3, random executor), online, point-parallel, quickhull --
+and cross-checked against each other, against the structural
+validators, and against scipy's Qhull.  Any disagreement prints a
+reproducer and exits nonzero.
+
+This harness is how the moment-curve predicate-envelope bug was pinned
+down (see EXPERIMENTS.md, "honest notes").
+
+Run:  python tools/fuzz.py [--iterations N] [--seed S] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+from scipy.spatial import ConvexHull as ScipyHull
+
+from repro.baselines import quickhull
+from repro.geometry import (
+    anisotropic,
+    gaussian,
+    moment_curve,
+    on_sphere,
+    two_clusters,
+    uniform_ball,
+    uniform_cube,
+)
+from repro.hull import (
+    facet_sets_global,
+    parallel_hull,
+    point_parallel_hull,
+    sequential_hull,
+    validate_hull,
+)
+from repro.hull.online import OnlineHull
+from repro.runtime import RoundExecutor, SerialExecutor, ThreadExecutor
+
+GENERATORS = [
+    ("ball", uniform_ball, (2, 3, 4)),
+    ("cube", uniform_cube, (2, 3, 4)),
+    ("sphere", on_sphere, (2, 3)),
+    ("gaussian", gaussian, (2, 3)),
+    ("anisotropic", anisotropic, (2, 3)),
+    ("two_clusters", two_clusters, (2, 3)),
+    ("moment_curve", moment_curve, (2, 3, 4)),
+]
+
+
+def one_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Run one random instance through everything; returns an error
+    description or None."""
+    name, gen, dims = GENERATORS[int(rng.integers(0, len(GENERATORS)))]
+    d = int(rng.choice(dims))
+    n = int(rng.integers(d + 2, 120 if d < 4 else 60))
+    seed = int(rng.integers(0, 2**31))
+    label = f"{name}(n={n}, d={d}, seed={seed})"
+    if verbose:
+        print(f"  {label}")
+    pts = gen(n, d, seed=seed)
+    order = np.random.default_rng(seed + 1).permutation(n)
+    executors = [SerialExecutor(), RoundExecutor(), RoundExecutor(seed=seed % 97)]
+    mm = "dict"
+    if seed % 5 == 0:
+        executors.append(ThreadExecutor(2))
+
+    try:
+        seq = sequential_hull(pts, order=order.copy())
+        validate_hull(seq.facets, seq.points)
+        ref = facet_sets_global(seq.facets, seq.order)
+
+        for ex in executors:
+            mm_used = "cas" if isinstance(ex, ThreadExecutor) else mm
+            par = parallel_hull(pts, order=order.copy(), executor=ex, multimap=mm_used)
+            validate_hull(par.facets, par.points)
+            if facet_sets_global(par.facets, par.order) != ref:
+                return f"{label}: parallel[{type(ex).__name__}] differs from sequential"
+            if not isinstance(ex, ThreadExecutor):
+                if par.created_keys() != seq.created_keys():
+                    return f"{label}: created-facet multiset differs"
+
+        pp = point_parallel_hull(pts, order=order.copy())
+        if facet_sets_global(pp.facets, pp.order) != ref:
+            return f"{label}: point-parallel differs"
+
+        oh = OnlineHull(d)
+        oh.extend(pts)
+        if facet_sets_global(oh.facets, np.arange(n)) != ref:
+            return f"{label}: online differs"
+
+        qh = quickhull(pts)
+        if facet_sets_global(qh.facets, qh.order) != ref:
+            return f"{label}: quickhull differs"
+
+        scipy_verts = set(ScipyHull(pts).vertices.tolist())
+        our_verts = {int(seq.order[i]) for i in seq.vertex_ranks()}
+        if our_verts != scipy_verts:
+            return f"{label}: vertex set differs from scipy"
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return f"{label}: exception {type(exc).__name__}: {exc}"
+    return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--iterations", type=int, default=100)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--verbose", action="store_true")
+    args = ap.parse_args()
+    rng = np.random.default_rng(args.seed)
+    failures = 0
+    for i in range(args.iterations):
+        err = one_case(rng, args.verbose)
+        if err is not None:
+            print(f"FAIL [{i}]: {err}")
+            failures += 1
+        elif (i + 1) % 20 == 0 and not args.verbose:
+            print(f"  ... {i + 1}/{args.iterations} ok")
+    if failures:
+        print(f"{failures} failing cases out of {args.iterations}")
+        return 1
+    print(f"all {args.iterations} differential cases agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
