@@ -10,6 +10,8 @@ Commands
 ``delaunay``  Delaunay three ways: lifted / Bowyer-Watson / parallel (E14)
 ``figure1``   the paper's Figure 1 walkthrough (E4)
 ``crcw``      measured CRCW PRAM span accounting (E3)
+``lint``      static concurrency/robustness checks (rules RPR001-RPR005)
+``race-check``  dynamic happens-before race check of the multimap (E16)
 
 Examples
 --------
@@ -141,6 +143,65 @@ def cmd_crcw(args) -> None:
               f"normalized={rep.normalized():.2f}")
 
 
+def cmd_lint(args) -> None:
+    from .lint import ALL_RULES, lint_paths
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.name}: {rule.summary}")
+        return
+    from pathlib import Path
+
+    missing = [p for p in (args.paths or []) if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"lint: no such path(s): {', '.join(missing)}")
+    violations = lint_paths(
+        args.paths or None,
+        select=args.select,
+        ignore=args.ignore or (),
+    )
+    if args.format == "json":
+        json.dump([v.__dict__ for v in violations], sys.stdout, indent=2)
+        print()
+    else:
+        for v in violations:
+            print(v.format())
+        if violations:
+            print(f"{len(violations)} violation(s)")
+    if violations:
+        raise SystemExit(1)
+
+
+def cmd_race_check(args) -> None:
+    from .runtime.racecheck import check_multimap
+
+    impls = ["cas", "tas"] if args.impl == "both" else [args.impl]
+    failed = False
+    for impl in impls:
+        scenarios = [(2, args.prefix)]
+        if args.three:
+            scenarios.append((3, args.prefix_three))
+        for n_ops, prefix in scenarios:
+            try:
+                summary = check_multimap(
+                    impl,
+                    capacity=args.capacity,
+                    prefix_len=prefix,
+                    n_ops=n_ops,
+                    collide=not args.no_collide,
+                )
+            except AssertionError as exc:
+                # check_multimap asserts Theorem A.1 on every schedule;
+                # report the counterexample instead of a traceback.
+                print(f"[{n_ops} ops, prefix {prefix}] race-check[{impl}]: FAIL -- {exc}")
+                failed = True
+                continue
+            print(f"[{n_ops} ops, prefix {prefix}] {summary.describe()}")
+            failed = failed or not summary.ok
+    if failed:
+        raise SystemExit(1)
+
+
 def _figure1(args) -> None:
     from .geometry import figure1_points
 
@@ -213,6 +274,30 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("crcw", help="CRCW PRAM span accounting (E3)")
     common(p)
     p.set_defaults(fn=cmd_crcw)
+
+    p = sub.add_parser("lint", help="static concurrency/robustness checks")
+    p.add_argument("paths", nargs="*", help="files/dirs to lint (default: src tools)")
+    p.add_argument("--select", nargs="+", metavar="RPRnnn",
+                   help="run only these rule ids")
+    p.add_argument("--ignore", nargs="+", metavar="RPRnnn",
+                   help="skip these rule ids")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule registry and exit")
+    p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("race-check",
+                       help="happens-before race check of the concurrent multimap")
+    p.add_argument("--impl", default="both", choices=["cas", "tas", "both"])
+    p.add_argument("--capacity", type=int, default=4)
+    p.add_argument("--prefix", type=int, default=8,
+                   help="exhaustive schedule-prefix length for the 2-op race")
+    p.add_argument("--three", action="store_true",
+                   help="also sweep the 3-op colliding-key scenario")
+    p.add_argument("--prefix-three", type=int, default=5)
+    p.add_argument("--no-collide", action="store_true",
+                   help="use the default hash instead of forced collisions")
+    p.set_defaults(fn=cmd_race_check)
 
     return parser
 

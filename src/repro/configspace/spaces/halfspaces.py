@@ -79,7 +79,7 @@ class HalfplaneSpace(ConfigurationSpace):
             [Fraction(float(self.normals[j, 0])), Fraction(float(self.normals[j, 1]))],
         ]
         det = rows[0][0] * rows[1][1] - rows[0][1] * rows[1][0]
-        if det == 0:
+        if det == 0:  # repro: noqa: RPR004 -- exact Fraction determinant
             return None
         x, y = solve_exact(rows, [Fraction(float(self.offsets[i])),
                                   Fraction(float(self.offsets[j]))])

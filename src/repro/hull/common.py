@@ -11,7 +11,6 @@ evaluation.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 from fractions import Fraction
 
@@ -19,6 +18,7 @@ import numpy as np
 
 from ..geometry.hyperplane import Hyperplane
 from ..geometry.simplex import Facet
+from ..runtime.atomics import Mutex
 
 __all__ = [
     "Counters",
@@ -179,7 +179,7 @@ class FacetFactory:
         self.pts = pts
         self.interior = np.asarray(interior, dtype=np.float64)
         self.counters = counters
-        self._lock = threading.Lock()
+        self._mutex = Mutex()
         self._next_fid = 0
 
     def make(self, indices: tuple[int, ...], candidates: np.ndarray) -> Facet:
@@ -205,7 +205,7 @@ class FacetFactory:
             conflicts = candidates[mask]
         else:
             conflicts = candidates
-        with self._lock:
+        with self._mutex:
             fid = self._next_fid
             self._next_fid += 1
             self.counters.visibility_tests += n_tests

@@ -1,0 +1,74 @@
+"""``repro lint`` -- static enforcement of the repository's concurrency
+and robustness disciplines.
+
+The correctness theorems this repo reproduces are verified under the
+step-level scheduler in :mod:`repro.runtime.interleave`; that
+verification is sound only while the code keeps five unwritten
+contracts.  This package makes them written:
+
+========  ====================================================
+RPR001    no access to atomic internals outside runtime/atomics.py
+RPR002    no raw threading outside runtime/
+RPR003    yield before every shared access in step generators
+RPR004    no raw determinant sign tests outside geometry/
+RPR005    no unseeded randomness
+========  ====================================================
+
+Use ``python -m repro lint [paths ...]`` (defaults to ``src tools``),
+or programmatically::
+
+    from repro.lint import lint_paths
+    violations = lint_paths(["src"])
+
+Suppress a finding with ``# repro: noqa`` or ``# repro: noqa: RPR004``.
+The dynamic counterpart of RPR003 is :mod:`repro.runtime.racecheck`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from .core import DEFAULT_TARGETS, LintedFile, Rule, Violation, collect_files, run_lint
+from .rules_atomics import AtomicInternalsRule, RawThreadingRule
+from .rules_determinism import UnseededRandomRule
+from .rules_geometry import RawPredicateRule
+from .rules_yields import YieldDisciplineRule
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_TARGETS",
+    "LintedFile",
+    "Rule",
+    "Violation",
+    "collect_files",
+    "lint_paths",
+    "run_lint",
+]
+
+#: The registry, in rule-id order.
+ALL_RULES: tuple[Rule, ...] = (
+    AtomicInternalsRule(),
+    RawThreadingRule(),
+    YieldDisciplineRule(),
+    RawPredicateRule(),
+    UnseededRandomRule(),
+)
+
+
+def lint_paths(
+    paths: Sequence[str | Path] | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] = (),
+) -> list[Violation]:
+    """Lint ``paths`` (default: ``src`` and ``tools``) with every
+    registered rule, minus ``ignore``, restricted to ``select`` when
+    given."""
+    if paths is None or not list(paths):
+        paths = [p for p in DEFAULT_TARGETS if Path(p).exists()]
+    return run_lint(
+        paths,
+        ALL_RULES,
+        select=None if select is None else frozenset(s.upper() for s in select),
+        ignore=frozenset(s.upper() for s in ignore),
+    )

@@ -1,0 +1,184 @@
+"""Infrastructure for the ``repro lint`` static checker.
+
+The checker enforces the unwritten concurrency and robustness
+disciplines that the correctness arguments of this repository (Theorems
+A.1/A.2, the determinism of the round executor, the exactness of the
+geometric branching) silently rely on.  Each rule is a small AST pass
+with a stable identifier (``RPR001`` ...); violations can be suppressed
+per line with ``# repro: noqa`` (all rules) or
+``# repro: noqa: RPR003[,RPR004]`` (specific rules).
+
+Rules are registered by :mod:`repro.lint` and run by :func:`run_lint`;
+each rule declares which files it exempts (e.g. RPR002 permits raw
+``threading`` inside ``runtime/``, where the primitives live).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["Violation", "Rule", "LintedFile", "collect_files", "run_lint"]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+#: Default lint targets, relative to the repository root: the library
+#: and its tooling.  ``tests/`` is excluded by default because the test
+#: suite legitimately spawns raw threads and plants rule violations as
+#: fixtures; pass paths explicitly to lint it.
+DEFAULT_TARGETS = ("src", "tools")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class LintedFile:
+    """A parsed source file handed to every rule."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    #: module path components below ``src`` (or the file's own parts),
+    #: used by rules for directory-scoped exemptions.
+    parts: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def posix(self) -> str:
+        return self.path.as_posix()
+
+    def in_dir(self, name: str) -> bool:
+        """True when a path component equals ``name`` (e.g. ``runtime``)."""
+        return name in self.parts
+
+    def is_module(self, suffix: str) -> bool:
+        """True when the file path ends with ``suffix`` (posix form)."""
+        return self.posix.endswith(suffix)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``name``/``summary`` and implement
+    :meth:`check`, returning violations for one parsed file.  ``check``
+    is only called for files not exempted by :meth:`exempt`.
+    """
+
+    id: str = "RPR000"
+    name: str = "unnamed"
+    summary: str = ""
+
+    def exempt(self, f: LintedFile) -> bool:  # pragma: no cover - trivial default
+        return False
+
+    def check(self, f: LintedFile) -> list[Violation]:
+        raise NotImplementedError
+
+    def violation(self, f: LintedFile, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=f.posix,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+        )
+
+
+def _suppressed_lines(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (None == all rules)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for i, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[i] = None
+        else:
+            out[i] = frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+    return out
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.update(q for q in p.rglob("*.py") if "__pycache__" not in q.parts)
+        elif p.suffix == ".py":
+            files.add(p)
+    return sorted(files)
+
+
+def _module_parts(path: Path) -> tuple[str, ...]:
+    parts = path.as_posix().split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    return tuple(parts)
+
+
+def parse_file(path: Path, source: str | None = None) -> LintedFile | Violation:
+    """Parse one file; returns a syntax-error pseudo-violation on failure."""
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Violation(
+            path=path.as_posix(),
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule_id="RPR999",
+            message=f"syntax error: {exc.msg}",
+        )
+    return LintedFile(path=path, source=source, tree=tree, parts=_module_parts(path))
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule],
+    select: frozenset[str] | None = None,
+    ignore: frozenset[str] = frozenset(),
+) -> list[Violation]:
+    """Run ``rules`` over every python file under ``paths``.
+
+    ``select``/``ignore`` filter by rule id; line-level ``# repro:
+    noqa`` comments are honoured afterwards.  Violations come back
+    sorted by (path, line, col, rule id).
+    """
+    chosen = [
+        r for r in rules
+        if (select is None or r.id in select) and r.id not in ignore
+    ]
+    out: list[Violation] = []
+    for path in collect_files(paths):
+        parsed = parse_file(path)
+        if isinstance(parsed, Violation):
+            out.append(parsed)
+            continue
+        suppressed = _suppressed_lines(parsed.source)
+        for rule in chosen:
+            if rule.exempt(parsed):
+                continue
+            for v in rule.check(parsed):
+                codes = suppressed.get(v.line, frozenset())
+                if codes is None or v.rule_id in codes:
+                    continue
+                out.append(v)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return out

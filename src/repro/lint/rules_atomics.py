@@ -1,0 +1,76 @@
+"""RPR001/RPR002: the atomic-primitive encapsulation rules.
+
+The linearizability argument for the concurrent multimap (Appendix A)
+holds only if every thread goes through the atomic *interfaces* --
+``load``/``store``/``compare_and_swap``/``test_and_set`` -- and never
+pokes at the guarded state directly, and if ad-hoc locks/threads don't
+appear outside the runtime layer where the scheduler can't see them.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import LintedFile, Rule, Violation
+
+__all__ = ["AtomicInternalsRule", "RawThreadingRule"]
+
+#: Attribute names that are implementation details of the atomics.
+_INTERNAL_ATTRS = frozenset({"_value", "_set", "_lock"})
+
+#: Modules whose direct use outside ``runtime/`` bypasses the simulator.
+_THREAD_MODULES = frozenset({"threading", "_thread"})
+
+
+class AtomicInternalsRule(Rule):
+    id = "RPR001"
+    name = "atomic-internals"
+    summary = (
+        "do not touch _value/_set/_lock internals of the atomic "
+        "primitives outside runtime/atomics.py"
+    )
+
+    def exempt(self, f: LintedFile) -> bool:
+        return f.is_module("runtime/atomics.py")
+
+    def check(self, f: LintedFile) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(f.tree):
+            if isinstance(node, ast.Attribute) and node.attr in _INTERNAL_ATTRS:
+                out.append(self.violation(
+                    f, node,
+                    f"access to atomic internal `.{node.attr}`; use the "
+                    "load/store/CAS/TAS interface (or runtime.atomics.Mutex)",
+                ))
+        return out
+
+
+class RawThreadingRule(Rule):
+    id = "RPR002"
+    name = "raw-threading"
+    summary = "no raw threading.Lock/Thread outside runtime/"
+
+    def exempt(self, f: LintedFile) -> bool:
+        return f.in_dir("runtime")
+
+    def check(self, f: LintedFile) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(f.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _THREAD_MODULES:
+                        out.append(self.violation(
+                            f, node,
+                            f"raw `import {alias.name}`; use repro.runtime "
+                            "primitives (Mutex, AtomicCell, executors) so the "
+                            "interleave scheduler and race checker see every "
+                            "synchronization point",
+                        ))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] in _THREAD_MODULES:
+                    out.append(self.violation(
+                        f, node,
+                        f"raw `from {node.module} import ...`; use "
+                        "repro.runtime primitives instead",
+                    ))
+        return out

@@ -1,0 +1,92 @@
+"""RPR005: all randomness must be seeded.
+
+The round executor's depth measurements (E1), the work equivalence
+check (E2), and the differential fuzzer's reproducers are only
+meaningful when every random draw is derived from an explicit seed.
+Global-state randomness (``random.random()``, ``np.random.rand``,
+``np.random.seed``) or entropy-seeded generators
+(``np.random.default_rng()`` with no argument) make failures
+unreproducible.
+
+Allowed: ``random.Random(seed)``, ``np.random.default_rng(seed)``,
+``np.random.Generator``/``SeedSequence`` construction, and any method
+call on a generator object (``rng.integers(...)``) -- the object carries
+its seed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import LintedFile, Rule, Violation
+
+__all__ = ["UnseededRandomRule"]
+
+#: Constructors on the random/np.random modules that take a seed; calls
+#: to them are fine exactly when a non-None seed argument is passed.
+_SEEDED_CTORS = frozenset({"Random", "default_rng", "RandomState"})
+
+#: Names importable from the random modules that are types/helpers, not
+#: entropy sources.
+_BENIGN = frozenset({"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"})
+
+
+def _random_module_chain(node: ast.expr) -> str | None:
+    """Return 'random' or 'np.random' when ``node`` is that module
+    expression (by name), else None."""
+    if isinstance(node, ast.Name) and node.id == "random":
+        return "random"
+    if (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    ):
+        return f"{node.value.id}.random"
+    return None
+
+
+def _seed_is_missing(call: ast.Call) -> bool:
+    """True when the constructor call has no seed or an explicit None."""
+    if call.keywords:
+        for kw in call.keywords:
+            if kw.arg in (None, "seed"):
+                return isinstance(kw.value, ast.Constant) and kw.value.value is None
+    if not call.args:
+        return True
+    first = call.args[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+class UnseededRandomRule(Rule):
+    id = "RPR005"
+    name = "unseeded-random"
+    summary = "no unseeded random.* / np.random.* calls (determinism)"
+
+    def check(self, f: LintedFile) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(f.tree):
+            if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+                continue
+            module = _random_module_chain(node.func.value)
+            if module is None:
+                continue
+            fn = node.func.attr
+            if fn in _BENIGN:
+                continue
+            if fn in _SEEDED_CTORS:
+                if _seed_is_missing(node):
+                    out.append(self.violation(
+                        f, node,
+                        f"`{module}.{fn}()` without a seed draws from OS "
+                        "entropy; pass an explicit seed so runs are "
+                        "reproducible",
+                    ))
+                continue
+            out.append(self.violation(
+                f, node,
+                f"global-state randomness `{module}.{fn}(...)`; use a "
+                "seeded generator (np.random.default_rng(seed) / "
+                "random.Random(seed)) instead",
+            ))
+        return out

@@ -1,0 +1,95 @@
+"""RPR004: geometric branching must go through ``geometry.predicates``.
+
+Branching on the sign of a raw floating-point determinant is exactly
+the bug class the predicate envelope (``orient`` -> ``orient_exact``
+escalation) exists to prevent: near-degenerate inputs flip the float
+sign and the incremental structure silently corrupts (the moment-curve
+bug in EXPERIMENTS.md' honest notes).  Outside ``geometry/`` -- where
+the envelope itself lives -- comparing a determinant against zero is
+therefore forbidden; callers use ``orient``/``orient_exact``/
+``in_circle``, whose integer sign is exact.
+
+The rule flags comparisons (``<``, ``>``, ``<=``, ``>=``, ``==``,
+``!=``) between a literal zero and an expression that is a determinant:
+a call to something named ``det``/``slogdet`` (``np.linalg.det(m) > 0``)
+or a variable named ``det``/``determinant`` or ending in ``_det``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import LintedFile, Rule, Violation
+
+__all__ = ["RawPredicateRule"]
+
+_DET_CALL_NAMES = frozenset({"det", "slogdet"})
+_DET_VAR_NAMES = frozenset({"det", "determinant"})
+_CMP_OPS = (ast.Lt, ast.Gt, ast.LtE, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _is_zero(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return node.value == 0
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_zero(node.operand)
+    return False
+
+
+def _call_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+    return None
+
+
+def _is_determinant(node: ast.expr) -> bool:
+    name = _call_name(node)
+    if name is not None and name in _DET_CALL_NAMES:
+        return True
+    if isinstance(node, ast.Name):
+        n = node.id.lower()
+        return n in _DET_VAR_NAMES or n.endswith("_det")
+    if isinstance(node, ast.UnaryOp):
+        return _is_determinant(node.operand)
+    return False
+
+
+class RawPredicateRule(Rule):
+    id = "RPR004"
+    name = "raw-predicate"
+    summary = (
+        "no raw float sign test on a determinant outside geometry/; "
+        "use orient/orient_exact/in_circle"
+    )
+
+    def exempt(self, f: LintedFile) -> bool:
+        return f.in_dir("geometry")
+
+    def check(self, f: LintedFile) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(f.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            ops = node.ops
+            for i, op in enumerate(ops):
+                if not isinstance(op, _CMP_OPS):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                det = None
+                if _is_zero(right) and _is_determinant(left):
+                    det = left
+                elif _is_zero(left) and _is_determinant(right):
+                    det = right
+                if det is not None:
+                    out.append(self.violation(
+                        f, node,
+                        "raw float sign test on a determinant; use "
+                        "geometry.predicates.orient/orient_exact/in_circle "
+                        "(exact integer sign) instead",
+                    ))
+        return out

@@ -1,0 +1,147 @@
+"""RPR003: yield discipline in step-generator functions.
+
+The interleave scheduler (and the theorems verified through it) only
+explores the interleavings that the step generators *expose*: an
+operation must ``yield`` a tagged preemption point before **every**
+shared-memory access, the convention used by ``runtime/multimap.py``
+(``yield ("cas", i)`` then the CAS, ``yield ("read", i)`` then the
+load).  An access without a preceding yield is fused into the previous
+step, silently shrinking the schedule space the correctness proofs
+quantify over.
+
+Detection: a function is a *step generator* when it yields a tuple whose
+first element is a string literal (the tag convention).  Inside such a
+function, a *shared access* is any subscript of a private ``self``
+attribute (``self._cells[i]``, ``self._slots[j].data``, ...).  The rule
+simulates the function body: each yield arms exactly one access; an
+access with no armed yield -- on any path, including the wrap-around of
+a loop -- is a violation.  Two accesses back-to-back need two yields.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .core import LintedFile, Rule, Violation
+
+__all__ = ["YieldDisciplineRule"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SKIP_NODES = _FUNC_NODES + (ast.ClassDef, ast.Lambda)
+
+
+def _walk_shallow(node: ast.AST):
+    """Walk an AST without descending into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SKIP_NODES):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _is_step_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in _walk_shallow(func):
+        if isinstance(node, ast.Yield) and isinstance(node.value, ast.Tuple):
+            elts = node.value.elts
+            if elts and isinstance(elts[0], ast.Constant) and isinstance(elts[0].value, str):
+                return True
+    return False
+
+
+def _is_shared_subscript(node: ast.Subscript) -> bool:
+    """True for ``self._attr[...]`` -- a slot of a shared container."""
+    base = node.value
+    return (
+        isinstance(base, ast.Attribute)
+        and base.attr.startswith("_")
+        and isinstance(base.value, ast.Name)
+        and base.value.id == "self"
+    )
+
+
+def _shared_accesses(node: ast.AST) -> list[ast.Subscript]:
+    """Shared-container subscripts under ``node``, in source order."""
+    found = [
+        n for n in _walk_shallow(node)
+        if isinstance(n, ast.Subscript) and _is_shared_subscript(n)
+    ]
+    found.sort(key=lambda n: (n.lineno, n.col_offset))
+    return found
+
+
+def _has_own_yield(node: ast.AST) -> bool:
+    """True when ``node`` itself (not a nested block) contains a yield."""
+    return any(isinstance(n, ast.Yield) for n in _walk_shallow(node))
+
+
+class YieldDisciplineRule(Rule):
+    id = "RPR003"
+    name = "yield-discipline"
+    summary = (
+        "in step-generator functions every shared-container access "
+        "must be preceded by its own yield preemption point"
+    )
+
+    def check(self, f: LintedFile) -> list[Violation]:
+        out: list[Violation] = []
+        for node in ast.walk(f.tree):
+            if isinstance(node, _FUNC_NODES) and _is_step_generator(node):
+                out.extend(self._check_function(f, node))
+        return out
+
+    def _check_function(self, f: LintedFile, func) -> list[Violation]:
+        flagged: dict[int, Violation] = {}
+
+        def consume(accesses: list[ast.Subscript], armed: bool) -> bool:
+            for acc in accesses:
+                if not armed and id(acc) not in flagged:
+                    flagged[id(acc)] = self.violation(
+                        f, acc,
+                        "shared access "
+                        f"`self.{acc.value.attr}[...]` in step generator "
+                        f"`{func.name}` is not preceded by a yield "
+                        "preemption point",
+                    )
+                armed = False
+            return armed
+
+        def simulate(stmts: list[ast.stmt], armed: bool) -> bool:
+            for stmt in stmts:
+                if isinstance(stmt, _SKIP_NODES):
+                    continue
+                if isinstance(stmt, ast.If):
+                    armed = consume(_shared_accesses(stmt.test), armed)
+                    a1 = simulate(stmt.body, armed)
+                    a2 = simulate(stmt.orelse, armed)
+                    armed = a1 and a2
+                elif isinstance(stmt, (ast.While, ast.For)):
+                    # Two passes model the wrap-around: the second
+                    # iteration starts from the state the first left.
+                    header = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+                    for _ in range(2):
+                        armed = consume(_shared_accesses(header), armed)
+                        armed = simulate(stmt.body, armed)
+                    armed = simulate(stmt.orelse, armed)
+                elif isinstance(stmt, ast.Try):
+                    armed = simulate(stmt.body, armed)
+                    for handler in stmt.handlers:
+                        armed = simulate(handler.body, armed) and armed
+                    armed = simulate(stmt.orelse, armed)
+                    armed = simulate(stmt.finalbody, armed)
+                elif isinstance(stmt, ast.With):
+                    for item in stmt.items:
+                        armed = consume(_shared_accesses(item), armed)
+                    armed = simulate(stmt.body, armed)
+                elif _has_own_yield(stmt):
+                    # A simple statement carrying the yield itself: it
+                    # arms the next access.  The `yield tag` idiom never
+                    # mixes an access into the same statement.
+                    armed = True
+                else:
+                    armed = consume(_shared_accesses(stmt), armed)
+            return armed
+
+        simulate(func.body, armed=False)
+        return sorted(flagged.values(), key=lambda v: (v.line, v.col))

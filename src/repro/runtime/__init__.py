@@ -2,18 +2,24 @@
 multimap of Algorithms 4/5, adversarial interleaving, work-span
 accounting, and pluggable task executors."""
 
-from .atomics import AtomicCell, AtomicCounter, AtomicFlag
+from .atomics import AtomicCell, AtomicCounter, AtomicFlag, Mutex
 from .executors import ExecutionStats, RoundExecutor, SerialExecutor, ThreadExecutor
 from .forkjoin import StealStats, simulate_work_stealing
 from .interleave import OpResult, all_schedules, run_interleaved, run_schedule
 from .pram import PRAM, ParallelHashTable, compact, log_star, pram_min, prefix_sum
 from .multimap import CASMultimap, DictMultimap, MultimapFullError, TASMultimap
+from .racecheck import CheckSummary, RaceChecker, RaceReport, check_multimap
 from .workspan import ScheduleResult, TaskLog, WorkSpanTracker
 
 __all__ = [
     "AtomicCell",
     "AtomicCounter",
     "AtomicFlag",
+    "Mutex",
+    "CheckSummary",
+    "RaceChecker",
+    "RaceReport",
+    "check_multimap",
     "ExecutionStats",
     "RoundExecutor",
     "SerialExecutor",

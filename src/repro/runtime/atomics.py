@@ -20,7 +20,33 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-__all__ = ["AtomicCell", "AtomicFlag", "AtomicCounter"]
+__all__ = ["AtomicCell", "AtomicFlag", "AtomicCounter", "Mutex"]
+
+
+class Mutex:
+    """A plain mutual-exclusion context manager.
+
+    The one sanctioned way for code *outside* the runtime layer to
+    build a critical section (``repro lint`` rule RPR002 forbids raw
+    ``threading`` elsewhere): keeping every lock behind this interface
+    means the race checker and any future instrumented runtime see all
+    synchronization points.
+    """
+
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __enter__(self) -> "Mutex":
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
 
 
 class AtomicCell:
@@ -40,11 +66,22 @@ class AtomicCell:
             self._value = value
 
     def compare_and_swap(self, expected: Any, new: Any) -> bool:
-        """Atomically: if the cell holds ``expected`` (identity or
-        equality with ``None``), replace it with ``new`` and return True;
-        otherwise leave it unchanged and return False."""
+        """Atomically: if the cell holds ``expected``, replace it with
+        ``new`` and return True; otherwise leave it unchanged and return
+        False.
+
+        "Holds expected" means identity, or equality between values of
+        the *same* type.  The type check matters: plain ``==`` would let
+        ``CAS(expected=0, ...)`` succeed on a cell holding ``False``
+        (and ``CAS(expected=False)`` on ``0``, ``CAS(expected=1)`` on
+        ``1.0``), because Python's numeric tower conflates them -- a
+        real lost-update bug for multimaps keyed by small ints.
+        """
         with self._lock:
-            if self._value is expected or self._value == expected:
+            current = self._value
+            if current is expected or (
+                type(current) is type(expected) and current == expected
+            ):
                 self._value = new
                 return True
             return False

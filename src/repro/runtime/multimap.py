@@ -154,6 +154,14 @@ class TASMultimap:
     by TAS on the ``check`` flag of every slot holding the key.  Only
     the weak TestAndSet primitive is used, matching the binary-forking
     model's default.
+
+    Linear-probing precondition (as in the paper, which sizes the table
+    a constant factor above the load): strictly fewer entries than
+    ``capacity``.  Pass two terminates at the first never-taken slot; a
+    *full* table forces the wrap-around fallback, under which two
+    racing inserts can each lose a ``check`` TAS to the other and both
+    return False -- found by ``tools/fuzz.py``'s race-checked multimap
+    fuzzing at ``capacity == n_entries``.
     """
 
     def __init__(self, capacity: int, hash_fn: Callable[[Hashable], int] | None = None):

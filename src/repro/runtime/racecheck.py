@@ -1,0 +1,453 @@
+"""A dynamic happens-before race checker for the interleave simulator.
+
+A miniature TSan for step generators: while the scheduler drives an
+adversarial schedule (:mod:`repro.runtime.interleave` conventions), the
+atomic primitives and any registered plain attributes are instrumented
+so every *actual* shared-memory access is recorded as an
+``(op, location, read/write)`` event -- not just the accesses the
+generator *announces* by yielding a tagged preemption point.
+
+The memory model mirrors C11/TSan:
+
+* An access is **atomic** when its operation announced it -- the yield
+  immediately before the resume that performed it.  Announced accesses
+  are linearization points the scheduler can interleave at, and the
+  exhaustive schedule enumeration (Theorems A.1/A.2) quantifies over
+  all their orderings, so atomic/atomic conflicts are never data races.
+* An access is **plain** when it was *not* announced: the generator
+  fused it into the previous step, so no schedule can split them and
+  the correctness proofs never see the intermediate state.
+* Happens-before is the union of per-operation program order and the
+  synchronization edges of the announced atomics: an announced
+  read/RMW of a location acquires the vector clock released by the
+  last announced write/RMW of that location (CAS/TAS winner ->
+  subsequent readers).
+
+A **race** is a pair of accesses to the same location from different
+operations, at least one a write, at least one plain, unordered by
+happens-before.  The shipped multimaps announce every access and pass;
+remove one yield (see the broken fixture in the test suite) and the
+checker reports both the unannounced access and the races it causes.
+
+Run ``python -m repro race-check`` for the exhaustive small-schedule
+sweep over both multimap implementations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Sequence
+
+from . import multimap as _mm
+from .atomics import AtomicCell, AtomicCounter, AtomicFlag
+from .interleave import all_schedules
+
+__all__ = [
+    "Access",
+    "Race",
+    "RaceReport",
+    "RaceChecker",
+    "CheckSummary",
+    "check_multimap",
+    "multimap_scenario",
+]
+
+
+@dataclass(frozen=True)
+class Location:
+    """One shared memory cell: an instrumented object's field."""
+
+    oid: int
+    fname: str
+    label: str = field(compare=False, default="")
+
+    def __str__(self) -> str:
+        return self.label or f"{self.fname}@{self.oid:#x}"
+
+
+@dataclass
+class Access:
+    """One recorded shared-memory access."""
+
+    op: str
+    n: int  # 1-based program-order index within the op
+    kind: str  # "read" | "write" | "rmw"
+    loc: Location
+    step: int  # global execution order
+    announced: bool
+    tag: Any  # the yielded tag that announced it (None when plain)
+    clock: dict[str, int]  # vector-clock snapshot at the access
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in ("write", "rmw")
+
+    def describe(self) -> str:
+        ann = f"announced {self.tag!r}" if self.announced else "UNANNOUNCED (plain)"
+        return f"{self.op}#{self.n} {self.kind} {self.loc} [{ann}]"
+
+
+def _happens_before(a: Access, b: Access) -> bool:
+    return a.clock.get(a.op, 0) <= b.clock.get(a.op, 0)
+
+
+@dataclass
+class Race:
+    """A pair of conflicting accesses unordered by happens-before."""
+
+    loc: Location
+    a: Access
+    b: Access
+
+    def describe(self) -> str:
+        return f"race on {self.loc}: {self.a.describe()}  <->  {self.b.describe()}"
+
+
+@dataclass
+class RaceReport:
+    """Everything observed while replaying one schedule."""
+
+    schedule: tuple[str, ...]
+    accesses: list[Access]
+    races: list[Race]
+    unannounced: list[Access]
+    results: dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return not self.races and not self.unannounced
+
+    def describe(self) -> str:
+        lines = [f"schedule {''.join(self.schedule) or '(empty)'}: "
+                 f"{len(self.accesses)} accesses"]
+        for acc in self.unannounced:
+            lines.append(f"  yield-discipline: {acc.describe()}")
+        for race in self.races:
+            lines.append(f"  {race.describe()}")
+        return "\n".join(lines)
+
+
+class _Trace:
+    """The active recording context; written to by the instrumented
+    primitives, driven by :class:`RaceChecker`."""
+
+    def __init__(self) -> None:
+        self.accesses: list[Access] = []
+        self.current_op: str | None = None
+        self.pending_tag: Any = None
+        self.first_in_step = False
+        #: sparse vector clocks: missing component == 0
+        self.clocks: dict[str, dict[str, int]] = {}
+        self.released: dict[Location, dict[str, int]] = {}
+        self._labels: dict[tuple[int, str], str] = {}
+
+    def location(self, obj: Any, fname: str) -> Location:
+        key = (id(obj), fname)
+        if key not in self._labels:
+            self._labels[key] = f"{type(obj).__name__}.{fname}#{len(self._labels)}"
+        return Location(oid=id(obj), fname=fname, label=self._labels[key])
+
+    def record(self, obj: Any, fname: str, kind: str) -> None:
+        op = self.current_op
+        if op is None:  # access outside a scheduled step (setup/teardown)
+            return
+        loc = self.location(obj, fname)
+        announced = self.first_in_step and self.pending_tag is not None
+        self.first_in_step = False
+        clock = self.clocks.setdefault(op, {})
+        clock[op] = clock.get(op, 0) + 1
+        if announced and kind in ("read", "rmw"):
+            for o, c in self.released.get(loc, {}).items():
+                if c > clock.get(o, 0):
+                    clock[o] = c
+        access = Access(
+            op=op,
+            n=clock[op],
+            kind=kind,
+            loc=loc,
+            step=len(self.accesses),
+            announced=announced,
+            tag=self.pending_tag if announced else None,
+            clock=dict(clock),
+        )
+        self.accesses.append(access)
+        if announced and kind in ("write", "rmw"):
+            self.released[loc] = dict(clock)
+
+
+_ACTIVE: _Trace | None = None
+
+
+def _record(obj: Any, fname: str, kind: str) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.record(obj, fname, kind)
+
+
+def _wrap(cls: type, method: str, fname: str, kind: str):
+    """Patch ``cls.method`` to record before delegating; returns the
+    original for restoration."""
+    orig = getattr(cls, method)
+
+    def traced(self, *args, **kwargs):
+        _record(self, fname, kind)
+        return orig(self, *args, **kwargs)
+
+    traced.__name__ = method
+    setattr(cls, method, traced)
+    return orig
+
+
+def _wrap_attr(cls: type, attr: str):
+    """Replace a plain attribute (slot or instance dict) with a
+    recording property; returns a restore callable."""
+    orig = cls.__dict__.get(attr)
+    if orig is not None and hasattr(orig, "__get__"):
+        getter = orig.__get__
+        setter = orig.__set__
+    else:  # instance-dict attribute
+        def getter(obj, objtype=None):
+            return obj.__dict__[attr]
+
+        def setter(obj, value):
+            obj.__dict__[attr] = value
+
+    def get(obj):
+        _record(obj, attr, "read")
+        return getter(obj)
+
+    def set_(obj, value):
+        _record(obj, attr, "write")
+        setter(obj, value)
+
+    setattr(cls, attr, property(get, set_))
+
+    def restore() -> None:
+        if orig is None:
+            delattr(cls, attr)
+        else:
+            setattr(cls, attr, orig)
+
+    return restore
+
+
+#: Plain (non-atomic) shared fields of the shipped structures; any
+#: future lock-free structure registers its own via ``plain_attrs``.
+DEFAULT_PLAIN_ATTRS: tuple[tuple[type, str], ...] = ((_mm._TASSlot, "data"),)
+
+_ATOMIC_METHODS: tuple[tuple[type, str, str, str], ...] = (
+    (AtomicCell, "load", "cell", "read"),
+    (AtomicCell, "store", "cell", "write"),
+    (AtomicCell, "compare_and_swap", "cell", "rmw"),
+    (AtomicFlag, "test_and_set", "flag", "rmw"),
+    (AtomicFlag, "is_set", "flag", "read"),
+    (AtomicCounter, "fetch_add", "counter", "rmw"),
+)
+
+
+@contextlib.contextmanager
+def instrumented(plain_attrs: Iterable[tuple[type, str]] = DEFAULT_PLAIN_ATTRS):
+    """Context manager installing the access instrumentation."""
+    saved = [(cls, m, _wrap(cls, m, fname, kind))
+             for cls, m, fname, kind in _ATOMIC_METHODS]
+    restores = [_wrap_attr(cls, attr) for cls, attr in plain_attrs]
+    try:
+        yield
+    finally:
+        for cls, m, orig in saved:
+            setattr(cls, m, orig)
+        for restore in restores:
+            restore()
+
+
+class RaceChecker:
+    """Replays one schedule under instrumentation and reports races.
+
+    ``plain_attrs`` lists (class, attribute) pairs whose plain reads and
+    writes should be traced in addition to the atomic primitives.
+    """
+
+    def __init__(self, plain_attrs: Iterable[tuple[type, str]] = DEFAULT_PLAIN_ATTRS):
+        self.plain_attrs = tuple(plain_attrs)
+
+    def run(
+        self,
+        ops: dict[str, Callable[[], Generator]],
+        schedule: Iterable[str] = (),
+        after: Callable[[dict[str, Any]], dict[str, Callable[[], Generator]]] | None = None,
+        max_steps: int = 10_000,
+    ) -> RaceReport:
+        """Drive ``ops`` under ``schedule`` (run_schedule semantics: the
+        suffix completes in name order) with full access tracing.
+
+        ``after``, when given, maps the finished results to follow-up
+        operations (e.g. the loser's ``GetValue``) which run to
+        completion *in the same trace*, so happens-before edges from the
+        racing phase carry over.
+        """
+        global _ACTIVE
+        schedule = tuple(schedule)
+        trace = _Trace()
+        with instrumented(self.plain_attrs):
+            _ACTIVE = trace
+            try:
+                gens = {name: make() for name, make in ops.items()}
+                pending: dict[str, Any] = {name: None for name in gens}
+                results: dict[str, Any] = {}
+                live = dict(gens)
+                budget = max_steps
+
+                def step(name: str) -> None:
+                    nonlocal budget
+                    gen = live.get(name)
+                    if gen is None:
+                        return
+                    budget -= 1
+                    if budget < 0:
+                        raise RuntimeError(
+                            f"operations did not finish in {max_steps} steps"
+                        )
+                    trace.current_op = name
+                    trace.pending_tag = pending[name]
+                    trace.first_in_step = True
+                    try:
+                        pending[name] = next(gen)
+                    except StopIteration as stop:
+                        results[name] = stop.value
+                        del live[name]
+                    finally:
+                        trace.current_op = None
+
+                def drain() -> None:
+                    for name in sorted(live):
+                        while name in live:
+                            step(name)
+
+                for name in schedule:
+                    if not live:
+                        break
+                    step(name)
+                drain()
+                if after is not None:
+                    extra = after(dict(results))
+                    live = {name: make() for name, make in extra.items()}
+                    pending.update({name: None for name in live})
+                    drain()
+            finally:
+                _ACTIVE = None
+        return self._analyse(schedule, trace, results)
+
+    @staticmethod
+    def _analyse(schedule, trace: _Trace, results: dict[str, Any]) -> RaceReport:
+        unannounced = [a for a in trace.accesses if not a.announced]
+        by_loc: dict[Location, list[Access]] = {}
+        for a in trace.accesses:
+            by_loc.setdefault(a.loc, []).append(a)
+        races: list[Race] = []
+        for loc, accs in by_loc.items():
+            for i, a in enumerate(accs):
+                for b in accs[i + 1:]:
+                    if a.op == b.op:
+                        continue
+                    if not (a.is_write or b.is_write):
+                        continue
+                    if a.announced and b.announced:
+                        continue  # atomic/atomic: never a data race
+                    if _happens_before(a, b) or _happens_before(b, a):
+                        continue
+                    races.append(Race(loc=loc, a=a, b=b))
+        return RaceReport(
+            schedule=schedule,
+            accesses=trace.accesses,
+            races=races,
+            unannounced=unannounced,
+            results=results,
+        )
+
+
+@dataclass
+class CheckSummary:
+    """Aggregate of an exhaustive schedule sweep."""
+
+    impl: str
+    schedules: int
+    racy_schedules: int
+    first_failure: RaceReport | None
+
+    @property
+    def ok(self) -> bool:
+        return self.racy_schedules == 0
+
+    def describe(self) -> str:
+        verdict = "ok" if self.ok else f"{self.racy_schedules} racy schedules"
+        out = f"race-check[{self.impl}]: {self.schedules} schedules, {verdict}"
+        if self.first_failure is not None:
+            out += "\n" + self.first_failure.describe()
+        return out
+
+
+_IMPLS: dict[str, Callable[..., Any]] = {
+    "cas": _mm.CASMultimap,
+    "tas": _mm.TASMultimap,
+}
+
+
+def multimap_scenario(
+    m: Any,
+    n_ops: int = 2,
+    keys: Sequence[Any] | None = None,
+) -> dict[str, Callable[[], Generator]]:
+    """The racing-InsertAndSet scenario of Theorems A.1/A.2 on an
+    existing multimap: the first two ops share a ridge key, any further
+    ops get distinct colliding keys."""
+    if keys is None:
+        keys = ["r1", "r1"] + [f"r{i}" for i in range(2, n_ops)]
+    names = [chr(ord("p") + i) for i in range(n_ops)]
+    return {
+        name: (lambda k=keys[i], v=f"t{i}": m.insert_and_set_steps(k, v))
+        for i, name in enumerate(names)
+    }
+
+
+def check_multimap(
+    impl: str | type = "tas",
+    capacity: int = 4,
+    prefix_len: int = 8,
+    n_ops: int = 2,
+    collide: bool = True,
+    check_get: bool = True,
+    max_failures: int = 1,
+) -> CheckSummary:
+    """Exhaustively sweep every schedule prefix of ``prefix_len`` steps
+    over the racing-insert scenario, race-checking each replay and also
+    asserting Theorem A.1 (exactly one loser) on the results."""
+    cls = _IMPLS[impl] if isinstance(impl, str) else impl
+    label = impl if isinstance(impl, str) else cls.__name__
+    checker = RaceChecker()
+    names = [chr(ord("p") + i) for i in range(n_ops)]
+    total = racy = 0
+    first: RaceReport | None = None
+    for schedule in all_schedules(names, prefix_len):
+        kwargs = {"hash_fn": (lambda k: 0)} if collide else {}
+        m = cls(capacity, **kwargs)
+
+        def loser_get(results: dict[str, Any]) -> dict[str, Callable[[], Generator]]:
+            if not check_get:
+                return {}
+            loser_value = "t0" if results["p"] is False else "t1"
+            return {"g": lambda: m.get_value_steps("r1", loser_value)}
+
+        report = checker.run(multimap_scenario(m, n_ops=n_ops), schedule, after=loser_get)
+        total += 1
+        winners = sorted(v for k, v in report.results.items() if k in ("p", "q"))
+        if winners != [False, True]:
+            raise AssertionError(
+                f"Theorem A.1 violated on schedule {schedule}: {report.results}"
+            )
+        if not report.ok:
+            racy += 1
+            if first is None or (not first.races and report.races):
+                first = report
+    return CheckSummary(
+        impl=label, schedules=total, racy_schedules=racy, first_failure=first
+    )

@@ -13,8 +13,9 @@ greedy list scheduler.
 from __future__ import annotations
 
 import heapq
-import threading
 from dataclasses import dataclass
+
+from .atomics import Mutex
 
 __all__ = ["TaskLog", "ScheduleResult", "WorkSpanTracker"]
 
@@ -60,7 +61,7 @@ class WorkSpanTracker:
     def __init__(self) -> None:
         self._tasks: dict[int, TaskLog] = {}
         self._next = 0
-        self._lock = threading.Lock()
+        self._mutex = Mutex()
 
     def add_task(
         self, cost: int, deps: tuple[int, ...] = (), span_cost: int | None = None
@@ -73,7 +74,7 @@ class WorkSpanTracker:
         for d in deps:
             if d not in self._tasks:
                 raise KeyError(f"unknown dependence task id {d}")
-        with self._lock:
+        with self._mutex:
             tid = self._next
             self._next += 1
             self._tasks[tid] = TaskLog(

@@ -1,0 +1,53 @@
+"""An intentionally-broken TASMultimap: the yield before the shared
+``data`` write is removed, fusing the slot reservation and the data
+publication into one scheduler step.
+
+The interleave scheduler can no longer preempt between them, so the
+exhaustive schedule sweeps would (wrongly) keep passing -- exactly the
+rot the happens-before race checker exists to catch: the write is
+recorded as an unannounced *plain* access, conflicting reads of the
+slot are unordered by happens-before, and ``RaceChecker`` reports the
+pair.  The static twin of this bug is lint rule RPR003.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Hashable
+
+from repro.runtime.multimap import MultimapFullError, TASMultimap
+
+
+class BrokenTASMultimap(TASMultimap):
+    """TASMultimap with the ``("write-data", i)`` preemption point
+    removed from ``insert_and_set_steps``."""
+
+    def insert_and_set_steps(self, key: Hashable, value: Any) -> Generator:
+        i = self._hash(key) % self.capacity
+        probes = 0
+        while True:
+            yield ("tas-taken", i)
+            if not self._slots[i].taken.test_and_set():
+                break
+            i = (i + 1) % self.capacity
+            probes += 1
+            if probes > self.capacity:
+                raise MultimapFullError("BrokenTASMultimap wrapped around")
+        # BUG (deliberate): no `yield ("write-data", i)` here -- the
+        # write below executes in the same step as the winning TAS.
+        self._slots[i].data = (key, value)
+        j = self._hash(key) % self.capacity
+        probes = 0
+        while True:
+            yield ("read-taken", j)
+            if not self._slots[j].taken.is_set():
+                return True
+            yield ("read-data", j)
+            data = self._slots[j].data
+            if data is not None and data[0] == key:
+                yield ("tas-check", j)
+                if self._slots[j].check.test_and_set():
+                    return False
+            j = (j + 1) % self.capacity
+            probes += 1
+            if probes > self.capacity:
+                return True

@@ -2,7 +2,7 @@
 
 import threading
 
-from repro.runtime import AtomicCell, AtomicCounter, AtomicFlag
+from repro.runtime import AtomicCell, AtomicCounter, AtomicFlag, Mutex
 
 
 class TestAtomicCell:
@@ -21,6 +21,31 @@ class TestAtomicCell:
     def test_cas_on_equal_values(self):
         c = AtomicCell((1, 2))
         assert c.compare_and_swap((1, 2), "next")
+        assert c.load() == "next"
+
+    def test_cas_does_not_conflate_false_with_zero(self):
+        """Regression: ``0 == False`` in Python, so the old equality
+        fallback let CAS(expected=0) claim a cell holding False."""
+        c = AtomicCell(False)
+        assert not c.compare_and_swap(0, "stolen")
+        assert c.load() is False
+        assert c.compare_and_swap(False, "ok")
+        assert c.load() == "ok"
+
+    def test_cas_does_not_conflate_zero_with_false(self):
+        c = AtomicCell(0)
+        assert not c.compare_and_swap(False, "stolen")
+        assert c.load() == 0
+        assert c.compare_and_swap(0, "ok")
+
+    def test_cas_does_not_conflate_int_with_float(self):
+        c = AtomicCell(1)
+        assert not c.compare_and_swap(1.0, "stolen")
+        assert c.compare_and_swap(1, "ok")
+
+    def test_cas_equal_same_type_values_still_match(self):
+        c = AtomicCell("key")
+        assert c.compare_and_swap("k" + "ey", "next")  # equal, not identical
         assert c.load() == "next"
 
     def test_cas_race_single_winner(self):
@@ -104,3 +129,29 @@ class TestAtomicCounter:
         for t in threads:
             t.join()
         assert len(set(tickets)) == len(tickets) == 1200
+
+
+class TestMutex:
+    def test_context_manager(self):
+        m = Mutex()
+        assert not m.locked()
+        with m:
+            assert m.locked()
+        assert not m.locked()
+
+    def test_excludes_threads(self):
+        m = Mutex()
+        hits: list[int] = []
+
+        def work():
+            for _ in range(300):
+                with m:
+                    hits.append(len(hits))
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # With mutual exclusion each append saw the true length.
+        assert hits == list(range(1200))

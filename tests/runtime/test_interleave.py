@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.runtime import all_schedules, run_interleaved, run_schedule
+from repro.runtime import (
+    CASMultimap,
+    TASMultimap,
+    all_schedules,
+    run_interleaved,
+    run_schedule,
+)
 
 
 def make_op(log, name, steps):
@@ -91,3 +97,41 @@ class TestAllSchedules:
     def test_counts(self):
         assert len(list(all_schedules(["a", "b"], 3))) == 8
         assert len(list(all_schedules(["a", "b", "c"], 2))) == 9
+
+    def test_covers_every_interleaving_of_short_ops(self):
+        """Every schedule drives a distinct interleaving: over 2 ops of
+        2 steps each, the 4-step schedules must realize all C(4,2) = 6
+        step orders (and nothing else)."""
+        orders = set()
+        for schedule in all_schedules("ab", 4):
+            log: list[tuple[str, int]] = []
+            run_schedule({"a": make_op(log, "a", 2)(), "b": make_op(log, "b", 2)()},
+                         schedule)
+            orders.add(tuple(log))
+        assert len(orders) == 6
+
+    @pytest.mark.parametrize("cls", [CASMultimap, TASMultimap])
+    def test_theorem_a1_on_every_schedule(self, cls):
+        """Theorem A.1 under *exhaustive* small-model checking: on every
+        one of the 2^10 schedule prefixes (the deterministic completion
+        extends each to a full schedule, so every interleaving of the
+        two racing InsertAndSet calls is covered), exactly one call
+        returns False -- not just on sampled interleavings."""
+        checked = 0
+        for schedule in all_schedules("pq", 10):
+            m = cls(capacity=4, hash_fn=lambda k: 0)
+            results = run_schedule(
+                {
+                    "p": m.insert_and_set_steps("ridge", "t1"),
+                    "q": m.insert_and_set_steps("ridge", "t2"),
+                },
+                schedule,
+            )
+            values = sorted([results["p"].value, results["q"].value])
+            assert values == [False, True], f"A.1 violated on {schedule}: {values}"
+            loser, winner = (
+                ("t1", "t2") if results["p"].value is False else ("t2", "t1")
+            )
+            assert m.get_value("ridge", loser) == winner, f"A.2 violated on {schedule}"
+            checked += 1
+        assert checked == 2 ** 10

@@ -1,0 +1,158 @@
+"""Experiment E16: the dynamic happens-before race checker.
+
+The shipped multimaps announce every shared access with a yield and
+must pass every exhaustive schedule; the broken fixture (yield removed
+before the ``data`` write) must fail -- with the unannounced access
+surfaced *and* a concrete conflicting pair unordered by happens-before.
+Also checks the memory model itself: release/acquire message passing
+orders plain accesses, unsynchronized plain conflicts race.
+"""
+
+import pytest
+
+from repro.runtime import AtomicCell, CASMultimap, RaceChecker, TASMultimap, check_multimap
+from repro.runtime.racecheck import DEFAULT_PLAIN_ATTRS, multimap_scenario
+
+from .broken_multimap import BrokenTASMultimap
+
+
+class TestShippedMultimapsPass:
+    @pytest.mark.parametrize("impl", ["cas", "tas"])
+    def test_exhaustive_two_op_sweep(self, impl):
+        summary = check_multimap(impl, capacity=4, prefix_len=8)
+        assert summary.ok, summary.describe()
+        assert summary.schedules == 2 ** 8
+
+    @pytest.mark.parametrize("impl", ["cas", "tas"])
+    def test_three_op_colliding_sweep(self, impl):
+        summary = check_multimap(impl, capacity=8, prefix_len=5, n_ops=3)
+        assert summary.ok, summary.describe()
+        assert summary.schedules == 3 ** 5
+
+    @pytest.mark.parametrize("impl", ["cas", "tas"])
+    def test_without_forced_collisions(self, impl):
+        summary = check_multimap(impl, capacity=4, prefix_len=6, collide=False)
+        assert summary.ok, summary.describe()
+
+    def test_every_access_announced(self):
+        m = TASMultimap(4, hash_fn=lambda k: 0)
+        report = RaceChecker().run(multimap_scenario(m), ("p", "q") * 6)
+        assert report.unannounced == []
+        assert all(a.tag is not None for a in report.accesses)
+
+
+class TestBrokenMultimapFails:
+    def test_exhaustive_sweep_reports_races(self):
+        summary = check_multimap(BrokenTASMultimap, capacity=4, prefix_len=6)
+        assert not summary.ok
+        # The fused TAS+write executes on *every* schedule.
+        assert summary.racy_schedules == summary.schedules
+        assert summary.first_failure is not None
+        assert summary.first_failure.races, summary.first_failure.describe()
+
+    def test_race_pair_identifies_the_plain_write(self):
+        m = BrokenTASMultimap(4, hash_fn=lambda k: 0)
+        report = RaceChecker().run(multimap_scenario(m), ("p", "q") * 8)
+        assert any(not a.announced and a.kind == "write" for a in report.unannounced)
+        race = report.races[0]
+        plain = race.a if not race.a.announced else race.b
+        assert plain.kind == "write"
+        assert plain.loc.fname == "data"
+
+    def test_a1_still_holds_despite_race(self):
+        """The broken variant is still linearizable in CPython (object
+        writes are atomic) -- the race checker catches the *model*
+        violation that the schedule space no longer covers the write."""
+        summary = check_multimap(BrokenTASMultimap, capacity=4, prefix_len=6)
+        assert summary.schedules > 0  # no AssertionError from A.1 escaped
+
+
+def _message_passing_ops(sync: bool):
+    """The classic message-passing idiom over *plain* (unannounced)
+    payload accesses: the writer stores a plain payload and releases an
+    announced flag; the reader acquires the flag and, if set, reads the
+    payload.  With the release *after* the payload write (sync=True)
+    happens-before orders the plain pair; releasing first (sync=False)
+    leaves the payload write uncovered and it races."""
+
+    class Box:
+        def __init__(self):
+            self.payload = None
+
+    box = Box()
+    flag = AtomicCell(False)
+
+    def writer():
+        if sync:
+            box.payload = 41  # plain write, covered by the release below
+        yield ("release-flag", 0)
+        flag.store(True)  # announced release
+        if not sync:
+            box.payload = 41  # plain write AFTER the release: uncovered
+        return True
+
+    def reader():
+        yield ("acquire-flag", 0)
+        ready = flag.load()  # announced acquire
+        if ready:
+            return box.payload  # plain read, ordered only via the acquire
+        return None
+
+    return Box, {"w": writer, "r": reader}
+
+
+class TestMemoryModel:
+    def test_release_acquire_orders_plain_accesses(self):
+        box_cls, ops = _message_passing_ops(sync=True)
+        checker = RaceChecker(plain_attrs=DEFAULT_PLAIN_ATTRS + ((box_cls, "payload"),))
+        report = checker.run(ops, ("w", "w", "r", "r"))
+        assert report.races == [], report.describe()
+        # The plain accesses really happened and really were plain.
+        assert any(not a.announced for a in report.accesses)
+
+    def test_unreleased_store_races(self):
+        box_cls, ops = _message_passing_ops(sync=False)
+        checker = RaceChecker(plain_attrs=DEFAULT_PLAIN_ATTRS + ((box_cls, "payload"),))
+        report = checker.run(ops, ("w", "w", "w", "r", "r"))
+        assert report.races, "unsynchronized store must race"
+        assert {report.races[0].a.loc.fname, report.races[0].b.loc.fname} == {"payload"}
+
+    def test_read_read_pairs_never_race(self):
+        m = TASMultimap(4, hash_fn=lambda k: 0)
+        # Two concurrent GetValues after sequential inserts: reads only.
+        m.insert_and_set("r1", "t0")
+        m.insert_and_set("r1", "t1")
+        report = RaceChecker().run(
+            {
+                "g1": lambda: m.get_value_steps("r1", "t0"),
+                "g2": lambda: m.get_value_steps("r1", "t1"),
+            },
+            ("g1", "g2") * 6,
+        )
+        assert report.ok, report.describe()
+
+    def test_instrumentation_restored_after_run(self):
+        cell = AtomicCell(None)
+        RaceChecker().run(
+            {"a": lambda: iter([("noop", 0)])}, ("a",)
+        )
+        # Patched methods must be restored: plain calls don't record.
+        assert AtomicCell.load.__qualname__.startswith("AtomicCell.")
+        assert cell.compare_and_swap(None, 1)
+        from repro.runtime.multimap import _TASSlot
+
+        assert not isinstance(_TASSlot.__dict__["data"], property)
+
+
+class TestCLI:
+    def test_race_check_command_ok(self, capsys):
+        from repro.cli import main
+
+        main(["race-check", "--impl", "tas", "--prefix", "4"])
+        out = capsys.readouterr().out
+        assert "race-check[tas]" in out and "ok" in out
+
+    def test_lint_command_clean_tree(self, capsys):
+        from repro.cli import main
+
+        main(["lint"])  # exits 0 <=> returns

@@ -7,6 +7,12 @@ and cross-checked against each other, against the structural
 validators, and against scipy's Qhull.  Any disagreement prints a
 reproducer and exits nonzero.
 
+Each iteration also fuzzes a concurrent-multimap scenario (random
+implementation, capacity, hash regime, op count) under random
+adversarial schedules **with the happens-before race checker
+attached** (:mod:`repro.runtime.racecheck`), so fuzzing reports
+races and yield-discipline violations, not just wrong results.
+
 This harness is how the moment-curve predicate-envelope bug was pinned
 down (see EXPERIMENTS.md, "honest notes").
 
@@ -39,7 +45,8 @@ from repro.hull import (
     validate_hull,
 )
 from repro.hull.online import OnlineHull
-from repro.runtime import RoundExecutor, SerialExecutor, ThreadExecutor
+from repro.runtime import CASMultimap, RoundExecutor, SerialExecutor, TASMultimap, ThreadExecutor
+from repro.runtime.racecheck import RaceChecker, multimap_scenario
 
 GENERATORS = [
     ("ball", uniform_ball, (2, 3, 4)),
@@ -106,6 +113,41 @@ def one_case(rng: np.random.Generator, verbose: bool) -> str | None:
     return None
 
 
+def one_multimap_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Race-check one random multimap scenario under random schedules;
+    returns an error description or None."""
+    cls = [CASMultimap, TASMultimap][int(rng.integers(0, 2))]
+    n_ops = int(rng.integers(2, 4))
+    # Linear-probing invariant: pass 2 of Algorithm 5 terminates at the
+    # first never-taken slot, so the table must keep one slot free.
+    capacity = int(rng.integers(n_ops + 1, 9))
+    collide = bool(rng.integers(0, 2))
+    names = [chr(ord("p") + i) for i in range(n_ops)]
+    n_schedules = 20
+    sched_len = int(rng.integers(4, 14))
+    label = (f"{cls.__name__}(capacity={capacity}, collide={collide}, "
+             f"ops={n_ops}, len={sched_len})")
+    if verbose:
+        print(f"  {label}")
+    checker = RaceChecker()
+    try:
+        for _ in range(n_schedules):
+            schedule = [names[int(j)] for j in rng.integers(0, n_ops, size=sched_len)]
+            kwargs = {"hash_fn": (lambda k: 0)} if collide else {}
+            m = cls(capacity, **kwargs)
+            report = checker.run(multimap_scenario(m, n_ops=n_ops), schedule)
+            if not report.ok:
+                return f"{label}: {report.describe()}"
+            winners = sorted(
+                v for k, v in report.results.items() if k in ("p", "q")
+            )
+            if winners != [False, True]:
+                return f"{label}: A.1 violated on {schedule}: {report.results}"
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return f"{label}: exception {type(exc).__name__}: {exc}"
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--iterations", type=int, default=100)
@@ -115,11 +157,12 @@ def main() -> int:
     rng = np.random.default_rng(args.seed)
     failures = 0
     for i in range(args.iterations):
-        err = one_case(rng, args.verbose)
-        if err is not None:
-            print(f"FAIL [{i}]: {err}")
-            failures += 1
-        elif (i + 1) % 20 == 0 and not args.verbose:
+        for case in (one_case, one_multimap_case):
+            err = case(rng, args.verbose)
+            if err is not None:
+                print(f"FAIL [{i}]: {err}")
+                failures += 1
+        if (i + 1) % 20 == 0 and not args.verbose and not failures:
             print(f"  ... {i + 1}/{args.iterations} ok")
     if failures:
         print(f"{failures} failing cases out of {args.iterations}")
