@@ -1,0 +1,50 @@
+"""E17: fault-injection overhead and recovery behaviour.
+
+Sweeps the injected crash rate over a fixed RoundExecutor hull instance
+and records rounds-to-completion, rollbacks, and re-executed tasks --
+the measurements behind the E17 entry in EXPERIMENTS.md.  Every run is
+also asserted to reproduce the fault-free facet set, so the benchmark
+doubles as a correctness soak.
+"""
+
+import pytest
+
+from repro.runtime.chaos import chaos_hull_roundtrip
+
+from .conftest import run_once
+
+N, D, SEED = 400, 3, 11
+
+
+@pytest.mark.parametrize("crash_rate", [0.0, 0.1, 0.2, 0.4])
+def test_round_chaos_vs_crash_rate(benchmark, crash_rate):
+    rep = run_once(
+        benchmark, chaos_hull_roundtrip,
+        n=N, d=D, seed=SEED, crash_rate=crash_rate, executor_kind="rounds",
+    )
+    assert rep["ok"], rep
+    benchmark.extra_info.update({
+        "crash_rate": crash_rate,
+        "rounds": rep["rounds"],
+        "baseline_rounds": rep["baseline_rounds"],
+        "round_attempts": rep["round_attempts"],
+        "rollbacks": rep["rollbacks"],
+        "retried_tasks": rep["retries"],
+        "tasks_executed": rep["tasks_executed"],
+    })
+
+
+@pytest.mark.parametrize("crash_rate", [0.0, 0.1, 0.2])
+def test_thread_chaos_vs_crash_rate(benchmark, crash_rate):
+    rep = run_once(
+        benchmark, chaos_hull_roundtrip,
+        n=150, d=2, seed=SEED, crash_rate=crash_rate,
+        executor_kind="threads", n_workers=4,
+    )
+    assert rep["ok"], rep
+    benchmark.extra_info.update({
+        "crash_rate": crash_rate,
+        "worker_deaths": rep["worker_deaths"],
+        "retried_tasks": rep["retries"],
+        "tasks_executed": rep["tasks_executed"],
+    })

@@ -12,6 +12,7 @@ Commands
 ``crcw``      measured CRCW PRAM span accounting (E3)
 ``lint``      static concurrency/robustness checks (rules RPR001-RPR005)
 ``race-check``  dynamic happens-before race check of the multimap (E16)
+``chaos``     fault-injection suite: stall sweeps + crash/delay roundtrips (E17)
 
 Examples
 --------
@@ -202,6 +203,16 @@ def cmd_race_check(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_chaos(args) -> None:
+    from .runtime.chaos import run_chaos_suite
+
+    report = run_chaos_suite(seed=args.seed, budget=args.budget)
+    json.dump(report.as_dict(), sys.stdout, indent=2)
+    print()
+    if not report.ok:
+        raise SystemExit(1)
+
+
 def _figure1(args) -> None:
     from .geometry import figure1_points
 
@@ -298,6 +309,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-collide", action="store_true",
                    help="use the default hash instead of forced collisions")
     p.set_defaults(fn=cmd_race_check)
+
+    p = sub.add_parser("chaos",
+                       help="fault-injection suite: stalls, crashes, delays (E17)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", default="small",
+                   choices=["small", "medium", "large"],
+                   help="how much chaos to run (small fits in CI)")
+    p.set_defaults(fn=cmd_chaos)
 
     return parser
 

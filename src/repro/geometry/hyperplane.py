@@ -32,14 +32,42 @@ query is decided rationally.
 
 from __future__ import annotations
 
+import contextlib
+from typing import Iterator
+
 import numpy as np
 
 from .linalg import cofactor_normal
 from .predicates import STATS, orient_exact
 
-__all__ = ["Hyperplane"]
+__all__ = ["Hyperplane", "exact_mode"]
 
 _EPS = float(np.finfo(np.float64).eps)
+
+# When set, Hyperplane.through() skips the float-certain fast path and
+# builds every plane in always-exact mode.  This is the middle rung of
+# the robust_hull escalation ladder: if a hull fails with filtered float
+# predicates, retry with every decision made rationally before resorting
+# to joggling the input.
+_FORCE_EXACT = False
+
+
+@contextlib.contextmanager
+def exact_mode() -> Iterator[None]:
+    """Force every :meth:`Hyperplane.through` call in the block to build
+    an always-exact plane (all visibility decided rationally).
+
+    Not thread-safe with respect to *entering/leaving* the mode: flip it
+    only from the orchestrating thread, before workers start building
+    planes.  Planes built inside the block stay exact after it exits.
+    """
+    global _FORCE_EXACT
+    prev = _FORCE_EXACT
+    _FORCE_EXACT = True
+    try:
+        yield
+    finally:
+        _FORCE_EXACT = prev
 
 
 class Hyperplane:
@@ -98,7 +126,7 @@ class Hyperplane:
 
         margin_ref = float(normal @ below) - offset
         env_ref = err_scale * (err_base + float(np.abs(below).max(initial=0.0)))
-        if abs(margin_ref) > env_ref:
+        if not _FORCE_EXACT and abs(margin_ref) > env_ref:
             # Float-certain: orient the normal so the reference is below.
             if margin_ref > 0:
                 normal, offset = -normal, -offset

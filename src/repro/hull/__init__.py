@@ -8,6 +8,7 @@ from .online import OnlineHull
 from .joggle import JoggledHull, joggled_hull
 from .point_parallel import PointParallelResult, point_parallel_hull
 from .polytope import Polytope
+from .robust import RobustHullResult, robust_hull
 from .serialize import graph_from_summary, load_summary, run_summary, save_run
 from .sequential import SequentialHullResult, sequential_hull
 from .validate import (
@@ -33,6 +34,8 @@ __all__ = [
     "PointParallelResult",
     "point_parallel_hull",
     "Polytope",
+    "RobustHullResult",
+    "robust_hull",
     "graph_from_summary",
     "load_summary",
     "run_summary",

@@ -52,6 +52,11 @@ class Counters:
     def as_dict(self) -> dict[str, int]:
         return dict(self.__dict__)
 
+    def restore(self, state: dict[str, int]) -> None:
+        """Reset to a snapshot taken with :meth:`as_dict` (chaos layer:
+        a rolled-back round's work is uncounted)."""
+        self.__dict__.update(state)
+
 
 def prepare_points(
     points: np.ndarray,
@@ -216,6 +221,18 @@ class FacetFactory:
             plane=plane,
             conflicts=conflicts,
         )
+
+    def fid_checkpoint(self) -> int:
+        """The next facet id to be issued (chaos layer: rollback mark)."""
+        with self._mutex:
+            return self._next_fid
+
+    def fid_rollback(self, mark: int) -> None:
+        """Rewind id allocation to ``mark`` so a replayed round issues
+        the same ids it did before the rollback.  Only valid when every
+        facet with id >= ``mark`` has been discarded by the caller."""
+        with self._mutex:
+            self._next_fid = mark
 
     @staticmethod
     def merge_candidates(a: np.ndarray, b: np.ndarray, above: int) -> np.ndarray:

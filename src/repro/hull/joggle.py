@@ -13,7 +13,7 @@ tolerance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -31,15 +31,34 @@ class JoggledHull:
     ``run`` is over the perturbed coordinates; ``amplitude`` is the
     absolute perturbation bound actually used, which also bounds how far
     any original point can lie outside the reported hull.
+    ``attempt_log`` records every amplitude tried and how it went, e.g.
+    ``[(1e-9, "HullValidationError"), (1e-7, "ok")]``.
     """
 
     original: np.ndarray
     run: ParallelHullRun
     amplitude: float
     attempts: int
+    attempt_log: list[tuple[float, str]] = field(default_factory=list)
 
     def vertex_indices(self) -> set[int]:
         return self.run.vertex_indices()
+
+
+def _check_containment(run: ParallelHullRun, points: np.ndarray, slack: float) -> None:
+    """Require every original point to be inside the joggled hull up to
+    ``slack`` (normal-normalized margin).  Raises
+    :class:`HullValidationError` otherwise.  Module-level so tests can
+    stub it to exercise the amplitude-escalation path."""
+    for f in run.facets:
+        margins = f.plane.margins(points)
+        worst = float(margins.max(initial=0.0))
+        norm = float(np.linalg.norm(f.plane.normal)) or 1.0
+        if worst / norm > slack:
+            raise HullValidationError(
+                f"original point protrudes {worst / norm:.3g} past the "
+                f"joggled hull (allowed {slack:.3g})"
+            )
 
 
 def joggled_hull(
@@ -53,38 +72,39 @@ def joggled_hull(
 
     The amplitude starts at ``rel_amplitude * scale`` (scale = max
     coordinate magnitude) and grows 100x per retry when the perturbed
-    cloud is still not full-dimensional.  Raises
-    :class:`HullValidationError` if some original point ends up further
-    outside the joggled hull than ``d * amplitude`` allows (which would
-    indicate a genuine bug, not joggling slack).
+    cloud is still not full-dimensional *or* some original point ends up
+    further outside the joggled hull than ``4 d * amplitude`` allows (a
+    too-small amplitude can leave the cloud effectively degenerate).
+    Raises :class:`HullSetupError` when the attempt budget runs out on a
+    setup failure, :class:`HullValidationError` when it runs out on a
+    containment failure.
     """
     points = np.asarray(points, dtype=np.float64)
     n, d = points.shape
     scale = float(np.abs(points).max()) or 1.0
     amplitude = rel_amplitude * scale
     last_error: Exception | None = None
+    attempt_log: list[tuple[float, str]] = []
     for attempt in range(1, max_attempts + 1):
         rng = np.random.default_rng(seed + attempt)
         jitter = rng.uniform(-amplitude, amplitude, size=points.shape)
         try:
             run = parallel_hull(points + jitter, seed=seed, order=order)
-        except HullSetupError as exc:
+            _check_containment(run, points, slack=4.0 * d * amplitude)
+        except (HullSetupError, HullValidationError) as exc:
             last_error = exc
+            attempt_log.append((amplitude, type(exc).__name__))
             amplitude *= 100.0
             continue
-        # Original points must be inside the joggled hull up to slack.
-        slack = 4.0 * d * amplitude
-        for f in run.facets:
-            margins = f.plane.margins(points)
-            worst = float(margins.max(initial=0.0))
-            norm = float(np.linalg.norm(f.plane.normal)) or 1.0
-            if worst / norm > slack:
-                raise HullValidationError(
-                    f"original point protrudes {worst / norm:.3g} past the "
-                    f"joggled hull (allowed {slack:.3g})"
-                )
+        attempt_log.append((amplitude, "ok"))
         return JoggledHull(
-            original=points, run=run, amplitude=amplitude, attempts=attempt
+            original=points, run=run, amplitude=amplitude,
+            attempts=attempt, attempt_log=attempt_log,
+        )
+    if isinstance(last_error, HullValidationError):
+        raise HullValidationError(
+            f"joggled hull still fails containment after {max_attempts} "
+            f"attempts (last error: {last_error})"
         )
     raise HullSetupError(
         f"input not full-dimensional even after {max_attempts} joggle "

@@ -29,6 +29,7 @@ import numpy as np
 
 from ..geometry.simplex import Facet, Ridge, facet_ridges
 from ..runtime.executors import ExecutionStats, RoundExecutor, SerialExecutor, ThreadExecutor
+from ..runtime.faults import FaultPlan
 from ..runtime.multimap import CASMultimap, DictMultimap, TASMultimap
 from ..runtime.workspan import WorkSpanTracker
 from .common import (
@@ -162,6 +163,7 @@ def parallel_hull(
     executor: SerialExecutor | RoundExecutor | ThreadExecutor | None = None,
     multimap: str = "dict",
     base_size: int | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ParallelHullRun:
     """Run Algorithm 3 on ``points``.
 
@@ -178,6 +180,17 @@ def parallel_hull(
         executors), ``"cas"`` (Algorithm 4) or ``"tas"`` (Algorithm 5).
     base_size:
         Bootstrap hull size; defaults to ``d + 1`` per the paper.
+    fault_plan:
+        When given (with a :class:`RoundExecutor`), run the round loop
+        under fault injection: every round is checkpointed (frontier,
+        multimap, engine state), crash faults abort a ``ProcessRidge``
+        call after its work but before its children commit, and the
+        round rolls back to its checkpoint and resumes.  Delay faults
+        defer a task to the next round.  The surviving hull is
+        bit-identical in facet structure to the fault-free run; the
+        retry/rollback counters land in ``exec_stats``.  For thread
+        chaos use :class:`repro.runtime.chaos.ChaosThreadExecutor`
+        directly.
     """
     pts, order = prepare_points(points, order, seed)
     n, d = pts.shape
@@ -308,7 +321,7 @@ def parallel_hull(
                 )
         return children
 
-    if isinstance(executor, RoundExecutor):
+    def run_rounds() -> ExecutionStats:
         # Run the round loop inline so the trace can stamp each event
         # with its synchronous round number.
         stats = ExecutionStats()
@@ -326,8 +339,100 @@ def parallel_hull(
                 nxt.extend(process(task))
             frontier = nxt
             round_counter["round"] += 1
-        exec_stats = stats
+        return stats
+
+    def run_rounds_chaotic(plan: FaultPlan) -> ExecutionStats:
+        # The fault-injected round loop: each round is a transaction.
+        # A crash fault kills a ProcessRidge call *after* its work
+        # (facet creation, multimap registration, counters) but before
+        # its children commit -- at-least-once semantics -- so the round
+        # rolls back to its checkpoint and re-executes.  Faults are
+        # one-shot per ridge site, which bounds rollbacks by the number
+        # of distinct fault sites and guarantees termination.
+        stats = ExecutionStats()
+        frontier: list[RidgeTask] = list(initial_tasks)
+        rng = getattr(executor, "_rng", None)
+
+        def site_of(task: RidgeTask) -> str:
+            return "ridge:" + "-".join(str(i) for i in sorted(task.ridge))
+
+        def take_checkpoint() -> dict:
+            return {
+                "frontier": list(frontier),
+                "created": list(created),
+                "support": dict(support),
+                "pivots": dict(pivots),
+                "rounds": dict(rounds),
+                "creator_tid": dict(creator_tid),
+                "events": len(events),
+                "facets_by_fid": dict(facets_by_fid),
+                "alive": {fid: f.alive for fid, f in facets_by_fid.items()},
+                "counters": counters.as_dict(),
+                "fid_mark": factory.fid_checkpoint(),
+                "tracker_mark": tracker.checkpoint(),
+                "multimap": M.snapshot(),
+            }
+
+        def restore(ckpt: dict) -> None:
+            nonlocal frontier
+            frontier = list(ckpt["frontier"])
+            created[:] = ckpt["created"]
+            support.clear(); support.update(ckpt["support"])
+            pivots.clear(); pivots.update(ckpt["pivots"])
+            rounds.clear(); rounds.update(ckpt["rounds"])
+            creator_tid.clear(); creator_tid.update(ckpt["creator_tid"])
+            del events[ckpt["events"]:]
+            facets_by_fid.clear(); facets_by_fid.update(ckpt["facets_by_fid"])
+            for fid, was_alive in ckpt["alive"].items():
+                facets_by_fid[fid].alive = was_alive
+            counters.restore(ckpt["counters"])
+            factory.fid_rollback(ckpt["fid_mark"])
+            tracker.rollback(ckpt["tracker_mark"])
+            M.restore(ckpt["multimap"])
+
+        while frontier:
+            if rng is not None:
+                idx = rng.permutation(len(frontier))
+                frontier = [frontier[i] for i in idx]
+            ckpt = take_checkpoint()
+            stats.checkpoints += 1
+            nxt: list[RidgeTask] = []
+            executed_this_attempt = 0
+            aborted = False
+            for task in frontier:
+                site = site_of(task)
+                if plan.should_delay(site):
+                    stats.tasks_delayed += 1
+                    nxt.append(task)  # deferred, not lost: next round
+                    continue
+                stats.tasks_executed += 1
+                executed_this_attempt += 1
+                children = process(task)
+                if plan.should_crash(site):
+                    stats.tasks_aborted += 1
+                    aborted = True
+                    break
+                nxt.extend(children)
+            if aborted:
+                restore(ckpt)
+                stats.rollbacks += 1
+                stats.retries += executed_this_attempt
+                continue
+            stats.rounds += 1
+            stats.round_sizes.append(len(frontier))
+            frontier = nxt
+            round_counter["round"] += 1
+        return stats
+
+    if isinstance(executor, RoundExecutor):
+        exec_stats = run_rounds() if fault_plan is None else run_rounds_chaotic(fault_plan)
     else:
+        if fault_plan is not None:
+            raise ValueError(
+                "fault_plan requires a RoundExecutor (checkpoint-resume is "
+                "round-synchronous); for thread chaos pass a "
+                "repro.runtime.chaos.ChaosThreadExecutor as the executor"
+            )
         exec_stats = executor.run(initial_tasks, process)
 
     alive = sorted((f for f in facets_by_fid.values() if f.alive), key=lambda f: f.fid)

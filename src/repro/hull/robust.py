@@ -1,0 +1,108 @@
+"""Graceful degradation: the float -> exact -> joggle escalation ladder.
+
+The paper assumes general position and real arithmetic; real inputs
+offer neither.  :func:`robust_hull` wraps :func:`parallel_hull` in a
+three-rung ladder:
+
+1. **float** -- the default adaptive predicates (float fast path with
+   exact rational recheck inside the error envelope);
+2. **exact** -- every hyperplane built in :func:`exact_mode`, so *all*
+   visibility is decided rationally (slow, but immune to any float
+   filter bug);
+3. **joggle** -- :func:`joggled_hull`'s seeded perturbation, the last
+   resort for genuinely degenerate (not full-dimensional) clouds.
+
+Each rung is attempted, validated, and on :class:`HullSetupError` or
+:class:`HullValidationError` the failure is recorded and the next rung
+tried.  The escalation path ends up both in the result and in the run's
+``exec_stats.escalations`` so chaos reports and experiment logs can see
+which inputs needed which tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..geometry.hyperplane import exact_mode
+from .common import HullSetupError
+from .joggle import JoggledHull, joggled_hull
+from .parallel import ParallelHullRun, parallel_hull
+from .validate import HullValidationError, validate_hull
+
+__all__ = ["RobustHullResult", "robust_hull"]
+
+
+@dataclass
+class RobustHullResult:
+    """Outcome of :func:`robust_hull`.
+
+    ``mode`` is the rung that succeeded (``"float"``, ``"exact"`` or
+    ``"joggle"``); ``run`` the surviving hull run (over joggled
+    coordinates when ``mode == "joggle"``, in which case ``joggled``
+    carries the perturbation provenance).  ``escalations`` is the full
+    path, e.g. ``["float:HullSetupError", "exact:HullSetupError",
+    "joggle:ok[attempts=2]"]``.
+    """
+
+    run: ParallelHullRun
+    mode: str
+    escalations: list[str] = field(default_factory=list)
+    joggled: JoggledHull | None = None
+
+    def vertex_indices(self) -> set[int]:
+        return self.run.vertex_indices()
+
+
+def robust_hull(
+    points: np.ndarray,
+    seed: int | None = 0,
+    order: np.ndarray | None = None,
+    allow_joggle: bool = True,
+    validate: bool = True,
+    **hull_kwargs,
+) -> RobustHullResult:
+    """Compute a hull of ``points``, escalating through the predicate
+    ladder on failure.
+
+    ``validate=True`` (default) runs :func:`validate_hull` after the
+    float and exact rungs, so a structurally broken hull escalates
+    instead of being returned.  ``allow_joggle=False`` re-raises the
+    exact rung's failure instead of perturbing the input (callers that
+    need the *true* hull of degenerate points should use the
+    configuration-space machinery instead).  Extra keyword arguments are
+    forwarded to :func:`parallel_hull`.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    escalations: list[str] = []
+
+    def attempt() -> ParallelHullRun:
+        run = parallel_hull(points, seed=seed, order=order, **hull_kwargs)
+        if validate:
+            validate_hull(run.facets, run.points)
+        return run
+
+    for mode in ("float", "exact"):
+        try:
+            if mode == "exact":
+                with exact_mode():
+                    run = attempt()
+            else:
+                run = attempt()
+        except (HullSetupError, HullValidationError) as exc:
+            escalations.append(f"{mode}:{type(exc).__name__}")
+            last_error = exc
+            continue
+        escalations.append(f"{mode}:ok")
+        run.exec_stats.escalations = list(escalations)
+        return RobustHullResult(run=run, mode=mode, escalations=escalations)
+
+    if not allow_joggle:
+        raise last_error
+    jh = joggled_hull(points, seed=0 if seed is None else seed, order=order)
+    escalations.append(f"joggle:ok[attempts={jh.attempts}]")
+    jh.run.exec_stats.escalations = list(escalations)
+    return RobustHullResult(
+        run=jh.run, mode="joggle", escalations=escalations, joggled=jh
+    )

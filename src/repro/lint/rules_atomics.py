@@ -13,13 +13,26 @@ import ast
 
 from .core import LintedFile, Rule, Violation
 
-__all__ = ["AtomicInternalsRule", "RawThreadingRule"]
+__all__ = ["AtomicInternalsRule", "RawThreadingRule", "THREADING_ALLOWLIST"]
 
 #: Attribute names that are implementation details of the atomics.
 _INTERNAL_ATTRS = frozenset({"_value", "_set", "_lock"})
 
 #: Modules whose direct use outside ``runtime/`` bypasses the simulator.
 _THREAD_MODULES = frozenset({"threading", "_thread"})
+
+#: The only runtime modules allowed to import ``threading`` directly:
+#: the atomic primitives themselves, the executors that own real worker
+#: threads, and the fault-injection layer (whose supervisor must poll
+#: ``Thread.is_alive`` to detect injected worker deaths).  Every other
+#: module -- including elsewhere in ``runtime/`` -- goes through the
+#: ``repro.runtime`` primitives so the interleave scheduler, race
+#: checker, and chaos layer see every synchronization point.
+THREADING_ALLOWLIST = (
+    "runtime/atomics.py",
+    "runtime/executors.py",
+    "runtime/chaos.py",
+)
 
 
 class AtomicInternalsRule(Rule):
@@ -48,10 +61,13 @@ class AtomicInternalsRule(Rule):
 class RawThreadingRule(Rule):
     id = "RPR002"
     name = "raw-threading"
-    summary = "no raw threading.Lock/Thread outside runtime/"
+    summary = (
+        "no raw threading.Lock/Thread outside the allowlisted runtime "
+        "modules (atomics, executors, chaos)"
+    )
 
     def exempt(self, f: LintedFile) -> bool:
-        return f.in_dir("runtime")
+        return any(f.is_module(m) for m in THREADING_ALLOWLIST)
 
     def check(self, f: LintedFile) -> list[Violation]:
         out: list[Violation] = []

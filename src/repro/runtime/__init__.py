@@ -3,7 +3,22 @@ multimap of Algorithms 4/5, adversarial interleaving, work-span
 accounting, and pluggable task executors."""
 
 from .atomics import AtomicCell, AtomicCounter, AtomicFlag, Mutex
+from .chaos import (
+    ChaosThreadExecutor,
+    StallSweepSummary,
+    chaos_hull_roundtrip,
+    run_chaos_suite,
+    sweep_stalled_multimap,
+)
 from .executors import ExecutionStats, RoundExecutor, SerialExecutor, ThreadExecutor
+from .faults import (
+    FaultEvent,
+    FaultPlan,
+    InjectedFault,
+    RetryBudgetExceeded,
+    TaskAbortInjected,
+    WorkerCrashInjected,
+)
 from .forkjoin import StealStats, simulate_work_stealing
 from .interleave import OpResult, all_schedules, run_interleaved, run_schedule
 from .pram import PRAM, ParallelHashTable, compact, log_star, pram_min, prefix_sum
@@ -16,6 +31,17 @@ __all__ = [
     "AtomicCounter",
     "AtomicFlag",
     "Mutex",
+    "ChaosThreadExecutor",
+    "StallSweepSummary",
+    "chaos_hull_roundtrip",
+    "run_chaos_suite",
+    "sweep_stalled_multimap",
+    "FaultEvent",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryBudgetExceeded",
+    "TaskAbortInjected",
+    "WorkerCrashInjected",
     "CheckSummary",
     "RaceChecker",
     "RaceReport",

@@ -39,15 +39,36 @@ StepFn = Callable[[Any], Sequence[Any]]
 
 @dataclass
 class ExecutionStats:
-    """What an executor observed while draining the task DAG."""
+    """What an executor observed while draining the task DAG.
+
+    The fault-tolerance counters (``retries`` onward) stay zero on
+    fault-free runs; they are filled in by the chaos layer
+    (:mod:`repro.runtime.chaos` and the checkpointing round loop in
+    :mod:`repro.hull.parallel`) and by :func:`repro.hull.robust.robust_hull`,
+    which records its predicate-escalation path in ``escalations``.
+    """
 
     tasks_executed: int = 0
     rounds: int = 0                      # round-synchronous executors only
     round_sizes: list[int] = field(default_factory=list)
+    # -- fault tolerance ---------------------------------------------------
+    retries: int = 0             # task executions re-dispatched or re-run
+    worker_deaths: int = 0       # thread workers that died mid-task
+    checkpoints: int = 0         # round checkpoints taken
+    rollbacks: int = 0           # rounds rolled back to their checkpoint
+    tasks_aborted: int = 0       # injected mid-task crashes
+    tasks_delayed: int = 0       # tasks deferred by injected delays
+    escalations: list[str] = field(default_factory=list)
 
     @property
     def max_round_width(self) -> int:
         return max(self.round_sizes, default=0)
+
+    @property
+    def round_attempts(self) -> int:
+        """Rounds including rolled-back attempts (E17's
+        rounds-to-completion under faults)."""
+        return self.rounds + self.rollbacks
 
 
 class SerialExecutor:
@@ -108,7 +129,11 @@ class ThreadExecutor:
     def run(self, initial: Sequence[Any], fn: StepFn) -> ExecutionStats:
         stats = ExecutionStats()
         q: queue.SimpleQueue = queue.SimpleQueue()
-        pending = len(list(initial))
+        # Materialize once: a generator would be exhausted by the first
+        # pass, leaving pending > 0 with an empty queue -- an eternal
+        # done.wait() with no worker ever able to finish.
+        initial = list(initial)
+        pending = len(initial)
         lock = threading.Lock()
         done = threading.Event()
         errors: list[BaseException] = []

@@ -9,6 +9,12 @@ step-level scheduler instead: every operation is written as a generator
 that yields before each shared-memory access, and the scheduler picks
 which operation advances next -- by a seeded random choice, a fixed
 choice sequence, or exhaustive enumeration for small step counts.
+
+Partial failure is part of the model: ``run_schedule`` can freeze an
+operation forever at a chosen yield point (``stall``), which is how the
+chaos layer (:mod:`repro.runtime.chaos`) checks the *lock-freedom*
+obligation of Theorem 5.5 -- a stalled process must never prevent the
+remaining operations from completing.
 """
 
 from __future__ import annotations
@@ -16,25 +22,35 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterable, Sequence
+from typing import Any, Callable, Generator, Iterable, Mapping, Sequence
 
 __all__ = ["OpResult", "run_interleaved", "run_schedule", "all_schedules"]
 
 
 @dataclass
 class OpResult:
-    """Result of one operation under a schedule."""
+    """Result of one operation under a schedule.
+
+    Exactly one of three terminal states holds at the end of a run:
+    ``done`` (ran to completion, ``value`` is the return), ``error``
+    (raised mid-flight; only with ``strict=False``), or ``stalled``
+    (frozen at a yield point by the ``stall`` map and never finished).
+    """
 
     name: str
     value: Any = None
     steps: int = 0
     error: BaseException | None = None
+    done: bool = False
+    stalled: bool = False
 
 
 def run_schedule(
     ops: dict[str, Generator],
     schedule: Iterable[str],
     strict: bool = True,
+    stall: Mapping[str, int] | None = None,
+    max_steps: int | None = None,
 ) -> dict[str, OpResult]:
     """Drive the operation generators following ``schedule``.
 
@@ -44,21 +60,58 @@ def run_schedule(
     completion in name order (any prefix of a schedule extends to a full
     one, so this still explores exactly the chosen interleaving of the
     scheduled prefix).
+
+    ``strict=False`` records an op's in-flight exception in
+    ``OpResult.error`` and keeps driving the remaining ops instead of
+    aborting the whole schedule -- one poisoned operation must not hide
+    what the others do.
+
+    ``stall`` maps op names to a step budget: once the op has taken that
+    many steps it freezes forever at its current yield point -- it is
+    skipped by the schedule and by the completion drain, and its result
+    is marked ``stalled``.  A budget of 0 freezes the op before its
+    first step.
+
+    ``max_steps`` bounds the steps any single op may take in total.  An
+    op that exceeds it is abandoned with ``error`` set (livelock guard:
+    a *blocking* structure whose op spins forever on a frozen lock
+    holder must show up as a failed op, not hang the test harness).
     """
     results = {name: OpResult(name=name) for name in ops}
     live = dict(ops)
+    stall = dict(stall or {})
+    unknown = set(stall) - set(ops)
+    if unknown:
+        raise KeyError(f"stall names unknown ops: {sorted(unknown)}")
+
+    def frozen(name: str) -> bool:
+        budget = stall.get(name)
+        if budget is not None and results[name].steps >= budget:
+            results[name].stalled = True
+            return True
+        return False
 
     def step(name: str) -> None:
         gen = live.get(name)
-        if gen is None:
+        if gen is None or frozen(name):
+            return
+        if max_steps is not None and results[name].steps >= max_steps:
+            exc = RuntimeError(
+                f"op {name!r} exceeded {max_steps} steps without finishing"
+            )
+            if strict:
+                raise exc
+            results[name].error = exc
+            del live[name]
             return
         try:
             next(gen)
             results[name].steps += 1
         except StopIteration as stop:
             results[name].value = stop.value
+            results[name].done = True
             del live[name]
-        except Exception as exc:  # pragma: no cover - surfaced to caller
+        except Exception as exc:
             if strict:
                 raise
             results[name].error = exc
@@ -69,7 +122,7 @@ def run_schedule(
             break
         step(name)
     for name in sorted(live):
-        while name in live:
+        while name in live and not frozen(name):
             step(name)
     return results
 
@@ -94,6 +147,7 @@ def run_interleaved(
             results[name].steps += 1
         except StopIteration as stop:
             results[name].value = stop.value
+            results[name].done = True
             del live[name]
     if live:
         raise RuntimeError(f"operations did not finish in {max_steps} steps: {sorted(live)}")

@@ -81,6 +81,16 @@ class DictMultimap:
     def __len__(self) -> int:
         return len(self._first)
 
+    # -- checkpointing (chaos layer: round rollback) ---------------------
+
+    def snapshot(self) -> Any:
+        return (dict(self._first), dict(self._second))
+
+    def restore(self, state: Any) -> None:
+        first, second = state
+        self._first = dict(first)
+        self._second = dict(second)
+
 
 class CASMultimap:
     """Algorithm 4: linear-probing hash table claimed via CompareAndSwap.
@@ -135,6 +145,16 @@ class CASMultimap:
 
     def get_value(self, key: Hashable, value: Any) -> Any:
         return _drive(self.get_value_steps(key, value))
+
+    # -- checkpointing (chaos layer: round rollback) ---------------------
+    # Quiescent-state only: snapshot/restore go through the atomic
+    # interfaces and must not race concurrent operations.
+
+    def snapshot(self) -> Any:
+        return [cell.load() for cell in self._cells]
+
+    def restore(self, state: Any) -> None:
+        self._cells = [AtomicCell(v) for v in state]
 
 
 class _TASSlot:
@@ -226,3 +246,24 @@ class TASMultimap:
 
     def get_value(self, key: Hashable, value: Any) -> Any:
         return _drive(self.get_value_steps(key, value))
+
+    # -- checkpointing (chaos layer: round rollback) ---------------------
+    # Quiescent-state only, as for CASMultimap: flags are re-armed via
+    # TestAndSet on fresh slots, never by poking atomic internals.
+
+    def snapshot(self) -> Any:
+        return [
+            (s.taken.is_set(), s.check.is_set(), s.data) for s in self._slots
+        ]
+
+    def restore(self, state: Any) -> None:
+        slots = []
+        for taken, check, data in state:
+            slot = _TASSlot()
+            if taken:
+                slot.taken.test_and_set()
+            if check:
+                slot.check.test_and_set()
+            slot.data = data
+            slots.append(slot)
+        self._slots = slots

@@ -88,6 +88,21 @@ class WorkSpanTracker:
     def __len__(self) -> int:
         return len(self._tasks)
 
+    def checkpoint(self) -> int:
+        """Mark for :meth:`rollback`: the next task id to be issued."""
+        with self._mutex:
+            return self._next
+
+    def rollback(self, mark: int) -> None:
+        """Discard every task logged since ``checkpoint`` returned
+        ``mark`` (chaos layer: a rolled-back round's tasks never
+        happened).  Ids are issued monotonically, so truncation by id is
+        exact."""
+        with self._mutex:
+            for tid in range(mark, self._next):
+                self._tasks.pop(tid, None)
+            self._next = mark
+
     @property
     def work(self) -> int:
         """W: total operations across all tasks."""

@@ -1,0 +1,142 @@
+"""End-to-end fault injection on Algorithm 3.
+
+The ISSUE acceptance bar: a RoundExecutor hull with 20% injected
+ProcessRidge aborts must resume from its per-round checkpoints and
+produce a facet set *identical* to the fault-free run on the same
+insertion order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import uniform_ball
+from repro.hull import facet_sets_global, parallel_hull, validate_hull
+from repro.runtime import RoundExecutor, SerialExecutor, ThreadExecutor
+from repro.runtime.chaos import ChaosThreadExecutor, chaos_hull_roundtrip
+from repro.runtime.faults import FaultPlan
+
+
+@pytest.fixture
+def instance():
+    pts = uniform_ball(150, 3, seed=42)
+    order = np.random.default_rng(6).permutation(150)
+    return pts, order
+
+
+class TestCheckpointResume:
+    def test_20pct_aborts_identical_facets(self, instance):
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        plan = FaultPlan(seed=1, crash_rate=0.2)
+        run = parallel_hull(
+            pts, order=order.copy(), executor=RoundExecutor(), fault_plan=plan
+        )
+        validate_hull(run.facets, run.points)
+        assert facet_sets_global(run.facets, run.order) == facet_sets_global(
+            base.facets, base.order
+        )
+        # The chaos actually happened: rounds rolled back and re-ran.
+        assert run.exec_stats.rollbacks > 0
+        assert run.exec_stats.tasks_aborted == run.exec_stats.rollbacks
+        assert run.exec_stats.checkpoints >= run.exec_stats.rounds
+        assert run.exec_stats.round_attempts > run.exec_stats.rounds
+
+    def test_created_multiset_also_identical(self, instance):
+        # Stronger than the facet set: rollback + fid rewind replays the
+        # exact same creation history (same fids would be too strong for
+        # delays, so assert the created-facet key multiset).
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        run = parallel_hull(
+            pts, order=order.copy(), executor=RoundExecutor(),
+            fault_plan=FaultPlan(seed=2, crash_rate=0.3),
+        )
+        assert run.created_keys() == base.created_keys()
+
+    def test_delay_faults_defer_but_converge(self, instance):
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        plan = FaultPlan(seed=3, delay_rate=0.25)
+        run = parallel_hull(
+            pts, order=order.copy(), executor=RoundExecutor(), fault_plan=plan
+        )
+        assert facet_sets_global(run.facets, run.order) == facet_sets_global(
+            base.facets, base.order
+        )
+        assert run.exec_stats.tasks_delayed > 0
+        assert run.exec_stats.rollbacks == 0
+
+    def test_mixed_crash_and_delay(self, instance):
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        run = parallel_hull(
+            pts, order=order.copy(), executor=RoundExecutor(),
+            fault_plan=FaultPlan(seed=4, crash_rate=0.2, delay_rate=0.15),
+        )
+        validate_hull(run.facets, run.points)
+        assert facet_sets_global(run.facets, run.order) == facet_sets_global(
+            base.facets, base.order
+        )
+
+    def test_no_faults_means_no_overhead_counters(self, instance):
+        pts, order = instance
+        run = parallel_hull(
+            pts, order=order.copy(), executor=RoundExecutor(),
+            fault_plan=FaultPlan.none(),
+        )
+        s = run.exec_stats
+        assert s.rollbacks == s.tasks_aborted == s.tasks_delayed == 0
+        assert s.checkpoints == s.rounds  # one checkpoint per round
+
+    def test_work_counters_uncorrupted_by_rollback(self, instance):
+        # A rolled-back round's work must be uncounted: counters and the
+        # work-span DAG of the chaos run match the fault-free run.
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        run = parallel_hull(
+            pts, order=order.copy(), executor=RoundExecutor(),
+            fault_plan=FaultPlan(seed=1, crash_rate=0.2),
+        )
+        assert run.counters.as_dict() == base.counters.as_dict()
+        assert run.tracker.work == base.tracker.work
+        assert run.tracker.span == base.tracker.span
+
+    def test_fault_plan_rejected_on_non_round_executors(self, instance):
+        pts, order = instance
+        plan = FaultPlan(seed=0, crash_rate=0.1)
+        with pytest.raises(ValueError, match="ChaosThreadExecutor"):
+            parallel_hull(pts, order=order.copy(), executor=SerialExecutor(),
+                          fault_plan=plan)
+        with pytest.raises(ValueError, match="ChaosThreadExecutor"):
+            parallel_hull(pts, order=order.copy(), executor=ThreadExecutor(2),
+                          multimap="cas", fault_plan=plan)
+
+
+class TestThreadChaosHull:
+    def test_worker_deaths_identical_facets(self, instance):
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        plan = FaultPlan(seed=5, crash_rate=0.2)
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=ChaosThreadExecutor(3, plan=plan), multimap="cas",
+        )
+        validate_hull(run.facets, run.points)
+        assert facet_sets_global(run.facets, run.order) == facet_sets_global(
+            base.facets, base.order
+        )
+        assert run.exec_stats.worker_deaths > 0
+
+
+class TestRoundtripHelper:
+    @pytest.mark.parametrize("executor_kind", ["rounds", "threads"])
+    def test_roundtrip_report(self, executor_kind):
+        rep = chaos_hull_roundtrip(
+            n=90, d=2, seed=7, crash_rate=0.25, executor_kind=executor_kind
+        )
+        assert rep["ok"] and rep["same_facets"]
+        assert rep["faults_fired"]["crash"] > 0
+
+    def test_unknown_executor_kind(self):
+        with pytest.raises(ValueError):
+            chaos_hull_roundtrip(executor_kind="quantum")

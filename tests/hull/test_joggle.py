@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.geometry import collinear_cluster, integer_grid, uniform_ball
-from repro.hull import HullSetupError
+from repro.hull import HullSetupError, HullValidationError
 from repro.hull.joggle import joggled_hull
 
 
@@ -60,3 +60,57 @@ class TestJoggle:
         line = np.column_stack([np.linspace(0, 1, 10), np.zeros(10)])
         with pytest.raises(HullSetupError):
             joggled_hull(line, seed=12, rel_amplitude=0.0, max_attempts=2)
+
+
+class TestAmplitudeEscalation:
+    def test_validation_failure_escalates_amplitude(self, monkeypatch):
+        # First amplitude "passes" setup but fails containment; the loop
+        # must retry at 100x amplitude instead of giving up, and the
+        # provenance log must record both attempts.
+        import repro.hull.joggle as joggle_mod
+
+        real_check = joggle_mod._check_containment
+        calls = {"n": 0}
+
+        def flaky_check(run, points, slack):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise HullValidationError("synthetic protrusion at first amplitude")
+            return real_check(run, points, slack)
+
+        monkeypatch.setattr(joggle_mod, "_check_containment", flaky_check)
+        pts = uniform_ball(50, 2, seed=13)
+        res = joggled_hull(pts, seed=14, rel_amplitude=1e-9)
+        assert res.attempts == 2
+        assert [outcome for _, outcome in res.attempt_log] == [
+            "HullValidationError", "ok",
+        ]
+        amp_first, amp_second = (a for a, _ in res.attempt_log)
+        assert amp_second == pytest.approx(100.0 * amp_first)
+        assert res.amplitude == pytest.approx(amp_second)
+        assert res.run.facets
+
+    def test_persistent_validation_failure_raises_validation_error(self, monkeypatch):
+        # When containment never passes, the terminal error must say
+        # *validation*, not setup -- the input was full-dimensional.
+        import repro.hull.joggle as joggle_mod
+
+        def always_fail(run, points, slack):
+            raise HullValidationError("synthetic: never contained")
+
+        monkeypatch.setattr(joggle_mod, "_check_containment", always_fail)
+        pts = uniform_ball(30, 2, seed=15)
+        with pytest.raises(HullValidationError, match="containment"):
+            joggled_hull(pts, seed=16, max_attempts=2)
+
+    def test_attempt_log_on_clean_run(self):
+        res = joggled_hull(uniform_ball(40, 2, seed=17), seed=18)
+        assert res.attempt_log == [(res.amplitude, "ok")]
+
+    def test_setup_retries_recorded_in_log(self):
+        # A collinear cloud needs at least one amplitude that actually
+        # un-flattens it; every failed attempt appears in the log.
+        line = np.column_stack([np.linspace(0, 1, 20), np.zeros(20)])
+        res = joggled_hull(line, seed=19)
+        assert res.attempt_log[-1][1] == "ok"
+        assert all(o == "HullSetupError" for _, o in res.attempt_log[:-1])

@@ -1,0 +1,112 @@
+"""The float -> exact -> joggle graceful-degradation ladder."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import integer_grid, uniform_ball
+from repro.geometry.hyperplane import Hyperplane, exact_mode
+from repro.hull import HullSetupError, parallel_hull, robust_hull, validate_hull
+
+
+class TestExactMode:
+    def test_forces_always_exact_planes(self):
+        pts = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        ref = np.array([0.2, 0.2, 0.2])
+        assert not Hyperplane.through(pts, ref).always_exact
+        with exact_mode():
+            plane = Hyperplane.through(pts, ref)
+        assert plane.always_exact
+        # Exact planes still answer correctly (and stay exact after the
+        # context exits).
+        assert plane.side(np.array([5.0, 5.0, 5.0])) == 1
+        assert plane.side(ref) == -1
+
+    def test_nesting_and_restore(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+        ref = np.array([0.5, -1.0])
+        with exact_mode():
+            with exact_mode():
+                assert Hyperplane.through(pts, ref).always_exact
+            assert Hyperplane.through(pts, ref).always_exact
+        assert not Hyperplane.through(pts, ref).always_exact
+
+    def test_whole_hull_under_exact_mode(self):
+        pts = uniform_ball(40, 2, seed=0)
+        with exact_mode():
+            run = parallel_hull(pts, seed=1)
+        validate_hull(run.facets, run.points)
+        assert all(f.plane.always_exact for f in run.facets)
+        ref = parallel_hull(pts, seed=1)
+        assert run.vertex_indices() == ref.vertex_indices()
+
+
+class TestRobustHull:
+    def test_generic_input_stays_on_float_rung(self):
+        pts = uniform_ball(80, 3, seed=5)
+        res = robust_hull(pts, seed=0)
+        assert res.mode == "float"
+        assert res.escalations == ["float:ok"]
+        assert res.run.exec_stats.escalations == ["float:ok"]
+        assert res.joggled is None
+        assert res.vertex_indices() == parallel_hull(pts, seed=0).vertex_indices()
+
+    def test_degenerate_input_falls_through_to_joggle(self):
+        # Coplanar cloud in 3D: not full-dimensional, so float AND exact
+        # both raise HullSetupError and only joggling can succeed.
+        flat = np.zeros((25, 3))
+        flat[:, :2] = uniform_ball(25, 2, seed=1)
+        res = robust_hull(flat, seed=0)
+        assert res.mode == "joggle"
+        assert res.escalations == [
+            "float:HullSetupError",
+            "exact:HullSetupError",
+            "joggle:ok[attempts=1]",
+        ]
+        assert res.run.exec_stats.escalations == res.escalations
+        assert res.joggled is not None
+        assert res.joggled.attempt_log[-1][1] == "ok"
+        assert res.run.facets
+
+    def test_allow_joggle_false_reraises(self):
+        flat = np.zeros((25, 3))
+        flat[:, :2] = uniform_ball(25, 2, seed=1)
+        with pytest.raises(HullSetupError):
+            robust_hull(flat, allow_joggle=False)
+
+    def test_escalates_on_validation_failure(self, monkeypatch):
+        # Force the float rung to produce an invalid hull: the ladder
+        # must record the validation failure and climb to exact, where
+        # (unpatched) validation succeeds.
+        import repro.hull.robust as robust_mod
+        from repro.hull.validate import HullValidationError
+
+        real_validate = robust_mod.validate_hull
+        calls = {"n": 0}
+
+        def flaky_validate(facets, points, **kw):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise HullValidationError("synthetic float-rung corruption")
+            return real_validate(facets, points, **kw)
+
+        monkeypatch.setattr(robust_mod, "validate_hull", flaky_validate)
+        pts = uniform_ball(40, 2, seed=2)
+        res = robust_hull(pts, seed=0)
+        assert res.mode == "exact"
+        assert res.escalations == ["float:HullValidationError", "exact:ok"]
+        assert all(f.plane.always_exact for f in res.run.facets)
+
+    def test_integer_grid_handled(self):
+        # Degenerate-but-full-dimensional input: exact predicates handle
+        # it without joggling.
+        pts = integer_grid(4, 2, seed=3)
+        res = robust_hull(pts, seed=0)
+        assert res.mode in ("float", "exact")
+        assert res.run.facets
+
+    def test_kwargs_forwarded(self):
+        from repro.runtime import SerialExecutor
+
+        pts = uniform_ball(30, 2, seed=4)
+        res = robust_hull(pts, seed=0, executor=SerialExecutor())
+        assert res.mode == "float"

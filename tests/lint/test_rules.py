@@ -75,10 +75,36 @@ class TestRPR002RawThreading:
         vs = lint_snippet(tmp_path, "from threading import Thread\n")
         assert [v.rule_id for v in vs] == ["RPR002"]
 
-    def test_runtime_dir_is_exempt(self, tmp_path):
+    def test_allowlisted_runtime_modules_are_exempt(self, tmp_path):
+        from repro.lint.rules_atomics import THREADING_ALLOWLIST
+
+        assert "runtime/chaos.py" in THREADING_ALLOWLIST
+        for mod in THREADING_ALLOWLIST:
+            vs = lint_snippet(tmp_path, "import threading\n",
+                              name=f"repro/{mod}")
+            assert vs == [], mod
+
+    def test_unlisted_runtime_module_is_flagged(self, tmp_path):
+        # The allowlist is exhaustive: a *new* runtime module importing
+        # threading must either go through the sanctioned primitives or
+        # be added to THREADING_ALLOWLIST deliberately.
         vs = lint_snippet(tmp_path, "import threading\n",
-                          name="repro/runtime/executors.py")
-        assert vs == []
+                          name="repro/runtime/newmodule.py")
+        assert [v.rule_id for v in vs] == ["RPR002"]
+
+    def test_allowlist_matches_reality(self):
+        # Every module that actually imports threading is allowlisted.
+        from repro.lint.rules_atomics import THREADING_ALLOWLIST
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        offenders = []
+        for f in collect_files([src]):
+            lf = parse_file(f)
+            if "import threading" in lf.source and not any(
+                lf.posix.endswith(m) for m in THREADING_ALLOWLIST
+            ):
+                offenders.append(lf.posix)
+        assert offenders == []
 
 
 STEP_GEN_TEMPLATE = """\

@@ -1,0 +1,174 @@
+"""Chaos layer: dying workers, stalled multimap ops, the bundled suite."""
+
+import threading
+
+import pytest
+
+from repro.runtime import ExecutionStats
+from repro.runtime.chaos import (
+    ChaosThreadExecutor,
+    run_chaos_suite,
+    sweep_stalled_multimap,
+)
+from repro.runtime.faults import CRASH, FaultPlan, RetryBudgetExceeded
+
+
+def binary_spawner(depth):
+    def fn(task):
+        level, i = task
+        if level >= depth:
+            return []
+        return [(level + 1, 2 * i), (level + 1, 2 * i + 1)]
+
+    return fn
+
+
+class TestChaosThreadExecutor:
+    def test_no_plan_matches_thread_executor(self):
+        stats = ChaosThreadExecutor(3).run([(0, 0)], binary_spawner(4))
+        assert stats.tasks_executed == 2**5 - 1
+        assert stats.worker_deaths == 0
+        assert stats.retries == 0
+
+    def test_empty_initial(self):
+        stats = ChaosThreadExecutor(2, plan=FaultPlan(seed=0, crash_rate=1.0)).run(
+            [], binary_spawner(3)
+        )
+        assert stats.tasks_executed == 0
+
+    def test_crashes_detected_and_all_tasks_still_execute(self):
+        # Every task must be executed exactly once despite lost workers.
+        seen = set()
+        lock = threading.Lock()
+
+        def fn(task):
+            with lock:
+                assert task not in seen, "task executed twice"
+                seen.add(task)
+            return binary_spawner(5)(task)
+
+        plan = FaultPlan(seed=2, crash_rate=0.25)
+        stats = ChaosThreadExecutor(3, plan=plan).run([(0, 0)], fn)
+        assert stats.tasks_executed == len(seen) == 2**6 - 1
+        assert stats.worker_deaths > 0
+        assert stats.retries == stats.worker_deaths
+        assert plan.counts()[CRASH] == stats.worker_deaths
+
+    def test_delay_faults_slow_but_complete(self):
+        plan = FaultPlan(seed=1, delay_rate=0.5)
+        stats = ChaosThreadExecutor(2, plan=plan).run([(0, 0)], binary_spawner(3))
+        assert stats.tasks_executed == 2**4 - 1
+        assert stats.tasks_delayed > 0
+        assert stats.worker_deaths == 0
+
+    def test_retry_budget_exceeded(self):
+        # crash_rate=1.0 kills every dispatch; with max_retries=2 the
+        # third loss of the same task must surface as an error, not hang.
+        plan = FaultPlan(seed=0, crash_rate=1.0)
+        ex = ChaosThreadExecutor(2, plan=plan, max_retries=2)
+        with pytest.raises(RetryBudgetExceeded):
+            ex.run([(0, 0)], binary_spawner(2))
+
+    def test_genuine_exception_propagates_not_retried(self):
+        calls = [0]
+        lock = threading.Lock()
+
+        def fn(task):
+            with lock:
+                calls[0] += 1
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            ChaosThreadExecutor(2).run([1], fn)
+        assert calls[0] == 1  # poisoned tasks are not re-dispatched
+
+    def test_invalid_retry_budget(self):
+        with pytest.raises(ValueError):
+            ChaosThreadExecutor(2, max_retries=-1)
+
+    def test_returns_execution_stats(self):
+        assert isinstance(
+            ChaosThreadExecutor(2).run([(0, 0)], binary_spawner(2)),
+            ExecutionStats,
+        )
+
+
+class TestStallSweep:
+    """ISSUE acceptance: an op frozen forever at *any* yield point never
+    blocks the remaining ops (exhaustive schedules x stall points)."""
+
+    @pytest.mark.parametrize("impl", ["cas", "tas"])
+    def test_two_colliding_inserts(self, impl):
+        summary = sweep_stalled_multimap(
+            impl, capacity=4, prefix_len=5, n_ops=2, max_stall=8
+        )
+        assert summary.ok, summary.describe()
+        assert summary.runs > 0
+        # max_stall covers every yield point of both passes.
+        assert summary.stall_points == 2 * 9
+
+    @pytest.mark.parametrize("impl", ["cas", "tas"])
+    def test_three_ops_with_getvalue(self, impl):
+        # Op 'r' is GetValue; stalling it must not block p/q, and A.1
+        # (exactly one winner among p, q) must hold for the survivors.
+        summary = sweep_stalled_multimap(
+            impl, capacity=4, prefix_len=4, n_ops=3, max_stall=5
+        )
+        assert summary.ok, summary.describe()
+
+    def test_no_collisions_regime(self):
+        summary = sweep_stalled_multimap(
+            "tas", capacity=5, prefix_len=4, collide=False, max_stall=4
+        )
+        assert summary.ok, summary.describe()
+
+    def test_blocking_implementation_is_caught(self):
+        # A lock-based multimap is NOT lock-free: freeze the lock holder
+        # and the other op spins forever.  The sweep must fail on it.
+        from repro.runtime.atomics import AtomicFlag
+
+        class LockingMultimap:
+            def __init__(self, capacity, hash_fn=None):
+                self._locked = AtomicFlag()
+                self._first = {}
+                self._second = {}
+
+            def insert_and_set_steps(self, key, value):
+                while True:
+                    yield ("tas-lock", 0)
+                    if not self._locked.test_and_set():
+                        break  # acquired; a stall here wedges everyone
+                yield ("write", 0)
+                if key in self._first:
+                    self._second[key] = value
+                    won = False
+                else:
+                    self._first[key] = value
+                    won = True
+                self._locked.clear()
+                return won
+
+            def get_value_steps(self, key, value):
+                yield ("read", 0)
+                other = self._first[key]
+                return self._second[key] if other is value else other
+
+        summary = sweep_stalled_multimap(
+            LockingMultimap, capacity=4, prefix_len=4, max_stall=4
+        )
+        assert not summary.ok
+        assert any("blocked" in msg for msg in summary.failures)
+
+
+class TestChaosSuite:
+    def test_small_suite_passes(self):
+        report = run_chaos_suite(seed=0, budget="small")
+        assert report.ok
+        d = report.as_dict()
+        assert d["ok"] is True
+        assert len(d["stall_sweeps"]) == 2
+        assert all(r["same_facets"] for r in d["roundtrips"])
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(ValueError):
+            run_chaos_suite(budget="galactic")

@@ -76,6 +76,29 @@ class TestThreadSemantics:
         with pytest.raises(RuntimeError, match="boom"):
             ThreadExecutor(3).run([1, 2, 3], fn)
 
+    def test_poisoned_task_mid_dag_propagates(self):
+        # The raising step fn fires deep inside the DAG, after other
+        # tasks have already spawned children -- the executor must still
+        # surface the exception instead of hanging or swallowing it.
+        def fn(task):
+            level, i = task
+            if level == 3 and i == 5:
+                raise KeyError("poisoned mid-DAG task")
+            return binary_spawner(5)(task)
+
+        for workers in (1, 4):
+            with pytest.raises(KeyError, match="poisoned"):
+                ThreadExecutor(workers).run([(0, 0)], fn)
+
+    def test_iterable_initial_tasks(self):
+        # Regression: `initial` used to be counted with len(list(...))
+        # and then iterated again, so a generator was exhausted by the
+        # count and zero tasks were enqueued -- the run hung forever on
+        # the completion event.
+        initial = ((0, i) for i in range(4))
+        stats = ThreadExecutor(2).run(initial, binary_spawner(2))
+        assert stats.tasks_executed == 4 * (2**3 - 1)
+
     def test_all_tasks_seen_exactly_once(self):
         seen = set()
         lock = threading.Lock()

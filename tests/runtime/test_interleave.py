@@ -59,6 +59,70 @@ class TestRunSchedule:
 
         results = run_schedule({"a": boom()}, ["a", "a"], strict=False)
         assert isinstance(results["a"].error, ValueError)
+        assert not results["a"].done
+
+    def test_lenient_keeps_driving_remaining_ops(self):
+        # One poisoned op must not hide what the others do: the healthy
+        # ops run to completion and report their values.
+        def boom():
+            yield "x"
+            raise ValueError("bad")
+
+        log = []
+        ops = {"a": boom(), "b": make_op(log, "b", 3)(), "c": make_op(log, "c", 2)()}
+        results = run_schedule(ops, ["a", "a", "b"], strict=False)
+        assert isinstance(results["a"].error, ValueError)
+        assert results["b"].done and results["b"].value == "b-done"
+        assert results["c"].done and results["c"].value == "c-done"
+
+
+class TestStall:
+    def test_stalled_op_freezes_at_budget(self):
+        log = []
+        ops = {"a": make_op(log, "a", 5)(), "b": make_op(log, "b", 3)()}
+        results = run_schedule(ops, ["a"] * 5, stall={"a": 2})
+        assert results["a"].stalled
+        assert not results["a"].done
+        assert results["a"].steps == 2
+        # The other op is drained to completion regardless.
+        assert results["b"].done and results["b"].value == "b-done"
+
+    def test_stall_at_zero_freezes_before_first_step(self):
+        log = []
+        results = run_schedule({"a": make_op(log, "a", 3)()}, ["a", "a"],
+                               stall={"a": 0})
+        assert results["a"].stalled and results["a"].steps == 0
+        assert log == []
+
+    def test_stall_budget_beyond_completion_is_harmless(self):
+        log = []
+        results = run_schedule({"a": make_op(log, "a", 2)()}, [], stall={"a": 99})
+        assert results["a"].done and not results["a"].stalled
+
+    def test_unknown_stall_name_rejected(self):
+        log = []
+        with pytest.raises(KeyError):
+            run_schedule({"a": make_op(log, "a", 1)()}, [], stall={"zz": 1})
+
+    def test_max_steps_guards_livelock(self):
+        # A spinning op (e.g. waiting on a lock held by a stalled op)
+        # must be abandoned with an error, not hang the drain loop.
+        def forever():
+            while True:
+                yield "spin"
+
+        results = run_schedule({"a": forever()}, [], strict=False, max_steps=40)
+        assert results["a"].error is not None
+        assert not results["a"].done
+        assert results["a"].steps == 40
+
+    def test_max_steps_strict_raises(self):
+        def forever():
+            while True:
+                yield "spin"
+
+        with pytest.raises(RuntimeError, match="exceeded"):
+            run_schedule({"a": forever()}, [], max_steps=10)
 
 
 class TestRunInterleaved:

@@ -82,3 +82,19 @@ class TestDelaunayCommand:
         out = capsys.readouterr().out
         assert "all agree: True" in out
         assert "identical tests BW==parallel: True" in out
+
+
+class TestChaosCommand:
+    def test_small_suite_json(self, capsys):
+        main(["chaos", "--seed", "0", "--budget", "small"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] is True
+        assert out["budget"] == "small"
+        assert {s["impl"] for s in out["stall_sweeps"]} == {"cas", "tas"}
+        assert all(r["same_facets"] for r in out["roundtrips"])
+        # The small budget exercises both executor disciplines.
+        assert {r["executor"] for r in out["roundtrips"]} == {"rounds", "threads"}
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--budget", "galactic"])

@@ -16,13 +16,22 @@ races and yield-discipline violations, not just wrong results.
 This harness is how the moment-curve predicate-envelope bug was pinned
 down (see EXPERIMENTS.md, "honest notes").
 
+``--chaos`` switches to fault-injection fuzzing over random (input,
+schedule, fault plan) triples: RoundExecutor runs with random
+crash/delay rates must checkpoint-resume to the exact fault-free facet
+set, ChaosThreadExecutor runs must survive worker deaths, and random
+multimap ops frozen forever at a random yield point must never block
+the others (lock-freedom, Theorem A.1/5.5).
+
 Run:  python tools/fuzz.py [--iterations N] [--seed S] [--verbose]
+      python tools/fuzz.py --chaos [--duration SECS]
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 from scipy.spatial import ConvexHull as ScipyHull
@@ -46,6 +55,7 @@ from repro.hull import (
 )
 from repro.hull.online import OnlineHull
 from repro.runtime import CASMultimap, RoundExecutor, SerialExecutor, TASMultimap, ThreadExecutor
+from repro.runtime.chaos import chaos_hull_roundtrip, sweep_stalled_multimap
 from repro.runtime.racecheck import RaceChecker, multimap_scenario
 
 GENERATORS = [
@@ -148,26 +158,100 @@ def one_multimap_case(rng: np.random.Generator, verbose: bool) -> str | None:
     return None
 
 
+def one_chaos_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Fuzz one random (input, schedule, fault plan) triple; returns an
+    error description or None."""
+    kind = int(rng.integers(0, 3))
+    try:
+        if kind == 0:
+            # Checkpoint-resume roundtrip: random input + fault rates.
+            workload = ["ball", "cube", "sphere", "gaussian"][int(rng.integers(0, 4))]
+            d = int(rng.integers(2, 4))
+            n = int(rng.integers(d + 5, 90))
+            seed = int(rng.integers(0, 2**31))
+            crash = float(rng.uniform(0.0, 0.5))
+            delay = float(rng.uniform(0.0, 0.3))
+            label = (f"roundtrip[{workload}](n={n}, d={d}, seed={seed}, "
+                     f"crash={crash:.2f}, delay={delay:.2f})")
+            if verbose:
+                print(f"  {label}")
+            rep = chaos_hull_roundtrip(
+                n=n, d=d, seed=seed, crash_rate=crash, delay_rate=delay,
+                workload=workload, executor_kind="rounds",
+            )
+            if not rep["ok"]:
+                return f"{label}: facet set diverged after rollback ({rep})"
+        elif kind == 1:
+            # Worker-death roundtrip under the chaos thread executor.
+            seed = int(rng.integers(0, 2**31))
+            n = int(rng.integers(20, 70))
+            crash = float(rng.uniform(0.0, 0.3))
+            label = f"threads(n={n}, seed={seed}, crash={crash:.2f})"
+            if verbose:
+                print(f"  {label}")
+            rep = chaos_hull_roundtrip(
+                n=n, d=2, seed=seed, crash_rate=crash,
+                executor_kind="threads", n_workers=int(rng.integers(2, 5)),
+            )
+            if not rep["ok"]:
+                return f"{label}: facet set diverged after worker deaths ({rep})"
+        else:
+            # Lock-freedom: random stalled-op sweep (smaller prefix than
+            # the exhaustive CI sweep; the randomness is in the knobs).
+            impl = ["cas", "tas"][int(rng.integers(0, 2))]
+            capacity = int(rng.integers(3, 7))
+            n_ops = int(rng.integers(2, 4))
+            collide = bool(rng.integers(0, 2))
+            label = (f"stall[{impl}](capacity={capacity}, ops={n_ops}, "
+                     f"collide={collide})")
+            if verbose:
+                print(f"  {label}")
+            summary = sweep_stalled_multimap(
+                impl, capacity=capacity, prefix_len=4 if n_ops > 2 else 5,
+                n_ops=n_ops, collide=collide, max_stall=6,
+            )
+            if not summary.ok:
+                return f"{label}: {summary.describe()}"
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return f"chaos case {kind}: exception {type(exc).__name__}: {exc}"
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--iterations", type=int, default=100)
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--verbose", action="store_true")
+    ap.add_argument("--chaos", action="store_true",
+                    help="fuzz (input, schedule, fault plan) triples instead")
+    ap.add_argument("--duration", type=float, default=None, metavar="SECS",
+                    help="run until the wall-clock budget expires "
+                         "(overrides --iterations)")
     args = ap.parse_args()
     rng = np.random.default_rng(args.seed)
+    cases = (one_chaos_case,) if args.chaos else (one_case, one_multimap_case)
+    deadline = None if args.duration is None else time.monotonic() + args.duration
     failures = 0
-    for i in range(args.iterations):
-        for case in (one_case, one_multimap_case):
+    i = 0
+    while True:
+        if deadline is None:
+            if i >= args.iterations:
+                break
+        elif time.monotonic() >= deadline:
+            break
+        for case in cases:
             err = case(rng, args.verbose)
             if err is not None:
                 print(f"FAIL [{i}]: {err}")
                 failures += 1
-        if (i + 1) % 20 == 0 and not args.verbose and not failures:
-            print(f"  ... {i + 1}/{args.iterations} ok")
+        i += 1
+        if i % 20 == 0 and not args.verbose and not failures:
+            print(f"  ... {i} iterations ok")
+    kind = "chaos" if args.chaos else "differential"
     if failures:
-        print(f"{failures} failing cases out of {args.iterations}")
+        print(f"{failures} failing cases out of {i} {kind} iterations")
         return 1
-    print(f"all {args.iterations} differential cases agree")
+    print(f"all {i} {kind} iterations agree")
     return 0
 
 
