@@ -1,6 +1,12 @@
 """E7 (Section 6, Lemmas 6.1/6.2): the corner configuration space on
 degenerate 3D inputs -- exact active sets equal geometric hull corners,
-and 4-support certification cost."""
+and 4-support certification cost.
+
+E18 (degeneracy robustness): for each adversarial corpus family, how
+far up the float -> exact -> sos ladder the input climbs, what fraction
+of predicate evaluations fall through the float filter to the exact
+rational path, and what Simulation-of-Simplicity costs relative to the
+adaptive predicates on the same input."""
 
 import numpy as np
 import pytest
@@ -8,6 +14,10 @@ import pytest
 from benchmarks.conftest import run_once
 from repro.configspace import check_k_support
 from repro.configspace.spaces import CornerConfigSpace
+from repro.geometry import STATS
+from repro.geometry.degenerate import corpus_case
+from repro.geometry.perturb import sos_mode
+from repro.hull import parallel_hull, robust_hull, validate_hull
 
 
 def degenerate_cloud(n_extras: int) -> np.ndarray:
@@ -40,3 +50,60 @@ def test_lemma62_four_support(benchmark, n_extras):
     benchmark.extra_info["checked"] = report.checked
     benchmark.extra_info["max_support"] = report.max_support_size()
     assert report.ok
+
+
+E18_FAMILIES = [
+    "duplicates-3d",
+    "coplanar-3d",
+    "collinear-3d",
+    "near-collinear-3d",
+    "grid-3d",
+    "cocircular",
+    "cospherical",
+    "near-ties-3d",
+]
+
+
+@pytest.mark.parametrize("family", E18_FAMILIES)
+def test_e18_escalation_and_fire_rate(benchmark, family):
+    """Ladder outcome + exact-path fire rate per corpus family."""
+    pts = corpus_case(family, seed=0)
+
+    def build():
+        STATS.reset()
+        res = robust_hull(pts, seed=0)
+        return res, STATS.snapshot()
+
+    res, snap = run_once(benchmark, build)
+    total = snap["float_calls"] + snap["exact_calls"]
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["n"] = len(pts)
+    benchmark.extra_info["mode"] = res.mode
+    benchmark.extra_info["escalations"] = ",".join(res.escalations)
+    benchmark.extra_info["facets"] = len(res.run.facets)
+    benchmark.extra_info.update(snap)
+    benchmark.extra_info["exact_fire_rate"] = round(
+        snap["exact_calls"] / max(total, 1), 4
+    )
+    assert res.mode != "joggle"
+    assert res.certificate is not None
+
+
+@pytest.mark.parametrize("mode", ["adaptive", "sos"])
+def test_e18_sos_overhead(benchmark, mode):
+    """Same degenerate input (3x3x3 grid), adaptive predicates vs full
+    Simulation of Simplicity: the ratio of the two rows is the symbolic
+    perturbation overhead."""
+    pts = corpus_case("grid-3d", seed=0)
+
+    def build():
+        if mode == "sos":
+            with sos_mode():
+                return parallel_hull(pts, seed=0)
+        return parallel_hull(pts, seed=0)
+
+    run = run_once(benchmark, build)
+    validate_hull(run.facets, run.points)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["facets"] = len(run.facets)
+    benchmark.extra_info["vertices"] = len(run.vertex_indices())

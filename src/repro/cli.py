@@ -10,6 +10,8 @@ Commands
 ``delaunay``  Delaunay three ways: lifted / Bowyer-Watson / parallel (E14)
 ``figure1``   the paper's Figure 1 walkthrough (E4)
 ``crcw``      measured CRCW PRAM span accounting (E3)
+``certify``   build a hull via the escalation ladder, emit and verify
+              its independently-checked certificate (E18)
 ``lint``      static concurrency/robustness checks (rules RPR001-RPR005)
 ``race-check``  dynamic happens-before race check of the multimap (E16)
 ``chaos``     fault-injection suite: stall sweeps + crash/delay roundtrips (E17)
@@ -142,6 +144,62 @@ def cmd_crcw(args) -> None:
         print(f"{mode:>12}: algorithm rounds={rep.algorithm_rounds} "
               f"PRAM span={rep.span_rounds} per-round={rep.span_per_round:.1f} "
               f"normalized={rep.normalized():.2f}")
+
+
+def cmd_certify(args) -> None:
+    from .geometry.degenerate import corpus_case, corpus_names
+    from .hull import robust_hull
+    from .hull.certify import (
+        CORRUPTION_MODES,
+        CertificateError,
+        corrupt_certificate,
+        verify_certificate,
+    )
+
+    if args.family is not None:
+        try:
+            pts = corpus_case(args.family, seed=args.seed)
+        except KeyError:
+            raise SystemExit(
+                f"unknown degenerate family {args.family!r}; "
+                f"choose from {corpus_names()}"
+            )
+    else:
+        pts = _points(args)
+    res = robust_hull(pts, seed=args.seed)
+    cert = res.certificate
+    out = {
+        "n": int(len(pts)),
+        "d": int(pts.shape[1]),
+        "source": args.family or args.workload,
+        "mode": res.mode,
+        "escalations": res.escalations,
+        "facets": len(cert.facets),
+        "vertices": len(res.vertex_indices()),
+        "sos": cert.sos,
+        "verified": True,  # robust_hull re-raises otherwise
+    }
+    if args.corrupt:
+        # Adversarial self-test: the corrupted certificate MUST be
+        # rejected; exiting 0 means the checker caught it.
+        corrupted = corrupt_certificate(cert, args.corrupt, seed=args.seed)
+        try:
+            verify_certificate(corrupted, pts)
+        except CertificateError as exc:
+            out["corruption"] = args.corrupt
+            out["rejected"] = True
+            out["rejection_error"] = str(exc)
+        else:
+            out["corruption"] = args.corrupt
+            out["rejected"] = False
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(cert.to_dict(), fh)
+        out["certificate_file"] = args.json_out
+    json.dump(out, sys.stdout, indent=2)
+    print()
+    if args.corrupt and not out["rejected"]:
+        raise SystemExit(1)
 
 
 def cmd_lint(args) -> None:
@@ -285,6 +343,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("crcw", help="CRCW PRAM span accounting (E3)")
     common(p)
     p.set_defaults(fn=cmd_crcw)
+
+    p = sub.add_parser(
+        "certify",
+        help="build a hull via the robust ladder and verify its certificate",
+    )
+    common(p)
+    p.add_argument("--family", default=None, metavar="NAME",
+                   help="use a degenerate-corpus family instead of a workload "
+                        "(see repro.geometry.degenerate)")
+    p.add_argument("--corrupt", default=None,
+                   choices=["drop-facet", "flip-orientation",
+                            "duplicate-ridge", "tamper-vertex"],
+                   help="corrupt the certificate and exit 0 iff the "
+                        "verifier rejects it")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="also write the full certificate JSON to FILE")
+    p.set_defaults(fn=cmd_certify)
 
     p = sub.add_parser("lint", help="static concurrency/robustness checks")
     p.add_argument("paths", nargs="*", help="files/dirs to lint (default: src tools)")

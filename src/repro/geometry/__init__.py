@@ -1,6 +1,7 @@
 """Exact-arithmetic geometric substrate: predicates, hyperplanes,
 facet/ridge value types, and seeded workload generators."""
 
+from .degenerate import CORPUS, DegenerateFamily, corpus_case, corpus_names
 from .hyperplane import Hyperplane
 from .linalg import det_exact, det_with_error_bound, sign_exact
 from .points import (
@@ -19,11 +20,27 @@ from .points import (
     uniform_ball,
     uniform_cube,
 )
-from .predicates import STATS, in_circle, orient, orient_exact
+from .perturb import (
+    MergedFacet,
+    merge_coplanar_facets,
+    orient_sos,
+    sos_active,
+    sos_mode,
+)
+from .predicates import STATS, in_circle, orient, orient_exact, orient_exact_combo
 from .simplex import Facet, Ridge, facet_ridges
 
 __all__ = [
+    "CORPUS",
+    "DegenerateFamily",
+    "corpus_case",
+    "corpus_names",
     "Hyperplane",
+    "MergedFacet",
+    "merge_coplanar_facets",
+    "orient_sos",
+    "sos_active",
+    "sos_mode",
     "det_exact",
     "det_with_error_bound",
     "sign_exact",
@@ -31,6 +48,7 @@ __all__ = [
     "in_circle",
     "orient",
     "orient_exact",
+    "orient_exact_combo",
     "Facet",
     "Ridge",
     "facet_ridges",

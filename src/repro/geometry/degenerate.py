@@ -1,0 +1,250 @@
+"""Adversarial degenerate corpus: seeded generators for every input
+class the paper's general-position assumption excludes.
+
+Each family is small by design (the SoS fallback does big-rational
+polynomial arithmetic per resolved tie) and *exactly* degenerate where
+it claims to be: integer coordinates are used wherever ties must be
+exact, because small integers are exactly representable in float64 --
+``[3.0, 4.0]`` really is on the circle ``x^2 + y^2 = 25``, with no
+rounding to hide behind.  The ``near-ties`` families are the opposite
+trap: offsets of ~1e-13 that are *not* zero but sit far inside naive
+float tolerance, so a correct filtered predicate must escalate to exact
+arithmetic and then find a nonzero sign.
+
+Consumers: the test suite (tests/hull/test_degenerate_corpus.py,
+test_robust_degenerate.py, test_sos_hull.py), ``tools/fuzz.py
+--degenerate``, ``benchmarks/bench_degenerate.py`` (EXPERIMENTS E18),
+and ``repro certify --family ...``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .points import uniform_ball
+
+__all__ = ["DegenerateFamily", "CORPUS", "corpus_names", "corpus_case"]
+
+
+def _rng(seed: int, label: str) -> np.random.Generator:
+    """Independent stream per (seed, label) pair, so e.g. the duplicate
+    picks and the final shuffle of one family never share a stream."""
+    return np.random.default_rng([int(seed), zlib.crc32(label.encode())])
+
+
+@dataclass(frozen=True)
+class DegenerateFamily:
+    """One adversarial input family.
+
+    ``full_dim`` tells tests what the escalation ladder should do: a
+    full-dimensional family must succeed on the float or exact rung
+    (zero signs are interpretable as "on the plane, not visible"), while
+    a non-full-dimensional one must fail both and succeed on the SoS
+    rung without ever reaching joggle.
+    """
+
+    name: str
+    d: int
+    full_dim: bool
+    description: str
+    make: Callable[[int], np.ndarray]
+
+    def __call__(self, seed: int = 0) -> np.ndarray:
+        pts = np.asarray(self.make(seed), dtype=np.float64)
+        # Seeded shuffle: degeneracy handling must not depend on the
+        # order the generator happened to emit.
+        perm = _rng(seed, f"degenerate:{self.name}").permutation(len(pts))
+        return pts[perm]
+
+
+def _duplicates_2d(seed: int) -> np.ndarray:
+    base = uniform_ball(10, 2, seed=seed)
+    rng = _rng(seed, "dup2")
+    picks = rng.integers(0, len(base), size=6)
+    return np.vstack([base, base[picks]])
+
+
+def _duplicates_3d(seed: int) -> np.ndarray:
+    base = uniform_ball(10, 3, seed=seed)
+    rng = _rng(seed, "dup3")
+    picks = rng.integers(0, len(base), size=6)
+    return np.vstack([base, base[picks]])
+
+
+def _all_coincident(seed: int) -> np.ndarray:
+    p = _rng(seed, "coincident").normal(size=3)
+    return np.tile(p, (8, 1))
+
+
+def _collinear_3d(seed: int) -> np.ndarray:
+    # Affine rank 1, *exactly*: integer direction and offset, so the
+    # products are exactly representable and the points really are on
+    # one line (a float direction would round each point off the line,
+    # making the cloud technically full-dimensional).
+    rng = _rng(seed, "line3")
+    direction = rng.integers(1, 6, size=3).astype(np.float64)
+    offset = rng.integers(-5, 6, size=3).astype(np.float64)
+    t = np.arange(10, dtype=np.float64)
+    return t[:, None] * direction[None, :] + offset[None, :]
+
+
+def _near_collinear_3d(seed: int) -> np.ndarray:
+    # Points computed as t*direction + offset in float: rounding pushes
+    # each point ~1e-16 off the line, so the cloud is full-dimensional
+    # but so flat that every facet plane passes closer to the centroid
+    # than the centroid's own float rounding error.  Regression family
+    # for the inverted-vis_sign bug: orienting facets against the
+    # rounded centroid (instead of the exact affine combination)
+    # silently dropped hull vertices here.
+    rng = _rng(seed, "nearline3")
+    direction = rng.normal(size=3)
+    t = np.arange(10, dtype=np.float64)
+    return t[:, None] * direction[None, :] + rng.normal(size=3)[None, :]
+
+
+def _coplanar_3d(seed: int) -> np.ndarray:
+    # Affine rank 2: a 2D cloud embedded in the z = 0 plane of R^3.
+    flat = np.zeros((12, 3))
+    flat[:, :2] = uniform_ball(12, 2, seed=seed)
+    return flat
+
+
+def _grid_2d(seed: int) -> np.ndarray:
+    del seed  # the grid is the grid; the family shuffle adds the seed
+    return np.array(
+        [[float(x), float(y)] for x in range(4) for y in range(4)]
+    )
+
+
+def _grid_3d(seed: int) -> np.ndarray:
+    del seed
+    return np.array(
+        [
+            [float(x), float(y), float(z)]
+            for x in range(3)
+            for y in range(3)
+            for z in range(3)
+        ]
+    )
+
+
+def _cocircular(seed: int) -> np.ndarray:
+    # Twelve integer points exactly on x^2 + y^2 = 25 (Pythagorean
+    # 3-4-5), plus the center: every hull vertex tie is exact.
+    del seed
+    ring = [
+        (5, 0), (-5, 0), (0, 5), (0, -5),
+        (3, 4), (3, -4), (-3, 4), (-3, -4),
+        (4, 3), (4, -3), (-4, 3), (-4, -3),
+    ]
+    return np.array([[float(x), float(y)] for x, y in ring] + [[0.0, 0.0]])
+
+
+def _cospherical(seed: int) -> np.ndarray:
+    # Thirty integer points exactly on x^2 + y^2 + z^2 = 9: the six axis
+    # points and all signed permutations of (1, 2, 2).
+    del seed
+    pts = set()
+    for axis in range(3):
+        for s in (3, -3):
+            p = [0, 0, 0]
+            p[axis] = s
+            pts.add(tuple(p))
+    import itertools
+
+    for perm in set(itertools.permutations((1, 2, 2))):
+        for signs in itertools.product((1, -1), repeat=3):
+            pts.add(tuple(s * v for s, v in zip(signs, perm)))
+    return np.array(sorted(pts), dtype=np.float64)
+
+
+def _near_ties_2d(seed: int) -> np.ndarray:
+    grid = _grid_2d(0)
+    jitter = _rng(seed, "near2").normal(size=grid.shape) * 1e-13
+    return grid + jitter
+
+
+def _near_ties_3d(seed: int) -> np.ndarray:
+    grid = _grid_3d(0)
+    jitter = _rng(seed, "near3").normal(size=grid.shape) * 1e-13
+    return grid + jitter
+
+
+CORPUS: dict[str, DegenerateFamily] = {
+    f.name: f
+    for f in [
+        DegenerateFamily(
+            "duplicates-2d", 2, True,
+            "random 2D cloud with 6 exact duplicate points", _duplicates_2d,
+        ),
+        DegenerateFamily(
+            "duplicates-3d", 3, True,
+            "random 3D cloud with 6 exact duplicate points", _duplicates_3d,
+        ),
+        DegenerateFamily(
+            "all-coincident", 3, False,
+            "eight copies of a single 3D point (affine rank 0)", _all_coincident,
+        ),
+        DegenerateFamily(
+            "collinear-3d", 3, False,
+            "ten integer points exactly on one line in R^3 (affine rank 1)",
+            _collinear_3d,
+        ),
+        DegenerateFamily(
+            "near-collinear-3d", 3, True,
+            "ten points ~1e-16 off a common line (full-rank but ultra-flat)",
+            _near_collinear_3d,
+        ),
+        DegenerateFamily(
+            "coplanar-3d", 3, False,
+            "twelve points in the z=0 plane of R^3 (affine rank 2)", _coplanar_3d,
+        ),
+        DegenerateFamily(
+            "grid-2d", 2, True,
+            "4x4 integer grid (maximal collinear ties)", _grid_2d,
+        ),
+        DegenerateFamily(
+            "grid-3d", 3, True,
+            "3x3x3 integer grid (collinear and coplanar ties)", _grid_3d,
+        ),
+        DegenerateFamily(
+            "cocircular", 2, True,
+            "12 integer points exactly on x^2+y^2=25, plus the center",
+            _cocircular,
+        ),
+        DegenerateFamily(
+            "cospherical", 3, True,
+            "30 integer points exactly on x^2+y^2+z^2=9", _cospherical,
+        ),
+        DegenerateFamily(
+            "near-ties-2d", 2, True,
+            "4x4 grid with ~1e-13 jitter (inside naive float tolerance)",
+            _near_ties_2d,
+        ),
+        DegenerateFamily(
+            "near-ties-3d", 3, True,
+            "3x3x3 grid with ~1e-13 jitter (inside naive float tolerance)",
+            _near_ties_3d,
+        ),
+    ]
+}
+
+
+def corpus_names() -> list[str]:
+    """Family names, in registry order."""
+    return list(CORPUS)
+
+
+def corpus_case(name: str, seed: int = 0) -> np.ndarray:
+    """Generate one seeded instance of a named family."""
+    try:
+        family = CORPUS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown degenerate family {name!r}; choose from {corpus_names()}"
+        ) from None
+    return family(seed)

@@ -33,12 +33,14 @@ query is decided rationally.
 from __future__ import annotations
 
 import contextlib
+import os
 from typing import Iterator
 
 import numpy as np
 
 from .linalg import cofactor_normal
-from .predicates import STATS, orient_exact
+from .perturb import orient_sos, orient_sos_combo, sos_active
+from .predicates import STATS, orient_exact, orient_exact_combo
 
 __all__ = ["Hyperplane", "exact_mode"]
 
@@ -48,8 +50,10 @@ _EPS = float(np.finfo(np.float64).eps)
 # builds every plane in always-exact mode.  This is the middle rung of
 # the robust_hull escalation ladder: if a hull fails with filtered float
 # predicates, retry with every decision made rationally before resorting
-# to joggling the input.
-_FORCE_EXACT = False
+# to joggling the input.  The REPRO_FORCE_EXACT environment variable
+# turns it on process-wide (CI runs the tier-1 suite once this way so a
+# filter-threshold regression cannot hide behind the float fast path).
+_FORCE_EXACT = os.environ.get("REPRO_FORCE_EXACT", "") not in ("", "0")
 
 
 @contextlib.contextmanager
@@ -90,10 +94,13 @@ class Hyperplane:
         "err_base",
         "always_exact",
         "_vis_sign",
+        "base_indices",
+        "sos",
     )
 
     def __init__(self, normal, offset, base_points, ref_point,
-                 err_scale, err_base, always_exact, vis_sign=None):
+                 err_scale, err_base, always_exact, vis_sign=None,
+                 base_indices=None, sos=False):
         self.normal = normal
         self.offset = offset
         self.base_points = base_points
@@ -102,18 +109,29 @@ class Hyperplane:
         self.err_base = err_base
         self.always_exact = always_exact
         self._vis_sign = vis_sign
+        self.base_indices = base_indices
+        self.sos = sos
 
     @staticmethod
-    def through(points: np.ndarray, below: np.ndarray) -> "Hyperplane":
+    def through(points: np.ndarray, below: np.ndarray,
+                indices=None, ref_combo=None) -> "Hyperplane":
         """Hyperplane through the rows of ``points`` (a ``(d, d)``
         array), oriented so that the reference point ``below`` is on the
         negative (invisible) side.
 
         Raises ``ValueError`` if ``below`` lies exactly on the plane
-        (the caller must pick a strictly interior reference).
+        (the caller must pick a strictly interior reference) -- unless
+        :func:`~repro.geometry.perturb.sos_mode` is active and both
+        ``indices`` (insertion ranks of the defining points) and
+        ``ref_combo`` (``(points, ranks)`` of an affine combination
+        equal to ``below``) are supplied, in which case the reference's
+        side is resolved on the symbolically perturbed points and the
+        plane carries SoS tie-breaking for every later zero sign.
         """
         points = np.asarray(points, dtype=np.float64)
         below = np.asarray(below, dtype=np.float64)
+        sos = sos_active() and indices is not None
+        base_indices = tuple(int(i) for i in indices) if sos else None
         d = points.shape[1]
         normal = cofactor_normal(points)
         offset = float(normal @ points[0])
@@ -133,17 +151,45 @@ class Hyperplane:
             return Hyperplane(
                 normal=normal, offset=offset, base_points=points,
                 ref_point=below, err_scale=err_scale, err_base=err_base,
-                always_exact=False,
+                always_exact=False, base_indices=base_indices, sos=sos,
             )
         # The reference sits inside the envelope: the float normal is
-        # not trustworthy for any decision near this plane.
-        s_ref = orient_exact(points, below)
-        if s_ref == 0:
-            raise ValueError("orientation reference lies on the hyperplane")
+        # not trustworthy for any decision near this plane.  When the
+        # caller supplied the reference as an affine combination, orient
+        # against the *exact* combination -- on nearly-flat inputs the
+        # plane can pass closer to the true centroid than the rounding
+        # error of the float centroid, and orienting against the rounded
+        # point then flips vis_sign and inverts every conflict set.
+        if ref_combo is not None:
+            combo_points, combo_indices = ref_combo
+            s_ref = orient_exact_combo(points, combo_points)
+            if s_ref == 0:
+                if sos:
+                    s_ref = orient_sos_combo(
+                        points, base_indices, combo_points, combo_indices
+                    )
+                else:
+                    raise ValueError(
+                        "orientation reference lies on the hyperplane"
+                    )
+        else:
+            s_ref = orient_exact(points, below)
+            if s_ref == 0:
+                raise ValueError("orientation reference lies on the hyperplane")
+        # Best-effort orient the float normal too (exact decisions go
+        # through vis_sign, but diagnostics like joggle containment and
+        # the Delaunay lower-facet test read margins()/normal sign and
+        # must not see a per-facet coin flip).  sign(normal . (q - p0))
+        # equals orient_exact(points, q) in exact arithmetic, so s_ref
+        # is exactly the flip the float-certain path derives from
+        # margin_ref.
+        if s_ref > 0:
+            normal, offset = -normal, -offset
         return Hyperplane(
             normal=normal, offset=offset, base_points=points,
             ref_point=below, err_scale=err_scale, err_base=err_base,
             always_exact=True, vis_sign=-s_ref,
+            base_indices=base_indices, sos=sos,
         )
 
     # -- exact orientation -------------------------------------------------
@@ -159,59 +205,82 @@ class Hyperplane:
             self._vis_sign = -s_ref
         return self._vis_sign
 
-    def _side_exact(self, q) -> int:
+    def _side_exact(self, q, index=None) -> int:
         s = orient_exact(self.base_points, q)
         if s == 0:
-            return 0
+            if not (self.sos and index is not None):
+                return 0
+            index = int(index)
+            if index in self.base_indices:
+                # A point is never strictly visible from its own facet;
+                # SoS against a repeated index is undefined.
+                return 0
+            s = orient_sos(self.base_points, self.base_indices, q, index)
         return 1 if s == self.vis_sign else -1
 
     # -- scalar predicate ---------------------------------------------------
 
-    def side(self, q) -> int:
+    def side(self, q, index=None) -> int:
         """Sign of the side of ``q``: +1 visible, -1 invisible, 0 on the
-        plane (decided exactly when the float margin is ambiguous)."""
+        plane (decided exactly when the float margin is ambiguous).
+
+        On an SoS plane, passing ``index`` (the insertion rank of ``q``)
+        breaks exact-zero ties symbolically, so the result is never 0
+        for an index outside the plane's defining set.
+        """
         q = np.asarray(q, dtype=np.float64)
         if self.always_exact:
-            return self._side_exact(q)
+            return self._side_exact(q, index)
         margin = float(self.normal @ q) - self.offset
         env = self.err_scale * (self.err_base + float(np.abs(q).max(initial=0.0)))
-        STATS.float_calls += 1
+        STATS.count_float()
         if margin > env:
             return 1
         if margin < -env:
             return -1
-        return self._side_exact(q)
+        return self._side_exact(q, index)
 
-    def is_visible(self, q) -> bool:
+    def is_visible(self, q, index=None) -> bool:
         """Strict visibility: ``q`` in the open outer half-space."""
-        return self.side(q) > 0
+        return self.side(q, index) > 0
 
     # -- vectorized predicate ---------------------------------------------
 
     def margins(self, pts: np.ndarray) -> np.ndarray:
         """Signed float margins (positive = visible side) for a batch.
-        Meaningful only when the fast path is live (``always_exact`` is
-        False); magnitudes below the envelope are noise either way."""
+        The normal is oriented visible-positive even for always-exact
+        planes (best effort); magnitudes below the envelope are noise
+        either way."""
         return pts @ self.normal - self.offset
 
-    def visible_mask(self, pts: np.ndarray) -> np.ndarray:
+    def visible_mask(self, pts: np.ndarray, indices=None) -> np.ndarray:
         """Boolean mask of strictly visible points among ``pts``.
 
         Vectorized fast path; candidates within the error envelope are
         re-decided exactly one by one (rare for generic float inputs,
         common for engineered degenerate or ill-conditioned inputs).
+        ``indices`` -- the insertion ranks of the rows of ``pts`` -- is
+        required for SoS tie-breaking on exact-zero margins; without it
+        an SoS plane degrades to "on-plane is invisible".
         """
         pts = np.asarray(pts, dtype=np.float64)
         if pts.size == 0:
             return np.zeros(0, dtype=bool)
+
+        def rank(i):
+            return None if indices is None else indices[i]
+
         if self.always_exact:
-            return np.array([self._side_exact(q) > 0 for q in pts], dtype=bool)
+            return np.array(
+                [self._side_exact(q, rank(i)) > 0 for i, q in enumerate(pts)],
+                dtype=bool,
+            )
         margins = self.margins(pts)
         env = self.err_scale * (self.err_base + np.abs(pts).max(axis=1))
         mask = margins > env
         uncertain = np.abs(margins) <= env
-        STATS.float_calls += int(pts.shape[0])
+        STATS.count_float(int(pts.shape[0]))
         if uncertain.any():
             for i in np.nonzero(uncertain)[0]:
-                mask[i] = self._side_exact(pts[i]) > 0
+                mask[i] = self._side_exact(pts[i], rank(i)) > 0
         return mask

@@ -31,6 +31,18 @@ __all__ = [
 # Unit roundoff for IEEE-754 binary64.
 _EPS = float(np.finfo(np.float64).eps)
 
+# Smallest positive normal double, and the absolute spacing of the
+# subnormal range (2^-1074).  A subnormal intermediate -- e.g. an LU
+# multiplier ``row[k] / pivot`` when one entry is ~1e-308 -- is
+# quantized at that *absolute* spacing rather than at relative
+# precision eps, and subsequent multiplications amplify the absolute
+# error by products of entry magnitudes.  A purely multiplicative
+# ``eps * Hadamard`` bound never sees this (it can even underflow to
+# exactly 0.0), so every bound below carries an additive scale-aware
+# floor.
+_TINY = float(np.finfo(np.float64).tiny)
+_SUBNORMAL_SPACING = 5e-324
+
 
 def det_with_error_bound(m: np.ndarray) -> tuple[float, float]:
     """Determinant of a small square matrix plus a forward error bound.
@@ -52,15 +64,45 @@ def det_with_error_bound(m: np.ndarray) -> tuple[float, float]:
     if n == 2:
         a, b, c, d = m[0, 0], m[0, 1], m[1, 0], m[1, 1]
         det = a * d - b * c
-        err = 4.0 * _EPS * (abs(a * d) + abs(b * c))
+        err = 4.0 * _EPS * (abs(a * d) + abs(b * c)) + 4.0 * _TINY
         return float(det), float(err)
-    if n == 3:
-        det = float(np.linalg.det(m))
-    else:
-        det = float(np.linalg.det(m))
-    row_norms = np.sqrt((m * m).sum(axis=1))
-    hadamard = float(np.prod(row_norms))
-    err = 16.0 * n * n * _EPS * hadamard
+    det = float(np.linalg.det(m))
+    # Compute the Hadamard bound underflow-safely: factor each row's
+    # largest magnitude out of its norm so the product of the scaled
+    # norms stays O(1) and only the explicit max-product can underflow
+    # (in which case the additive floor dominates anyway).
+    row_max = np.abs(m).max(axis=1)
+    scaled = m / np.where(row_max > 0.0, row_max, 1.0)[:, None]
+    scaled_norms = np.sqrt((scaled * scaled).sum(axis=1))
+    # Hadamard-style envelope for the *cofactors*: drop the smallest
+    # row norm.  A plain eps * prod(all row norms) bound is wrong --
+    # on [[1,0,0],[2,5985,1805],[1.5,0,0]] elimination mixes the large
+    # row into the two small (mutually near-parallel) rows, and the
+    # cancellation error there scales with the large row's norm
+    # squared, ~900x the full Hadamard product.  The derivative of det
+    # in entry (i, j) is a cofactor, bounded by the product of the
+    # other rows' norms; the backward error in each entry is
+    # c(n) * eps * growth * max|entry|.
+    with np.errstate(over="ignore"):
+        norms = row_max * scaled_norms
+    i_small = int(np.argmin(norms))
+    keep = [k for k in range(n) if k != i_small]
+    cof_max = float(np.prod(row_max[keep])) * float(np.prod(scaled_norms[keep]))
+    # Subnormal floor, two mechanisms: (a) a subnormal *entry* can be
+    # flushed/lost inside LAPACK's scaled elimination, costing up to
+    # tiny times a product of n-1 other entries; (b) a subnormal LU
+    # *multiplier* is quantized at the absolute subnormal spacing,
+    # amplified by up to n entry magnitudes.  (inf is fine: it just
+    # means "always take the exact path" for astronomically scaled
+    # inputs.)
+    max_el = float(row_max.max(initial=0.0))
+    max_abs = max(1.0, max_el)
+    with np.errstate(over="ignore"):
+        amp = np.float64(max_abs) ** (n - 1)
+        floor = float(n**3 * (_TINY * amp + _SUBNORMAL_SPACING * amp * max_abs))
+    # c(n) = 16 n^3 entry-count/elimination constants, 2^(n-1) the
+    # partial-pivoting growth factor.
+    err = 16.0 * n * n * n * (2.0 ** (n - 1)) * _EPS * max_el * cof_max + floor
     return det, err
 
 

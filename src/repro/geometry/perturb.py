@@ -1,0 +1,460 @@
+"""Simulation-of-Simplicity symbolic perturbation (Edelsbrunner--Mücke).
+
+The paper's analysis (Theorems 1.1/4.2/5.3) assumes points in *general
+position*: no ``d+1`` input points affinely dependent.  Real inputs --
+duplicates, grids, collinear runs, cocircular sensors -- violate that
+freely, and the exact predicate layer then returns honest zero signs
+that the incremental algorithms cannot interpret (a point exactly *on*
+a facet plane is neither visible nor invisible).
+
+This module removes the zeros instead of the degeneracy: every input
+point ``p_i`` (``i`` its insertion rank) is perturbed *symbolically* to
+
+    p_i(eps)[j] = p_i[j] + eps ** (2 ** (i*d + j)),
+
+a distinct power of an infinitesimal ``eps > 0`` per (point, coordinate).
+For any fixed point set the perturbed cloud is in general position for
+all sufficiently small ``eps``: the orientation determinant of any
+``d+1`` perturbed points is a polynomial in ``eps`` whose coefficients
+include a pure-perturbation monomial with coefficient ``+-1`` (the
+exponents ``2**k`` are distinct powers of two, so no two permutation
+terms can collide or cancel), hence it is not identically zero, and its
+sign as ``eps -> 0+`` is the sign of the nonzero coefficient with the
+smallest exponent.  That sign is what :func:`orient_sos` returns: the
+exact sign when it is nonzero, the first non-vanishing perturbation
+coefficient when it is not.  Ties are thereby broken *deterministically
+by index rank* -- the same two points tie the same way in every
+predicate call, in every execution discipline -- so Algorithms 1-5 run
+unmodified on degenerate inputs and all schedules agree on one
+**canonical simplicial hull** of the (infinitesimally) perturbed cloud.
+
+The canonical hull is simplicial even where the true hull is not
+(coplanar facets are triangulated; duplicated or boundary-collinear
+points can appear as vertices of zero-volume facets).
+:func:`merge_coplanar_facets` is the user-facing post-pass that groups
+output facets lying on one exact supporting hyperplane back into the
+true geometric faces.
+
+Nothing here is randomized and nothing inspects coordinates beyond the
+exact rational arithmetic: two runs over the same insertion order make
+identical decisions, which is what ``hull.certify`` certificates and the
+cross-discipline corpus tests (tests/hull/test_sos_hull.py) pin down.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from .predicates import STATS
+
+__all__ = [
+    "sos_mode",
+    "sos_active",
+    "sos_exponent",
+    "orient_sos",
+    "orient_sos_combo",
+    "MergedFacet",
+    "merge_coplanar_facets",
+]
+
+
+# --------------------------------------------------------------------------
+# The perturbation convention.
+# --------------------------------------------------------------------------
+
+def sos_exponent(index: int, coord: int, d: int) -> int:
+    """The eps-exponent ``2**(index*d + coord)`` perturbing coordinate
+    ``coord`` of the point with insertion rank ``index`` in R^d.
+
+    Lower ranks get the *larger* perturbations (``eps**1 > eps**2 > ...``
+    for ``eps < 1``), so earlier-inserted points win ties -- the "by
+    index rank" discipline the degeneracy model documents.  Distinct
+    powers of two make every subset-sum of exponents unique, which is
+    what rules out cancellation between permutation terms.
+    """
+    if index < 0 or coord < 0 or coord >= d:
+        raise ValueError(f"bad perturbation site (index={index}, coord={coord}, d={d})")
+    return 1 << (index * d + coord)
+
+
+# --------------------------------------------------------------------------
+# Sparse univariate polynomials in eps: {exponent: Fraction} with big-int
+# exponents.  Only the handful of operations the determinant needs.
+# --------------------------------------------------------------------------
+
+Poly = dict  # exponent (int) -> coefficient (Fraction), zero coeffs absent
+
+
+def _poly_const(c: Fraction) -> Poly:
+    return {0: c} if c else {}
+
+
+def _poly_add(a: Poly, b: Poly) -> Poly:
+    out = dict(a)
+    for e, c in b.items():
+        s = out.get(e, Fraction(0)) + c
+        if s:
+            out[e] = s
+        else:
+            out.pop(e, None)
+    return out
+
+
+def _poly_sub(a: Poly, b: Poly) -> Poly:
+    out = dict(a)
+    for e, c in b.items():
+        s = out.get(e, Fraction(0)) - c
+        if s:
+            out[e] = s
+        else:
+            out.pop(e, None)
+    return out
+
+
+def _poly_mul(a: Poly, b: Poly) -> Poly:
+    out: Poly = {}
+    for ea, ca in a.items():
+        for eb, cb in b.items():
+            e = ea + eb
+            s = out.get(e, Fraction(0)) + ca * cb
+            if s:
+                out[e] = s
+            else:
+                out.pop(e, None)
+    return out
+
+
+def _poly_scale(a: Poly, c: Fraction) -> Poly:
+    if not c:
+        return {}
+    return {e: v * c for e, v in a.items()}
+
+
+def _poly_sign_at_zero_plus(p: Poly) -> int:
+    """Sign of ``p(eps)`` for all sufficiently small ``eps > 0``: the
+    sign of the coefficient with the smallest exponent.  Zero for the
+    zero polynomial (the caller treats that as an invalid perturbation
+    request, e.g. a duplicated point *index*)."""
+    if not p:
+        return 0
+    c = p[min(p)]
+    return 1 if c > 0 else -1
+
+
+def _poly_det(rows: list[list[Poly]]) -> Poly:
+    """Determinant of a small matrix of sparse polynomials, by cofactor
+    expansion along the first column (matrices are (d x d) for ambient
+    dimension d, so no cleverness is warranted)."""
+    n = len(rows)
+    if n == 1:
+        return rows[0][0]
+    if n == 2:
+        return _poly_sub(
+            _poly_mul(rows[0][0], rows[1][1]), _poly_mul(rows[0][1], rows[1][0])
+        )
+    out: Poly = {}
+    for i in range(n):
+        entry = rows[i][0]
+        if not entry:
+            continue
+        minor = [r[1:] for k, r in enumerate(rows) if k != i]
+        term = _poly_mul(entry, _poly_det(minor))
+        out = _poly_add(out, term) if i % 2 == 0 else _poly_sub(out, term)
+    return out
+
+
+def _point_row(p: Sequence, index: int, d: int) -> list[Poly]:
+    """Coordinate polys of the perturbed point ``p_index``."""
+    row = []
+    for j in range(d):
+        poly = _poly_const(Fraction(float(p[j])))
+        poly[sos_exponent(index, j, d)] = Fraction(1)
+        row.append(poly)
+    return row
+
+
+def _combo_row(
+    points: Sequence[Sequence], indices: Sequence[int], weights: Sequence[Fraction], d: int
+) -> list[Poly]:
+    """Coordinate polys of the affine combination ``sum w_k p_{i_k}`` of
+    perturbed points (weights must sum to 1; not checked here)."""
+    row: list[Poly] = [{} for _ in range(d)]
+    for p, i, w in zip(points, indices, weights):
+        w = Fraction(w)
+        for j, poly in enumerate(_point_row(p, i, d)):
+            row[j] = _poly_add(row[j], _poly_scale(poly, w))
+    return row
+
+
+def _edge_det_sign(rows: list[list[Poly]]) -> int:
+    """Sign at eps->0+ of det of the edge matrix ``[row_1 - row_0; ...;
+    row_m - row_0]`` built from ``m+1`` homogeneous coordinate rows --
+    the same convention as :func:`repro.geometry.predicates.orient`."""
+    base = rows[0]
+    edges = [[_poly_sub(r[j], base[j]) for j in range(len(base))] for r in rows[1:]]
+    return _poly_sign_at_zero_plus(_poly_det(edges))
+
+
+# --------------------------------------------------------------------------
+# Public predicates.
+# --------------------------------------------------------------------------
+
+def orient_sos(
+    simplex: np.ndarray,
+    simplex_indices: Sequence[int],
+    query,
+    query_index: int,
+) -> int:
+    """Orientation of ``query`` (insertion rank ``query_index``) against
+    the hyperplane through the ``d`` rows of ``simplex`` (ranks
+    ``simplex_indices``), under Simulation of Simplicity.
+
+    Never returns 0 for distinct indices.  Raises :class:`ValueError`
+    when ``query_index`` collides with a simplex index -- a perturbed
+    point is never degenerate against itself, and a caller asking means
+    it lost track of its own facet structure.
+    """
+    idx = tuple(int(i) for i in simplex_indices)
+    qi = int(query_index)
+    if qi in idx or len(set(idx)) != len(idx):
+        raise ValueError(
+            f"SoS orientation with repeated point index (simplex {idx}, query {qi})"
+        )
+    simplex = np.asarray(simplex, dtype=np.float64)
+    d = simplex.shape[1]
+    STATS.count_sos()
+    rows = [_point_row(p, i, d) for p, i in zip(simplex, idx)]
+    rows.append(_point_row(np.asarray(query, dtype=np.float64), qi, d))
+    sign = _edge_det_sign(rows)
+    if sign == 0:  # pragma: no cover - impossible by the 2-power argument
+        raise AssertionError("SoS-perturbed determinant vanished identically")
+    return sign
+
+
+def orient_sos_combo(
+    simplex: np.ndarray,
+    simplex_indices: Sequence[int],
+    combo_points: np.ndarray,
+    combo_indices: Sequence[int],
+    weights: Sequence[Fraction] | None = None,
+) -> int:
+    """Orientation of the affine combination ``sum w_k p_{i_k}`` of
+    perturbed input points against the perturbed simplex.
+
+    This is how the hull's *interior reference point* (the centroid of
+    the initial simplex, not itself an input point) is classified when
+    the input is so degenerate that its exact sign is zero, e.g. a
+    cloud that is not full-dimensional.  The combination must involve at
+    least one index outside the simplex (the centroid always does), so
+    the perturbed determinant cannot vanish identically.
+    """
+    simplex = np.asarray(simplex, dtype=np.float64)
+    combo_points = np.asarray(combo_points, dtype=np.float64)
+    d = simplex.shape[1]
+    idx = tuple(int(i) for i in simplex_indices)
+    ci = tuple(int(i) for i in combo_indices)
+    if weights is None:
+        weights = [Fraction(1, len(ci))] * len(ci)
+    if not any(i not in idx for i in ci):
+        raise ValueError(
+            f"combination {ci} lies entirely inside the simplex index set {idx}"
+        )
+    STATS.count_sos()
+    rows = [_point_row(p, i, d) for p, i in zip(simplex, idx)]
+    rows.append(_combo_row(combo_points, ci, weights, d))
+    sign = _edge_det_sign(rows)
+    if sign == 0:  # pragma: no cover - impossible while weights are nonzero
+        raise AssertionError("SoS-perturbed combination determinant vanished")
+    return sign
+
+
+# --------------------------------------------------------------------------
+# The mode switch (mirrors hyperplane.exact_mode's discipline).
+# --------------------------------------------------------------------------
+
+# When set, FacetFactory/Hyperplane construction captures point indices
+# and resolves every zero sign through the perturbation above.  Like
+# exact_mode, flip it only from the orchestrating thread before workers
+# start; planes built inside the block keep resolving ties symbolically
+# after it exits.
+_SOS_ACTIVE = False
+
+
+def sos_active() -> bool:
+    """Is Simulation-of-Simplicity tie-breaking currently enabled?"""
+    return _SOS_ACTIVE
+
+
+@contextlib.contextmanager
+def sos_mode() -> Iterator[None]:
+    """Enable SoS tie-breaking for every hull built in the block.
+
+    Inside the block the general-position assumption holds symbolically:
+    every ``d+1`` ranks are affinely independent, so the initial simplex
+    is always ranks ``0..d`` and no input is rejected as flat.  The
+    resulting hull is the canonical simplicial hull of the perturbed
+    cloud (see the module docstring); merge coplanar facets for
+    user-facing faces.
+    """
+    global _SOS_ACTIVE
+    prev = _SOS_ACTIVE
+    _SOS_ACTIVE = True
+    try:
+        yield
+    finally:
+        _SOS_ACTIVE = prev
+
+
+# --------------------------------------------------------------------------
+# The user-facing post-pass: merge coplanar facets of a finished hull.
+# --------------------------------------------------------------------------
+
+@dataclass
+class MergedFacet:
+    """One geometric face of the hull: a maximal ridge-connected group
+    of simplicial output facets sharing an exact supporting hyperplane.
+
+    ``vertices`` are the union of the member facets' point indices (in
+    the producing run's rank space); ``fids`` the member facet ids;
+    ``normal``/``offset`` the primitive-integer exact outward normal
+    (empty for a fully degenerate zero-volume group that touched no
+    non-degenerate neighbour).
+    """
+
+    vertices: tuple[int, ...]
+    fids: tuple[int, ...]
+    normal: tuple[int, ...] = ()
+    offset: Fraction = Fraction(0)
+    degenerate: bool = False
+    members: list = field(default_factory=list, repr=False)
+
+
+def _exact_outward_plane(facet, points: np.ndarray):
+    """Primitive-integer outward normal and offset of a facet's exact
+    supporting hyperplane, or None when the facet is zero-volume."""
+    from .linalg import cofactor_normal_exact
+
+    base = [points[i] for i in facet.indices]
+    normal = cofactor_normal_exact(base)
+    if not any(normal):
+        return None
+    d = len(normal)
+    # orient(simplex, q) == (-1)^(d-1) * N0 . (q - p0); outward means
+    # the visible sign, so flip N0 onto the visible side.
+    flip = facet.plane.vis_sign * (-1 if (d - 1) % 2 else 1)
+    normal = [flip * c for c in normal]
+    denom_lcm = 1
+    for c in normal:
+        denom_lcm = denom_lcm * c.denominator // math.gcd(denom_lcm, c.denominator)
+    ints = [int(c * denom_lcm) for c in normal]
+    g = 0
+    for v in ints:
+        g = math.gcd(g, abs(v))
+    ints = [v // g for v in ints]
+    offset = sum(
+        Fraction(n) * Fraction(float(x)) for n, x in zip(ints, points[facet.indices[0]])
+    )
+    return tuple(ints), offset
+
+
+def merge_coplanar_facets(facets: Sequence, points: np.ndarray) -> list[MergedFacet]:
+    """Group simplicial hull facets into geometric faces.
+
+    Two facets belong to the same face iff they share the same exact
+    outward supporting hyperplane *and* are connected through shared
+    ridges within that plane.  Zero-volume facets (an SoS artefact of
+    duplicated or affinely dependent hull points) are absorbed into an
+    adjacent face whose plane exactly contains all their vertices;
+    groups that never find such a neighbour are reported with
+    ``degenerate=True``.
+    """
+    from .simplex import facet_ridges
+
+    points = np.asarray(points, dtype=np.float64)
+    keyed: dict[tuple, list] = {}
+    flats: list = []
+    plane_of: dict[int, tuple] = {}
+    for f in facets:
+        key = _exact_outward_plane(f, points)
+        if key is None:
+            flats.append(f)
+        else:
+            keyed.setdefault(key, []).append(f)
+            plane_of[f.fid] = key
+
+    # Ridge adjacency restricted to same-plane facets.
+    out: list[MergedFacet] = []
+    group_of_fid: dict[int, MergedFacet] = {}
+    for (normal, offset), members in sorted(
+        keyed.items(), key=lambda kv: (kv[0][0], kv[0][1])
+    ):
+        by_ridge: dict[frozenset, list] = {}
+        for f in members:
+            for r in facet_ridges(f.indices):
+                by_ridge.setdefault(r, []).append(f.fid)
+        adj: dict[int, set[int]] = {f.fid: set() for f in members}
+        for pair in by_ridge.values():
+            for a in pair:
+                adj[a].update(b for b in pair if b != a)
+        seen: set[int] = set()
+        by_fid = {f.fid: f for f in members}
+        for f in members:
+            if f.fid in seen:
+                continue
+            stack, comp = [f.fid], []
+            seen.add(f.fid)
+            while stack:
+                cur = stack.pop()
+                comp.append(cur)
+                for nxt in adj[cur]:
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append(nxt)
+            comp_facets = [by_fid[fid] for fid in comp]
+            merged = MergedFacet(
+                vertices=tuple(sorted({i for g in comp_facets for i in g.indices})),
+                fids=tuple(sorted(comp)),
+                normal=normal,
+                offset=offset,
+                members=comp_facets,
+            )
+            out.append(merged)
+            for fid in comp:
+                group_of_fid[fid] = merged
+
+    # Absorb zero-volume facets into a ridge-adjacent coplanar face.
+    leftovers: list = []
+    for f in flats:
+        ridges = set(facet_ridges(f.indices))
+        home = None
+        for g in out:
+            if any(set(r) <= set(m.indices) for r in ridges for m in g.members):
+                if all(_on_plane(points[i], g.normal, g.offset) for i in f.indices):
+                    home = g
+                    break
+        if home is not None:
+            home.vertices = tuple(sorted(set(home.vertices) | set(f.indices)))
+            home.fids = tuple(sorted(set(home.fids) | {f.fid}))
+            home.members.append(f)
+        else:
+            leftovers.append(f)
+    if leftovers:
+        out.append(
+            MergedFacet(
+                vertices=tuple(sorted({i for f in leftovers for i in f.indices})),
+                fids=tuple(sorted(f.fid for f in leftovers)),
+                degenerate=True,
+                members=list(leftovers),
+            )
+        )
+    return out
+
+
+def _on_plane(p, normal: tuple[int, ...], offset: Fraction) -> bool:
+    return sum(Fraction(n) * Fraction(float(x)) for n, x in zip(normal, p)) == offset

@@ -14,28 +14,78 @@ for how often the exact path fires (one of the ablations in DESIGN.md).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
+
+from repro.runtime.atomics import ShardedCounter
 
 from .linalg import det_with_error_bound, sign_exact
 
-__all__ = ["PredicateStats", "STATS", "orient", "orient_exact", "in_circle"]
+__all__ = [
+    "PredicateStats",
+    "STATS",
+    "orient",
+    "orient_exact",
+    "orient_exact_combo",
+    "in_circle",
+]
 
 
-@dataclass
 class PredicateStats:
-    """Global counters for predicate evaluations (reset between runs)."""
+    """Global counters for predicate evaluations (reset between runs).
 
-    float_calls: int = 0
-    exact_calls: int = 0
+    Hull runs under :class:`~repro.runtime.executors.ThreadExecutor` or
+    the chaos executor bump these from worker threads, so each counter
+    is a :class:`~repro.runtime.atomics.ShardedCounter` (per-thread
+    shards, merged on read) rather than a plain ``int`` whose ``+=``
+    read-modify-write loses concurrent updates.  Reads are exact at
+    quiescent points (no predicate calls in flight), which is when the
+    tests and the experiment harness look.
+    """
+
+    __slots__ = ("_float", "_exact", "_sos")
+
+    def __init__(self) -> None:
+        self._float = ShardedCounter()
+        self._exact = ShardedCounter()
+        self._sos = ShardedCounter()
+
+    # -- increment API (used by the predicate kernel) ----------------------
+
+    def count_float(self, k: int = 1) -> None:
+        self._float.add(k)
+
+    def count_exact(self, k: int = 1) -> None:
+        self._exact.add(k)
+
+    def count_sos(self, k: int = 1) -> None:
+        self._sos.add(k)
+
+    # -- read API (merged totals) ------------------------------------------
+
+    @property
+    def float_calls(self) -> int:
+        return self._float.value
+
+    @property
+    def exact_calls(self) -> int:
+        return self._exact.value
+
+    @property
+    def sos_calls(self) -> int:
+        """Symbolic-perturbation sign evaluations (see geometry.perturb)."""
+        return self._sos.value
 
     def reset(self) -> None:
-        self.float_calls = 0
-        self.exact_calls = 0
+        self._float.reset()
+        self._exact.reset()
+        self._sos.reset()
 
     def snapshot(self) -> dict[str, int]:
-        return {"float_calls": self.float_calls, "exact_calls": self.exact_calls}
+        return {
+            "float_calls": self.float_calls,
+            "exact_calls": self.exact_calls,
+            "sos_calls": self.sos_calls,
+        }
 
 
 #: Module-level statistics instance shared by all predicates.
@@ -70,20 +120,54 @@ def orient(simplex: np.ndarray, query) -> int:
     q = np.asarray(query, dtype=np.float64)
     m = np.vstack([simplex[1:] - simplex[0], (q - simplex[0])[None, :]])
     det, err = det_with_error_bound(m)
-    STATS.float_calls += 1
+    STATS.count_float()
     if det > err:
         return 1
     if det < -err:
         return -1
-    STATS.exact_calls += 1
+    STATS.count_exact()
     return sign_exact(_lifted_rows(simplex, q))
 
 
 def orient_exact(simplex, query) -> int:
     """Exact orientation (always takes the rational path)."""
     simplex = np.asarray(simplex, dtype=np.float64)
-    STATS.exact_calls += 1
+    STATS.count_exact()
     return sign_exact(_lifted_rows(simplex, query))
+
+
+def orient_exact_combo(simplex, combo_points, weights=None) -> int:
+    """Exact orientation of the affine combination ``sum w_i c_i`` of
+    ``combo_points`` relative to the hyperplane through ``simplex``.
+
+    The combination is evaluated in rational arithmetic, *not* rounded
+    to a float point first: on nearly-flat inputs a facet plane can pass
+    within ~1e-17 of the true centroid, closer than the rounding error
+    of computing that centroid in float64 -- so the exact sign of the
+    rounded point is the wrong question.  ``weights`` defaults to the
+    uniform combination (the centroid).
+    """
+    from fractions import Fraction
+
+    simplex = np.asarray(simplex, dtype=np.float64)
+    combo_points = np.asarray(combo_points, dtype=np.float64)
+    k, d = combo_points.shape
+    if weights is None:
+        weights = [Fraction(1, k)] * k
+    weights = [Fraction(w) for w in weights]
+    if sum(weights) != 1:
+        raise ValueError("combination weights must sum to 1 (affine)")
+    base = [Fraction(float(x)) for x in simplex[0]]
+    q = [
+        sum(w * Fraction(float(c[j])) for w, c in zip(weights, combo_points))
+        for j in range(d)
+    ]
+    rows = [
+        [Fraction(float(p[j])) - base[j] for j in range(d)] for p in simplex[1:]
+    ]
+    rows.append([q[j] - base[j] for j in range(d)])
+    STATS.count_exact()
+    return sign_exact(rows)
 
 
 def in_circle(a, b, c, q) -> int:
@@ -102,12 +186,12 @@ def in_circle(a, b, c, q) -> int:
         rows.append([dx, dy, dx * dx + dy * dy])
     m = np.array(rows)
     det, err = det_with_error_bound(m)
-    STATS.float_calls += 1
+    STATS.count_float()
     if det > err:
         return 1
     if det < -err:
         return -1
-    STATS.exact_calls += 1
+    STATS.count_exact()
     # Rebuild the rows exactly from the original coordinates.
     from fractions import Fraction
 

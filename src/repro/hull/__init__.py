@@ -2,6 +2,13 @@
 randomized incremental) and Algorithm 3 (its parallel ridge-driven
 variant), plus validation and polytope post-processing."""
 
+from .certify import (
+    CertificateError,
+    HullCertificate,
+    corrupt_certificate,
+    make_certificate,
+    verify_certificate,
+)
 from .common import Counters, FacetFactory, HullSetupError, prepare_points
 from .parallel import Event, ParallelHullRun, RidgeTask, parallel_hull
 from .online import OnlineHull
@@ -20,6 +27,11 @@ from .validate import (
 )
 
 __all__ = [
+    "CertificateError",
+    "HullCertificate",
+    "corrupt_certificate",
+    "make_certificate",
+    "verify_certificate",
     "Counters",
     "FacetFactory",
     "HullSetupError",

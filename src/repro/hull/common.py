@@ -17,6 +17,7 @@ from fractions import Fraction
 import numpy as np
 
 from ..geometry.hyperplane import Hyperplane
+from ..geometry.perturb import sos_active
 from ..geometry.simplex import Facet
 from ..runtime.atomics import Mutex
 
@@ -150,6 +151,13 @@ def initial_simplex_ranks(pts: np.ndarray, base_size: int | None = None) -> list
     """
     n, d = pts.shape
     need = (base_size if base_size is not None else d + 1)
+    if sos_active():
+        # Under Simulation of Simplicity every d+1 distinct ranks are
+        # affinely independent (the perturbed cloud is in general
+        # position), so the paper's assumption holds verbatim: the first
+        # points in insertion order seed the simplex, and no input is
+        # rejected as flat.
+        return list(range(need))
     chosen: list[int] = []
     chosen_pts: list[np.ndarray] = []
     for i in range(n):
@@ -180,10 +188,17 @@ class FacetFactory:
     hull) and the work counters.
     """
 
-    def __init__(self, pts: np.ndarray, interior: np.ndarray, counters: Counters):
+    def __init__(self, pts: np.ndarray, interior: np.ndarray, counters: Counters,
+                 interior_ranks: tuple[int, ...] | None = None):
         self.pts = pts
         self.interior = np.asarray(interior, dtype=np.float64)
         self.counters = counters
+        # Ranks whose (uniform-weight) affine combination the interior
+        # point is -- lets SoS planes classify the reference even when
+        # it lies exactly on a degenerate facet's plane.
+        if interior_ranks is None:
+            interior_ranks = tuple(range(pts.shape[1] + 1))
+        self._interior_combo = (pts[list(interior_ranks)], interior_ranks)
         self._mutex = Mutex()
         self._next_fid = 0
 
@@ -195,7 +210,16 @@ class FacetFactory:
         Thread-safe: the vectorized visibility work runs outside the
         lock; only id allocation and counter updates are serialized.
         """
-        plane = Hyperplane.through(self.pts[list(indices)], self.interior)
+        # Canonicalize to sorted rank order *before* building the plane,
+        # so plane.base_points rows always match Facet.indices -- the
+        # orientation sign a certificate claims is then well-defined
+        # (row permutations flip determinant signs).  Visibility is
+        # invariant: the plane re-orients against the interior either way.
+        indices = tuple(sorted(int(i) for i in indices))
+        plane = Hyperplane.through(
+            self.pts[list(indices)], self.interior,
+            indices=indices, ref_combo=self._interior_combo,
+        )
         candidates = np.asarray(candidates, dtype=np.int64)
         if candidates.size:
             # Drop the d defining indices; a few vector compares beat
@@ -206,7 +230,7 @@ class FacetFactory:
             candidates = candidates[keep]
         n_tests = int(candidates.size)
         if candidates.size:
-            mask = plane.visible_mask(self.pts[candidates])
+            mask = plane.visible_mask(self.pts[candidates], indices=candidates)
             conflicts = candidates[mask]
         else:
             conflicts = candidates
@@ -217,7 +241,7 @@ class FacetFactory:
             self.counters.facets_created += 1
         return Facet(
             fid=fid,
-            indices=tuple(sorted(indices)),
+            indices=indices,
             plane=plane,
             conflicts=conflicts,
         )

@@ -1,22 +1,31 @@
-"""Graceful degradation: the float -> exact -> joggle escalation ladder.
+"""Graceful degradation: the float -> exact -> sos -> joggle ladder.
 
 The paper assumes general position and real arithmetic; real inputs
 offer neither.  :func:`robust_hull` wraps :func:`parallel_hull` in a
-three-rung ladder:
+four-rung ladder:
 
 1. **float** -- the default adaptive predicates (float fast path with
    exact rational recheck inside the error envelope);
 2. **exact** -- every hyperplane built in :func:`exact_mode`, so *all*
    visibility is decided rationally (slow, but immune to any float
    filter bug);
-3. **joggle** -- :func:`joggled_hull`'s seeded perturbation, the last
-   resort for genuinely degenerate (not full-dimensional) clouds.
+3. **sos** -- :func:`~repro.geometry.perturb.sos_mode` Simulation of
+   Simplicity: exact predicates plus deterministic symbolic
+   tie-breaking by insertion rank, so genuinely degenerate clouds
+   (duplicates, not-full-dimensional, cocircular...) yield the
+   canonical simplicial hull of the perturbed points *without touching
+   the input coordinates*;
+4. **joggle** -- :func:`joggled_hull`'s seeded numeric perturbation,
+   the last resort (it changes the input), kept for inputs that defeat
+   even symbolic perturbation and as an explicit opt-out
+   (``allow_sos=False``).
 
-Each rung is attempted, validated, and on :class:`HullSetupError` or
-:class:`HullValidationError` the failure is recorded and the next rung
-tried.  The escalation path ends up both in the result and in the run's
-``exec_stats.escalations`` so chaos reports and experiment logs can see
-which inputs needed which tier.
+Each rung is attempted, validated, **certified** (a
+:class:`~repro.hull.certify.HullCertificate` checked by the independent
+exact verifier -- construction bugs cannot self-approve), and on
+failure the next rung is tried.  The escalation path ends up both in
+the result and in the run's ``exec_stats.escalations`` so chaos reports
+and experiment logs can see which inputs needed which tier.
 """
 
 from __future__ import annotations
@@ -26,7 +35,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..geometry.hyperplane import exact_mode
-from .common import HullSetupError
+from ..geometry.perturb import sos_mode
+from .certify import CertificateError, HullCertificate, make_certificate, verify_certificate
 from .joggle import JoggledHull, joggled_hull
 from .parallel import ParallelHullRun, parallel_hull
 from .validate import HullValidationError, validate_hull
@@ -38,18 +48,21 @@ __all__ = ["RobustHullResult", "robust_hull"]
 class RobustHullResult:
     """Outcome of :func:`robust_hull`.
 
-    ``mode`` is the rung that succeeded (``"float"``, ``"exact"`` or
-    ``"joggle"``); ``run`` the surviving hull run (over joggled
-    coordinates when ``mode == "joggle"``, in which case ``joggled``
-    carries the perturbation provenance).  ``escalations`` is the full
-    path, e.g. ``["float:HullSetupError", "exact:HullSetupError",
-    "joggle:ok[attempts=2]"]``.
+    ``mode`` is the rung that succeeded (``"float"``, ``"exact"``,
+    ``"sos"`` or ``"joggle"``); ``run`` the surviving hull run (over
+    joggled coordinates when ``mode == "joggle"``, in which case
+    ``joggled`` carries the perturbation provenance).  ``escalations``
+    is the full path, e.g. ``["float:HullSetupError",
+    "exact:HullSetupError", "sos:ok"]``.  ``certificate`` is the
+    independently verified :class:`HullCertificate` of the surviving
+    run (None only when ``certify=False``).
     """
 
     run: ParallelHullRun
     mode: str
     escalations: list[str] = field(default_factory=list)
     joggled: JoggledHull | None = None
+    certificate: HullCertificate | None = None
 
     def vertex_indices(self) -> set[int]:
         return self.run.vertex_indices()
@@ -60,49 +73,85 @@ def robust_hull(
     seed: int | None = 0,
     order: np.ndarray | None = None,
     allow_joggle: bool = True,
+    allow_sos: bool = True,
     validate: bool = True,
+    certify: bool = True,
     **hull_kwargs,
 ) -> RobustHullResult:
     """Compute a hull of ``points``, escalating through the predicate
     ladder on failure.
 
-    ``validate=True`` (default) runs :func:`validate_hull` after the
-    float and exact rungs, so a structurally broken hull escalates
-    instead of being returned.  ``allow_joggle=False`` re-raises the
-    exact rung's failure instead of perturbing the input (callers that
-    need the *true* hull of degenerate points should use the
-    configuration-space machinery instead).  Extra keyword arguments are
-    forwarded to :func:`parallel_hull`.
+    ``validate=True`` (default) runs :func:`validate_hull` after every
+    rung, so a structurally broken hull escalates instead of being
+    returned; ``certify=True`` (default) additionally emits a
+    certificate and checks it with the independent exact verifier
+    (recorded as ``"mode:CertificateError"`` when it fails).
+    ``allow_sos=False`` skips symbolic perturbation; with both
+    ``allow_sos=False`` and ``allow_joggle=False`` the exact rung's
+    failure is re-raised (callers that need the *true* face lattice of
+    degenerate points should use
+    :func:`~repro.geometry.perturb.merge_coplanar_facets` on an SoS run
+    instead).  Extra keyword arguments are forwarded to
+    :func:`parallel_hull`.
     """
     points = np.asarray(points, dtype=np.float64)
     escalations: list[str] = []
 
-    def attempt() -> ParallelHullRun:
+    def attempt(mode: str) -> tuple[ParallelHullRun, HullCertificate | None]:
         run = parallel_hull(points, seed=seed, order=order, **hull_kwargs)
         if validate:
             validate_hull(run.facets, run.points)
-        return run
+        cert = None
+        if certify:
+            cert = make_certificate(run, mode)
+            verify_certificate(cert, points)
+        return run, cert
 
-    for mode in ("float", "exact"):
+    rungs = ["float", "exact"] + (["sos"] if allow_sos else [])
+    last_error: Exception | None = None
+    for mode in rungs:
         try:
             if mode == "exact":
                 with exact_mode():
-                    run = attempt()
+                    run, cert = attempt(mode)
+            elif mode == "sos":
+                with sos_mode():
+                    run, cert = attempt(mode)
             else:
-                run = attempt()
-        except (HullSetupError, HullValidationError) as exc:
+                run, cert = attempt(mode)
+        except (ValueError, HullValidationError, CertificateError) as exc:
+            # ValueError covers HullSetupError (its subclass) and the
+            # geometry layer's "orientation reference lies on the
+            # hyperplane" -- a genuinely degenerate reference that only
+            # the SoS rung can break.
             escalations.append(f"{mode}:{type(exc).__name__}")
             last_error = exc
             continue
         escalations.append(f"{mode}:ok")
         run.exec_stats.escalations = list(escalations)
-        return RobustHullResult(run=run, mode=mode, escalations=escalations)
+        return RobustHullResult(
+            run=run, mode=mode, escalations=escalations, certificate=cert
+        )
 
     if not allow_joggle:
         raise last_error
     jh = joggled_hull(points, seed=0 if seed is None else seed, order=order)
+    cert = None
+    if certify:
+        # The certificate speaks about the *joggled* coordinates (that
+        # is the cloud the hull is a hull of); reconstruct them in the
+        # caller's index order from the run's rank-ordered points.
+        joggled_points = np.empty_like(jh.run.points)
+        joggled_points[jh.run.order] = jh.run.points
+        cert = make_certificate(jh.run, "joggle")
+        try:
+            verify_certificate(cert, joggled_points)
+        except CertificateError:
+            escalations.append("joggle:CertificateError")
+            raise
     escalations.append(f"joggle:ok[attempts={jh.attempts}]")
     jh.run.exec_stats.escalations = list(escalations)
     return RobustHullResult(
-        run=jh.run, mode="joggle", escalations=escalations, joggled=jh
+        run=jh.run, mode="joggle", escalations=escalations, joggled=jh,
+        certificate=cert,
     )

@@ -46,9 +46,19 @@ class HullValidationError(AssertionError):
 
 
 def check_containment(facets: list[Facet], points: np.ndarray) -> None:
-    """No input point may be strictly visible from any facet."""
+    """No input point may be strictly visible from any facet.
+
+    For hulls built under SoS the planes resolve exact-zero margins by
+    point rank, so containment here means containment of the *perturbed*
+    cloud -- on-plane points count as outside exactly when the symbolic
+    tie-break says so, making the check as strict as construction.
+    """
+    ranks = np.arange(points.shape[0])
     for f in facets:
-        mask = f.plane.visible_mask(points)
+        if f.plane.sos:
+            mask = f.plane.visible_mask(points, indices=ranks)
+        else:
+            mask = f.plane.visible_mask(points)
         if mask.any():
             bad = int(np.nonzero(mask)[0][0])
             raise HullValidationError(

@@ -20,7 +20,7 @@ from __future__ import annotations
 import threading
 from typing import Any
 
-__all__ = ["AtomicCell", "AtomicFlag", "AtomicCounter", "Mutex"]
+__all__ = ["AtomicCell", "AtomicFlag", "AtomicCounter", "Mutex", "ShardedCounter"]
 
 
 class Mutex:
@@ -109,6 +109,53 @@ class AtomicFlag:
 
     def is_set(self) -> bool:
         return self._set
+
+
+class ShardedCounter:
+    """A statistics counter safe to bump from many threads at once.
+
+    Each thread increments a private shard (no contention, no lost
+    updates from the non-atomic ``int +=`` read-modify-write); readers
+    sum the shards under the registry lock.  ``reset()`` does not touch
+    the shards -- it bumps an *epoch*, so a worker thread caught between
+    "look up my shard" and "increment it" can at worst contribute a
+    stale count to an epoch that already ended, never corrupt the new
+    one.  Totals are exact whenever no increments are concurrently in
+    flight (the quiescent points where tests and the experiment harness
+    read them).
+    """
+
+    __slots__ = ("_lock", "_shards", "_epoch")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = 0
+        # (epoch, thread id) -> per-thread count list [count]
+        self._shards: dict[tuple[int, int], list[int]] = {}
+
+    def add(self, delta: int = 1) -> None:
+        key = (self._epoch, threading.get_ident())
+        shard = self._shards.get(key)
+        if shard is None:
+            with self._lock:
+                shard = self._shards.setdefault(key, [0])
+        # Only this thread writes shard[0]; += here cannot lose updates.
+        shard[0] += delta
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            epoch = self._epoch
+            return sum(v[0] for (e, _), v in self._shards.items() if e == epoch)
+
+    def reset(self) -> None:
+        with self._lock:
+            epoch = self._epoch
+            self._epoch += 1
+            # Drop completed-epoch shards so long sessions don't leak.
+            self._shards = {
+                k: v for k, v in self._shards.items() if k[0] != epoch
+            }
 
 
 class AtomicCounter:

@@ -1,0 +1,118 @@
+"""The adversarial degenerate corpus: every family must be exactly as
+degenerate as it claims (integer ties are exact in float64, near-ties
+are genuinely nonzero), seeded, and correctly labelled."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.geometry.degenerate import CORPUS, corpus_case, corpus_names
+
+
+def exact_affine_rank(pts: np.ndarray) -> int:
+    """Rank of the affine span, computed in rational arithmetic."""
+    rows = [
+        [Fraction(float(x)) - Fraction(float(b)) for x, b in zip(p, pts[0])]
+        for p in pts[1:]
+    ]
+    rank = 0
+    n_rows = len(rows)
+    n_cols = len(rows[0])
+    for col in range(n_cols):
+        pivot = next((i for i in range(rank, n_rows) if rows[i][col] != 0), None)
+        if pivot is None:
+            continue
+        rows[rank], rows[pivot] = rows[pivot], rows[rank]
+        inv = 1 / rows[rank][col]
+        for i in range(rank + 1, n_rows):
+            f = rows[i][col] * inv
+            if f:
+                for j in range(col, n_cols):
+                    rows[i][j] -= f * rows[rank][j]
+        rank += 1
+    return rank
+
+
+class TestRegistry:
+    def test_names_and_lookup(self):
+        names = corpus_names()
+        assert len(names) == len(set(names)) == len(CORPUS)
+        for name in names:
+            assert CORPUS[name].name == name
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(KeyError):
+            corpus_case("klein-bottle")
+
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_shape_and_finiteness(self, name):
+        fam = CORPUS[name]
+        pts = corpus_case(name, seed=0)
+        assert pts.shape[1] == fam.d
+        assert pts.shape[0] >= fam.d + 1
+        assert np.isfinite(pts).all()
+
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_seed_determinism(self, name):
+        a = corpus_case(name, seed=5)
+        b = corpus_case(name, seed=5)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("name", corpus_names())
+    def test_full_dim_flag_is_truthful(self, name):
+        fam = CORPUS[name]
+        for seed in (0, 1):
+            rank = exact_affine_rank(corpus_case(name, seed=seed))
+            if fam.full_dim:
+                assert rank == fam.d, f"{name} claims full-dim, rank {rank}"
+            else:
+                assert rank < fam.d, f"{name} claims rank-deficient, rank {rank}"
+
+
+class TestExactDegeneracy:
+    def test_duplicates_are_exact(self):
+        for name in ("duplicates-2d", "duplicates-3d"):
+            pts = corpus_case(name, seed=0)
+            uniq = np.unique(pts, axis=0)
+            assert len(uniq) < len(pts)
+
+    def test_all_coincident(self):
+        pts = corpus_case("all-coincident", seed=3)
+        assert (pts == pts[0]).all()
+
+    def test_collinear_is_exactly_rank_one(self):
+        for seed in range(4):
+            assert exact_affine_rank(corpus_case("collinear-3d", seed=seed)) == 1
+
+    def test_near_collinear_is_full_rank_but_flat(self):
+        pts = corpus_case("near-collinear-3d", seed=0)
+        assert exact_affine_rank(pts) == 3
+        # ... yet flat enough that the smallest singular value of the
+        # edge matrix is at rounding scale.
+        sv = np.linalg.svd(pts - pts[0], compute_uv=False)
+        assert sv[-1] < 1e-12 * sv[0]
+
+    def test_cocircular_is_exact(self):
+        pts = corpus_case("cocircular", seed=0)
+        on_ring = [p for p in pts if (p != 0.0).any()]
+        assert len(on_ring) == 12
+        for p in on_ring:
+            assert Fraction(float(p[0])) ** 2 + Fraction(float(p[1])) ** 2 == 25
+
+    def test_cospherical_is_exact(self):
+        pts = corpus_case("cospherical", seed=0)
+        assert len(pts) == 30
+        assert len(np.unique(pts, axis=0)) == 30
+        for p in pts:
+            assert sum(Fraction(float(x)) ** 2 for x in p) == 9
+
+    def test_near_ties_are_nonzero(self):
+        # The jitter must be real (else the family degenerates into the
+        # plain grid and tests nothing new).
+        for name, grid_name in (("near-ties-2d", "grid-2d"),
+                                ("near-ties-3d", "grid-3d")):
+            jittered = np.sort(corpus_case(name, seed=0), axis=0)
+            grid = np.sort(corpus_case(grid_name, seed=0), axis=0)
+            assert not np.array_equal(jittered, grid)
+            assert np.abs(jittered - grid).max() < 1e-11

@@ -1,0 +1,147 @@
+"""Simulation of Simplicity: the symbolic perturbation layer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import STATS, orient_exact
+from repro.geometry.perturb import (
+    merge_coplanar_facets,
+    orient_sos,
+    orient_sos_combo,
+    sos_active,
+    sos_exponent,
+    sos_mode,
+)
+
+
+class TestExponents:
+    def test_distinct_powers_of_two(self):
+        # Every (index, coord) pair gets a distinct power of two, so no
+        # subset of perturbation monomials can cancel.
+        seen = set()
+        for i in range(6):
+            for j in range(3):
+                e = sos_exponent(i, j, 3)
+                assert e == 1 << (i * 3 + j)
+                assert e not in seen
+                seen.add(e)
+
+    def test_lower_rank_larger_perturbation(self):
+        # epsilon^small dominates epsilon^large as eps -> 0+: rank 0
+        # moves "more" than rank 1, which is what makes the tie-break
+        # deterministic in insertion order.
+        assert sos_exponent(0, 0, 2) < sos_exponent(1, 0, 2)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            sos_exponent(-1, 0, 2)
+        with pytest.raises(ValueError):
+            sos_exponent(0, 2, 2)
+
+
+class TestOrientSos:
+    def test_matches_exact_when_nondegenerate(self):
+        simplex = np.array([[0.0, 0.0], [1.0, 0.0]])
+        q = np.array([0.5, 1.0])
+        assert orient_sos(simplex, (0, 1), q, 2) == orient_exact(simplex, q)
+
+    def test_collinear_breaks_nonzero(self):
+        simplex = np.array([[0.0, 0.0], [1.0, 0.0]])
+        q = np.array([2.0, 0.0])
+        assert orient_exact(simplex, q) == 0
+        s = orient_sos(simplex, (0, 1), q, 2)
+        assert s in (-1, 1)
+
+    def test_deterministic(self):
+        simplex = np.array([[0.0, 0.0], [1.0, 0.0]])
+        q = np.array([2.0, 0.0])
+        first = orient_sos(simplex, (0, 1), q, 2)
+        assert all(
+            orient_sos(simplex, (0, 1), q, 2) == first for _ in range(5)
+        )
+
+    def test_row_swap_flips_sign(self):
+        simplex = np.array([[0.0, 0.0], [1.0, 0.0]])
+        q = np.array([2.0, 0.0])
+        s = orient_sos(simplex, (0, 1), q, 2)
+        swapped = orient_sos(simplex[::-1].copy(), (1, 0), q, 2)
+        assert swapped == -s
+
+    def test_coincident_points_resolved_by_rank(self):
+        # All-equal points: float geometry is a single point, yet every
+        # sign is resolved -- purely by the symbolic part.
+        p = np.array([1.5, -2.5])
+        s = orient_sos(np.array([p, p]), (0, 1), p, 2)
+        assert s in (-1, 1)
+
+    def test_repeated_index_rejected(self):
+        simplex = np.array([[0.0, 0.0], [1.0, 0.0]])
+        with pytest.raises(ValueError):
+            orient_sos(simplex, (0, 1), simplex[0], 0)
+
+    def test_counts_sos_calls(self):
+        STATS.reset()
+        simplex = np.array([[0.0, 0.0], [1.0, 0.0]])
+        orient_sos(simplex, (0, 1), np.array([2.0, 0.0]), 2)
+        assert STATS.sos_calls >= 1
+
+
+class TestOrientSosCombo:
+    def test_on_plane_combo_resolved(self):
+        # Centroid of three collinear points lies exactly on the line
+        # through the first two; the combination's epsilon terms decide.
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [4.0, 0.0]])
+        s = orient_sos_combo(pts[:2], (0, 1), pts, (0, 1, 2))
+        assert s in (-1, 1)
+
+    def test_matches_exact_when_off_plane(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 3.0]])
+        s = orient_sos_combo(pts[:2], (0, 1), pts, (0, 1, 2))
+        centroid = pts.mean(axis=0)
+        assert s == orient_exact(pts[:2], centroid)
+
+    def test_requires_outside_index(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        with pytest.raises(ValueError):
+            orient_sos_combo(pts, (0, 1), pts, (0, 1))
+
+
+class TestSosMode:
+    def test_inactive_by_default(self):
+        assert not sos_active()
+
+    def test_nesting_and_restore(self):
+        with sos_mode():
+            assert sos_active()
+            with sos_mode():
+                assert sos_active()
+            assert sos_active()
+        assert not sos_active()
+
+
+class TestMergeCoplanarFacets:
+    def test_cube_merges_to_six_squares(self):
+        from repro.hull import parallel_hull, validate_hull
+
+        corners = np.array(
+            [[float(x), float(y), float(z)]
+             for x in (0, 1) for y in (0, 1) for z in (0, 1)]
+        )
+        with sos_mode():
+            run = parallel_hull(corners, seed=0)
+        validate_hull(run.facets, run.points)
+        assert len(run.facets) == 12  # simplicial: each square split
+        merged = [m for m in merge_coplanar_facets(run.facets, run.points)
+                  if not m.degenerate]
+        assert len(merged) == 6
+        for m in merged:
+            assert len(m.vertices) == 4
+
+    def test_generic_hull_unchanged(self):
+        from repro.geometry import uniform_ball
+        from repro.hull import parallel_hull
+
+        pts = uniform_ball(30, 3, seed=7)
+        run = parallel_hull(pts, seed=1)
+        merged = merge_coplanar_facets(run.facets, run.points)
+        assert len(merged) == len(run.facets)

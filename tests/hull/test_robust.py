@@ -1,5 +1,7 @@
 """The float -> exact -> joggle graceful-degradation ladder."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -7,8 +9,17 @@ from repro.geometry import integer_grid, uniform_ball
 from repro.geometry.hyperplane import Hyperplane, exact_mode
 from repro.hull import HullSetupError, parallel_hull, robust_hull, validate_hull
 
+# Tests below that assert a plane is *not* always-exact outside
+# exact_mode() describe the default configuration; REPRO_FORCE_EXACT
+# deliberately makes every plane exact process-wide.
+float_path_only = pytest.mark.skipif(
+    os.environ.get("REPRO_FORCE_EXACT", "0") not in ("", "0"),
+    reason="asserts the float fast path, which REPRO_FORCE_EXACT disables",
+)
+
 
 class TestExactMode:
+    @float_path_only
     def test_forces_always_exact_planes(self):
         pts = np.array([[0.0, 0.0, 1.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
         ref = np.array([0.2, 0.2, 0.2])
@@ -21,6 +32,7 @@ class TestExactMode:
         assert plane.side(np.array([5.0, 5.0, 5.0])) == 1
         assert plane.side(ref) == -1
 
+    @float_path_only
     def test_nesting_and_restore(self):
         pts = np.array([[0.0, 0.0], [1.0, 0.0]])
         ref = np.array([0.5, -1.0])
@@ -50,12 +62,28 @@ class TestRobustHull:
         assert res.joggled is None
         assert res.vertex_indices() == parallel_hull(pts, seed=0).vertex_indices()
 
-    def test_degenerate_input_falls_through_to_joggle(self):
+    def test_degenerate_input_stops_at_sos(self):
         # Coplanar cloud in 3D: not full-dimensional, so float AND exact
-        # both raise HullSetupError and only joggling can succeed.
+        # both raise HullSetupError; symbolic perturbation succeeds
+        # without touching the input, so joggle is never reached.
         flat = np.zeros((25, 3))
         flat[:, :2] = uniform_ball(25, 2, seed=1)
         res = robust_hull(flat, seed=0)
+        assert res.mode == "sos"
+        assert res.escalations == [
+            "float:HullSetupError",
+            "exact:HullSetupError",
+            "sos:ok",
+        ]
+        assert res.run.exec_stats.escalations == res.escalations
+        assert res.joggled is None
+        assert res.certificate is not None and res.certificate.sos
+        assert res.run.facets
+
+    def test_degenerate_input_falls_through_to_joggle_without_sos(self):
+        flat = np.zeros((25, 3))
+        flat[:, :2] = uniform_ball(25, 2, seed=1)
+        res = robust_hull(flat, seed=0, allow_sos=False)
         assert res.mode == "joggle"
         assert res.escalations == [
             "float:HullSetupError",
@@ -65,13 +93,14 @@ class TestRobustHull:
         assert res.run.exec_stats.escalations == res.escalations
         assert res.joggled is not None
         assert res.joggled.attempt_log[-1][1] == "ok"
+        assert res.certificate is not None and res.certificate.mode == "joggle"
         assert res.run.facets
 
     def test_allow_joggle_false_reraises(self):
         flat = np.zeros((25, 3))
         flat[:, :2] = uniform_ball(25, 2, seed=1)
         with pytest.raises(HullSetupError):
-            robust_hull(flat, allow_joggle=False)
+            robust_hull(flat, allow_joggle=False, allow_sos=False)
 
     def test_escalates_on_validation_failure(self, monkeypatch):
         # Force the float rung to produce an invalid hull: the ladder

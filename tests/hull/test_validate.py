@@ -1,6 +1,8 @@
 """Tests for the hull validators themselves (they must catch broken
 hulls, not just bless good ones)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -51,6 +53,33 @@ class TestNegative:
     def test_wrong_2d_count(self, good_run):
         with pytest.raises(HullValidationError):
             check_counts(good_run.facets[:-1], 2)
+
+    @pytest.mark.skipif(
+        os.environ.get("REPRO_FORCE_EXACT", "0") not in ("", "0"),
+        reason="mutates the float normal, which always-exact planes "
+        "never consult (they re-derive the side from base_points)",
+    )
+    def test_flipped_orientation_breaks_containment(self, good_run):
+        # Mutation: flip one facet's plane so its "visible" half-space
+        # points inward.  Every strictly interior point then reads as
+        # outside -- the validator must notice, not just re-derive the
+        # stored orientation and bless it.
+        plane = good_run.facets[0].plane
+        plane.normal = -plane.normal
+        plane.offset = -plane.offset
+        with pytest.raises(HullValidationError):
+            check_containment(good_run.facets, good_run.points)
+
+    def test_duplicate_facet_breaks_manifold(self, good_run):
+        # Mutation: duplicate a facet under a fresh id.  Each of its
+        # ridges then has incidence 2 + 1, violating "every ridge is
+        # shared by exactly two facets".
+        from dataclasses import replace
+
+        f = good_run.facets[0]
+        dup = replace(f, fid=max(x.fid for x in good_run.facets) + 1)
+        with pytest.raises(HullValidationError):
+            check_ridge_manifold(good_run.facets + [dup])
 
 
 class TestBruteForce:

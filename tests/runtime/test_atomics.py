@@ -155,3 +155,77 @@ class TestMutex:
             t.join()
         # With mutual exclusion each append saw the true length.
         assert hits == list(range(1200))
+
+
+class TestShardedCounter:
+    def test_single_thread_value(self):
+        from repro.runtime.atomics import ShardedCounter
+
+        c = ShardedCounter()
+        c.add(3)
+        c.add(4)
+        assert c.value == 7
+        c.reset()
+        assert c.value == 0
+        c.add(1)
+        assert c.value == 1
+
+    def test_concurrent_adds_all_counted(self):
+        # Regression: these used to be plain ``int +=`` on a shared
+        # object -- a read-modify-write that silently loses updates
+        # under the thread executors.  Per-thread shards make each
+        # write exclusive to its owner.
+        from repro.runtime.atomics import ShardedCounter
+
+        c = ShardedCounter()
+        n_threads, per_thread = 8, 2000
+
+        def work():
+            for _ in range(per_thread):
+                c.add(1)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * per_thread
+
+    def test_reset_discards_stale_shards(self):
+        from repro.runtime.atomics import ShardedCounter
+
+        c = ShardedCounter()
+        c.add(5)
+
+        t = threading.Thread(target=lambda: c.add(7))
+        t.start()
+        t.join()
+        assert c.value == 12
+        c.reset()
+        # A reset mid-life must not resurrect pre-reset shards, even
+        # ones owned by threads that no longer exist.
+        c.add(2)
+        assert c.value == 2
+
+
+class TestPredicateStatsConcurrency:
+    def test_concurrent_predicate_counts_exact(self):
+        from repro.geometry.predicates import PredicateStats
+
+        stats = PredicateStats()
+        n_threads, per_thread = 6, 1500
+
+        def work():
+            for _ in range(per_thread):
+                stats.count_float()
+                stats.count_exact(2)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = stats.snapshot()
+        assert snap["float_calls"] == n_threads * per_thread
+        assert snap["exact_calls"] == 2 * n_threads * per_thread
+        assert snap["sos_calls"] == 0

@@ -98,3 +98,47 @@ class TestChaosCommand:
     def test_unknown_budget_rejected(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--budget", "galactic"])
+
+
+class TestCertifyCommand:
+    def test_workload_certified(self, capsys):
+        main(["certify", "--n", "60", "--d", "3", "--seed", "2"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["verified"] is True
+        assert out["mode"] == "float"
+        assert out["escalations"] == ["float:ok"]
+        assert out["facets"] > 0
+
+    def test_degenerate_family(self, capsys):
+        main(["certify", "--family", "coplanar-3d"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["source"] == "coplanar-3d"
+        assert out["mode"] == "sos"
+        assert out["sos"] is True
+        assert out["verified"] is True
+
+    def test_corruption_rejected(self, capsys):
+        # Exit 0 with rejected=True is the self-test passing: the
+        # verifier caught the deliberately corrupted certificate.
+        for mode in ("drop-facet", "flip-orientation", "duplicate-ridge"):
+            main(["certify", "--family", "grid-2d", "--corrupt", mode])
+            out = json.loads(capsys.readouterr().out)
+            assert out["rejected"] is True, mode
+            assert out["rejection_error"]
+
+    def test_certificate_file_written(self, capsys, tmp_path):
+        dest = tmp_path / "cert.json"
+        main(["certify", "--n", "40", "--d", "2", "--json-out", str(dest)])
+        out = json.loads(capsys.readouterr().out)
+        assert out["certificate_file"] == str(dest)
+        blob = json.loads(dest.read_text())
+        assert blob["schema"].startswith("repro-hull-certificate/")
+        assert len(blob["facets"]) == out["facets"]
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "--family", "moebius"])
+
+    def test_unknown_corruption_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["certify", "--corrupt", "gamma-rays"])

@@ -23,8 +23,17 @@ set, ChaosThreadExecutor runs must survive worker deaths, and random
 multimap ops frozen forever at a random yield point must never block
 the others (lock-freedom, Theorem A.1/5.5).
 
+``--degenerate`` fuzzes the adversarial corpus
+(:mod:`repro.geometry.degenerate`): every family x random seed must
+climb the robust ladder without ever joggling, the resulting
+certificate must survive verification while a randomly corrupted copy
+must be rejected, and the SoS hull must be *canonical* -- serial,
+round-synchronous and free-threaded executions of the same insertion
+order must produce the identical facet set over original indices.
+
 Run:  python tools/fuzz.py [--iterations N] [--seed S] [--verbose]
       python tools/fuzz.py --chaos [--duration SECS]
+      python tools/fuzz.py --degenerate [--duration SECS]
 """
 
 from __future__ import annotations
@@ -217,6 +226,66 @@ def one_chaos_case(rng: np.random.Generator, verbose: bool) -> str | None:
     return None
 
 
+def one_degenerate_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Fuzz one (family, seed) pair from the adversarial degenerate
+    corpus; returns an error description or None."""
+    from repro.geometry.degenerate import CORPUS
+    from repro.geometry.perturb import sos_mode
+    from repro.hull import robust_hull
+    from repro.hull.certify import (
+        CORRUPTION_MODES,
+        CertificateError,
+        corrupt_certificate,
+        verify_certificate,
+    )
+
+    names = list(CORPUS)
+    name = names[int(rng.integers(0, len(names)))]
+    family = CORPUS[name]
+    seed = int(rng.integers(0, 2**31))
+    label = f"degenerate[{name}](seed={seed})"
+    if verbose:
+        print(f"  {label}")
+    pts = family(seed)
+    try:
+        res = robust_hull(pts, seed=seed)
+        if res.mode == "joggle":
+            return f"{label}: reached joggle ({res.escalations})"
+        if not family.full_dim and res.mode != "sos":
+            return f"{label}: expected sos rung, got {res.mode}"
+        # The verifier must reject a corrupted copy of the (verified)
+        # certificate robust_hull just produced.
+        mode = CORRUPTION_MODES[int(rng.integers(0, len(CORRUPTION_MODES)))]
+        corrupted = corrupt_certificate(res.certificate, mode, seed=seed)
+        try:
+            verify_certificate(corrupted, pts)
+            return f"{label}: corrupted certificate ({mode}) was accepted"
+        except CertificateError:
+            pass
+        # Canonical SoS hull: all execution disciplines must agree on
+        # the facet set (over original indices) for one insertion order.
+        n = len(pts)
+        order = np.random.default_rng(seed + 1).permutation(n)
+        with sos_mode():
+            ref = None
+            for ex, mm in (
+                (SerialExecutor(), "dict"),
+                (RoundExecutor(), "dict"),
+                (ThreadExecutor(2), "cas"),
+            ):
+                run = parallel_hull(pts, order=order.copy(), executor=ex, multimap=mm)
+                validate_hull(run.facets, run.points)
+                fs = facet_sets_global(run.facets, run.order)
+                if ref is None:
+                    ref = fs
+                elif fs != ref:
+                    return (f"{label}: SoS facet set differs under "
+                            f"{type(ex).__name__}")
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return f"{label}: exception {type(exc).__name__}: {exc}"
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--iterations", type=int, default=100)
@@ -224,12 +293,19 @@ def main() -> int:
     ap.add_argument("--verbose", action="store_true")
     ap.add_argument("--chaos", action="store_true",
                     help="fuzz (input, schedule, fault plan) triples instead")
+    ap.add_argument("--degenerate", action="store_true",
+                    help="fuzz the adversarial degenerate corpus instead")
     ap.add_argument("--duration", type=float, default=None, metavar="SECS",
                     help="run until the wall-clock budget expires "
                          "(overrides --iterations)")
     args = ap.parse_args()
     rng = np.random.default_rng(args.seed)
-    cases = (one_chaos_case,) if args.chaos else (one_case, one_multimap_case)
+    if args.chaos:
+        cases = (one_chaos_case,)
+    elif args.degenerate:
+        cases = (one_degenerate_case,)
+    else:
+        cases = (one_case, one_multimap_case)
     deadline = None if args.duration is None else time.monotonic() + args.duration
     failures = 0
     i = 0
@@ -247,7 +323,8 @@ def main() -> int:
         i += 1
         if i % 20 == 0 and not args.verbose and not failures:
             print(f"  ... {i} iterations ok")
-    kind = "chaos" if args.chaos else "differential"
+    kind = ("chaos" if args.chaos
+            else "degenerate" if args.degenerate else "differential")
     if failures:
         print(f"{failures} failing cases out of {i} {kind} iterations")
         return 1
