@@ -3,11 +3,14 @@ work accounting, and simulated speedup curves."""
 
 from .crcw import CRCWSpanReport, crcw_span
 from .depth import DepthCampaign, DepthSample, fit_log_slope, measure_hull_depths
+from .kernelbench import KERNEL_BENCH_SCHEMA, run_kernel_bench
 from .work import WorkComparison, compare_work, speedup_table, work_scaling
 
 __all__ = [
     "CRCWSpanReport",
     "crcw_span",
+    "KERNEL_BENCH_SCHEMA",
+    "run_kernel_bench",
     "DepthCampaign",
     "DepthSample",
     "fit_log_slope",

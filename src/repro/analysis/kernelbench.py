@@ -1,0 +1,223 @@
+"""E19: batched predicate kernels vs the scalar oracle.
+
+The batched kernel (:mod:`repro.geometry.kernels`) claims two things:
+bit-identical signs to the scalar path, and a large constant-factor
+speedup on the visibility tests that dominate hull work.  This module
+measures the second claim (the first is the differential suite's job,
+but every measurement here re-asserts agreement anyway): for each
+``(n, d)`` it times three engines deciding the *same* (facet x
+candidate) visibility block --
+
+``scalar``
+    one :meth:`~repro.geometry.hyperplane.Hyperplane.side` call per
+    (facet, point) pair: the per-call oracle the predicates are
+    specified against;
+``masked``
+    one :meth:`~repro.geometry.hyperplane.Hyperplane.visible_mask`
+    call per facet: the pre-existing per-facet vectorized path;
+``batch``
+    one :meth:`~repro.geometry.kernels.BatchKernel.visible_blocks`
+    sweep for the whole ragged block.
+
+and reports median wall times, speedups, and the filter-fallback rate
+(the fraction of signs the float envelope could not certify).  An
+optional end-to-end section runs ``sequential_hull`` under both
+``kernel=`` engines and checks facet-set equality.
+
+Results are JSON-shaped for ``BENCH_kernels.json`` (consumed by
+EXPERIMENTS.md's E19 table and the ``kernels-smoke`` CI job via
+``benchmarks/bench_kernels.py`` or ``repro bench-kernels``).
+"""
+
+from __future__ import annotations
+
+import time
+from statistics import median
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.hyperplane import Hyperplane
+from ..geometry.kernels import BatchKernel
+from ..geometry.points import uniform_ball
+from ..hull.sequential import sequential_hull
+
+__all__ = ["run_kernel_bench", "KERNEL_BENCH_SCHEMA"]
+
+KERNEL_BENCH_SCHEMA = "repro.bench.kernels/1"
+
+
+def _facet_specs(
+    pts: np.ndarray, n_facets: int, rng: np.random.Generator
+) -> tuple[list[Hyperplane], list[tuple[int, ...]], list[np.ndarray]]:
+    """Build ``n_facets`` well-defined planes through random d-subsets,
+    each tested against every other point -- the dense analogue of the
+    hull's ragged conflict blocks."""
+    n, d = pts.shape
+    interior = pts.mean(axis=0)
+    planes: list[Hyperplane] = []
+    idx_list: list[tuple[int, ...]] = []
+    cand_list: list[np.ndarray] = []
+    everything = np.arange(n, dtype=np.int64)
+    while len(planes) < n_facets:
+        idx = tuple(sorted(int(i) for i in rng.choice(n, size=d, replace=False)))
+        try:
+            plane = Hyperplane.through(pts[list(idx)], interior, indices=idx)
+        except ValueError:
+            continue  # interior exactly on the plane: redraw
+        if plane.always_exact:
+            continue  # degenerate draw would bench the exact path only
+        keep = np.ones(n, dtype=bool)
+        keep[list(idx)] = False
+        planes.append(plane)
+        idx_list.append(idx)
+        cand_list.append(everything[keep])
+    return planes, idx_list, cand_list
+
+
+def _time(fn, repeats: int) -> tuple[float, object]:
+    """Median wall time of ``fn`` over ``repeats`` runs, plus its last
+    return value."""
+    times = []
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        times.append(time.perf_counter() - t0)
+    return float(median(times)), out
+
+
+def _predicate_row(
+    n: int, d: int, n_facets: int, repeats: int, seed: int
+) -> dict:
+    rng = np.random.default_rng(seed)
+    pts = uniform_ball(n, d, seed=seed)
+    planes, idx_list, cand_list = _facet_specs(pts, n_facets, rng)
+    tests = sum(int(c.size) for c in cand_list)
+
+    def scalar() -> list[np.ndarray]:
+        out = []
+        for plane, cands in zip(planes, cand_list):
+            out.append(
+                np.array([plane.side(pts[r], int(r)) > 0 for r in cands], dtype=bool)
+            )
+        return out
+
+    def masked() -> list[np.ndarray]:
+        return [
+            plane.visible_mask(pts[cands], indices=cands)
+            for plane, cands in zip(planes, cand_list)
+        ]
+
+    def batch() -> list[np.ndarray]:
+        # Fresh cache-less kernel per run: timings measure the sweep,
+        # not cache replay of the previous repeat.
+        kern = BatchKernel(pts, cache=False)
+        return kern.visible_blocks(planes, idx_list, cand_list)
+
+    scalar_s, scalar_masks = _time(scalar, repeats)
+    masked_s, masked_masks = _time(masked, repeats)
+    batch_s, batch_masks = _time(batch, repeats)
+
+    for a, b, c in zip(scalar_masks, masked_masks, batch_masks):
+        if not (np.array_equal(a, b) and np.array_equal(a, c)):
+            raise AssertionError(f"engine disagreement at n={n} d={d}")
+
+    # Fallback + cache statistics from one instrumented cached sweep.
+    kern = BatchKernel(pts, cache=True)
+    kern.visible_blocks(planes, idx_list, cand_list)
+    kern.visible_blocks(planes, idx_list, cand_list)  # pure cache replay
+    snap = kern.snapshot()
+    cache = kern.cache.snapshot() if kern.cache is not None else {}
+    return {
+        "n": n,
+        "d": d,
+        "facets": len(planes),
+        "tests": tests,
+        "scalar_s": scalar_s,
+        "masked_s": masked_s,
+        "batch_s": batch_s,
+        "speedup_vs_scalar": scalar_s / batch_s if batch_s else float("inf"),
+        "speedup_vs_masked": masked_s / batch_s if batch_s else float("inf"),
+        "fallbacks": snap["fallbacks"],
+        "fallback_rate": snap["fallbacks"] / max(1, snap["batched_signs"]),
+        "cache_hits": cache.get("cache_hits", 0),
+        "cache_misses": cache.get("cache_misses", 0),
+    }
+
+
+def _hull_row(n: int, d: int, repeats: int, seed: int) -> dict:
+    pts = uniform_ball(n, d, seed=seed + 17)
+    order = np.random.default_rng(seed).permutation(n)
+
+    scalar_s, scalar_res = _time(
+        lambda: sequential_hull(pts, order=order.copy(), kernel="scalar"), repeats
+    )
+    batch_s, batch_res = _time(
+        lambda: sequential_hull(pts, order=order.copy(), kernel="batch"), repeats
+    )
+    return {
+        "n": n,
+        "d": d,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "speedup": scalar_s / batch_s if batch_s else float("inf"),
+        "same_facets": scalar_res.facet_keys() == batch_res.facet_keys(),
+        "hull_facets": len(scalar_res.facet_keys()),
+    }
+
+
+def run_kernel_bench(
+    ns: Sequence[int] | None = None,
+    ds: Sequence[int] = (2, 3),
+    hull_ns: Sequence[int] | None = None,
+    n_facets: int = 24,
+    repeats: int = 3,
+    seed: int = 0,
+    smoke: bool = False,
+) -> dict:
+    """Run the E19 campaign and return the ``BENCH_kernels.json`` dict.
+
+    ``smoke=True`` shrinks sizes/repeats for CI (correctness of the
+    harness, not meaningful timings).  The full run covers ``n >= 1e4``
+    where the acceptance criterion (batched >= 3x scalar median
+    speedup on visibility testing) is evaluated.
+    """
+    if smoke:
+        ns = ns or (256, 1024)
+        hull_ns = hull_ns or (300,)
+        repeats = min(repeats, 2)
+        n_facets = min(n_facets, 8)
+    else:
+        ns = ns or (1_000, 10_000, 20_000)
+        hull_ns = hull_ns or (2_000,)
+
+    rows = [
+        _predicate_row(n, d, n_facets, repeats, seed + 31 * n + d)
+        for d in ds
+        for n in ns
+    ]
+    hull_rows = [
+        _hull_row(n, d, repeats, seed + 7 * n + d) for d in ds for n in hull_ns
+    ]
+
+    speedups = [r["speedup_vs_scalar"] for r in rows]
+    large = [r["speedup_vs_scalar"] for r in rows if r["n"] >= 10_000]
+    summary = {
+        "median_speedup_vs_scalar": float(median(speedups)) if speedups else 0.0,
+        "median_speedup_large_n": float(median(large)) if large else None,
+        "criterion_3x_at_1e4": bool(large) and median(large) >= 3.0,
+        "max_fallback_rate": max((r["fallback_rate"] for r in rows), default=0.0),
+        "all_hulls_identical": all(r["same_facets"] for r in hull_rows),
+    }
+    return {
+        "schema": KERNEL_BENCH_SCHEMA,
+        "smoke": smoke,
+        "seed": seed,
+        "repeats": repeats,
+        "ns": list(ns),
+        "ds": list(ds),
+        "rows": rows,
+        "hull_rows": hull_rows,
+        "summary": summary,
+    }

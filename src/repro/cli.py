@@ -15,6 +15,8 @@ Commands
 ``lint``      static concurrency/robustness checks (rules RPR001-RPR005)
 ``race-check``  dynamic happens-before race check of the multimap (E16)
 ``chaos``     fault-injection suite: stall sweeps + crash/delay roundtrips (E17)
+``bench-kernels``  scalar vs batched predicate kernels, filter-fallback
+              rates, sign-cache stats (E19)
 
 Examples
 --------
@@ -67,13 +69,15 @@ def cmd_hull(args) -> None:
     pts = _points(args)
     executor = EXECUTORS[args.executor](args)
     multimap = "cas" if args.executor == "threads" else "dict"
-    run = parallel_hull(pts, seed=args.seed + 1, executor=executor, multimap=multimap)
+    run = parallel_hull(pts, seed=args.seed + 1, executor=executor, multimap=multimap,
+                        kernel=args.kernel)
     validate_hull(run.facets, run.points)
     out = {
         "n": args.n,
         "d": args.d,
         "workload": args.workload,
         "executor": args.executor,
+        "kernel": run.exec_stats.kernel_stats,
         "hull_facets": len(run.facets),
         "hull_vertices": len(run.vertex_indices()),
         "facets_created": len(run.created),
@@ -271,6 +275,19 @@ def cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_bench_kernels(args) -> None:
+    from .analysis.kernelbench import run_kernel_bench
+
+    report = run_kernel_bench(seed=args.seed, smoke=args.smoke)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+
+
 def _figure1(args) -> None:
     from .geometry import figure1_points
 
@@ -315,6 +332,9 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--executor", default="rounds", choices=sorted(EXECUTORS))
     p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--kernel", default="scalar", choices=["scalar", "batch"],
+                   help="visibility engine: per-facet scalar oracle or "
+                        "batched einsum sweeps with exact fallback")
     p.set_defaults(fn=cmd_hull)
 
     p = sub.add_parser("depth", help="depth-vs-n campaign (E1)")
@@ -392,6 +412,15 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["small", "medium", "large"],
                    help="how much chaos to run (small fits in CI)")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("bench-kernels",
+                       help="scalar vs batched predicate kernels (E19)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="small sizes / few repeats (CI harness check)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSON report here instead of stdout")
+    p.set_defaults(fn=cmd_bench_kernels)
 
     return parser
 

@@ -3,6 +3,14 @@ facet/ridge value types, and seeded workload generators."""
 
 from .degenerate import CORPUS, DegenerateFamily, corpus_case, corpus_names
 from .hyperplane import Hyperplane
+from .kernels import (
+    KERNEL_STATS,
+    BatchKernel,
+    KernelStats,
+    SignCache,
+    filter_scale,
+    orient_batch,
+)
 from .linalg import det_exact, det_with_error_bound, sign_exact
 from .points import (
     anisotropic,
@@ -36,6 +44,12 @@ __all__ = [
     "corpus_case",
     "corpus_names",
     "Hyperplane",
+    "KERNEL_STATS",
+    "BatchKernel",
+    "KernelStats",
+    "SignCache",
+    "filter_scale",
+    "orient_batch",
     "MergedFacet",
     "merge_coplanar_facets",
     "orient_sos",

@@ -1,0 +1,433 @@
+"""Batched NumPy predicate kernels with an exact-filter fallback.
+
+The hull algorithms spend almost all of their work on *visibility
+tests* -- "is point q strictly outside the hyperplane of facet t?" --
+the unit Theorem 5.4 counts.  The scalar path evaluates them one
+:func:`~repro.geometry.predicates.orient` call (or one
+:meth:`~repro.geometry.hyperplane.Hyperplane.side` call) at a time;
+this module evaluates whole (facet x candidate-point) blocks in one
+``einsum`` sweep over precomputed cofactor normals.
+
+The fast path is *filtered*, exactly like the scalar predicates: each
+batched margin comes with the same conservative forward error envelope
+that :class:`~repro.geometry.hyperplane.Hyperplane` attaches to its
+float normal, and every entry whose margin falls inside the envelope is
+re-decided by the existing scalar ladder (exact rational arithmetic,
+then Simulation-of-Simplicity tie-breaking on SoS planes).  The batch
+kernel therefore cannot *silently* disagree with the scalar oracle: it
+either proves a sign with the float filter or delegates the entry to
+the very code path the scalar predicates use -- the differential suite
+under ``tests/differential/`` pins this down input class by input
+class, including the adversarial degenerate corpus.
+
+Three consumers:
+
+* :func:`orient_batch` -- a standalone (F, d, d) x (Q, d) -> (F, Q)
+  sign kernel, the differential-testing surface against scalar
+  :func:`~repro.geometry.predicates.orient`;
+* :class:`BatchKernel` -- the hull-facing engine used by
+  :class:`~repro.hull.common.FacetFactory` when a hull is run with
+  ``kernel="batch"``: it sweeps ragged per-facet candidate blocks in
+  one flattened einsum and carries the per-run sign cache;
+* :class:`SignCache` -- visibility decisions keyed by (facet identity,
+  point rank).  Facet identity is the sorted defining-index tuple (the
+  creation ``fid`` is *not* stable across chaos rollbacks, which is
+  precisely when a facet is re-created with the same geometry and the
+  cache pays off).
+
+Counters land in :data:`KERNEL_STATS` (module-global, mirroring
+``predicates.STATS``) and per-factory in ``exec_stats`` so experiment
+logs can report batched-sweep counts, filter-fallback rates, and cache
+hit rates.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..runtime.atomics import ShardedCounter
+from .predicates import STATS, orient_exact
+
+__all__ = [
+    "KernelStats",
+    "KERNEL_STATS",
+    "filter_scale",
+    "batch_planes",
+    "orient_batch",
+    "SignCache",
+    "BatchKernel",
+]
+
+_EPS = float(np.finfo(np.float64).eps)
+
+# Multiplier applied to the float error envelope of the *batched* fast
+# path.  Values > 1 widen the envelope: strictly more entries take the
+# exact fallback, and the results must not change (the fallback decides
+# the same question exactly).  The fuzzer sweeps this knob
+# (``tools/fuzz.py --kernels``); values < 1 would shrink the envelope
+# below its soundness proof and are rejected.
+_FILTER_SCALE = 1.0
+
+
+@contextlib.contextmanager
+def filter_scale(scale: float) -> Iterator[None]:
+    """Inflate the batched filter envelope by ``scale`` (>= 1) within
+    the block.  Testing knob: any ``scale >= 1`` must leave every hull
+    bit-identical, only the fallback *rate* may grow.
+
+    Not thread-safe with respect to entering/leaving: flip it from the
+    orchestrating thread before workers start, as with
+    :func:`~repro.geometry.hyperplane.exact_mode`.
+    """
+    if not (scale >= 1.0):
+        raise ValueError(f"filter scale must be >= 1 (got {scale!r}): "
+                         "shrinking the envelope voids its error bound")
+    global _FILTER_SCALE
+    prev = _FILTER_SCALE
+    _FILTER_SCALE = float(scale)
+    try:
+        yield
+    finally:
+        _FILTER_SCALE = prev
+
+
+class KernelStats:
+    """Counters for the batched kernels (sharded: hull runs bump them
+    from ThreadExecutor / chaos workers).
+
+    ``batched_signs`` counts every sign decided by a batched sweep
+    (float-certain *or* escalated); ``fallbacks`` the subset that fell
+    through the float filter to the exact ladder; ``cache_hits`` /
+    ``cache_misses`` the :class:`SignCache` outcomes.  Reads are exact
+    at quiescent points, as with ``predicates.STATS``.
+    """
+
+    __slots__ = ("_sweeps", "_signs", "_fallbacks", "_hits", "_misses")
+
+    def __init__(self) -> None:
+        self._sweeps = ShardedCounter()
+        self._signs = ShardedCounter()
+        self._fallbacks = ShardedCounter()
+        self._hits = ShardedCounter()
+        self._misses = ShardedCounter()
+
+    def count_sweep(self, signs: int, fallbacks: int) -> None:
+        self._sweeps.add(1)
+        if signs:
+            self._signs.add(signs)
+        if fallbacks:
+            self._fallbacks.add(fallbacks)
+
+    def count_cache(self, hits: int, misses: int) -> None:
+        if hits:
+            self._hits.add(hits)
+        if misses:
+            self._misses.add(misses)
+
+    @property
+    def batched_sweeps(self) -> int:
+        return self._sweeps.value
+
+    @property
+    def batched_signs(self) -> int:
+        return self._signs.value
+
+    @property
+    def fallbacks(self) -> int:
+        return self._fallbacks.value
+
+    @property
+    def cache_hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def cache_misses(self) -> int:
+        return self._misses.value
+
+    def fallback_rate(self) -> float:
+        return self.fallbacks / max(1, self.batched_signs)
+
+    def reset(self) -> None:
+        for c in (self._sweeps, self._signs, self._fallbacks,
+                  self._hits, self._misses):
+            c.reset()
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "batched_sweeps": self.batched_sweeps,
+            "batched_signs": self.batched_signs,
+            "fallbacks": self.fallbacks,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+#: Module-level statistics, mirroring ``predicates.STATS``.
+KERNEL_STATS = KernelStats()
+
+
+def batch_planes(
+    simplices: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Cofactor normals, offsets, and error-envelope coefficients for a
+    stack of ``(F, d, d)`` simplices, all in one vectorized pass.
+
+    Returns ``(normals, offsets, err_scale, err_base)`` matching what
+    :meth:`Hyperplane.through` computes per plane: ``normals[f]`` is the
+    (unoriented) cofactor normal of simplex ``f``, and the envelope of a
+    query ``q`` against plane ``f`` is
+    ``err_scale[f] * (err_base[f] + |q|_inf)``.
+    """
+    simplices = np.asarray(simplices, dtype=np.float64)
+    if simplices.ndim != 3 or simplices.shape[1] != simplices.shape[2]:
+        raise ValueError(f"need (F, d, d) simplices, got {simplices.shape}")
+    nf, d, _ = simplices.shape
+    edges = simplices[:, 1:, :] - simplices[:, :1, :]  # (F, d-1, d)
+    if d == 2:
+        normals = np.stack([-edges[:, 0, 1], edges[:, 0, 0]], axis=1)
+    elif d == 3:
+        normals = np.cross(edges[:, 0, :], edges[:, 1, :])
+    else:
+        # Laplace expansion along the LAST row of [edges; q - p0]:
+        # the cofactor of column j carries (-1)^{(d-1)+j}, so this sign
+        # (not linalg.cofactor_normal's raw (-1)^j, which Hyperplane
+        # re-orients anyway) keeps normal . (q - p0) == det for every
+        # d -- the convention orient() decides signs in.
+        normals = np.empty((nf, d))
+        cols = np.arange(d)
+        for j in range(d):
+            minors = edges[:, :, cols != j]           # (F, d-1, d-1)
+            normals[:, j] = (-1.0) ** (d - 1 + j) * np.linalg.det(minors)
+    offsets = np.einsum("fd,fd->f", normals, simplices[:, 0, :])
+    row_norms = np.sqrt((edges * edges).sum(axis=2))  # (F, d-1)
+    hadamard = row_norms.prod(axis=1) if d > 1 else np.ones(nf)
+    n1 = np.abs(normals).sum(axis=1)
+    err_scale = 16.0 * d * _EPS * (d * d * hadamard + n1 + 1.0)
+    err_base = 1.0 + np.abs(simplices[:, 0, :]).max(axis=1, initial=0.0)
+    return normals, offsets, err_scale, err_base
+
+
+def orient_batch(simplices: np.ndarray, queries: np.ndarray) -> np.ndarray:
+    """Orientation signs of every query against every simplex plane:
+    an ``(F, Q)`` int matrix with ``out[f, q] ==
+    orient(simplices[f], queries[q])`` for all entries.
+
+    One einsum sweep computes all ``F x Q`` float margins; entries whose
+    margin falls inside the (per-plane, per-query) error envelope are
+    re-decided by the exact rational path -- the same
+    :func:`~repro.geometry.predicates.orient_exact` the scalar predicate
+    escalates to, so agreement with the scalar oracle is structural, not
+    statistical.
+    """
+    simplices = np.asarray(simplices, dtype=np.float64)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    normals, offsets, err_scale, err_base = batch_planes(simplices)
+    # margins[f, q] = normal_f . q - offset_f  (one sweep for the block)
+    margins = np.einsum("fd,qd->fq", normals, queries) - offsets[:, None]
+    q_inf = np.abs(queries).max(axis=1, initial=0.0)                 # (Q,)
+    env = _FILTER_SCALE * err_scale[:, None] * (err_base[:, None] + q_inf[None, :])
+    signs = np.zeros(margins.shape, dtype=np.int8)
+    signs[margins > env] = 1
+    signs[margins < -env] = -1
+    uncertain = np.abs(margins) <= env
+    n_signs = int(margins.size)
+    n_fall = int(uncertain.sum())
+    STATS.count_float(n_signs)
+    if n_fall:
+        for f, q in zip(*np.nonzero(uncertain)):
+            signs[f, q] = orient_exact(simplices[f], queries[q])
+    KERNEL_STATS.count_sweep(n_signs, n_fall)
+    return signs.astype(np.int64)
+
+
+class SignCache:
+    """Per-run visibility decisions keyed by (facet identity, rank).
+
+    A facet's identity is its sorted defining-index tuple; the value per
+    facet is the ``(candidates, visible)`` pair of its last creation,
+    both ascending-index aligned arrays.  Lookups intersect the new
+    candidate array with the cached one via ``searchsorted`` (both are
+    ascending), so a rollback-re-created facet reuses every previously
+    decided sign without a per-point Python loop.
+
+    CPython dict get/set are atomic under the GIL; entries are
+    immutable-once-stored arrays, so concurrent readers under
+    ThreadExecutor see either the whole entry or none of it.
+    """
+
+    __slots__ = ("_entries", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, ...], tuple[np.ndarray, np.ndarray]] = {}
+        self.hits = ShardedCounter()
+        self.misses = ShardedCounter()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(
+        self, indices: tuple[int, ...], candidates: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Split ``candidates`` into (cached-visibility, need-compute).
+
+        Returns ``(known, mask_known)`` where ``known`` is a boolean
+        array marking candidates answered from the cache and
+        ``mask_known`` their visibility; entries not covered must be
+        computed (and later stored with :meth:`store`).
+        """
+        known = np.zeros(candidates.shape[0], dtype=bool)
+        vis = np.zeros(candidates.shape[0], dtype=bool)
+        entry = self._entries.get(indices)
+        if entry is not None and candidates.size:
+            cached_cands, cached_vis = entry
+            pos = np.searchsorted(cached_cands, candidates)
+            pos_ok = pos < cached_cands.shape[0]
+            safe = np.where(pos_ok, pos, 0)
+            match = pos_ok & (cached_cands[safe] == candidates)
+            known = match
+            vis[match] = cached_vis[safe[match]]
+        n_hit = int(known.sum())
+        if n_hit:
+            self.hits.add(n_hit)
+        n_miss = int(candidates.shape[0]) - n_hit
+        if n_miss:
+            self.misses.add(n_miss)
+        KERNEL_STATS.count_cache(n_hit, n_miss)
+        return known, vis
+
+    def store(
+        self, indices: tuple[int, ...], candidates: np.ndarray, visible: np.ndarray
+    ) -> None:
+        """Record the full (candidates, visibility) outcome of one facet
+        creation (candidates ascending)."""
+        self._entries[indices] = (
+            np.ascontiguousarray(candidates),
+            np.ascontiguousarray(visible),
+        )
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "cache_hits": self.hits.value,
+            "cache_misses": self.misses.value,
+        }
+
+
+class BatchKernel:
+    """The hull-facing batched visibility engine.
+
+    One instance per :class:`~repro.hull.common.FacetFactory`; it owns
+    the rank-ordered point array, the per-run :class:`SignCache`, and
+    per-instance counters (surfaced through ``exec_stats``).  The core
+    entry point :meth:`visible_blocks` takes already-built
+    :class:`~repro.geometry.hyperplane.Hyperplane` objects -- the plane
+    (and therefore the orientation and the error envelope) is *shared*
+    with the scalar path, which is what makes the two paths decide the
+    same question with the same fallback set.
+    """
+
+    def __init__(self, pts: np.ndarray, cache: bool = True):
+        self.pts = np.asarray(pts, dtype=np.float64)
+        self.cache = SignCache() if cache else None
+        self.stats = KernelStats()
+
+    def snapshot(self) -> dict[str, int]:
+        snap = self.stats.snapshot()
+        snap["cache_entries"] = 0 if self.cache is None else len(self.cache)
+        return snap
+
+    def visible_blocks(
+        self,
+        planes: Sequence,
+        indices_list: Sequence[tuple[int, ...]],
+        cand_list: Sequence[np.ndarray],
+    ) -> list[np.ndarray]:
+        """Visibility masks for a ragged (facet x candidates) block.
+
+        ``planes[k]`` is the oriented hyperplane of facet ``k``,
+        ``indices_list[k]`` its sorted defining-index tuple (the cache
+        key), ``cand_list[k]`` its ascending candidate-rank array.
+        Returns one boolean mask per facet, elementwise equal to
+        ``planes[k].visible_mask(pts[cand_list[k]], indices=cand_list[k])``.
+        """
+        nf = len(planes)
+        masks: list[np.ndarray] = [None] * nf  # type: ignore[list-item]
+        # Cache phase + partition: always-exact planes cannot use the
+        # float sweep (their normal carries no trustworthy sign) and go
+        # straight to the scalar ladder, exactly like visible_mask.
+        todo_cands: list[np.ndarray] = []     # residual work per facet
+        todo_local: list[np.ndarray] = []     # positions inside the mask
+        sweep_rows: list[int] = []            # facet positions in the einsum
+        for k, (plane, idx, cands) in enumerate(zip(planes, indices_list, cand_list)):
+            cands = np.asarray(cands, dtype=np.int64)
+            mask = np.zeros(cands.shape[0], dtype=bool)
+            masks[k] = mask
+            if not cands.size:
+                todo_cands.append(cands)
+                todo_local.append(np.zeros(0, dtype=np.int64))
+                continue
+            if self.cache is not None:
+                known, vis = self.cache.lookup(idx, cands)
+                mask[known] = vis[known]
+                local = np.nonzero(~known)[0].astype(np.int64)
+            else:
+                local = np.arange(cands.shape[0], dtype=np.int64)
+            if local.size and plane.always_exact:
+                # Scalar ladder for the whole block (counted as
+                # fallbacks: no float sign exists for these planes).
+                for i in local:
+                    r = int(cands[i])
+                    mask[i] = plane._side_exact(self.pts[r], r) > 0
+                self.stats.count_sweep(int(local.size), int(local.size))
+                KERNEL_STATS.count_sweep(int(local.size), int(local.size))
+                local = np.zeros(0, dtype=np.int64)
+            todo_cands.append(cands[local] if local.size else np.zeros(0, np.int64))
+            todo_local.append(local)
+            if local.size:
+                sweep_rows.append(k)
+        total = sum(int(todo_cands[k].size) for k in sweep_rows)
+        if total:
+            # Flattened einsum sweep over every residual (facet, point)
+            # pair: gather the points once, one fused multiply-reduce,
+            # one envelope comparison.
+            sizes = [int(todo_cands[k].size) for k in sweep_rows]
+            facet_of = np.repeat(np.arange(len(sweep_rows)), sizes)
+            flat = np.concatenate([todo_cands[k] for k in sweep_rows])
+            normals = np.stack([planes[k].normal for k in sweep_rows])
+            offsets = np.array([planes[k].offset for k in sweep_rows])
+            e_scale = np.array([planes[k].err_scale for k in sweep_rows])
+            e_base = np.array([planes[k].err_base for k in sweep_rows])
+            pts_flat = self.pts[flat]                         # (M, d)
+            margins = (
+                np.einsum("md,md->m", pts_flat, normals[facet_of])
+                - offsets[facet_of]
+            )
+            env = _FILTER_SCALE * e_scale[facet_of] * (
+                e_base[facet_of] + np.abs(pts_flat).max(axis=1)
+            )
+            flat_mask = margins > env
+            uncertain = np.abs(margins) <= env
+            STATS.count_float(total)
+            n_fall = int(uncertain.sum())
+            if n_fall:
+                for m in np.nonzero(uncertain)[0]:
+                    k = sweep_rows[int(facet_of[m])]
+                    r = int(flat[m])
+                    flat_mask[m] = planes[k]._side_exact(self.pts[r], r) > 0
+            self.stats.count_sweep(total, n_fall)
+            KERNEL_STATS.count_sweep(total, n_fall)
+            # Scatter back per facet.
+            off = 0
+            for pos, k in enumerate(sweep_rows):
+                sz = sizes[pos]
+                masks[k][todo_local[k]] = flat_mask[off:off + sz]
+                off += sz
+        if self.cache is not None:
+            for k, (idx, cands) in enumerate(zip(indices_list, cand_list)):
+                cands = np.asarray(cands, dtype=np.int64)
+                if cands.size:
+                    self.cache.store(idx, cands, masks[k])
+        return masks

@@ -72,8 +72,13 @@ class Facet:
         first normal component (used to compare facet *sets* across
         algorithm variants, where creation ids differ)."""
         nz = np.nonzero(self.plane.normal)[0]
-        sign = 1 if self.plane.normal[nz[0]] > 0 else -1 if nz.size else 0
-        return frozenset(self.indices), sign * (int(nz[0]) + 1 if nz.size else 0)
+        if not nz.size:
+            # SoS planes over degenerate (not full-dimensional) defining
+            # sets can carry an exactly-zero float normal; identity then
+            # rests on the point set alone.
+            return frozenset(self.indices), 0
+        sign = 1 if self.plane.normal[nz[0]] > 0 else -1
+        return frozenset(self.indices), sign * (int(nz[0]) + 1)
 
     def ridges(self) -> Iterator[Ridge]:
         """The d ridges of this facet (all (d-1)-subsets of its points)."""

@@ -17,6 +17,7 @@ from fractions import Fraction
 import numpy as np
 
 from ..geometry.hyperplane import Hyperplane
+from ..geometry.kernels import BatchKernel
 from ..geometry.perturb import sos_active
 from ..geometry.simplex import Facet
 from ..runtime.atomics import Mutex
@@ -186,10 +187,20 @@ class FacetFactory:
     One factory per run; it owns the interior reference point (the
     centroid of the initial simplex, strictly inside every intermediate
     hull) and the work counters.
+
+    ``kernel`` picks the visibility engine: ``"scalar"`` (the default
+    oracle -- one :meth:`Hyperplane.visible_mask` call per facet) or
+    ``"batch"`` (the :class:`~repro.geometry.kernels.BatchKernel`:
+    candidate blocks of many facets are swept in one einsum, uncertain
+    entries escalate to the same exact ladder, and decisions are cached
+    per (facet identity, rank)).  Work accounting is kernel-invariant:
+    ``counters.visibility_tests`` counts scalar-equivalent tests either
+    way, so E2/E13 comparisons are unaffected by the engine choice.
     """
 
     def __init__(self, pts: np.ndarray, interior: np.ndarray, counters: Counters,
-                 interior_ranks: tuple[int, ...] | None = None):
+                 interior_ranks: tuple[int, ...] | None = None,
+                 kernel: str = "scalar"):
         self.pts = pts
         self.interior = np.asarray(interior, dtype=np.float64)
         self.counters = counters
@@ -201,6 +212,38 @@ class FacetFactory:
         self._interior_combo = (pts[list(interior_ranks)], interior_ranks)
         self._mutex = Mutex()
         self._next_fid = 0
+        if kernel not in ("scalar", "batch"):
+            raise ValueError(f"unknown kernel {kernel!r}; use 'scalar' or 'batch'")
+        self.kernel = kernel
+        self.batch_kernel = BatchKernel(pts) if kernel == "batch" else None
+
+    def kernel_snapshot(self) -> dict:
+        """Kernel counters for ``exec_stats`` (empty-ish for scalar)."""
+        snap: dict = {"kernel": self.kernel}
+        if self.batch_kernel is not None:
+            snap.update(self.batch_kernel.snapshot())
+            if self.batch_kernel.cache is not None:
+                snap.update(self.batch_kernel.cache.snapshot())
+        return snap
+
+    def _plane_for(self, indices: tuple[int, ...]) -> Hyperplane:
+        return Hyperplane.through(
+            self.pts[list(indices)], self.interior,
+            indices=indices, ref_combo=self._interior_combo,
+        )
+
+    def _clean_candidates(
+        self, indices: tuple[int, ...], candidates: np.ndarray
+    ) -> np.ndarray:
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.size:
+            # Drop the d defining indices; a few vector compares beat
+            # np.isin for constant-size index tuples (hot path).
+            keep = np.ones(candidates.shape[0], dtype=bool)
+            for i in indices:
+                keep &= candidates != i
+            candidates = candidates[keep]
+        return candidates
 
     def make(self, indices: tuple[int, ...], candidates: np.ndarray) -> Facet:
         """Build the facet on ``indices`` oriented against the interior
@@ -210,41 +253,54 @@ class FacetFactory:
         Thread-safe: the vectorized visibility work runs outside the
         lock; only id allocation and counter updates are serialized.
         """
+        return self.make_batch([(indices, candidates)])[0]
+
+    def make_batch(
+        self, specs: list[tuple[tuple[int, ...], np.ndarray]]
+    ) -> list[Facet]:
+        """Build several facets at once; ``specs`` is a list of
+        ``(indices, candidates)`` pairs.
+
+        With ``kernel="batch"`` every candidate block in the call is
+        evaluated in one flattened einsum sweep (plus the shared exact
+        fallback); with ``kernel="scalar"`` each facet runs its own
+        :meth:`Hyperplane.visible_mask`.  Facet ids are allocated in
+        spec order, so the two engines produce identical runs.
+        """
         # Canonicalize to sorted rank order *before* building the plane,
         # so plane.base_points rows always match Facet.indices -- the
         # orientation sign a certificate claims is then well-defined
         # (row permutations flip determinant signs).  Visibility is
         # invariant: the plane re-orients against the interior either way.
-        indices = tuple(sorted(int(i) for i in indices))
-        plane = Hyperplane.through(
-            self.pts[list(indices)], self.interior,
-            indices=indices, ref_combo=self._interior_combo,
-        )
-        candidates = np.asarray(candidates, dtype=np.int64)
-        if candidates.size:
-            # Drop the d defining indices; a few vector compares beat
-            # np.isin for constant-size index tuples (hot path).
-            keep = np.ones(candidates.shape[0], dtype=bool)
-            for i in indices:
-                keep &= candidates != i
-            candidates = candidates[keep]
-        n_tests = int(candidates.size)
-        if candidates.size:
-            mask = plane.visible_mask(self.pts[candidates], indices=candidates)
-            conflicts = candidates[mask]
+        idx_list = [tuple(sorted(int(i) for i in idx)) for idx, _ in specs]
+        planes = [self._plane_for(idx) for idx in idx_list]
+        cand_list = [
+            self._clean_candidates(idx, cands)
+            for idx, (_, cands) in zip(idx_list, specs)
+        ]
+        n_tests = sum(int(c.size) for c in cand_list)
+        if self.batch_kernel is not None:
+            masks = self.batch_kernel.visible_blocks(planes, idx_list, cand_list)
         else:
-            conflicts = candidates
+            masks = [
+                plane.visible_mask(self.pts[cands], indices=cands)
+                if cands.size else np.zeros(0, dtype=bool)
+                for plane, cands in zip(planes, cand_list)
+            ]
         with self._mutex:
-            fid = self._next_fid
-            self._next_fid += 1
+            fid0 = self._next_fid
+            self._next_fid += len(specs)
             self.counters.visibility_tests += n_tests
-            self.counters.facets_created += 1
-        return Facet(
-            fid=fid,
-            indices=indices,
-            plane=plane,
-            conflicts=conflicts,
-        )
+            self.counters.facets_created += len(specs)
+        return [
+            Facet(
+                fid=fid0 + k,
+                indices=idx_list[k],
+                plane=planes[k],
+                conflicts=cand_list[k][masks[k]] if cand_list[k].size else cand_list[k],
+            )
+            for k in range(len(specs))
+        ]
 
     def fid_checkpoint(self) -> int:
         """The next facet id to be issued (chaos layer: rollback mark)."""

@@ -141,19 +141,23 @@ def _build_base_hull(
     factory: FacetFactory,
 ) -> list[Facet]:
     """Facets of the hull of the first ``base_size`` ranks, with
-    conflict sets over all later points."""
+    conflict sets over all later points.
+
+    One ``make_batch`` call either way: under ``kernel="batch"`` the
+    whole (base-facet x later-point) block -- the largest single
+    conflict computation of the run -- is one einsum sweep."""
     n, d = pts.shape
     later = np.arange(base_size, n, dtype=np.int64)
     if base_size == d + 1:
         first = list(range(d + 1))
-        return [
-            factory.make(tuple(i for i in first if i != leave_out), later)
+        return factory.make_batch([
+            (tuple(i for i in first if i != leave_out), later)
             for leave_out in first
-        ]
+        ])
     # Larger bootstrap (e.g. the Figure 1 walkthrough): build the prefix
     # hull sequentially, then re-issue its facets with full conflict sets.
     prefix = sequential_hull(pts[:base_size], order=np.arange(base_size))
-    return [factory.make(f.indices, later) for f in prefix.facets]
+    return factory.make_batch([(f.indices, later) for f in prefix.facets])
 
 
 def parallel_hull(
@@ -164,6 +168,7 @@ def parallel_hull(
     multimap: str = "dict",
     base_size: int | None = None,
     fault_plan: FaultPlan | None = None,
+    kernel: str = "scalar",
 ) -> ParallelHullRun:
     """Run Algorithm 3 on ``points``.
 
@@ -191,6 +196,15 @@ def parallel_hull(
         retry/rollback counters land in ``exec_stats``.  For thread
         chaos use :class:`repro.runtime.chaos.ChaosThreadExecutor`
         directly.
+    kernel:
+        Visibility engine, ``"scalar"`` (the default oracle) or
+        ``"batch"`` (einsum sweeps over facet x candidate blocks with
+        the exact-filter fallback, plus the per-run sign cache of
+        :mod:`repro.geometry.kernels` -- under chaos rollbacks a
+        re-created facet reuses its previously decided signs).  The
+        kernel's sweep/fallback/cache counters land in
+        ``exec_stats.kernel_stats``; ``counters`` and the work-span log
+        stay kernel-invariant (scalar-equivalent accounting).
     """
     pts, order = prepare_points(points, order, seed)
     n, d = pts.shape
@@ -203,7 +217,7 @@ def parallel_hull(
 
     counters = Counters()
     interior = pts[: d + 1].mean(axis=0)
-    factory = FacetFactory(pts, interior, counters)
+    factory = FacetFactory(pts, interior, counters, kernel=kernel)
     tracker = WorkSpanTracker()
 
     if executor is None:
@@ -235,9 +249,19 @@ def parallel_hull(
     def _logcost(w: int) -> int:
         return max(1, int(math.log2(w + 2)))
 
-    for f in base_facets:
-        cost = max(1, n - base_size)
-        creator_tid[f.fid] = tracker.add_task(cost=cost, span_cost=_logcost(cost))
+    if kernel == "batch":
+        # The base bootstrap ran as ONE batched sweep; log it as one
+        # task at its scalar-equivalent work (sum of the per-facet
+        # blocks) so W is identical to the scalar run's, with the
+        # sweep's internally-parallel span (log of the widest block).
+        block = max(1, n - base_size)
+        sweep_tid = tracker.add_batched_sweep([block] * len(base_facets))
+        for f in base_facets:
+            creator_tid[f.fid] = sweep_tid
+    else:
+        for f in base_facets:
+            cost = max(1, n - base_size)
+            creator_tid[f.fid] = tracker.add_task(cost=cost, span_cost=_logcost(cost))
 
     # Seed: one ProcessRidge per ridge of the base hull (Lines 5-6).
     ridge_pairs: dict[Ridge, list[Facet]] = {}
@@ -435,6 +459,7 @@ def parallel_hull(
             )
         exec_stats = executor.run(initial_tasks, process)
 
+    exec_stats.kernel_stats = factory.kernel_snapshot()
     alive = sorted((f for f in facets_by_fid.values() if f.alive), key=lambda f: f.fid)
     created_sorted = sorted(created, key=lambda f: f.fid)
     return ParallelHullRun(

@@ -58,6 +58,7 @@ def point_parallel_hull(
     points: np.ndarray,
     order: np.ndarray | None = None,
     seed: int | None = None,
+    kernel: str = "scalar",
 ) -> PointParallelResult:
     """Bulk-synchronous point-parallel incremental hull.
 
@@ -75,7 +76,7 @@ def point_parallel_hull(
 
     counters = Counters()
     interior = pts[: d + 1].mean(axis=0)
-    factory = FacetFactory(pts, interior, counters)
+    factory = FacetFactory(pts, interior, counters, kernel=kernel)
 
     facets: dict[int, Facet] = {}
     ridge_map: dict[frozenset, set[int]] = {}
@@ -106,15 +107,18 @@ def point_parallel_hull(
 
     all_later = np.arange(d + 1, n, dtype=np.int64)
     first = list(range(d + 1))
-    for leave_out in first:
-        install(factory.make(tuple(i for i in first if i != leave_out), all_later))
+    for f in factory.make_batch([
+        (tuple(i for i in first if i != leave_out), all_later)
+        for leave_out in first
+    ]):
+        install(f)
 
     def insert_point(v: int) -> None:
         visible_ids = inverse.get(v)
         if not visible_ids:
             return
         visible = {fid: facets[fid] for fid in visible_ids}
-        new_facets: list[Facet] = []
+        specs: list[tuple[tuple[int, ...], np.ndarray]] = []
         for fid, t1 in visible.items():
             for r in facet_ridges(t1.indices):
                 others = ridge_map[r] - {fid}
@@ -132,7 +136,8 @@ def point_parallel_hull(
                     np.union1d(t1.conflicts, t2.conflicts),
                     np.array([v], dtype=np.int64),
                 )
-                new_facets.append(factory.make(tuple(r | {v}), candidates))
+                specs.append((tuple(r | {v}), candidates))
+        new_facets: list[Facet] = factory.make_batch(specs) if specs else []
         for t1 in visible.values():
             uninstall(t1)
         for t in new_facets:

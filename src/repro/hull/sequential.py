@@ -72,6 +72,7 @@ def sequential_hull(
     points: np.ndarray,
     order: np.ndarray | None = None,
     seed: int | None = None,
+    kernel: str = "scalar",
 ) -> SequentialHullResult:
     """Run Algorithm 2 on ``points``.
 
@@ -83,6 +84,11 @@ def sequential_hull(
     order:
         Explicit insertion order (a permutation of ``range(n)``); random
         when omitted, drawn from ``seed``.
+    kernel:
+        Visibility engine: ``"scalar"`` (the per-facet oracle) or
+        ``"batch"`` (every insertion step's new facets share one
+        einsum sweep; see :mod:`repro.geometry.kernels`).  The two
+        engines produce identical facets, conflicts, and counters.
     """
     pts, order = prepare_points(points, order, seed)
     n, d = pts.shape
@@ -91,7 +97,7 @@ def sequential_hull(
 
     counters = Counters()
     interior = pts[: d + 1].mean(axis=0)
-    factory = FacetFactory(pts, interior, counters)
+    factory = FacetFactory(pts, interior, counters, kernel=kernel)
 
     facets: dict[int, Facet] = {}
     # ridge -> set of alive facet ids incident on it (always size 2 once
@@ -129,11 +135,15 @@ def sequential_hull(
                 if not s:
                     del inverse[int(v)]
 
-    # Bootstrap simplex: every d-subset of the first d+1 points is a facet.
+    # Bootstrap simplex: every d-subset of the first d+1 points is a
+    # facet.  One make_batch call: with kernel="batch" all d+1 conflict
+    # sets come out of a single einsum sweep.
     first = list(range(d + 1))
-    for leave_out in first:
-        idx = tuple(i for i in first if i != leave_out)
-        f = factory.make(idx, all_later)
+    boot = factory.make_batch([
+        (tuple(i for i in first if i != leave_out), all_later)
+        for leave_out in first
+    ])
+    for f in boot:
         install(f, step=d)
 
     # Incremental insertion.
@@ -143,7 +153,10 @@ def sequential_hull(
             continue  # v is inside the current hull
         visible = {fid: facets[fid] for fid in visible_ids}
         # Horizon: ridges with exactly one incident facet visible from v.
-        new_facets: list[Facet] = []
+        # Specs are collected first so the whole insertion step is one
+        # batched sweep under kernel="batch" (the facet x candidate
+        # block of Theorem 5.4's per-step work).
+        specs: list[tuple[tuple[int, ...], np.ndarray]] = []
         for fid, t1 in visible.items():
             for r in facet_ridges(t1.indices):
                 others = ridge_map[r] - {fid}
@@ -156,8 +169,8 @@ def sequential_hull(
                 candidates = FacetFactory.merge_candidates(
                     t1.conflicts, t2.conflicts, above=v
                 )
-                t = factory.make(tuple(r | {v}), candidates)
-                new_facets.append(t)
+                specs.append((tuple(r | {v}), candidates))
+        new_facets: list[Facet] = factory.make_batch(specs) if specs else []
         for t1 in visible.values():
             uninstall(t1)
         for t in new_facets:

@@ -43,6 +43,9 @@ def run_summary(run) -> dict[str, Any]:
             "tasks": int(run.exec_stats.tasks_executed),
             "round_sizes": list(map(int, run.exec_stats.round_sizes)),
         },
+        # Visibility-kernel provenance (batched sweeps, filter
+        # fallbacks, sign-cache hits); {"kernel": "scalar"} by default.
+        "kernel": dict(getattr(run.exec_stats, "kernel_stats", {}) or {"kernel": "scalar"}),
         "depth": int(run.dependence_depth()),
         "work": int(run.tracker.work),
         "span": int(run.tracker.span),

@@ -59,6 +59,10 @@ class ExecutionStats:
     tasks_aborted: int = 0       # injected mid-task crashes
     tasks_delayed: int = 0       # tasks deferred by injected delays
     escalations: list[str] = field(default_factory=list)
+    # Visibility-kernel counters (batched sweeps, filter fallbacks,
+    # sign-cache hits/misses), attached by repro.hull.parallel at the
+    # end of a run; ``{"kernel": "scalar"}`` on scalar runs.
+    kernel_stats: dict = field(default_factory=dict)
 
     @property
     def max_round_width(self) -> int:

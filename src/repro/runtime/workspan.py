@@ -13,6 +13,7 @@ greedy list scheduler.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 
 from .atomics import Mutex
@@ -84,6 +85,30 @@ class WorkSpanTracker:
                 span_cost=0 if span_cost is None else max(1, int(span_cost)),
             )
         return tid
+
+    def add_batched_sweep(
+        self, block_sizes: list[int], deps: tuple[int, ...] = ()
+    ) -> int:
+        """Log one vectorized (facet x candidate) sweep at its
+        *scalar-equivalent* work.
+
+        A batched kernel evaluates ``sum(block_sizes)`` visibility
+        tests in one NumPy call; accounting it as one unit-cost task
+        would make batched runs look asymptotically cheaper than the
+        scalar runs they are bit-identical to, corrupting the E2/E13
+        work comparisons.  So: ``cost = sum(block_sizes)`` (every sign
+        still costs one work unit, as in Theorem 5.4), while the span
+        contribution is ``O(log max(block_sizes))`` -- the same
+        internal-parallelism credit a scalar per-facet filter task
+        gets, since batching adds breadth, never depth.  Returns the
+        task id (shared by every facet of the sweep)."""
+        total = sum(max(0, int(b)) for b in block_sizes)
+        widest = max((int(b) for b in block_sizes), default=0)
+        return self.add_task(
+            cost=max(1, total),
+            deps=deps,
+            span_cost=max(1, int(math.log2(widest + 2))),
+        )
 
     def __len__(self) -> int:
         return len(self._tasks)

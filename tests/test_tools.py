@@ -20,6 +20,29 @@ class TestFuzzer:
         for _ in range(8):
             assert one_case(rng, verbose=False) is None
 
+    def test_kernel_cases_agree(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            from fuzz import one_kernel_case
+        finally:
+            sys.path.pop(0)
+        rng = np.random.default_rng(321)
+        for _ in range(6):
+            assert one_kernel_case(rng, verbose=False) is None
+
+    def test_kernels_flag_wired(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            import fuzz
+        finally:
+            sys.path.pop(0)
+        old_argv = sys.argv
+        sys.argv = ["fuzz.py", "--kernels", "--iterations", "2", "--seed", "5"]
+        try:
+            assert fuzz.main() == 0
+        finally:
+            sys.argv = old_argv
+
 
 class TestReportHelpers:
     def test_banner_and_sections_importable(self):

@@ -31,9 +31,17 @@ must be rejected, and the SoS hull must be *canonical* -- serial,
 round-synchronous and free-threaded executions of the same insertion
 order must produce the identical facet set over original indices.
 
+``--kernels`` fuzzes the batched predicate kernels
+(:mod:`repro.geometry.kernels`) over random (input, dimension,
+filter-threshold) triples: hulls built with ``kernel="batch"`` under a
+randomly inflated float-filter envelope must stay facet- and
+counter-identical to the scalar oracle, and sampled ``orient_batch``
+blocks must agree elementwise with scalar ``orient``.
+
 Run:  python tools/fuzz.py [--iterations N] [--seed S] [--verbose]
       python tools/fuzz.py --chaos [--duration SECS]
       python tools/fuzz.py --degenerate [--duration SECS]
+      python tools/fuzz.py --kernels [--duration SECS]
 """
 
 from __future__ import annotations
@@ -63,7 +71,14 @@ from repro.hull import (
     validate_hull,
 )
 from repro.hull.online import OnlineHull
-from repro.runtime import CASMultimap, RoundExecutor, SerialExecutor, TASMultimap, ThreadExecutor
+from repro.runtime import (
+    CASMultimap,
+    MultimapFullError,
+    RoundExecutor,
+    SerialExecutor,
+    TASMultimap,
+    ThreadExecutor,
+)
 from repro.runtime.chaos import chaos_hull_roundtrip, sweep_stalled_multimap
 from repro.runtime.racecheck import RaceChecker, multimap_scenario
 
@@ -286,6 +301,78 @@ def one_degenerate_case(rng: np.random.Generator, verbose: bool) -> str | None:
     return None
 
 
+def one_kernel_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Fuzz one (input, dimension, filter-threshold) triple through the
+    batched kernels; returns an error description or None."""
+    from repro.geometry.kernels import filter_scale, orient_batch
+    from repro.geometry.predicates import orient
+
+    name, gen, dims = GENERATORS[int(rng.integers(0, len(GENERATORS)))]
+    d = int(rng.choice(dims))
+    n = int(rng.integers(d + 2, 100 if d < 4 else 50))
+    seed = int(rng.integers(0, 2**31))
+    # Random envelope inflation (1x .. 1000x): fallbacks may only grow,
+    # results may never change.
+    env_scale = float(10.0 ** rng.uniform(0.0, 3.0))
+    label = f"kernels[{name}](n={n}, d={d}, seed={seed}, env={env_scale:.1f}x)"
+    if verbose:
+        print(f"  {label}")
+    pts = gen(n, d, seed=seed)
+    order = np.random.default_rng(seed + 1).permutation(n)
+    try:
+        seq = sequential_hull(pts, order=order.copy(), kernel="scalar")
+        ref = facet_sets_global(seq.facets, seq.order)
+        with filter_scale(env_scale):
+            batch_seq = sequential_hull(pts, order=order.copy(), kernel="batch")
+            if facet_sets_global(batch_seq.facets, batch_seq.order) != ref:
+                return f"{label}: batch sequential differs from scalar"
+            if batch_seq.counters.as_dict() != seq.counters.as_dict():
+                return (f"{label}: counters differ: {batch_seq.counters.as_dict()} "
+                        f"vs {seq.counters.as_dict()}")
+            ex = [SerialExecutor(), RoundExecutor(), ThreadExecutor(2)][
+                int(rng.integers(0, 3))
+            ]
+            mm = "cas" if isinstance(ex, ThreadExecutor) else "dict"
+            try:
+                par = parallel_hull(pts, order=order.copy(), executor=ex,
+                                    multimap=mm, kernel="batch")
+            except MultimapFullError:
+                # Fixed-capacity table overflow is a property of the
+                # input (quartic facet counts on d=4 moment curves), not
+                # of the engine: scalar must overflow identically.
+                try:
+                    parallel_hull(pts, order=order.copy(), executor=ex,
+                                  multimap=mm, kernel="scalar")
+                    return f"{label}: only the batch engine overflowed the multimap"
+                except MultimapFullError:
+                    par = None
+            if par is not None:
+                validate_hull(par.facets, par.points)
+                if facet_sets_global(par.facets, par.order) != ref:
+                    return f"{label}: batch parallel[{type(ex).__name__}] differs"
+
+            pp = point_parallel_hull(pts, order=order.copy(), kernel="batch")
+            if facet_sets_global(pp.facets, pp.order) != ref:
+                return f"{label}: batch point-parallel differs"
+
+            # Predicate-level sample: a random block must agree sign-for-
+            # sign with the scalar oracle under the inflated envelope.
+            k = min(n - d, 6)
+            rows = np.stack([rng.choice(n, size=d, replace=False) for _ in range(k)])
+            simplices = pts[rows]
+            queries = pts[rng.choice(n, size=min(n, 12), replace=False)]
+            got = orient_batch(simplices, queries)
+            for f in range(simplices.shape[0]):
+                for q in range(queries.shape[0]):
+                    want = orient(simplices[f], queries[q])
+                    if got[f, q] != want:
+                        return (f"{label}: orient_batch[{f},{q}] = {got[f, q]} "
+                                f"!= orient {want}")
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return f"{label}: exception {type(exc).__name__}: {exc}"
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--iterations", type=int, default=100)
@@ -295,6 +382,8 @@ def main() -> int:
                     help="fuzz (input, schedule, fault plan) triples instead")
     ap.add_argument("--degenerate", action="store_true",
                     help="fuzz the adversarial degenerate corpus instead")
+    ap.add_argument("--kernels", action="store_true",
+                    help="fuzz the batched predicate kernels instead")
     ap.add_argument("--duration", type=float, default=None, metavar="SECS",
                     help="run until the wall-clock budget expires "
                          "(overrides --iterations)")
@@ -304,6 +393,8 @@ def main() -> int:
         cases = (one_chaos_case,)
     elif args.degenerate:
         cases = (one_degenerate_case,)
+    elif args.kernels:
+        cases = (one_kernel_case,)
     else:
         cases = (one_case, one_multimap_case)
     deadline = None if args.duration is None else time.monotonic() + args.duration
@@ -324,7 +415,8 @@ def main() -> int:
         if i % 20 == 0 and not args.verbose and not failures:
             print(f"  ... {i} iterations ok")
     kind = ("chaos" if args.chaos
-            else "degenerate" if args.degenerate else "differential")
+            else "degenerate" if args.degenerate
+            else "kernels" if args.kernels else "differential")
     if failures:
         print(f"{failures} failing cases out of {i} {kind} iterations")
         return 1
