@@ -1,0 +1,54 @@
+"""Interprocedural effect analysis (``repro effects``).
+
+Statically proves the atomic-step discipline that the dynamic race
+checker (:mod:`repro.runtime.racecheck`) can only sample: every
+yield-to-yield segment of every step generator performs at most one
+shared access, no raw shared write is reachable from any step
+generator, mutex-guarded fields are never written with an empty
+lockset, and no yield is dead.  See ARCHITECTURE.md for the lattice,
+the call-graph construction, and the honestly-stated unsoundness
+holes; the soundness differential test closes the loop against the
+dynamic checker.
+"""
+
+from .callgraph import ClassInfo, FunctionInfo, Program, build_program
+from .cfg import CFG, Node, build_cfg
+from .checks import RULES, AnalysisResult, Finding, analyze_paths
+from .effects import Effect, Site
+from .interproc import Analysis, Summary
+from .report import (
+    baseline_payload,
+    compare_baseline,
+    findings_from_json,
+    load_baseline,
+    render_text,
+    save_baseline,
+    to_json,
+    to_sarif,
+)
+
+__all__ = [
+    "Effect",
+    "Site",
+    "CFG",
+    "Node",
+    "build_cfg",
+    "Program",
+    "ClassInfo",
+    "FunctionInfo",
+    "build_program",
+    "Analysis",
+    "Summary",
+    "AnalysisResult",
+    "Finding",
+    "RULES",
+    "analyze_paths",
+    "render_text",
+    "to_json",
+    "to_sarif",
+    "findings_from_json",
+    "baseline_payload",
+    "compare_baseline",
+    "load_baseline",
+    "save_baseline",
+]

@@ -1,0 +1,415 @@
+"""Whole-program index: modules, classes, functions, types, calls.
+
+The analyzer needs to answer, for an arbitrary expression in an
+arbitrary function, "what object is this, and what happens if you call
+it?".  Full Python type inference is out of reach; this module
+implements the small, honest fragment the repository's concurrency
+discipline actually depends on:
+
+* classes are indexed by qualified name and matched by *bare* name at
+  use sites (``AtomicCell(...)`` resolves to the atomics class whether
+  imported, aliased, or redefined in a fixture program);
+* attribute types come from ``self.x = ...`` assignments (constructor
+  calls, containers of constructor calls, lambdas, booleans of those);
+* local variables get flow-insensitive types from assignments and
+  ``for`` targets (``for cell in self._cells`` types ``cell`` as the
+  container's element class);
+* parameters get types propagated from call-site arguments during the
+  interprocedural fixpoint, which is how a helper that receives a
+  shared slot three calls deep is still seen mutating shared state;
+* method calls resolve through the static receiver class *and every
+  subclass that overrides the method* (dynamic dispatch over the known
+  hierarchy); truly dynamic dispatch (``getattr``, ``eval``) is
+  lattice top at the call site.
+
+Known unsoundness holes are enumerated in ARCHITECTURE.md; the
+soundness differential test (dynamic sites must be a subset of static
+sites) bounds their blast radius on the shipped tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..lint.core import LintedFile, Violation, is_step_generator, load_files
+from .effects import (
+    ATOMIC_CLASS_NAMES,
+    EFFECT_ALLOWLIST,
+    MUTEX_CLASS_NAMES,
+)
+
+__all__ = ["TRef", "ClassInfo", "FunctionInfo", "Program", "build_program"]
+
+# A type reference: ("cls", name) instance of a class; ("elem", name)
+# container whose elements are instances of name; ("func", qualname)
+# a specific internal function or lambda; ("external",) anything else.
+TRef = tuple
+EXTERNAL: TRef = ("external",)
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _bare(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str
+    module: str
+    path: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    cls: "ClassInfo | None" = None
+    allowlisted: bool = False
+    is_generator: bool = False
+    is_step_gen: bool = False
+    param_names: tuple[str, ...] = ()
+    #: call-site argument types, grown monotonically by the fixpoint
+    param_types: dict[str, set] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return _bare(self.qualname)
+
+    @property
+    def is_init(self) -> bool:
+        return self.name in ("__init__", "__post_init__", "__new__")
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    path: str
+    node: ast.ClassDef
+    base_names: tuple[str, ...] = ()
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: dict[str, set] = field(default_factory=dict)
+    #: attrs holding a Mutex (the lock identities of the lockset check)
+    mutex_attrs: set[str] = field(default_factory=set)
+    #: attrs holding an atomic cell or a container of atomic cells
+    atomic_attrs: set[str] = field(default_factory=set)
+    #: attrs holding shared-element instances or containers thereof
+    shared_container_attrs: set[str] = field(default_factory=set)
+    #: attr roots written outside __init__ anywhere in the program
+    #: (grown by the fixpoint; feeds plain_shared_fields)
+    mutated_fields: set[str] = field(default_factory=set)
+    #: True when instances of this class are reachable from another
+    #: class's attributes (i.e. they live inside a shared structure)
+    is_referenced: bool = False
+
+    @property
+    def name(self) -> str:
+        return _bare(self.qualname)
+
+    def is_atomic(self) -> bool:
+        return self.name in ATOMIC_CLASS_NAMES
+
+    def is_shared_element(self) -> bool:
+        """A class whose instances sit inside a shared structure and
+        carry atomic fields -- its plain mutable fields are shared
+        memory (``_TASSlot.data``)."""
+        return bool(self.atomic_attrs) and self.is_referenced
+
+    def plain_shared_fields(self) -> set[str]:
+        if not self.is_shared_element():
+            return set()
+        return {
+            a for a in self.mutated_fields
+            if a not in self.atomic_attrs and a not in self.mutex_attrs
+        }
+
+    def owns_mutex(self) -> bool:
+        return bool(self.mutex_attrs)
+
+
+class Program:
+    """The indexed program: every parsed file plus derived tables."""
+
+    def __init__(self, files: Sequence[LintedFile], errors: Sequence[Violation] = ()):
+        self.files = list(files)
+        self.errors = list(errors)
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._by_bare_class: dict[str, list[ClassInfo]] = {}
+        self._by_bare_func: dict[str, list[FunctionInfo]] = {}
+        self._subclasses: dict[str, set[str]] = {}
+        for f in self.files:
+            self._index_file(f)
+        self._link_hierarchy()
+        self._infer_class_attrs()
+
+    # -- indexing --------------------------------------------------------
+
+    @staticmethod
+    def _module_name(f: LintedFile) -> str:
+        parts = [p for p in f.parts if p]
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][:-3]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) or f.path.stem
+
+    @staticmethod
+    def _allowlisted(f: LintedFile) -> bool:
+        return any(f.is_module(m) for m in EFFECT_ALLOWLIST)
+
+    def _register_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        f: LintedFile,
+        module: str,
+        cls: ClassInfo | None,
+        prefix: str,
+    ) -> FunctionInfo:
+        qual = f"{prefix}.{node.name}"
+        args = node.args
+        params = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        info = FunctionInfo(
+            qualname=qual,
+            module=module,
+            path=f.posix,
+            node=node,
+            cls=cls,
+            allowlisted=self._allowlisted(f),
+            is_generator=any(
+                isinstance(n, (ast.Yield, ast.YieldFrom))
+                for n in ast.walk(node)
+                if not isinstance(n, _FUNC_NODES)
+            ) and _yields_shallow(node),
+            is_step_gen=is_step_generator(node),
+            param_names=tuple(params),
+        )
+        self.functions[qual] = info
+        self._by_bare_func.setdefault(node.name, []).append(info)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Lambda):
+                largs = sub.args
+                lam = FunctionInfo(
+                    qualname=f"{qual}.<lambda:{sub.lineno}:{sub.col_offset}>",
+                    module=module,
+                    path=f.posix,
+                    node=sub,
+                    cls=cls,
+                    allowlisted=info.allowlisted,
+                    param_names=tuple(
+                        a.arg
+                        for a in largs.posonlyargs + largs.args + largs.kwonlyargs
+                    ),
+                )
+                self.functions[lam.qualname] = lam
+        return info
+
+    def _index_file(self, f: LintedFile) -> None:
+        module = self._module_name(f)
+        for node in f.tree.body:
+            if isinstance(node, _FUNC_NODES):
+                self._register_function(node, f, module, None, module)
+            elif isinstance(node, ast.ClassDef):
+                qual = f"{module}.{node.name}"
+                cls = ClassInfo(
+                    qualname=qual,
+                    module=module,
+                    path=f.posix,
+                    node=node,
+                    base_names=tuple(
+                        _base_name(b) for b in node.bases if _base_name(b)
+                    ),
+                )
+                self.classes[qual] = cls
+                self._by_bare_class.setdefault(node.name, []).append(cls)
+                for sub in node.body:
+                    if isinstance(sub, _FUNC_NODES):
+                        cls.methods[sub.name] = self._register_function(
+                            sub, f, module, cls, qual
+                        )
+
+    def _link_hierarchy(self) -> None:
+        for cls in self.classes.values():
+            for base in cls.base_names:
+                for parent in self._by_bare_class.get(_bare(base), []):
+                    self._subclasses.setdefault(parent.qualname, set()).add(cls.qualname)
+        # transitive closure (hierarchies here are tiny)
+        changed = True
+        while changed:
+            changed = False
+            for q, subs in self._subclasses.items():
+                for s in list(subs):
+                    extra = self._subclasses.get(s, set()) - subs
+                    if extra:
+                        subs |= extra
+                        changed = True
+
+    # -- type machinery --------------------------------------------------
+
+    def classes_named(self, name: str) -> list[ClassInfo]:
+        return self._by_bare_class.get(_bare(name), [])
+
+    def module_functions_named(self, name: str) -> list[FunctionInfo]:
+        """Module-level (non-method) functions with this bare name."""
+        return [f for f in self._by_bare_func.get(name, []) if f.cls is None]
+
+    def subclasses_of(self, cls: ClassInfo) -> list[ClassInfo]:
+        return [self.classes[q] for q in self._subclasses.get(cls.qualname, ())]
+
+    def mro_lookup(self, cls: ClassInfo, method: str) -> FunctionInfo | None:
+        seen = set()
+        work = [cls]
+        while work:
+            c = work.pop(0)
+            if c.qualname in seen:
+                continue
+            seen.add(c.qualname)
+            if method in c.methods:
+                return c.methods[method]
+            for base in c.base_names:
+                work.extend(self.classes_named(base))
+        return None
+
+    def resolve_method(self, cls: ClassInfo, method: str) -> list[FunctionInfo]:
+        """The statically-known dispatch set: the MRO resolution plus
+        every subclass override (the receiver may be any subtype)."""
+        out = []
+        found = self.mro_lookup(cls, method)
+        if found is not None:
+            out.append(found)
+        for sub in self.subclasses_of(cls):
+            if method in sub.methods:
+                out.append(sub.methods[method])
+        return out
+
+    def type_of_call(self, name: str) -> set:
+        """Type of ``Name(...)``: instance of a known class, a known
+        function's return (opaque), or external."""
+        classes = self.classes_named(name)
+        if classes:
+            return {("cls", c.qualname) for c in classes}
+        if name in ATOMIC_CLASS_NAMES or name in MUTEX_CLASS_NAMES:
+            return {("cls", name)}  # undeclared fixture/bare atomic
+        return {EXTERNAL}
+
+    def class_of_tref(self, tref: TRef) -> ClassInfo | None:
+        if tref[0] not in ("cls", "elem"):
+            return None
+        q = tref[1]
+        if q in self.classes:
+            return self.classes[q]
+        named = self.classes_named(q)
+        return named[0] if named else None
+
+    # -- attribute-type inference ---------------------------------------
+
+    def _infer_class_attrs(self) -> None:
+        for cls in self.classes.values():
+            for m in cls.methods.values():
+                for stmt in ast.walk(m.node):
+                    targets: list[ast.expr] = []
+                    value: ast.expr | None = None
+                    if isinstance(stmt, ast.Assign):
+                        targets, value = stmt.targets, stmt.value
+                    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                        targets, value = [stmt.target], stmt.value
+                    if value is None:
+                        continue
+                    for t in targets:
+                        if (
+                            isinstance(t, ast.Attribute)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id == "self"
+                        ):
+                            trefs = self.infer_literal(value, owner=m.qualname)
+                            cls.attr_types.setdefault(t.attr, set()).update(trefs)
+        # derived: mutex/atomic/shared-container flags + referenced marks
+        for cls in self.classes.values():
+            for attr, trefs in cls.attr_types.items():
+                for tref in trefs:
+                    if tref[0] not in ("cls", "elem"):
+                        continue
+                    bare = _bare(tref[1])
+                    if bare in MUTEX_CLASS_NAMES and tref[0] == "cls":
+                        cls.mutex_attrs.add(attr)
+                    elif bare in ATOMIC_CLASS_NAMES:
+                        cls.atomic_attrs.add(attr)
+                    ref = self.class_of_tref(tref)
+                    if ref is not None and ref.qualname != cls.qualname:
+                        ref.is_referenced = True
+        for cls in self.classes.values():
+            for attr, trefs in cls.attr_types.items():
+                for tref in trefs:
+                    ref = self.class_of_tref(tref)
+                    if ref is not None and (ref.is_atomic() or ref.is_shared_element()):
+                        cls.shared_container_attrs.add(attr)
+
+    def infer_literal(self, expr: ast.expr, owner: str = "") -> set:
+        """Types of a right-hand side, for attribute inference: direct
+        constructor calls, containers of them, lambdas, bool-joins."""
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            return self.type_of_call(expr.func.id)
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            return {EXTERNAL}
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Set)):
+            out: set = set()
+            for e in expr.elts:
+                out |= {("elem", t[1]) for t in self.infer_literal(e, owner)
+                        if t[0] == "cls"}
+            return out or {EXTERNAL}
+        if isinstance(expr, ast.Dict):
+            out = set()
+            for v in expr.values:
+                if v is not None:
+                    out |= {("elem", t[1]) for t in self.infer_literal(v, owner)
+                            if t[0] == "cls"}
+            return out or {EXTERNAL}
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return {("elem", t[1]) for t in self.infer_literal(expr.elt, owner)
+                    if t[0] == "cls"} or {EXTERNAL}
+        if isinstance(expr, ast.DictComp):
+            return {("elem", t[1]) for t in self.infer_literal(expr.value, owner)
+                    if t[0] == "cls"} or {EXTERNAL}
+        if isinstance(expr, ast.Lambda):
+            qual = f"{owner}.<lambda:{expr.lineno}:{expr.col_offset}>"
+            return {("func", qual)}
+        if isinstance(expr, ast.BoolOp):
+            out = set()
+            for v in expr.values:
+                out |= self.infer_literal(v, owner)
+            return out
+        if isinstance(expr, ast.IfExp):
+            return self.infer_literal(expr.body, owner) | self.infer_literal(
+                expr.orelse, owner
+            )
+        if isinstance(expr, ast.Name):
+            return {EXTERNAL}
+        return {EXTERNAL}
+
+
+def _base_name(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def _yields_shallow(node) -> bool:
+    from ..lint.core import walk_shallow
+
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in walk_shallow(node))
+
+
+def build_program(
+    paths: Iterable[str],
+    sources: dict[str, str] | None = None,
+) -> Program:
+    files, errors = load_files(list(paths), sources=sources)
+    return Program(files, errors)

@@ -1,0 +1,227 @@
+"""Per-function control-flow graphs over the Python AST.
+
+The step-atomicity and dead-yield checks reason about *maximal
+yield-to-yield segments* of a step generator -- every path between two
+preemption points, including loop wrap-arounds.  Enumerating paths is
+exponential, so the checks run small forward dataflow problems over a
+statement-level CFG instead; this module builds that CFG.
+
+Shape
+-----
+Nodes are simple statements or the *headers* of compound statements
+(an ``if``/``while`` test, a ``for`` iterable, the items of a
+``with``).  Each node carries the expressions whose effects belong to
+it (``payload``) and the set of mutexes syntactically held there
+(``held`` -- the ``with self._mutex:`` nesting, used by the static
+lockset check).  A statement containing a ``yield`` becomes a
+``yield`` node: the preemption points that delimit segments.
+
+Approximations (stated honestly, see ARCHITECTURE):
+
+* ``try`` blocks add an edge from every body node to every handler, so
+  an exception at any point is covered; ``raise``/``return`` route to
+  the function exit.
+* loop tests are not evaluated -- both the "enter" and "skip" edges
+  always exist, so ``while True:`` also has a static exit edge.  The
+  dataflow lattices are monotone joins, so extra edges only ever make
+  the analysis more conservative.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..lint.core import walk_shallow
+
+__all__ = ["Node", "CFG", "build_cfg", "max_flow", "reaches_before_yield"]
+
+
+@dataclass
+class Node:
+    nid: int
+    kind: str  # "entry" | "exit" | "stmt" | "yield"
+    payload: tuple[ast.AST, ...] = ()
+    succs: set[int] = field(default_factory=set)
+    held: frozenset[str] = frozenset()
+    line: int = 0
+    col: int = 0
+
+
+class CFG:
+    """A per-function CFG; node 0 is entry, node 1 the single exit."""
+
+    def __init__(self) -> None:
+        self.nodes: list[Node] = [Node(0, "entry"), Node(1, "exit")]
+
+    @property
+    def entry(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def exit(self) -> Node:
+        return self.nodes[1]
+
+    def new(self, kind: str, payload: tuple[ast.AST, ...], held: frozenset[str]) -> Node:
+        node = Node(len(self.nodes), kind, payload, set(), held)
+        anchor = payload[0] if payload else None
+        node.line = getattr(anchor, "lineno", 0)
+        node.col = getattr(anchor, "col_offset", 0)
+        self.nodes.append(node)
+        return node
+
+    def link(self, preds: Iterable[int], nid: int) -> None:
+        for p in preds:
+            self.nodes[p].succs.add(nid)
+
+    def yields(self) -> list[Node]:
+        return [n for n in self.nodes if n.kind == "yield"]
+
+
+_SIMPLE_EXIT = (ast.Return, ast.Raise)
+
+
+def _contains_yield(stmt: ast.stmt) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in walk_shallow(stmt))
+
+
+def build_cfg(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    mutex_of: Callable[[ast.expr], str | None] = lambda e: None,
+) -> CFG:
+    """Build the CFG of ``func``.
+
+    ``mutex_of`` maps a ``with``-item context expression to a mutex
+    identity (e.g. ``"self._mutex"``) or None; matched items extend the
+    ``held`` set of every node in the block's body.
+    """
+    cfg = CFG()
+
+    def build(stmts, preds, held, break_to, continue_to):
+        """Wire ``stmts`` after ``preds``; returns the dangling preds."""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # nested defs are separate functions
+            if isinstance(stmt, ast.If):
+                test = cfg.new("stmt", (stmt.test,), held)
+                cfg.link(preds, test.nid)
+                out = build(stmt.body, [test.nid], held, break_to, continue_to)
+                # An empty orelse returns [test.nid]: the fall-through edge.
+                out += build(stmt.orelse, [test.nid], held, break_to, continue_to)
+                preds = list(dict.fromkeys(out))
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                header_expr = stmt.test if isinstance(stmt, ast.While) else stmt.iter
+                header = cfg.new("stmt", (header_expr,), held)
+                cfg.link(preds, header.nid)
+                breaks: list[int] = []
+                out = build(stmt.body, [header.nid], held, breaks, header.nid)
+                cfg.link(out, header.nid)  # loop wrap-around
+                preds = build(stmt.orelse, [header.nid], held, break_to, continue_to) \
+                    or [header.nid]
+                preds = list(set(preds) | set(breaks))
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                items = cfg.new("stmt", tuple(i.context_expr for i in stmt.items), held)
+                cfg.link(preds, items.nid)
+                grabbed = {m for i in stmt.items
+                           if (m := mutex_of(i.context_expr)) is not None}
+                inner = held | frozenset(grabbed)
+                preds = build(stmt.body, [items.nid], inner, break_to, continue_to)
+            elif isinstance(stmt, ast.Try):
+                first = len(cfg.nodes)
+                body_out = build(stmt.body, preds, held, break_to, continue_to)
+                body_nodes = list(range(first, len(cfg.nodes)))
+                handler_outs: list[int] = []
+                for handler in stmt.handlers:
+                    h_preds = list(set(body_nodes) | set(preds))
+                    handler_outs += build(
+                        handler.body, h_preds, held, break_to, continue_to
+                    )
+                else_out = build(stmt.orelse, body_out, held, break_to, continue_to) \
+                    if stmt.orelse else body_out
+                merged = list(set(else_out) | set(handler_outs))
+                if stmt.finalbody:
+                    preds = build(stmt.finalbody, merged or preds, held,
+                                  break_to, continue_to)
+                else:
+                    preds = merged
+            elif isinstance(stmt, ast.Break):
+                node = cfg.new("stmt", (stmt,), held)
+                cfg.link(preds, node.nid)
+                if break_to is not None:
+                    break_to.append(node.nid)
+                preds = []
+            elif isinstance(stmt, ast.Continue):
+                node = cfg.new("stmt", (stmt,), held)
+                cfg.link(preds, node.nid)
+                if continue_to is not None:
+                    cfg.link([node.nid], continue_to)
+                preds = []
+            else:
+                kind = "yield" if _contains_yield(stmt) else "stmt"
+                node = cfg.new(kind, (stmt,), held)
+                cfg.link(preds, node.nid)
+                if isinstance(stmt, _SIMPLE_EXIT):
+                    cfg.link([node.nid], cfg.exit.nid)
+                    preds = []
+                else:
+                    preds = [node.nid]
+            if not preds:
+                # Everything after an unconditional exit is dead code;
+                # keep building (nodes stay unreachable from entry).
+                preds = []
+        return preds
+
+    out = build(func.body, [cfg.entry.nid], frozenset(), None, None)
+    cfg.link(out, cfg.exit.nid)
+    return cfg
+
+
+def max_flow(
+    cfg: CFG,
+    transfer: Callable[[Node, int], int],
+    start: int = 0,
+    top: int = 2,
+) -> dict[int, int]:
+    """Forward max-join dataflow over the saturating counter lattice
+    ``{0..top}``: ``state_in(n) = max over preds``, ``state_out(n) =
+    transfer(n, state_in)``.  Returns the fixpoint ``state_in`` map --
+    for each node, the largest count on *some* path reaching it (a
+    may-analysis, which is what violation detection needs).
+    """
+    state_in = {cfg.entry.nid: start}
+    out_cache: dict[int, int] = {}
+    work = [cfg.entry.nid]
+    while work:
+        nid = work.pop()
+        node = cfg.nodes[nid]
+        out = min(top, transfer(node, state_in[nid]))
+        if out_cache.get(nid) == out:
+            continue
+        out_cache[nid] = out
+        for s in node.succs:
+            if out > state_in.get(s, -1):
+                state_in[s] = out
+                work.append(s)
+    return state_in
+
+
+def reaches_before_yield(cfg: CFG, start: Node, effectful: Callable[[Node], bool]) -> bool:
+    """True when some path from ``start``'s successors reaches an
+    effectful node before hitting another yield (or falling off the
+    exit) -- i.e. the yield at ``start`` covers at least one access on
+    at least one path.  Used by the dead-yield check (RPREFF004)."""
+    seen: set[int] = set()
+    work = list(start.succs)
+    while work:
+        nid = work.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        node = cfg.nodes[nid]
+        if effectful(node):
+            return True
+        if node.kind == "yield":
+            continue  # next segment starts; stop exploring this branch
+        work.extend(node.succs)
+    return False

@@ -1,0 +1,310 @@
+"""The RPREFF checks: what the effect analysis is *for*.
+
+``RPREFF001`` step-atomicity
+    In every step generator, each maximal yield-to-yield segment may
+    perform at most one sanctioned shared access (atomic load/RMW,
+    announced plain access) -- **including accesses performed by
+    callees**, which is what the intra-procedural lint rule RPR003
+    cannot see.  Verified by a saturating-counter dataflow over the
+    function CFG; the counter charges callee summaries at call sites.
+
+``RPREFF002`` raw-shared-write reachability
+    No raw shared write (an effect the interleave scheduler cannot
+    observe) may be reachable from any step generator through any chain
+    of statically-known calls.  The finding carries the call chain.
+
+``RPREFF003`` static lockset
+    Eraser-style: for every mutex-owning class, a field written at
+    least once with a lock held is *guarded*; any write to a guarded
+    field with a provably empty lockset is flagged.  Reads are exempt
+    (the quiescent-read idiom of ``WorkSpanTracker`` is legal), as is
+    ``__init__`` (construction happens-before sharing).
+
+``RPREFF004`` dead/duplicate yield
+    A yield preemption point that covers no shared access on *any* path
+    before the next yield widens the schedule space the theorems
+    quantify over with no-op steps -- usually a leftover from a removed
+    access or a duplicated announcement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..lint.core import SuppressionComment, iter_suppressions, suppressed_lines
+from .callgraph import Program, build_program
+from .cfg import Node, max_flow, reaches_before_yield
+from .effects import MANY, Effect, Site
+from .interproc import Analysis, FnAnalysis
+
+__all__ = ["Finding", "RULES", "AnalysisResult", "analyze_paths"]
+
+#: rule id -> (short name, summary) -- the SARIF rule table and
+#: ``repro effects --list-rules`` both render this.
+RULES: dict[str, tuple[str, str]] = {
+    "RPREFF001": (
+        "step-atomicity",
+        "a yield-to-yield segment of a step generator performs more "
+        "than one shared access (callees included)",
+    ),
+    "RPREFF002": (
+        "raw-write-reachable",
+        "a raw shared write is reachable from a step generator "
+        "through statically-known calls",
+    ),
+    "RPREFF003": (
+        "empty-lockset-write",
+        "a write to a mutex-guarded field with a provably empty "
+        "lockset",
+    ),
+    "RPREFF004": (
+        "dead-yield",
+        "a yield preemption point covering no shared access before "
+        "the next yield",
+    ),
+    "RPREFF999": (
+        "syntax-error",
+        "a file could not be parsed",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    func: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule_id": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "func": self.func,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Finding":
+        return cls(
+            rule_id=d["rule_id"], path=d["path"], line=int(d["line"]),
+            col=int(d["col"]), message=d["message"], func=d.get("func", ""),
+        )
+
+
+def _segment_count_transfer(fa: FnAnalysis):
+    def transfer(node: Node, n: int) -> int:
+        c = 0 if node.kind == "yield" else n
+        for it in fa.node_items.get(node.nid, ()):
+            c = min(MANY, c + it.count)
+        return c
+
+    return transfer
+
+
+def check_step_atomicity(analysis: Analysis) -> list[Finding]:
+    out: list[Finding] = []
+    for fa in analysis.step_generators():
+        if fa.cfg is None:
+            continue
+        transfer = _segment_count_transfer(fa)
+        # start=1 pre-charges the entry segment: code before the first
+        # yield is not covered by any preemption point, so its very
+        # first shared access already violates the discipline.
+        state_in = max_flow(fa.cfg, transfer, start=1, top=MANY)
+        for node in fa.cfg.nodes:
+            if node.nid not in state_in:
+                continue  # unreachable (dead code)
+            c = 0 if node.kind == "yield" else state_in[node.nid]
+            for it in fa.node_items.get(node.nid, ()):
+                if it.count == 0:
+                    continue
+                before = c
+                c = min(MANY, c + it.count)
+                if c >= MANY and (before >= 1 or it.count >= MANY):
+                    out.append(Finding(
+                        rule_id="RPREFF001",
+                        path=fa.info.path, line=it.line, col=it.col + 1,
+                        func=fa.info.qualname,
+                        message=(
+                            f"{it.descr} is the second-or-later shared "
+                            "access in one yield-to-yield segment of step "
+                            f"generator `{fa.info.name}`; every shared "
+                            "access needs its own preemption point"
+                        ),
+                    ))
+    return out
+
+
+def check_raw_reachability(analysis: Analysis) -> list[Finding]:
+    out: list[Finding] = []
+    reported: set[tuple[str, int, int]] = set()
+    for fa in analysis.step_generators():
+        # BFS over the call graph gives shortest provenance chains.
+        origin = fa.info.qualname
+        parents: dict[str, str] = {origin: ""}
+        queue = [origin]
+        while queue:
+            qual = queue.pop(0)
+            cur = analysis.fns.get(qual)
+            if cur is None:
+                continue
+            for site in cur.raw_sites():
+                key = (site.path, site.line, site.col)
+                if key in reported:
+                    continue
+                reported.add(key)
+                chain = []
+                q = qual
+                while q:
+                    chain.append(q.rsplit(".", 1)[-1])
+                    q = parents.get(q, "")
+                chain.reverse()
+                via = " -> ".join(chain)
+                out.append(Finding(
+                    rule_id="RPREFF002",
+                    path=site.path, line=site.line, col=site.col + 1,
+                    func=qual,
+                    message=(
+                        f"{site.descr}; reachable from step generator "
+                        f"`{fa.info.name}` via {via}"
+                    ),
+                ))
+            for e in cur.edges:
+                if e.callee not in parents:
+                    parents[e.callee] = qual
+                    queue.append(e.callee)
+    return out
+
+
+def check_locksets(analysis: Analysis) -> list[Finding]:
+    by_field: dict[tuple[str, str], list] = {}
+    for fa in analysis.fns.values():
+        for w in fa.writes:
+            eff = analysis.effective_lockset(fa, w.held)
+            by_field.setdefault((w.cls, w.attr), []).append((w, eff))
+    out: list[Finding] = []
+    for (cls_q, attr), recs in by_field.items():
+        guards = set()
+        for _, eff in recs:
+            if eff is not None and eff:
+                guards |= eff
+        if not guards:
+            continue  # never written under a lock: not a guarded field
+        lock_names = ", ".join(sorted(g.rsplit(".", 1)[-1] for g in guards))
+        cls_name = cls_q.rsplit(".", 1)[-1]
+        for w, eff in recs:
+            if eff is None or eff:
+                continue  # unknown (vacuous) or locked
+            out.append(Finding(
+                rule_id="RPREFF003",
+                path=w.path, line=w.line, col=w.col + 1,
+                func=w.func,
+                message=(
+                    f"write to `{cls_name}.{attr}` with an empty lockset, "
+                    f"but other writes hold `{lock_names}`; either take "
+                    "the lock or document the quiescence argument"
+                ),
+            ))
+    return out
+
+
+def check_yields(analysis: Analysis) -> list[Finding]:
+    out: list[Finding] = []
+    for fa in analysis.step_generators():
+        if fa.cfg is None:
+            continue
+
+        def effectful(node: Node) -> bool:
+            return any(
+                it.count > 0 or it.effect.is_shared
+                for it in fa.node_items.get(node.nid, ())
+            )
+
+        for ynode in fa.cfg.yields():
+            if not reaches_before_yield(fa.cfg, ynode, effectful):
+                out.append(Finding(
+                    rule_id="RPREFF004",
+                    path=fa.info.path, line=ynode.line, col=ynode.col + 1,
+                    func=fa.info.qualname,
+                    message=(
+                        "yield preemption point covers no shared access "
+                        "before the next yield on any path (dead or "
+                        "duplicate yield) in step generator "
+                        f"`{fa.info.name}`"
+                    ),
+                ))
+    return out
+
+
+_CHECKS = (
+    check_step_atomicity,
+    check_raw_reachability,
+    check_locksets,
+    check_yields,
+)
+
+
+@dataclass
+class AnalysisResult:
+    program: Program
+    analysis: Analysis
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+
+    def sites(self) -> list[Site]:
+        return self.analysis.shared_sites()
+
+    def notes(self) -> list[str]:
+        return self.analysis.notes()
+
+    def suppressions(self) -> list[SuppressionComment]:
+        """Noqa comments in the analysed files that (could) cover
+        RPREFF rules: blanket comments plus explicit RPREFF codes.
+        The ratchet baseline pins their count."""
+        out = []
+        for c in iter_suppressions(self.program.files):
+            if c.codes is None or any(x.startswith("RPREFF") for x in c.codes):
+                out.append(c)
+        return out
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    sources: dict[str, str] | None = None,
+) -> AnalysisResult:
+    """Run the whole pipeline: parse, fixpoint, checks, suppression."""
+    program = build_program(paths, sources=sources)
+    analysis = Analysis.run(program)
+    findings: list[Finding] = [
+        Finding(
+            rule_id="RPREFF999", path=v.path, line=v.line, col=v.col,
+            message=v.message,
+        )
+        for v in program.errors
+    ]
+    for check in _CHECKS:
+        findings.extend(check(analysis))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    source_by_path = {f.posix: f.source for f in program.files}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in findings:
+        lines = suppressed_lines(source_by_path.get(f.path, ""))
+        codes = lines.get(f.line, frozenset())
+        if codes is None or f.rule_id in codes:
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return AnalysisResult(
+        program=program, analysis=analysis,
+        findings=kept, suppressed=suppressed,
+    )

@@ -1,0 +1,141 @@
+"""The effect lattice of the interprocedural analyzer.
+
+Every expression in the tree is abstracted to one of five effect
+levels, ordered by how much of the concurrency model it can disturb::
+
+    pure < local < shared-read < atomic-op < raw-shared-write
+
+``pure``
+    No observable effect (literals, arithmetic, exact predicates).
+``local``
+    Mutates only state owned by the current task (locals, fresh
+    objects, configuration attributes fixed at construction).
+``shared-read``
+    Observes shared mutable state through a sanctioned interface: an
+    atomic load (``AtomicCell.load``, ``AtomicFlag.is_set``) or a read
+    of a registered plain field of a shared slot (``_TASSlot.data``).
+``atomic-op``
+    A linearization point: an atomic RMW/store (``compare_and_swap``,
+    ``test_and_set``, ``store``, ``fetch_add``) or the *announced*
+    plain write of a registered shared field directly inside a step
+    generator (covered by its own yield, the Appendix-A idiom).
+``raw-shared-write``
+    A mutation of shared state that bypasses the atomics: rebinding an
+    atomic-typed attribute, storing into a shared container slot,
+    writing a shared slot's plain field from anywhere the scheduler
+    cannot see, or dispatching dynamically (``getattr``/``exec``) where
+    the callee -- and hence its effect -- is statically unknown.
+
+The lattice is a chain, so *join* is ``max`` and the abstract domains
+built on it (per-function summaries, per-segment access counts) are
+finite; the interprocedural fixpoint in :mod:`repro.analyze.interproc`
+terminates by monotonicity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "Effect",
+    "Site",
+    "MANY",
+    "ATOMIC_CLASS_NAMES",
+    "ATOMIC_READ_METHODS",
+    "ATOMIC_RMW_METHODS",
+    "MUTEX_CLASS_NAMES",
+    "CONTAINER_MUTATORS",
+    "DYNAMIC_DISPATCH_CALLS",
+    "EFFECT_ALLOWLIST",
+]
+
+
+class Effect(enum.IntEnum):
+    """The chain lattice; ``max`` is join."""
+
+    PURE = 0
+    LOCAL = 1
+    SHARED_READ = 2
+    ATOMIC_OP = 3
+    RAW_SHARED_WRITE = 4
+
+    @property
+    def label(self) -> str:
+        return self.name.lower().replace("_", "-")
+
+    @property
+    def is_shared(self) -> bool:
+        """At least observes shared state (counts against a yield)."""
+        return self >= Effect.SHARED_READ
+
+
+#: Saturation bound of the per-segment access counter: 0, 1, "2 or
+#: more".  Step atomicity only needs to distinguish "at most one".
+MANY = 2
+
+
+@dataclass(frozen=True)
+class Site:
+    """One classified source location with a shared effect.
+
+    The union of all sites (over every analysed function) is the static
+    shared-effect set the soundness differential test compares against
+    the dynamic race checker's observed accesses.
+    """
+
+    path: str  # posix path, as analysed
+    line: int
+    col: int
+    func: str  # qualified name of the containing function
+    effect: Effect
+    descr: str  # e.g. "AtomicCell.compare_and_swap"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.effect.label}] {self.descr}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "func": self.func,
+            "effect": self.effect.label,
+            "descr": self.descr,
+        }
+
+
+#: Classes whose instances are atomic cells, matched by bare class
+#: name so fixture programs (and future backends) are analysed the
+#: same way as :mod:`repro.runtime.atomics`.
+ATOMIC_CLASS_NAMES = frozenset({"AtomicCell", "AtomicFlag", "AtomicCounter"})
+
+#: Atomic interface methods, mirrored from the dynamic instrumentation
+#: table ``racecheck._ATOMIC_METHODS``.
+ATOMIC_READ_METHODS = frozenset({"load", "is_set"})
+ATOMIC_RMW_METHODS = frozenset({"store", "compare_and_swap", "test_and_set", "fetch_add"})
+
+#: The sanctioned lock interface (RPR002's Mutex).
+MUTEX_CLASS_NAMES = frozenset({"Mutex"})
+
+#: Method names that mutate a built-in container in place; calling one
+#: on a shared container is a raw shared write.
+CONTAINER_MUTATORS = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "sort", "reverse",
+})
+
+#: Builtins whose *call result* being called -- or which themselves run
+#: arbitrary code -- make the callee statically unknowable.  These go
+#: to lattice top (conservative), per the dynamic-dispatch policy.
+DYNAMIC_DISPATCH_CALLS = frozenset({"getattr", "eval", "exec", "compile", "__import__"})
+
+#: Modules whose *bodies* are exempt from raw-effect classification:
+#: the primitives themselves.  Mirrors RPR002's THREADING_ALLOWLIST --
+#: these files hold the sanctioned raw locks/threads, and their
+#: interfaces are what the call-site classification table models.
+EFFECT_ALLOWLIST = (
+    "runtime/atomics.py",
+    "runtime/executors.py",
+    "runtime/chaos.py",
+)

@@ -1,0 +1,742 @@
+"""Interprocedural effect propagation: the analyzer's fixpoint engine.
+
+Each function body is abstracted to
+
+* a **summary** ``(level, count)``: the join over all paths of the
+  effects it may perform (``level``, an :class:`~repro.analyze.effects.
+  Effect`), and how many *shared accesses* some single execution may
+  perform (``count``, saturating at :data:`MANY`);
+* per-CFG-node **effect items** -- the classified calls, reads and
+  writes at that node, in source order, each carrying the callee edge
+  (for provenance) and the syntactic lockset;
+* **call edges** and **write records** consumed by the checks.
+
+Summaries depend on callee summaries, parameter types flow from call
+sites to callees, and "which plain fields of a shared slot are ever
+mutated" depends on writes found anywhere in the program -- so the
+whole thing runs as one round-based fixpoint: re-analyze every function
+until summaries, parameter types and mutated-field sets all stop
+changing.  Every one of those domains is finite and grows monotonically
+(effects only join upward, type sets and field sets only gain
+elements), so the fixpoint terminates.
+
+A second, *decreasing* fixpoint then computes entry locksets
+(Eraser-style): public functions are assumed callable with no locks
+held; underscore-prefixed helpers start at "all locks" and intersect
+over their call sites, each contributing the locks syntactically held
+at the site plus the caller's own entry lockset.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..lint.core import walk_shallow
+from .callgraph import EXTERNAL, ClassInfo, FunctionInfo, Program
+from .cfg import CFG, Node, build_cfg, max_flow
+from .effects import (
+    ATOMIC_CLASS_NAMES,
+    ATOMIC_READ_METHODS,
+    ATOMIC_RMW_METHODS,
+    CONTAINER_MUTATORS,
+    MANY,
+    MUTEX_CLASS_NAMES,
+    Effect,
+    Site,
+)
+
+__all__ = ["Summary", "EffectItem", "CallEdge", "WriteRecord", "FnAnalysis", "Analysis"]
+
+#: Universal lockset (lattice top of the must-hold analysis).
+TOP_LOCKS = None
+
+
+@dataclass(frozen=True)
+class Summary:
+    level: Effect = Effect.PURE
+    count: int = 0  # shared accesses on some path, saturated at MANY
+
+    def join(self, other: "Summary") -> "Summary":
+        return Summary(
+            max(self.level, other.level),
+            min(MANY, max(self.count, other.count)),
+        )
+
+
+@dataclass
+class EffectItem:
+    """One classified effect inside a CFG node, in source order."""
+
+    effect: Effect
+    count: int  # shared accesses this item contributes (callees included)
+    line: int
+    col: int
+    descr: str
+    callee: str | None = None  # provenance for interprocedural findings
+    held: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    caller: str
+    callee: str
+    line: int
+    col: int
+    held: frozenset[str]
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """A write (or in-place mutation) of a field of a mutex-owning
+    class, with the locks syntactically held at the site."""
+
+    cls: str  # class qualname
+    attr: str
+    func: str  # writing function qualname
+    path: str
+    line: int
+    col: int
+    held: frozenset[str]
+
+
+@dataclass
+class FnAnalysis:
+    info: FunctionInfo
+    cfg: CFG | None = None  # None for lambdas
+    node_items: dict[int, list[EffectItem]] = field(default_factory=dict)
+    edges: list[CallEdge] = field(default_factory=list)
+    writes: list[WriteRecord] = field(default_factory=list)
+    summary: Summary = field(default_factory=Summary)
+
+    def sites(self) -> list[Site]:
+        """Own (direct, non-callee) shared-effect sites."""
+        out = []
+        for items in self.node_items.values():
+            for it in items:
+                if it.callee is None and it.effect.is_shared:
+                    out.append(Site(
+                        path=self.info.path, line=it.line, col=it.col,
+                        func=self.info.qualname, effect=it.effect,
+                        descr=it.descr,
+                    ))
+        return sorted(out, key=lambda s: (s.line, s.col))
+
+    def raw_sites(self) -> list[Site]:
+        return [s for s in self.sites() if s.effect is Effect.RAW_SHARED_WRITE]
+
+
+class Analysis:
+    """Whole-program analysis state; build with :meth:`run`."""
+
+    MAX_ROUNDS = 32
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.fns: dict[str, FnAnalysis] = {}
+        self.entry_locks: dict[str, frozenset[str] | None] = {}
+        self._changed = False
+        self._notes: set[str] = set()
+
+    # -- public API ------------------------------------------------------
+
+    @classmethod
+    def run(cls, program: Program) -> "Analysis":
+        self = cls(program)
+        self._fixpoint()
+        self._entry_lockset_fixpoint()
+        return self
+
+    def shared_sites(self) -> list[Site]:
+        """Every direct shared-effect site in the analysed program: the
+        static set the dynamic race checker's observations must be a
+        subset of (the soundness differential)."""
+        out: list[Site] = []
+        for fa in self.fns.values():
+            out.extend(fa.sites())
+        return sorted(out, key=lambda s: (s.path, s.line, s.col))
+
+    def step_generators(self) -> list[FnAnalysis]:
+        return [fa for fa in self.fns.values() if fa.info.is_step_gen]
+
+    def notes(self) -> list[str]:
+        """Human-readable records of deliberate imprecision (unknown
+        callables assumed local, etc.)."""
+        return sorted(self._notes)
+
+    def effective_lockset(self, fa: FnAnalysis, held: frozenset[str]) -> frozenset[str] | None:
+        entry = self.entry_locks.get(fa.info.qualname, frozenset())
+        if entry is TOP_LOCKS:
+            return TOP_LOCKS
+        return held | entry
+
+    # -- round-based ascending fixpoint ---------------------------------
+
+    def _fixpoint(self) -> None:
+        infos = [
+            info for info in self.program.functions.values()
+            if not info.allowlisted
+        ]
+        for info in self.program.functions.values():
+            if info.allowlisted:
+                # Primitive bodies are the sanctioned implementation;
+                # their *interfaces* are modelled by the call tables.
+                fa = FnAnalysis(info=info, summary=Summary(Effect.LOCAL, 0))
+                self.fns[info.qualname] = fa
+        for rounds in range(self.MAX_ROUNDS):
+            self._changed = False
+            for info in infos:
+                self._analyze_function(info)
+            if not self._changed:
+                return
+        raise RuntimeError(
+            "effect fixpoint did not converge in "
+            f"{self.MAX_ROUNDS} rounds (analyzer bug)"
+        )
+
+    def summary_of(self, qual: str) -> Summary:
+        fa = self.fns.get(qual)
+        return fa.summary if fa is not None else Summary(Effect.LOCAL, 0)
+
+    def _mark_changed(self) -> None:
+        self._changed = True
+
+    def _analyze_function(self, info: FunctionInfo) -> None:
+        fa = self.fns.get(info.qualname)
+        if fa is None:
+            fa = FnAnalysis(info=info)
+            if not isinstance(info.node, ast.Lambda):
+                fa.cfg = build_cfg(info.node, mutex_of=self._mutex_of(info))
+            self.fns[info.qualname] = fa
+        fa.node_items = {}
+        fa.edges = []
+        fa.writes = []
+        env = self._build_env(info)
+        self._env_cache[info.qualname] = env
+        if fa.cfg is None:  # lambda: one implicit node
+            items = self._classify_node_exprs(
+                [info.node.body], frozenset(), info, env, fa
+            )
+            fa.node_items[0] = items
+            level = Effect.PURE
+            count = 0
+            for it in items:
+                level = max(level, it.effect)
+                count = min(MANY, count + it.count)
+            new = Summary(level, count)
+        else:
+            for node in fa.cfg.nodes:
+                if node.kind in ("entry", "exit"):
+                    continue
+                fa.node_items[node.nid] = self._classify_node_exprs(
+                    list(node.payload), node.held, info, env, fa
+                )
+            new = self._summarize(fa)
+        if new != fa.summary:
+            fa.summary = new
+            self._mark_changed()
+
+    def _summarize(self, fa: FnAnalysis) -> Summary:
+        level = Effect.PURE
+        for items in fa.node_items.values():
+            for it in items:
+                level = max(level, it.effect)
+
+        def transfer(node: Node, n: int) -> int:
+            # No yield reset: the summary is the whole-body account a
+            # *caller* charges against its own current segment.
+            for it in fa.node_items.get(node.nid, ()):
+                n = min(MANY, n + it.count)
+            return n
+
+        state_in = max_flow(fa.cfg, transfer, start=0, top=MANY)
+        count = state_in.get(fa.cfg.exit.nid, 0)
+        # A path that never reaches the static exit (e.g. an infinite
+        # generator loop) still performs its per-iteration accesses:
+        # join over every reachable node's out-state.
+        for node in fa.cfg.nodes:
+            if node.nid in state_in:
+                count = max(count, transfer(node, state_in[node.nid]))
+        if level.is_shared:
+            count = max(count, 1)
+        return Summary(level, min(MANY, count))
+
+    # -- flow-insensitive local type environment ------------------------
+
+    def _mutex_of(self, info: FunctionInfo):
+        def mutex_of(expr: ast.expr) -> str | None:
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and info.cls is not None
+                and expr.attr in info.cls.mutex_attrs
+            ):
+                return f"{info.cls.qualname}.{expr.attr}"
+            return None
+
+        return mutex_of
+
+    def _build_env(self, info: FunctionInfo) -> dict[str, set]:
+        env: dict[str, set] = {}
+        if isinstance(info.node, ast.Lambda):
+            return env
+        for _ in range(2):  # two passes resolve simple forward refs
+            for n in walk_shallow(info.node):
+                if isinstance(n, ast.Assign):
+                    trefs = self._trefs(n.value, info, env)
+                    for t in n.targets:
+                        if isinstance(t, ast.Name):
+                            self._env_add(env, t.id, trefs)
+                elif isinstance(n, ast.AnnAssign) and n.value is not None:
+                    if isinstance(n.target, ast.Name):
+                        self._env_add(env, n.target.id,
+                                      self._trefs(n.value, info, env))
+                elif isinstance(n, (ast.For, ast.AsyncFor)):
+                    if isinstance(n.target, ast.Name):
+                        self._env_add(env, n.target.id,
+                                      self._elem_trefs(n.iter, info, env))
+                elif isinstance(n, ast.comprehension):
+                    if isinstance(n.target, ast.Name):
+                        self._env_add(env, n.target.id,
+                                      self._elem_trefs(n.iter, info, env))
+                elif isinstance(n, (ast.With, ast.AsyncWith)):
+                    for item in n.items:
+                        if isinstance(item.optional_vars, ast.Name):
+                            self._env_add(
+                                env, item.optional_vars.id,
+                                self._trefs(item.context_expr, info, env),
+                            )
+        return env
+
+    @staticmethod
+    def _env_add(env: dict[str, set], name: str, trefs: set) -> None:
+        typed = {t for t in trefs if t[0] in ("cls", "elem", "func")}
+        if typed:
+            env.setdefault(name, set()).update(typed)
+
+    def _elem_trefs(self, expr: ast.expr, info, env) -> set:
+        out = set()
+        for t in self._trefs(expr, info, env):
+            if t[0] == "elem":
+                out.add(("cls", t[1]))
+        return out or {EXTERNAL}
+
+    def _trefs(self, expr: ast.expr, info: FunctionInfo, env: dict[str, set]) -> set:
+        """Flow-insensitive types of an expression."""
+        p = self.program
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and info.cls is not None:
+                return {("cls", info.cls.qualname)}
+            out = set()
+            out |= env.get(expr.id, set())
+            out |= info.param_types.get(expr.id, set())
+            return out or {EXTERNAL}
+        if isinstance(expr, ast.Attribute):
+            out = set()
+            for t in self._trefs(expr.value, info, env):
+                cls = p.class_of_tref(t) if t[0] == "cls" else None
+                if cls is not None:
+                    out |= cls.attr_types.get(expr.attr, set())
+            return out or {EXTERNAL}
+        if isinstance(expr, ast.Subscript):
+            return self._elem_trefs(expr.value, info, env)
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+            trefs = p.type_of_call(expr.func.id)
+            if any(t[0] == "cls" for t in trefs):
+                return {t for t in trefs if t[0] == "cls"}
+            return {EXTERNAL}
+        if isinstance(expr, ast.Lambda):
+            return {("func",
+                     f"{info.qualname}.<lambda:{expr.lineno}:{expr.col_offset}>")}
+        if isinstance(expr, ast.BoolOp):
+            out = set()
+            for v in expr.values:
+                out |= self._trefs(v, info, env)
+            return out
+        if isinstance(expr, ast.IfExp):
+            return (self._trefs(expr.body, info, env)
+                    | self._trefs(expr.orelse, info, env))
+        if isinstance(expr, (ast.Await, ast.Starred)):
+            return self._trefs(expr.value, info, env)
+        return {EXTERNAL}
+
+    # -- per-node classification ----------------------------------------
+
+    def _classify_node_exprs(
+        self,
+        payload: Sequence[ast.AST],
+        held: frozenset[str],
+        info: FunctionInfo,
+        env: dict[str, set],
+        fa: FnAnalysis,
+    ) -> list[EffectItem]:
+        items: list[EffectItem] = []
+        for root in payload:
+            nodes = [root] if isinstance(root, (ast.expr,)) else []
+            nodes += list(walk_shallow(root))
+            for n in nodes:
+                if isinstance(n, ast.Call):
+                    items.extend(self._classify_call(n, held, info, env, fa))
+                elif isinstance(n, ast.Attribute):
+                    if isinstance(n.ctx, (ast.Store, ast.Del)):
+                        items.extend(
+                            self._classify_attr_store(n, held, info, env, fa)
+                        )
+                    else:
+                        items.extend(
+                            self._classify_attr_load(n, held, info, env)
+                        )
+                elif isinstance(n, ast.Subscript) and isinstance(
+                    n.ctx, (ast.Store, ast.Del)
+                ):
+                    items.extend(
+                        self._classify_subscript_store(n, held, info, env, fa)
+                    )
+        items.sort(key=lambda it: (it.line, it.col))
+        return items
+
+    # .. calls ...........................................................
+
+    def _classify_call(self, call, held, info, env, fa) -> list[EffectItem]:
+        f = call.func
+        line, col = call.lineno, call.col_offset
+        p = self.program
+
+        def item(effect, descr, count=None, callee=None):
+            if count is None:
+                count = 1 if effect.is_shared else 0
+            return EffectItem(effect, count, line, col, descr, callee, held)
+
+        if isinstance(f, ast.Name):
+            if f.id in ("eval", "exec", "__import__"):
+                return [item(Effect.RAW_SHARED_WRITE,
+                             f"dynamic dispatch via `{f.id}(...)`: callee "
+                             "statically unknown, assumed worst-case",
+                             count=MANY)]
+            classes = p.classes_named(f.id)
+            if classes:
+                out = []
+                joined = Summary(Effect.PURE, 0)
+                for cls in classes:
+                    init = p.mro_lookup(cls, "__init__")
+                    if init is not None:
+                        self._record_edge(fa, info, init, call, held,
+                                          bound=True)
+                        joined = joined.join(self.summary_of(init.qualname))
+                if joined.level.is_shared:
+                    out.append(item(joined.level,
+                                    f"constructor `{f.id}(...)` "
+                                    "(via __init__ summary)",
+                                    count=joined.count,
+                                    callee=f"{classes[0].qualname}.__init__"))
+                return out
+            funcs = p.module_functions_named(f.id)
+            if funcs:
+                return self._call_known(funcs, call, held, info, fa,
+                                        bound=False)
+            # getattr(..) itself only fetches; calling its *result* is
+            # handled below via the ast.Call-func case.  External and
+            # builtin callees are assumed local by policy (documented
+            # unsoundness hole) -- not worth a per-site note.
+            return []
+
+        if isinstance(f, ast.Call):
+            if isinstance(f.func, ast.Name) and f.func.id == "getattr":
+                return [item(Effect.RAW_SHARED_WRITE,
+                             "dynamic dispatch via `getattr(...)(...)`: "
+                             "callee statically unknown, assumed worst-case",
+                             count=MANY)]
+            return []
+
+        if isinstance(f, ast.Attribute):
+            m = f.attr
+            recv = f.value
+            rtrefs = self._trefs(recv, info, env)
+            rclasses = [
+                c for t in rtrefs if t[0] == "cls"
+                and (c := p.class_of_tref(t)) is not None
+            ]
+            bare_names = {t[1].rsplit(".", 1)[-1] for t in rtrefs
+                          if t[0] == "cls"}
+            # 1. the atomic interface tables (mirrors the dynamic
+            #    instrumentation table racecheck._ATOMIC_METHODS)
+            if bare_names & ATOMIC_CLASS_NAMES:
+                if m in ATOMIC_READ_METHODS:
+                    return [item(Effect.SHARED_READ,
+                                 f"atomic load `.{m}()`")]
+                if m in ATOMIC_RMW_METHODS:
+                    return [item(Effect.ATOMIC_OP,
+                                 f"atomic RMW/store `.{m}()`")]
+            if bare_names & MUTEX_CLASS_NAMES and m == "locked":
+                return [item(Effect.SHARED_READ, "lock-state probe `.locked()`")]
+            # 2. in-place mutation of a container attribute
+            if m in CONTAINER_MUTATORS:
+                out = self._classify_container_mutation(
+                    call, recv, m, held, info, env, fa
+                )
+                if out is not None:
+                    return out
+            # 3. statically resolved method dispatch
+            targets: list[FunctionInfo] = []
+            for cls in rclasses:
+                targets.extend(p.resolve_method(cls, m))
+            if targets:
+                return self._call_known(targets, call, held, info, fa,
+                                        bound=True)
+            # 4. a stored callable (lambda attribute, function ref)
+            ftrefs = self._trefs(f, info, env)
+            fn_targets = [
+                p.functions[t[1]] for t in ftrefs
+                if t[0] == "func" and t[1] in p.functions
+            ]
+            if fn_targets:
+                return self._call_known(fn_targets, call, held, info, fa,
+                                        bound=False)
+            if rclasses:
+                self._notes.add(
+                    f"{info.path}:{line}: unresolved method "
+                    f"`.{m}(...)` on {rclasses[0].name} assumed local"
+                )
+            return []
+
+        # calling a subscripted / unknown callable value
+        ftrefs = self._trefs(f, info, env)
+        fn_targets = [
+            p.functions[t[1]] for t in ftrefs
+            if t[0] == "func" and t[1] in p.functions
+        ]
+        if fn_targets:
+            return self._call_known(fn_targets, call, held, info, fa,
+                                    bound=False)
+        self._notes.add(
+            f"{info.path}:{line}: call through unknown callable assumed local"
+        )
+        return []
+
+    def _call_known(self, targets, call, held, info, fa, bound) -> list[EffectItem]:
+        joined = Summary(Effect.PURE, 0)
+        for t in targets:
+            self._record_edge(fa, info, t, call, held, bound=bound)
+            joined = joined.join(self.summary_of(t.qualname))
+        if joined.level is Effect.PURE and joined.count == 0:
+            return []
+        return [EffectItem(
+            joined.level, joined.count, call.lineno, call.col_offset,
+            f"call to `{targets[0].name}(...)`"
+            + (f" (+{len(targets) - 1} overrides)" if len(targets) > 1 else ""),
+            callee=targets[0].qualname, held=held,
+        )]
+
+    def _record_edge(self, fa, info, callee: FunctionInfo, call, held, bound) -> None:
+        fa.edges.append(CallEdge(
+            caller=info.qualname, callee=callee.qualname,
+            line=call.lineno, col=call.col_offset, held=held,
+        ))
+        params = list(callee.param_names)
+        if bound and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        env = self._env_cache.get(info.qualname, {})
+        for name, arg in zip(params, call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            self._propagate(callee, name, self._trefs(arg, info, env))
+        for kw in call.keywords:
+            if kw.arg is not None and kw.arg in callee.param_names:
+                self._propagate(callee, kw.arg,
+                                self._trefs(kw.value, info, env))
+
+    def _propagate(self, callee: FunctionInfo, name: str, trefs: set) -> None:
+        typed = {t for t in trefs if t[0] in ("cls", "elem", "func")}
+        if not typed:
+            return
+        bucket = callee.param_types.setdefault(name, set())
+        if not typed <= bucket:
+            bucket |= typed
+            self._mark_changed()
+
+    # .. attribute reads/writes ..........................................
+
+    def _owner_classes(self, recv: ast.expr, info, env) -> list[ClassInfo]:
+        out = []
+        for t in self._trefs(recv, info, env):
+            if t[0] == "cls":
+                cls = self.program.class_of_tref(t)
+                if cls is not None:
+                    out.append(cls)
+        return out
+
+    @staticmethod
+    def _is_self(expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Name) and expr.id == "self"
+
+    def _classify_attr_load(self, node: ast.Attribute, held, info, env) -> list[EffectItem]:
+        for cls in self._owner_classes(node.value, info, env):
+            if (
+                cls.is_shared_element()
+                and node.attr in cls.plain_shared_fields()
+            ):
+                return [EffectItem(
+                    Effect.SHARED_READ, 1, node.lineno, node.col_offset,
+                    f"read of shared plain field `{cls.name}.{node.attr}`",
+                    held=held,
+                )]
+        return []
+
+    def _classify_attr_store(self, node: ast.Attribute, held, info, env, fa) -> list[EffectItem]:
+        recv = node.value
+        attr = node.attr
+        self_write = self._is_self(recv)
+        if info.is_init and self_write:
+            return []  # construction: attributes come into existence
+        out: list[EffectItem] = []
+        for cls in self._owner_classes(recv, info, env):
+            if attr not in cls.mutated_fields:
+                cls.mutated_fields.add(attr)
+                self._mark_changed()
+            if cls.owns_mutex() and attr not in cls.mutex_attrs:
+                fa.writes.append(WriteRecord(
+                    cls=cls.qualname, attr=attr, func=info.qualname,
+                    path=info.path, line=node.lineno,
+                    col=node.col_offset, held=held,
+                ))
+            if attr in cls.mutex_attrs or attr in cls.atomic_attrs \
+                    or attr in cls.shared_container_attrs:
+                out.append(EffectItem(
+                    Effect.RAW_SHARED_WRITE, 1, node.lineno,
+                    node.col_offset,
+                    f"rebinds atomic/shared attribute "
+                    f"`{cls.name}.{attr}` outside construction",
+                    held=held,
+                ))
+            elif cls.is_shared_element() and attr in cls.plain_shared_fields():
+                if info.is_step_gen:
+                    # The announced-write idiom: a plain store directly
+                    # inside a step generator, covered by its own yield
+                    # (the dynamic checker treats it identically).
+                    out.append(EffectItem(
+                        Effect.ATOMIC_OP, 1, node.lineno, node.col_offset,
+                        f"announced write of shared plain field "
+                        f"`{cls.name}.{attr}`",
+                        held=held,
+                    ))
+                else:
+                    out.append(EffectItem(
+                        Effect.RAW_SHARED_WRITE, 1, node.lineno,
+                        node.col_offset,
+                        f"plain write of shared field `{cls.name}.{attr}` "
+                        "outside any step generator: invisible to the "
+                        "interleave scheduler",
+                        held=held,
+                    ))
+        return out
+
+    def _classify_subscript_store(self, node: ast.Subscript, held, info, env, fa) -> list[EffectItem]:
+        recv = node.value
+        # self._cells[i] = ... -- storing into a container attribute
+        if isinstance(recv, ast.Attribute):
+            attr = recv.attr
+            for cls in self._owner_classes(recv.value, info, env):
+                if attr in cls.shared_container_attrs:
+                    if info.is_init and self._is_self(recv.value):
+                        return []
+                    return [EffectItem(
+                        Effect.RAW_SHARED_WRITE, 1, node.lineno,
+                        node.col_offset,
+                        f"raw store into shared container "
+                        f"`{cls.name}.{attr}[...]` (bypasses the atomics)",
+                        held=held,
+                    )]
+                if cls.owns_mutex() and not (
+                    info.is_init and self._is_self(recv.value)
+                ):
+                    fa.writes.append(WriteRecord(
+                        cls=cls.qualname, attr=attr, func=info.qualname,
+                        path=info.path, line=node.lineno,
+                        col=node.col_offset, held=held,
+                    ))
+        return []
+
+    def _classify_container_mutation(self, call, recv, m, held, info, env, fa):
+        """``x.append(...)``-style mutation; returns items, or None when
+        the receiver is no container we model (fall through to method
+        resolution: ``add`` etc. are common ordinary method names)."""
+        if not isinstance(recv, ast.Attribute):
+            return None
+        attr = recv.attr
+        classes = self._owner_classes(recv.value, info, env)
+        handled = False
+        out: list[EffectItem] = []
+        for cls in classes:
+            if info.is_init and self._is_self(recv.value):
+                handled = True  # populating a fresh container
+            elif attr in cls.shared_container_attrs:
+                handled = True
+                out.append(EffectItem(
+                    Effect.RAW_SHARED_WRITE, 1, call.lineno,
+                    call.col_offset,
+                    f"in-place mutation `.{m}(...)` of shared container "
+                    f"`{cls.name}.{attr}`",
+                    held=held,
+                ))
+            elif attr in cls.attr_types or attr in cls.mutated_fields:
+                # a known plain attribute: record for the lockset check
+                handled = True
+                if cls.owns_mutex():
+                    fa.writes.append(WriteRecord(
+                        cls=cls.qualname, attr=attr, func=info.qualname,
+                        path=info.path, line=call.lineno,
+                        col=call.col_offset, held=held,
+                    ))
+        return out if handled else None
+
+    # -- entry locksets (descending fixpoint) ---------------------------
+
+    @staticmethod
+    def _assume_unlocked_entry(info: FunctionInfo) -> bool:
+        """Public API can be entered with no locks held; underscore
+        helpers inherit from their (known) call sites."""
+        name = info.name
+        if name.startswith("<lambda"):
+            return False
+        return not name.startswith("_") or (
+            name.startswith("__") and name.endswith("__")
+        )
+
+    def _entry_lockset_fixpoint(self) -> None:
+        for qual, fa in self.fns.items():
+            self.entry_locks[qual] = (
+                frozenset() if self._assume_unlocked_entry(fa.info)
+                else TOP_LOCKS
+            )
+        callers: dict[str, list[CallEdge]] = {}
+        for fa in self.fns.values():
+            for e in fa.edges:
+                callers.setdefault(e.callee, []).append(e)
+        changed = True
+        while changed:
+            changed = False
+            for qual, fa in self.fns.items():
+                if self._assume_unlocked_entry(fa.info):
+                    continue
+                acc: frozenset[str] | None = TOP_LOCKS
+                for e in callers.get(qual, ()):
+                    caller_entry = self.entry_locks.get(e.caller, frozenset())
+                    if caller_entry is TOP_LOCKS:
+                        continue  # top contributes nothing to a meet
+                    at_site = e.held | caller_entry
+                    acc = at_site if acc is TOP_LOCKS else (acc & at_site)
+                if acc != self.entry_locks[qual]:
+                    self.entry_locks[qual] = acc
+                    changed = True
+
+    # env cache so _record_edge can re-derive arg types without
+    # re-walking the function (filled by _analyze_function)
+    @property
+    def _env_cache(self) -> dict[str, dict[str, set]]:
+        cache = getattr(self, "_env_cache_store", None)
+        if cache is None:
+            cache = {}
+            self._env_cache_store = cache
+        return cache

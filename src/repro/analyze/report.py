@@ -1,0 +1,184 @@
+"""Rendering and the ratchet baseline for ``repro effects``.
+
+Three output formats:
+
+* **text** -- one finding per line plus a summary, for humans and CI
+  logs;
+* **JSON** -- the full result (findings, suppressed findings, shared
+  sites, imprecision notes), round-trippable via
+  :func:`findings_from_json`;
+* **SARIF 2.1.0** -- the minimal valid subset (tool driver + rule
+  table + results with physical locations) so code hosts can annotate
+  diffs.
+
+The **baseline** (``analyze-baseline.json``, committed) is a ratchet:
+CI fails when a finding appears that the baseline does not carry, or
+when the number of ``# repro: noqa`` comments covering RPREFF rules
+grows.  Fixing a finding and shrinking the baseline is always allowed;
+the file for a clean tree is an empty list and a zero count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .checks import RULES, AnalysisResult, Finding
+
+__all__ = [
+    "render_text",
+    "to_json",
+    "findings_from_json",
+    "to_sarif",
+    "baseline_payload",
+    "compare_baseline",
+]
+
+JSON_SCHEMA_VERSION = 1
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    lines = [f.format() for f in result.findings]
+    n_files = len(result.program.files)
+    n_fns = len(result.analysis.fns)
+    n_sites = len(result.sites())
+    summary = (
+        f"repro effects: {len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed; "
+        f"{n_files} file(s), {n_fns} function(s), "
+        f"{n_sites} shared-effect site(s)"
+    )
+    if verbose:
+        lines.append("shared-effect sites:")
+        lines.extend(f"  {s.format()}" for s in result.sites())
+        notes = result.notes()
+        if notes:
+            lines.append(f"imprecision notes ({len(notes)}):")
+            lines.extend(f"  {n}" for n in notes)
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def to_json(result: AnalysisResult) -> dict:
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "findings": [f.as_dict() for f in result.findings],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "sites": [s.as_dict() for s in result.sites()],
+        "notes": result.notes(),
+        "files": len(result.program.files),
+        "functions": len(result.analysis.fns),
+    }
+
+
+def findings_from_json(payload: dict) -> list[Finding]:
+    return [Finding.from_dict(d) for d in payload.get("findings", [])]
+
+
+def to_sarif(result: AnalysisResult) -> dict:
+    rules = [
+        {
+            "id": rid,
+            "name": name,
+            "shortDescription": {"text": summary},
+        }
+        for rid, (name, summary) in sorted(RULES.items())
+    ]
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": max(1, f.col),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in result.findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-effects",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+# -- baseline ratchet ----------------------------------------------------
+
+
+def baseline_payload(result: AnalysisResult) -> dict:
+    return {
+        "version": 1,
+        "findings": sorted(
+            (
+                {"rule_id": f.rule_id, "path": f.path, "line": f.line}
+                for f in result.findings
+            ),
+            key=lambda d: (d["path"], d["line"], d["rule_id"]),
+        ),
+        "rpreff_suppressions": len(result.suppressions()),
+    }
+
+
+def load_baseline(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def save_baseline(path: str | Path, result: AnalysisResult) -> None:
+    Path(path).write_text(
+        json.dumps(baseline_payload(result), indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def compare_baseline(result: AnalysisResult, baseline: dict) -> list[str]:
+    """Ratchet check; returns human-readable problems (empty == pass).
+
+    Lines may drift, so baseline findings match on (rule, path) with a
+    per-pair budget: more findings of a rule in a file than the
+    baseline carries is a regression; fewer is progress (tighten the
+    baseline at leisure).
+    """
+    problems: list[str] = []
+    budget: dict[tuple[str, str], int] = {}
+    for d in baseline.get("findings", []):
+        key = (d["rule_id"], d["path"])
+        budget[key] = budget.get(key, 0) + 1
+    for f in result.findings:
+        key = (f.rule_id, f.path)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            problems.append(f"new finding not in baseline: {f.format()}")
+    allowed = int(baseline.get("rpreff_suppressions", 0))
+    actual = len(result.suppressions())
+    if actual > allowed:
+        problems.append(
+            f"RPREFF suppression count grew: {actual} > baseline {allowed} "
+            "(fix the finding instead of suppressing, or consciously "
+            "update the baseline)"
+        )
+    return problems

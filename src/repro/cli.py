@@ -13,6 +13,8 @@ Commands
 ``certify``   build a hull via the escalation ladder, emit and verify
               its independently-checked certificate (E18)
 ``lint``      static concurrency/robustness checks (rules RPR001-RPR005)
+``effects``   interprocedural effect analysis: statically prove the
+              atomic-step discipline (rules RPREFF001-RPREFF004, E20)
 ``race-check``  dynamic happens-before race check of the multimap (E16)
 ``chaos``     fault-injection suite: stall sweeps + crash/delay roundtrips (E17)
 ``bench-kernels``  scalar vs batched predicate kernels, filter-fallback
@@ -235,6 +237,60 @@ def cmd_lint(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_effects(args) -> None:
+    from .analyze import (
+        RULES,
+        analyze_paths,
+        compare_baseline,
+        load_baseline,
+        render_text,
+        save_baseline,
+        to_json,
+        to_sarif,
+    )
+
+    if args.list_rules:
+        for rid, (name, summary) in sorted(RULES.items()):
+            print(f"{rid}  {name}: {summary}")
+        return
+    from pathlib import Path
+
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"effects: no such path(s): {', '.join(missing)}")
+    result = analyze_paths(paths)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(to_json(result), fh, indent=2)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.sarif:
+        with open(args.sarif, "w") as fh:
+            json.dump(to_sarif(result), fh, indent=2)
+        print(f"wrote {args.sarif}", file=sys.stderr)
+    if args.update_baseline:
+        save_baseline(args.baseline, result)
+        print(f"wrote {args.baseline}", file=sys.stderr)
+        return
+    problems: list[str] = []
+    if args.baseline and Path(args.baseline).exists():
+        problems = compare_baseline(result, load_baseline(args.baseline))
+        failed = bool(problems)
+    else:
+        failed = bool(result.findings)
+    if args.format == "json":
+        payload = to_json(result)
+        payload["baseline_problems"] = problems
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_text(result, verbose=args.verbose))
+        for p in problems:
+            print(f"baseline: {p}")
+    if failed:
+        raise SystemExit(1)
+
+
 def cmd_race_check(args) -> None:
     from .runtime.racecheck import check_multimap
 
@@ -391,6 +447,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule registry and exit")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "effects",
+        help="interprocedural effect analysis of the atomic-step "
+             "discipline (rules RPREFF001-004)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to analyse (default: src)")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="also write the full JSON report to FILE")
+    p.add_argument("--sarif", default=None, metavar="FILE",
+                   help="also write a SARIF 2.1.0 report to FILE")
+    p.add_argument("--baseline", default="analyze-baseline.json",
+                   metavar="FILE",
+                   help="ratchet baseline to compare against (ignored "
+                        "if the file does not exist)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this run and exit 0")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print shared-effect sites and imprecision notes")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule registry and exit")
+    p.set_defaults(fn=cmd_effects)
 
     p = sub.add_parser("race-check",
                        help="happens-before race check of the concurrent multimap")

@@ -16,12 +16,27 @@ each rule declares which files it exempts (e.g. RPR002 permits raw
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-__all__ = ["Violation", "Rule", "LintedFile", "collect_files", "run_lint"]
+__all__ = [
+    "Violation",
+    "Rule",
+    "LintedFile",
+    "SuppressionComment",
+    "collect_files",
+    "load_files",
+    "run_lint",
+    "suppressed_lines",
+    "iter_suppressions",
+    "unused_suppressions",
+    "walk_shallow",
+    "is_step_generator",
+]
 
 _NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
 
@@ -98,18 +113,62 @@ class Rule:
         )
 
 
-def _suppressed_lines(source: str) -> dict[int, frozenset[str] | None]:
-    """Map line number -> suppressed rule ids (None == all rules)."""
+def suppressed_lines(source: str) -> dict[int, frozenset[str] | None]:
+    """Map line number -> suppressed rule ids (None == all rules).
+
+    Shared by ``repro lint`` (RPR rules) and ``repro effects`` (RPREFF
+    rules): both honour the same ``# repro: noqa[: CODE,...]`` syntax.
+    Only real ``COMMENT`` tokens count -- a docstring *describing* the
+    syntax is not a suppression (it would otherwise inflate the
+    suppression ratchet).
+    """
     out: dict[int, frozenset[str] | None] = {}
-    for i, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return out  # unparsable files carry their own RPR999/RPREFF999
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _NOQA_RE.match(tok.string)
         if not m:
             continue
+        i = tok.start[0]
         codes = m.group("codes")
         if codes is None:
             out[i] = None
         else:
             out[i] = frozenset(c.strip().upper() for c in codes.split(",") if c.strip())
+    return out
+
+
+# Backwards-compatible private alias (pre-PR-5 name).
+_suppressed_lines = suppressed_lines
+
+
+@dataclass(frozen=True)
+class SuppressionComment:
+    """One ``# repro: noqa`` comment found in a source file."""
+
+    path: str
+    line: int
+    codes: frozenset[str] | None  # None == blanket (all rules)
+
+    def covers(self, rule_id: str) -> bool:
+        return self.codes is None or rule_id.upper() in self.codes
+
+
+def iter_suppressions(files: Iterable["LintedFile"]) -> list[SuppressionComment]:
+    """Every noqa comment in ``files``, in (path, line) order.
+
+    The ratchet baseline (``analyze-baseline.json``) and the
+    unused-suppression audit both consume this."""
+    out = []
+    for f in files:
+        for line, codes in sorted(suppressed_lines(f.source).items()):
+            out.append(SuppressionComment(path=f.posix, line=line, codes=codes))
     return out
 
 
@@ -149,6 +208,37 @@ def parse_file(path: Path, source: str | None = None) -> LintedFile | Violation:
     return LintedFile(path=path, source=source, tree=tree, parts=_module_parts(path))
 
 
+def load_files(
+    paths: Sequence[str | Path],
+    sources: dict[str, str] | None = None,
+) -> tuple[list[LintedFile], list[Violation]]:
+    """Collect and parse every python file under ``paths``.
+
+    Returns ``(parsed files, syntax-error pseudo-violations)``.  When
+    ``sources`` is given, it maps virtual paths to source text analysed
+    *instead of* the filesystem (used by the fixture tests and the
+    ``--effects`` fuzzer); ``paths`` is ignored in that mode.
+
+    This is the single source-loading entry point shared by ``repro
+    lint`` and ``repro effects``.
+    """
+    files: list[LintedFile] = []
+    errors: list[Violation] = []
+    if sources is not None:
+        items: Iterable[tuple[Path, str | None]] = [
+            (Path(p), src) for p, src in sorted(sources.items())
+        ]
+    else:
+        items = [(p, None) for p in collect_files(paths)]
+    for path, source in items:
+        parsed = parse_file(path, source=source)
+        if isinstance(parsed, Violation):
+            errors.append(parsed)
+        else:
+            files.append(parsed)
+    return files, errors
+
+
 def run_lint(
     paths: Sequence[str | Path],
     rules: Iterable[Rule],
@@ -165,13 +255,10 @@ def run_lint(
         r for r in rules
         if (select is None or r.id in select) and r.id not in ignore
     ]
-    out: list[Violation] = []
-    for path in collect_files(paths):
-        parsed = parse_file(path)
-        if isinstance(parsed, Violation):
-            out.append(parsed)
-            continue
-        suppressed = _suppressed_lines(parsed.source)
+    files, out = load_files(paths)
+    out = list(out)
+    for parsed in files:
+        suppressed = suppressed_lines(parsed.source)
         for rule in chosen:
             if rule.exempt(parsed):
                 continue
@@ -182,3 +269,71 @@ def run_lint(
                 out.append(v)
     out.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     return out
+
+
+def unused_suppressions(
+    paths: Sequence[str | Path],
+    rules: Iterable[Rule],
+    prefix: str = "RPR",
+) -> list[SuppressionComment]:
+    """Noqa comments that suppress nothing.
+
+    Re-runs every rule *ignoring* suppressions, then reports each
+    ``# repro: noqa`` comment naming a ``prefix`` rule id (or blanket)
+    for which no violation exists on its line.  These are the lint
+    false-positive surface the interprocedural effect analyzer is built
+    on: a stale suppression hides future real findings, so CI pins the
+    audit to empty.
+    """
+    rules = list(rules)
+    files, _ = load_files(paths)
+    hits: dict[tuple[str, int], set[str]] = {}
+    for parsed in files:
+        for rule in rules:
+            if rule.exempt(parsed):
+                continue
+            for v in rule.check(parsed):
+                hits.setdefault((v.path, v.line), set()).add(v.rule_id)
+    unused = []
+    for comment in iter_suppressions(files):
+        if comment.codes is not None and not any(
+            c.startswith(prefix) for c in comment.codes
+        ):
+            continue  # someone else's noqa dialect
+        fired = hits.get((comment.path, comment.line), set())
+        if comment.codes is None:
+            if not fired:
+                unused.append(comment)
+        elif not any(comment.covers(rid) for rid in fired):
+            unused.append(comment)
+    return unused
+
+
+# -- shared AST helpers (lint rules + the effect analyzer) ---------------
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SKIP_NODES = _FUNC_NODES + (ast.ClassDef, ast.Lambda)
+
+
+def walk_shallow(node: ast.AST):
+    """Walk an AST without descending into nested function/class defs."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, _SKIP_NODES):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def is_step_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """True for the tagged-yield convention of the step generators: the
+    function yields a tuple whose first element is a string literal
+    (``yield ("cas", i)``).  Shared by RPR003 and the step-atomicity
+    check of :mod:`repro.analyze`."""
+    for node in walk_shallow(func):
+        if isinstance(node, ast.Yield) and isinstance(node.value, ast.Tuple):
+            elts = node.value.elts
+            if elts and isinstance(elts[0], ast.Constant) and isinstance(elts[0].value, str):
+                return True
+    return False

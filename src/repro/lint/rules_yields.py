@@ -22,32 +22,17 @@ from __future__ import annotations
 
 import ast
 
-from .core import LintedFile, Rule, Violation
+from .core import LintedFile, Rule, Violation, is_step_generator, walk_shallow
 
 __all__ = ["YieldDisciplineRule"]
 
 _FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
 _SKIP_NODES = _FUNC_NODES + (ast.ClassDef, ast.Lambda)
 
-
-def _walk_shallow(node: ast.AST):
-    """Walk an AST without descending into nested function/class defs."""
-    stack = list(ast.iter_child_nodes(node))
-    while stack:
-        child = stack.pop()
-        if isinstance(child, _SKIP_NODES):
-            continue
-        yield child
-        stack.extend(ast.iter_child_nodes(child))
-
-
-def _is_step_generator(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
-    for node in _walk_shallow(func):
-        if isinstance(node, ast.Yield) and isinstance(node.value, ast.Tuple):
-            elts = node.value.elts
-            if elts and isinstance(elts[0], ast.Constant) and isinstance(elts[0].value, str):
-                return True
-    return False
+# Shared with repro.analyze (which checks the same discipline
+# interprocedurally); aliased so existing imports keep working.
+_walk_shallow = walk_shallow
+_is_step_generator = is_step_generator
 
 
 def _is_shared_subscript(node: ast.Subscript) -> bool:

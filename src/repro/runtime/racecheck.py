@@ -36,6 +36,7 @@ sweep over both multimap implementations.
 from __future__ import annotations
 
 import contextlib
+import sys
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Sequence
 
@@ -78,6 +79,11 @@ class Access:
     announced: bool
     tag: Any  # the yielded tag that announced it (None when plain)
     clock: dict[str, int]  # vector-clock snapshot at the access
+    #: source location that performed the access: (path, line, function
+    #: name), resolved by walking past the instrumentation frames.  The
+    #: soundness differential test checks these against the *static*
+    #: shared-effect sites of ``repro.analyze``.
+    site: tuple[str, int, str] | None = None
 
     @property
     def is_write(self) -> bool:
@@ -127,6 +133,56 @@ class RaceReport:
             lines.append(f"  {race.describe()}")
         return "\n".join(lines)
 
+    def sites(self) -> list[dict]:
+        """The observed shared-access source sites, aggregated per
+        (path, line) and JSON-serializable: the dynamic half of the
+        static/dynamic soundness differential (every entry must appear
+        in the static shared-effect set of ``repro effects``)."""
+        return _aggregate_sites({}, self.accesses)
+
+
+def _aggregate_sites(agg: dict, accesses: Iterable[Access]) -> list[dict]:
+    """Merge ``accesses`` into ``agg`` (keyed by (path, line)) and
+    return the aggregate as sorted JSON-serializable dicts."""
+    for a in accesses:
+        if a.site is None:
+            continue
+        path, line, func = a.site
+        d = agg.setdefault((path, line), {
+            "path": path, "line": line, "funcs": set(),
+            "kinds": set(), "announced": True, "count": 0,
+        })
+        d["funcs"].add(func)
+        d["kinds"].add(a.kind)
+        d["announced"] = d["announced"] and a.announced
+        d["count"] += 1
+    return [
+        {
+            "path": d["path"],
+            "line": d["line"],
+            "funcs": sorted(d["funcs"]),
+            "kinds": sorted(d["kinds"]),
+            "announced": d["announced"],
+            "count": d["count"],
+        }
+        for _, d in sorted(agg.items())
+    ]
+
+
+_THIS_FILE = __file__
+
+
+def _caller_site() -> tuple[str, int, str] | None:
+    """The first frame below the instrumentation: the source line that
+    actually performed the access (the generator body for traced
+    methods, the assignment statement for property writes)."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == _THIS_FILE:
+        frame = frame.f_back
+    if frame is None:
+        return None
+    return (frame.f_code.co_filename, frame.f_lineno, frame.f_code.co_name)
+
 
 class _Trace:
     """The active recording context; written to by the instrumented
@@ -170,6 +226,7 @@ class _Trace:
             announced=announced,
             tag=self.pending_tag if announced else None,
             clock=dict(clock),
+            site=_caller_site(),
         )
         self.accesses.append(access)
         if announced and kind in ("write", "rmw"):
@@ -373,6 +430,9 @@ class CheckSummary:
     schedules: int
     racy_schedules: int
     first_failure: RaceReport | None
+    #: union of the observed access sites over every replayed schedule
+    #: (see :meth:`RaceReport.sites`)
+    sites: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -427,6 +487,8 @@ def check_multimap(
     names = [chr(ord("p") + i) for i in range(n_ops)]
     total = racy = 0
     first: RaceReport | None = None
+    site_agg: dict = {}
+    sites: list[dict] = []
     for schedule in all_schedules(names, prefix_len):
         kwargs = {"hash_fn": (lambda k: 0)} if collide else {}
         m = cls(capacity, **kwargs)
@@ -439,6 +501,7 @@ def check_multimap(
 
         report = checker.run(multimap_scenario(m, n_ops=n_ops), schedule, after=loser_get)
         total += 1
+        sites = _aggregate_sites(site_agg, report.accesses)
         winners = sorted(v for k, v in report.results.items() if k in ("p", "q"))
         if winners != [False, True]:
             raise AssertionError(
@@ -449,5 +512,6 @@ def check_multimap(
             if first is None or (not first.races and report.races):
                 first = report
     return CheckSummary(
-        impl=label, schedules=total, racy_schedules=racy, first_failure=first
+        impl=label, schedules=total, racy_schedules=racy, first_failure=first,
+        sites=sites,
     )

@@ -1,0 +1,115 @@
+"""Program indexing: classes, attribute types, dispatch, lambdas."""
+
+from __future__ import annotations
+
+from repro.analyze.callgraph import build_program
+
+STRUCTURE = '''
+class AtomicCell:
+    pass
+
+class Mutex:
+    pass
+
+class _Slot:
+    def __init__(self):
+        self.flag = AtomicCell()
+        self.data = None
+
+class Table:
+    def __init__(self, n, hash_fn=None):
+        self._mutex = Mutex()
+        self._cells = [AtomicCell() for _ in range(n)]
+        self._slots = [_Slot() for _ in range(n)]
+        self._hash = hash_fn or (lambda k: 0)
+        self.capacity = n
+
+    def get(self, i):
+        return self._cells[i].load()
+
+class SubTable(Table):
+    def get(self, i):
+        return None
+'''
+
+
+def _program(src: str = STRUCTURE):
+    return build_program([], sources={"prog.py": src})
+
+
+class TestIndexing:
+    def test_classes_and_methods_registered(self):
+        p = _program()
+        names = {c.name for c in p.classes.values()}
+        assert {"AtomicCell", "Mutex", "_Slot", "Table", "SubTable"} <= names
+        table = p.classes_named("Table")[0]
+        assert set(table.methods) == {"__init__", "get"}
+
+    def test_attr_types_cls_and_elem(self):
+        p = _program()
+        table = p.classes_named("Table")[0]
+        assert ("cls", "prog.Mutex") in table.attr_types["_mutex"]
+        assert ("elem", "prog.AtomicCell") in table.attr_types["_cells"]
+        assert ("elem", "prog._Slot") in table.attr_types["_slots"]
+
+    def test_mutex_and_atomic_attr_flags(self):
+        p = _program()
+        table = p.classes_named("Table")[0]
+        assert table.mutex_attrs == {"_mutex"}
+        assert "_cells" in table.atomic_attrs
+        assert {"_cells", "_slots"} <= table.shared_container_attrs
+        assert table.owns_mutex()
+
+    def test_shared_element_detection(self):
+        p = _program()
+        slot = p.classes_named("_Slot")[0]
+        assert slot.is_referenced  # reachable via Table._slots
+        assert "flag" in slot.atomic_attrs
+        assert slot.is_shared_element()
+        # nothing mutates `data` outside __init__ in this program
+        assert slot.plain_shared_fields() == set()
+
+    def test_lambda_attribute_registered_as_function(self):
+        p = _program()
+        table = p.classes_named("Table")[0]
+        hash_trefs = table.attr_types["_hash"]
+        lam = [t for t in hash_trefs if t[0] == "func"]
+        assert lam and lam[0][1] in p.functions
+
+    def test_dispatch_includes_subclass_overrides(self):
+        p = _program()
+        table = p.classes_named("Table")[0]
+        targets = {f.qualname for f in p.resolve_method(table, "get")}
+        assert targets == {"prog.Table.get", "prog.SubTable.get"}
+
+    def test_mro_lookup_falls_back_to_base(self):
+        p = _program()
+        sub = p.classes_named("SubTable")[0]
+        init = p.mro_lookup(sub, "__init__")
+        assert init is not None and init.qualname == "prog.Table.__init__"
+
+    def test_module_functions_excludes_methods(self):
+        p = build_program([], sources={"m.py": (
+            "def get():\n    return 1\n\n"
+            "class C:\n    def get(self):\n        return 2\n"
+        )})
+        funcs = p.module_functions_named("get")
+        assert [f.qualname for f in funcs] == ["m.get"]
+
+    def test_step_generator_flag(self):
+        p = build_program([], sources={"m.py": (
+            "class C:\n"
+            "    def steps(self, i):\n"
+            "        yield ('cas', i)\n"
+            "    def plain_gen(self):\n"
+            "        yield 1\n"
+        )})
+        steps = p.functions["m.C.steps"]
+        plain = p.functions["m.C.plain_gen"]
+        assert steps.is_step_gen and steps.is_generator
+        assert plain.is_generator and not plain.is_step_gen
+
+    def test_syntax_error_becomes_pseudo_violation(self):
+        p = build_program([], sources={"bad.py": "def f(:\n"})
+        assert len(p.errors) == 1
+        assert p.errors[0].rule_id == "RPR999"

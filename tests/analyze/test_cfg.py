@@ -1,0 +1,175 @@
+"""CFG construction and the small dataflow engines."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.cfg import build_cfg, max_flow, reaches_before_yield
+
+
+def _cfg(src: str, mutex_of=lambda e: None):
+    func = ast.parse(src).body[0]
+    return build_cfg(func, mutex_of=mutex_of)
+
+
+def _reachable(cfg):
+    seen, work = set(), [0]
+    while work:
+        nid = work.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        work.extend(cfg.nodes[nid].succs)
+    return seen
+
+
+class TestShape:
+    def test_linear(self):
+        cfg = _cfg("def f():\n    a = 1\n    b = 2\n")
+        assert len(cfg.nodes) == 4  # entry, exit, two stmts
+        assert cfg.exit.nid in _reachable(cfg)
+
+    def test_yield_nodes_are_marked(self):
+        cfg = _cfg("def f():\n    yield ('a', 1)\n    x = 1\n    yield ('b', 2)\n")
+        assert [n.line for n in cfg.yields()] == [2, 4]
+
+    def test_if_joins_both_branches(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        b = 2\n"
+            "    d = 3\n"
+        )
+        # the statement after the if has both branch nodes as preds
+        join = [n for n in cfg.nodes if n.line == 6][0]
+        preds = {n.nid for n in cfg.nodes if join.nid in n.succs}
+        assert len(preds) == 2
+
+    def test_if_without_else_falls_through(self):
+        cfg = _cfg("def f(c):\n    if c:\n        a = 1\n    d = 3\n")
+        join = [n for n in cfg.nodes if n.line == 4][0]
+        preds = {n.nid for n in cfg.nodes if join.nid in n.succs}
+        assert len(preds) == 2  # test node + body node
+
+    def test_while_has_back_edge_and_exit_edge(self):
+        cfg = _cfg("def f():\n    while True:\n        a = 1\n")
+        header = [n for n in cfg.nodes if n.line == 2][0]
+        body = [n for n in cfg.nodes if n.line == 3][0]
+        assert header.nid in body.succs  # wrap-around
+        assert cfg.exit.nid in _reachable(cfg)  # static exit edge exists
+
+    def test_break_exits_loop(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    while True:\n"
+            "        break\n"
+            "    tail = 1\n"
+        )
+        brk = [n for n in cfg.nodes if n.line == 3][0]
+        tail = [n for n in cfg.nodes if n.line == 4][0]
+        assert tail.nid in brk.succs
+
+    def test_return_routes_to_exit(self):
+        cfg = _cfg("def f():\n    return 1\n    dead = 2\n")
+        ret = [n for n in cfg.nodes if n.line == 2][0]
+        assert cfg.exit.nid in ret.succs
+        dead = [n for n in cfg.nodes if n.line == 3][0]
+        assert dead.nid not in _reachable(cfg)
+
+    def test_try_body_edges_into_handler(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    try:\n"
+            "        a = 1\n"
+            "        b = 2\n"
+            "    except ValueError:\n"
+            "        h = 3\n"
+        )
+        handler = [n for n in cfg.nodes if n.line == 6][0]
+        body_lines = {3, 4}
+        preds = {cfg.nodes[p].line for p in range(len(cfg.nodes))
+                 if handler.nid in cfg.nodes[p].succs}
+        assert body_lines <= preds
+
+    def test_with_extends_held_set(self):
+        def mutex_of(expr):
+            if isinstance(expr, ast.Attribute):
+                return f"self.{expr.attr}"
+            return None
+
+        cfg = _cfg(
+            "def f(self):\n"
+            "    with self._mutex:\n"
+            "        a = 1\n"
+            "    b = 2\n",
+            mutex_of=mutex_of,
+        )
+        inner = [n for n in cfg.nodes if n.line == 3][0]
+        outer = [n for n in cfg.nodes if n.line == 4][0]
+        assert inner.held == frozenset({"self._mutex"})
+        assert outer.held == frozenset()
+
+
+class TestDataflow:
+    def test_max_flow_saturates(self):
+        cfg = _cfg("def f():\n    a = 1\n    b = 2\n    c = 3\n")
+
+        def transfer(node, n):
+            return min(2, n + (1 if node.kind == "stmt" else 0))
+
+        state = max_flow(cfg, transfer, start=0, top=2)
+        assert state[cfg.exit.nid] == 2  # 3 stmts saturate at 2
+
+    def test_max_flow_joins_with_max(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    if c:\n"
+            "        a = 1\n"
+            "        b = 2\n"
+            "    d = 3\n"
+        )
+        # charge only lines 3/4; the join at line 5 must take the
+        # heavier (then-branch) path
+        def transfer(node, n):
+            return min(2, n + (1 if node.line in (3, 4) else 0))
+
+        state = max_flow(cfg, transfer, start=0, top=2)
+        join = [n for n in cfg.nodes if n.line == 5][0]
+        assert state[join.nid] == 2
+
+    def test_loop_wraparound_accumulates(self):
+        cfg = _cfg("def f():\n    while True:\n        a = 1\n")
+
+        def transfer(node, n):
+            return min(2, n + (1 if node.line == 3 else 0))
+
+        state = max_flow(cfg, transfer, start=0, top=2)
+        body = [n for n in cfg.nodes if n.line == 3][0]
+        # second iteration sees the first iteration's count
+        assert state[body.nid] == 2
+
+    def test_reaches_before_yield_stops_at_next_yield(self):
+        cfg = _cfg(
+            "def f():\n"
+            "    yield ('a', 1)\n"
+            "    yield ('b', 2)\n"
+            "    x = 1\n"
+        )
+        first, second = cfg.yields()
+        effectful = lambda node: node.line == 4  # noqa: E731
+        assert not reaches_before_yield(cfg, first, effectful)
+        assert reaches_before_yield(cfg, second, effectful)
+
+    def test_reaches_before_yield_any_path_suffices(self):
+        cfg = _cfg(
+            "def f(c):\n"
+            "    yield ('a', 1)\n"
+            "    if c:\n"
+            "        x = 1\n"
+            "    yield ('b', 2)\n"
+        )
+        first = cfg.yields()[0]
+        effectful = lambda node: node.line == 4  # noqa: E731
+        assert reaches_before_yield(cfg, first, effectful)

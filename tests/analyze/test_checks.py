@@ -1,0 +1,272 @@
+"""The four RPREFF rules on seeded fixture programs.
+
+Each bad fixture must trigger *exactly* its rule; each clean twin must
+pass.  The fixtures declare bare ``AtomicCell``/``AtomicFlag``/
+``Mutex`` stand-in classes -- the analyzer matches the concurrency
+primitives by bare class name precisely so fixture programs analyse
+the same way as the real tree.
+"""
+
+from __future__ import annotations
+
+from repro.analyze import analyze_paths
+
+HEADER = '''
+class AtomicCell:
+    pass
+
+class AtomicFlag:
+    pass
+
+class Mutex:
+    pass
+'''
+
+
+def _run(src: str, name: str = "fixture.py"):
+    return analyze_paths([], sources={name: HEADER + src})
+
+
+def _rules(result):
+    return [f.rule_id for f in result.findings]
+
+
+DOUBLE_ATOMIC = '''
+class Table:
+    def __init__(self, n):
+        self._cells = [AtomicCell() for _ in range(n)]
+
+    def step_gen(self, i):
+        yield ("cas", i)
+        ok = self._cells[i].compare_and_swap(None, 1)
+        val = self._cells[i].load()
+        return ok, val
+'''
+
+DOUBLE_ATOMIC_CLEAN = '''
+class Table:
+    def __init__(self, n):
+        self._cells = [AtomicCell() for _ in range(n)]
+
+    def step_gen(self, i):
+        yield ("cas", i)
+        ok = self._cells[i].compare_and_swap(None, 1)
+        yield ("read", i)
+        val = self._cells[i].load()
+        return ok, val
+'''
+
+TWO_HOP_RAW = '''
+class _Slot:
+    def __init__(self):
+        self.taken = AtomicFlag()
+        self.data = None
+
+class Table:
+    def __init__(self, n):
+        self._slots = [_Slot() for _ in range(n)]
+
+    def step_gen(self, i):
+        yield ("tas", i)
+        self._publish(self._slots[i])
+
+    def _publish(self, slot):
+        self._smash(slot)
+
+    def _smash(self, slot):
+        slot.data = 1
+'''
+
+ANNOUNCED_WRITE_CLEAN = '''
+class _Slot:
+    def __init__(self):
+        self.taken = AtomicFlag()
+        self.data = None
+
+class Table:
+    def __init__(self, n):
+        self._slots = [_Slot() for _ in range(n)]
+
+    def step_gen(self, i, v):
+        yield ("tas", i)
+        ok = self._slots[i].taken.test_and_set()
+        yield ("write", i)
+        self._slots[i].data = v
+        return ok
+'''
+
+EMPTY_LOCKSET = '''
+class Tracker:
+    def __init__(self):
+        self._mutex = Mutex()
+        self._count = 0
+
+    def bump(self):
+        with self._mutex:
+            self._count += 1
+
+    def sneaky_bump(self):
+        self._count += 1
+'''
+
+LOCKSET_CLEAN_VIA_HELPER = '''
+class Tracker:
+    def __init__(self):
+        self._mutex = Mutex()
+        self._count = 0
+
+    def bump(self):
+        with self._mutex:
+            self._bump_locked()
+
+    def bump_twice(self):
+        with self._mutex:
+            self._bump_locked()
+            self._bump_locked()
+
+    def _bump_locked(self):
+        self._count += 1
+'''
+
+LOCKSET_READS_EXEMPT = '''
+class Tracker:
+    def __init__(self):
+        self._mutex = Mutex()
+        self._count = 0
+
+    def bump(self):
+        with self._mutex:
+            self._count += 1
+
+    def peek(self):
+        return self._count
+'''
+
+DEAD_YIELD = '''
+class Table:
+    def __init__(self, n):
+        self._cells = [AtomicCell() for _ in range(n)]
+
+    def step_gen(self, i):
+        yield ("a", i)
+        yield ("b", i)
+        return self._cells[i].load()
+'''
+
+RAW_REBIND = '''
+class Table:
+    def __init__(self, n):
+        self._cells = [AtomicCell() for _ in range(n)]
+
+    def step_gen(self, i):
+        yield ("swap", i)
+        self._cells[i] = AtomicCell()
+'''
+
+DYNAMIC_DISPATCH = '''
+class Table:
+    def __init__(self, n):
+        self._cells = [AtomicCell() for _ in range(n)]
+
+    def step_gen(self, i, name):
+        yield ("dyn", i)
+        getattr(self._cells[i], name)()
+'''
+
+
+class TestBadFixtures:
+    def test_double_atomic_in_one_segment_is_rpreff001(self):
+        r = _run(DOUBLE_ATOMIC)
+        assert _rules(r) == ["RPREFF001"]
+        (f,) = r.findings
+        assert "load" in f.message and "step_gen" in f.message
+
+    def test_raw_write_behind_two_call_hops_is_rpreff002(self):
+        r = _run(TWO_HOP_RAW)
+        assert _rules(r) == ["RPREFF002"]
+        (f,) = r.findings
+        # provenance chain names every hop
+        assert "step_gen -> _publish -> _smash" in f.message
+
+    def test_empty_lockset_write_is_rpreff003(self):
+        r = _run(EMPTY_LOCKSET)
+        assert _rules(r) == ["RPREFF003"]
+        (f,) = r.findings
+        assert "_mutex" in f.message and "sneaky_bump" in f.func
+
+    def test_dead_yield_is_rpreff004(self):
+        r = _run(DEAD_YIELD)
+        assert _rules(r) == ["RPREFF004"]
+        (f,) = r.findings
+        assert f.line == HEADER.count("\n") + 7  # the first yield
+
+    def test_raw_rebind_of_atomic_container_slot(self):
+        r = _run(RAW_REBIND)
+        assert _rules(r) == ["RPREFF002"]
+
+    def test_dynamic_dispatch_goes_to_lattice_top(self):
+        r = _run(DYNAMIC_DISPATCH)
+        assert "RPREFF002" in _rules(r)
+
+    def test_syntax_error_is_rpreff999(self):
+        r = analyze_paths([], sources={"bad.py": "def f(:\n"})
+        assert _rules(r) == ["RPREFF999"]
+
+
+class TestCleanTwins:
+    def test_one_access_per_segment_passes(self):
+        assert _rules(_run(DOUBLE_ATOMIC_CLEAN)) == []
+
+    def test_announced_write_idiom_passes(self):
+        assert _rules(_run(ANNOUNCED_WRITE_CLEAN)) == []
+
+    def test_locked_helper_entry_lockset_passes(self):
+        assert _rules(_run(LOCKSET_CLEAN_VIA_HELPER)) == []
+
+    def test_quiescent_reads_are_exempt(self):
+        assert _rules(_run(LOCKSET_READS_EXEMPT)) == []
+
+
+class TestSuppression:
+    def test_noqa_moves_finding_to_suppressed(self):
+        src = EMPTY_LOCKSET.replace(
+            "        self._count += 1\n\n    def sneaky_bump(self):\n"
+            "        self._count += 1",
+            "        self._count += 1\n\n    def sneaky_bump(self):\n"
+            "        self._count += 1  # repro: noqa: RPREFF003",
+        )
+        assert src != EMPTY_LOCKSET
+        r = _run(src)
+        assert _rules(r) == []
+        assert [f.rule_id for f in r.suppressed] == ["RPREFF003"]
+
+    def test_wrong_code_does_not_suppress(self):
+        src = EMPTY_LOCKSET.replace(
+            "    def sneaky_bump(self):\n        self._count += 1",
+            "    def sneaky_bump(self):\n"
+            "        self._count += 1  # repro: noqa: RPREFF001",
+        )
+        r = _run(src)
+        assert _rules(r) == ["RPREFF003"]
+
+
+class TestInterprocedural:
+    def test_param_types_propagate_through_hops(self):
+        r = _run(TWO_HOP_RAW)
+        smash = r.program.functions["fixture.Table._smash"]
+        assert ("cls", "fixture._Slot") in smash.param_types["slot"]
+
+    def test_mutated_fields_discovered_via_params(self):
+        r = _run(TWO_HOP_RAW)
+        slot = r.program.classes_named("_Slot")[0]
+        assert "data" in slot.plain_shared_fields()
+
+    def test_summary_counts_saturate(self):
+        r = _run(DOUBLE_ATOMIC)
+        s = r.analysis.summary_of("fixture.Table.step_gen")
+        assert s.count == 2 and s.level.is_shared
+
+    def test_shared_sites_cover_the_fixture(self):
+        r = _run(DOUBLE_ATOMIC_CLEAN)
+        lines = {s.line for s in r.sites()}
+        assert len(lines) == 2  # the CAS and the load

@@ -1,0 +1,160 @@
+"""The ``repro effects`` CLI surface: clean-tree run, output formats,
+SARIF schema validity, JSON round-trip, and the ratchet baseline."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import findings_from_json
+from repro.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src" / "repro")
+BASELINE = REPO / "analyze-baseline.json"
+
+BAD_FIXTURE = """
+class Mutex:
+    pass
+
+class Tracker:
+    def __init__(self):
+        self._mutex = Mutex()
+        self._count = 0
+
+    def bump(self):
+        with self._mutex:
+            self._count += 1
+
+    def sneaky_bump(self):
+        self._count += 1
+"""
+
+
+def _bad_path(tmp_path) -> str:
+    p = tmp_path / "bad_fixture.py"
+    p.write_text(BAD_FIXTURE)
+    return str(p)
+
+
+class TestCleanTree:
+    def test_effects_clean_on_src(self, capsys):
+        main(["effects", SRC, "--baseline", str(BASELINE)])
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_committed_baseline_is_clean(self):
+        payload = json.loads(BASELINE.read_text())
+        assert payload["findings"] == []
+        assert payload["rpreff_suppressions"] == 0
+
+    def test_list_rules(self, capsys):
+        main(["effects", "--list-rules"])
+        out = capsys.readouterr().out
+        for rid in ("RPREFF001", "RPREFF002", "RPREFF003", "RPREFF004"):
+            assert rid in out
+
+    def test_missing_path_is_an_error(self):
+        with pytest.raises(SystemExit, match="no such path"):
+            main(["effects", "definitely/not/a/path"])
+
+
+class TestFindingsExit:
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["effects", _bad_path(tmp_path),
+                  "--baseline", str(tmp_path / "absent.json")])
+        assert "RPREFF003" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["effects", _bad_path(tmp_path), "--format", "json",
+                  "--baseline", str(tmp_path / "absent.json")])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule_id"] == "RPREFF003"
+
+
+class TestJsonRoundTrip:
+    def test_json_out_round_trips(self, tmp_path, capsys):
+        out_file = tmp_path / "report.json"
+        bad = _bad_path(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["effects", bad, "--json-out", str(out_file),
+                  "--baseline", str(tmp_path / "absent.json")])
+        payload = json.loads(out_file.read_text())
+        findings = findings_from_json(payload)
+        assert [f.rule_id for f in findings] == ["RPREFF003"]
+        # a second run over the same input reproduces the same findings
+        with pytest.raises(SystemExit):
+            main(["effects", bad, "--json-out", str(out_file),
+                  "--baseline", str(tmp_path / "absent.json")])
+        assert findings_from_json(json.loads(out_file.read_text())) == findings
+
+
+class TestSarif:
+    def test_sarif_validates_against_2_1_0_schema(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        sarif_file = tmp_path / "report.sarif"
+        with pytest.raises(SystemExit):
+            main(["effects", _bad_path(tmp_path), "--sarif", str(sarif_file),
+                  "--baseline", str(tmp_path / "absent.json")])
+        doc = json.loads(sarif_file.read_text())
+        schema = json.loads(
+            (Path(__file__).parent / "sarif_min_schema.json").read_text()
+        )
+        jsonschema.validate(doc, schema)
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        assert results[0]["ruleId"] == "RPREFF003"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_clean_tree_sarif_has_no_results(self, tmp_path, capsys):
+        sarif_file = tmp_path / "clean.sarif"
+        main(["effects", SRC, "--sarif", str(sarif_file),
+              "--baseline", str(BASELINE)])
+        doc = json.loads(sarif_file.read_text())
+        assert doc["runs"][0]["results"] == []
+        rule_ids = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert "RPREFF001" in rule_ids
+
+
+class TestBaselineRatchet:
+    def test_update_then_pass(self, tmp_path, capsys):
+        bad = _bad_path(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(["effects", bad, "--baseline", str(baseline),
+              "--update-baseline"])
+        assert baseline.exists()
+        # with the finding baselined, the same run passes
+        main(["effects", bad, "--baseline", str(baseline)])
+
+    def test_new_finding_fails_against_baseline(self, tmp_path, capsys):
+        bad = _bad_path(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        main(["effects", bad, "--baseline", str(baseline),
+              "--update-baseline"])
+        worse = tmp_path / "bad_fixture.py"
+        worse.write_text(BAD_FIXTURE + (
+            "\n    def another_sneak(self):\n        self._count += 1\n"
+        ))
+        with pytest.raises(SystemExit):
+            main(["effects", str(worse), "--baseline", str(baseline)])
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_suppression_growth_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad_fixture.py"
+        bad.write_text(BAD_FIXTURE)
+        baseline = tmp_path / "baseline.json"
+        main(["effects", str(bad), "--baseline", str(baseline),
+              "--update-baseline"])
+        bad.write_text(BAD_FIXTURE.replace(
+            "    def sneaky_bump(self):\n        self._count += 1",
+            "    def sneaky_bump(self):\n"
+            "        self._count += 1  # repro: noqa: RPREFF003",
+        ))
+        with pytest.raises(SystemExit):
+            main(["effects", str(bad), "--baseline", str(baseline)])
+        assert "suppression count grew" in capsys.readouterr().out

@@ -1,0 +1,86 @@
+"""The static/dynamic soundness differential (experiment E20).
+
+The dynamic race checker *observes* shared-memory accesses while
+replaying schedules; the static effect analyzer *predicts* the set of
+source locations that can perform one.  Soundness (relative to the
+exercised code) means: every dynamically observed site in ``src/repro``
+is a member of the static shared-effect set.  A dynamic site the
+analyzer cannot explain would mean a hole in the effect lattice's
+classification tables -- exactly the rot this test exists to catch
+when someone adds a new primitive to ``runtime/atomics.py`` without
+teaching ``repro.analyze.effects`` about it.
+
+(The reverse inclusion does not hold and is not claimed: the static
+set deliberately over-approximates -- e.g. ``snapshot``/``restore``
+sites that no scheduled operation executes.)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analyze import analyze_paths
+from repro.runtime.racecheck import RaceChecker, check_multimap, multimap_scenario
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src" / "repro")
+
+
+@pytest.fixture(scope="module")
+def static_site_keys():
+    result = analyze_paths([SRC])
+    assert not result.findings, [f.format() for f in result.findings]
+    keys = set()
+    for s in result.sites():
+        parts = s.path.split("/")
+        suffix = "/".join(parts[parts.index("repro"):])
+        keys.add((suffix, s.line))
+    return keys
+
+
+def _dynamic_keys(sites):
+    """Observed sites inside src/repro, as (repro/... suffix, line)."""
+    keys = set()
+    for d in sites:
+        path = d["path"].replace("\\", "/")
+        if "/src/repro/" not in path:
+            continue  # fixture/test code is outside the static scope
+        suffix = "repro/" + path.split("/src/repro/")[-1]
+        keys.add((suffix, d["line"]))
+    return keys
+
+
+class TestSoundnessDifferential:
+    @pytest.mark.parametrize("impl", ["cas", "tas"])
+    def test_dynamic_sites_subset_of_static(self, impl, static_site_keys):
+        summary = check_multimap(impl, capacity=4, prefix_len=6)
+        assert summary.ok, summary.describe()
+        dynamic = _dynamic_keys(summary.sites)
+        assert dynamic, "sweep observed no in-tree sites (tracing broken?)"
+        missing = dynamic - static_site_keys
+        assert not missing, (
+            "dynamically observed accesses the static analyzer cannot "
+            f"explain: {sorted(missing)}"
+        )
+
+    def test_three_op_sweep_adds_no_unexplained_sites(self, static_site_keys):
+        summary = check_multimap("tas", capacity=8, prefix_len=4, n_ops=3)
+        missing = _dynamic_keys(summary.sites) - static_site_keys
+        assert not missing, sorted(missing)
+
+    def test_single_replay_report_sites_are_subset_too(self, static_site_keys):
+        from repro.runtime.multimap import TASMultimap
+
+        m = TASMultimap(4, hash_fn=lambda k: 0)
+        report = RaceChecker().run(multimap_scenario(m), ("p", "q") * 6)
+        missing = _dynamic_keys(report.sites()) - static_site_keys
+        assert not missing, sorted(missing)
+
+    def test_static_set_is_strictly_larger(self, static_site_keys):
+        """The over-approximation is real: snapshot/restore sites are
+        static-only because no scheduled op runs them."""
+        summary = check_multimap("tas", capacity=4, prefix_len=4)
+        dynamic = _dynamic_keys(summary.sites)
+        assert dynamic < static_site_keys

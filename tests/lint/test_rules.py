@@ -292,3 +292,63 @@ class TestRunner:
         """The acceptance criterion: ``repro lint`` exits 0 on the
         shipped tree (src + tools)."""
         assert lint_paths() == []
+
+
+class TestNoqaAudit:
+    """The in-tree suppression inventory, pinned.
+
+    Every ``# repro: noqa`` in ``src/`` was audited for PR 5; the two
+    that remain are exact-predicate sign tests where the linted idiom
+    (float comparison against zero) is itself the specification.  A new
+    suppression anywhere in the tree must update this pin *and* justify
+    itself in review -- this is the textual half of the ratchet whose
+    RPREFF half lives in ``analyze-baseline.json``.
+    """
+
+    REPO = Path(__file__).resolve().parents[2]
+
+    def _tree_suppressions(self):
+        from repro.lint.core import iter_suppressions, load_files
+
+        files, _ = load_files([self.REPO / "src"])
+        return iter_suppressions(files)
+
+    def test_rpr_suppression_inventory_is_pinned(self):
+        audited = {
+            (Path(c.path).name, c.codes) for c in self._tree_suppressions()
+        }
+        assert audited == {
+            ("halfspaces.py", frozenset({"RPR004"})),
+            ("certify.py", frozenset({"RPR004"})),
+        }
+
+    def test_no_rpreff_suppressions_in_tree(self):
+        rpreff = [
+            c for c in self._tree_suppressions()
+            if c.codes is None
+            or any(code.startswith("RPREFF") for code in c.codes)
+        ]
+        assert rpreff == []
+
+    def test_no_unused_suppressions_in_tree(self):
+        from repro.lint.core import unused_suppressions
+
+        assert unused_suppressions([self.REPO / "src"], ALL_RULES) == []
+
+    def test_docstring_mentions_are_not_suppressions(self):
+        from repro.lint.core import suppressed_lines
+
+        src = (
+            '"""Silence a finding with ``# repro: noqa: RPR004``."""\n'
+            "x = 1\n"
+            "y = 2  # repro: noqa: RPR004\n"
+        )
+        assert suppressed_lines(src) == {3: frozenset({"RPR004"})}
+
+    def test_stale_suppression_is_detected(self, tmp_path):
+        from repro.lint.core import unused_suppressions
+
+        f = tmp_path / "stale.py"
+        f.write_text("x = 1  # repro: noqa: RPR004\n")
+        (stale,) = unused_suppressions([tmp_path], ALL_RULES)
+        assert stale.line == 1 and stale.covers("RPR004")

@@ -156,3 +156,60 @@ class TestCLI:
         from repro.cli import main
 
         main(["lint"])  # exits 0 <=> returns
+
+
+class TestAccessSites:
+    """`Access.site` / `RaceReport.sites()`: the dynamic half of the
+    static/dynamic soundness differential (see tests/analyze)."""
+
+    def test_sites_point_into_the_generator_body(self):
+        m = TASMultimap(4, hash_fn=lambda k: 0)
+        report = RaceChecker().run(multimap_scenario(m), ("p", "q") * 6)
+        sites = report.sites()
+        assert sites, "no sites recorded"
+        assert all(s["path"].endswith("multimap.py") for s in sites)
+        assert all(s["line"] > 0 and s["count"] > 0 for s in sites)
+        funcs = {f for s in sites for f in s["funcs"]}
+        assert "insert_and_set_steps" in funcs
+
+    def test_broken_fixture_write_site_is_unannounced(self):
+        m = BrokenTASMultimap(4, hash_fn=lambda k: 0)
+        report = RaceChecker().run(multimap_scenario(m), ("p", "q") * 8)
+        plain = [s for s in report.sites() if not s["announced"]]
+        assert plain, "the fused write should surface as a plain site"
+        assert any(
+            s["path"].endswith("broken_multimap.py") and "write" in s["kinds"]
+            for s in plain
+        )
+        # the shipped parent class contributes only announced sites
+        announced = [s for s in report.sites() if s["announced"]]
+        assert announced
+
+    def test_sites_are_json_serializable_and_aggregated(self):
+        import json as _json
+
+        m = TASMultimap(4, hash_fn=lambda k: 0)
+        report = RaceChecker().run(multimap_scenario(m), ("p", "q") * 6)
+        round_tripped = _json.loads(_json.dumps(report.sites()))
+        assert round_tripped == report.sites()
+        keys = [(s["path"], s["line"]) for s in report.sites()]
+        assert keys == sorted(keys) and len(keys) == len(set(keys))
+
+    def test_check_multimap_unions_sites_across_schedules(self):
+        summary = check_multimap("cas", capacity=4, prefix_len=4)
+        assert summary.sites
+        total = sum(s["count"] for s in summary.sites)
+        assert total > len(summary.sites)  # many schedules aggregated
+
+    def test_setup_accesses_record_no_sites(self):
+        m = TASMultimap(4, hash_fn=lambda k: 0)
+        # outside any scheduled step: traced but not attributed
+        m.insert_and_set("r1", "t0")
+        m.insert_and_set("r1", "t1")
+        report = RaceChecker().run(
+            {"g": lambda: m.get_value_steps("r1", "t0")}, ("g",) * 6
+        )
+        paths = {s["path"] for s in report.sites()}
+        assert all(p.endswith("multimap.py") for p in paths)
+        funcs = {f for s in report.sites() for f in s["funcs"]}
+        assert "insert_and_set" not in funcs

@@ -1,0 +1,50 @@
+"""Repository hygiene: compiled artifacts must never be tracked.
+
+PR 4 accidentally committed 179 ``.pyc`` files; this pins the cleanup.
+The same guard runs in CI (the ``effects`` job), where a regression
+would block the merge even if this test is skipped locally.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _git_tracked() -> list[str]:
+    out = subprocess.run(
+        ["git", "ls-files"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.splitlines()
+
+
+needs_git = pytest.mark.skipif(
+    shutil.which("git") is None or not (REPO_ROOT / ".git").exists(),
+    reason="not a git checkout",
+)
+
+
+@needs_git
+def test_no_tracked_bytecode_or_caches():
+    bad = [
+        f for f in _git_tracked()
+        if f.endswith((".pyc", ".pyo"))
+        or "__pycache__" in f
+        or f.startswith((".pytest_cache/", ".hypothesis/", ".benchmarks/"))
+        or f == ".coverage"
+    ]
+    assert bad == [], f"compiled/cache artifacts tracked in git: {bad[:10]}"
+
+
+@needs_git
+def test_gitignore_covers_bytecode():
+    text = (REPO_ROOT / ".gitignore").read_text()
+    for pattern in ("__pycache__/", "*.py[cod]", ".pytest_cache/", ".coverage"):
+        assert pattern in text, f".gitignore missing {pattern!r}"

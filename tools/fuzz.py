@@ -38,10 +38,18 @@ randomly inflated float-filter envelope must stay facet- and
 counter-identical to the scalar oracle, and sampled ``orient_batch``
 blocks must agree elementwise with scalar ``orient``.
 
+``--effects`` mutation-fuzzes the static effect analyzer
+(:mod:`repro.analyze`): random structural mutations of seed programs
+(line deletion/duplication/swaps, spliced statements, truncation,
+reindentation) must never crash ``analyze_paths`` -- syntax errors
+must surface as RPREFF999 pseudo-findings and every finding must
+format and JSON round-trip.
+
 Run:  python tools/fuzz.py [--iterations N] [--seed S] [--verbose]
       python tools/fuzz.py --chaos [--duration SECS]
       python tools/fuzz.py --degenerate [--duration SECS]
       python tools/fuzz.py --kernels [--duration SECS]
+      python tools/fuzz.py --effects [--iterations N]
 """
 
 from __future__ import annotations
@@ -373,6 +381,120 @@ def one_kernel_case(rng: np.random.Generator, verbose: bool) -> str | None:
     return None
 
 
+# Seed programs for --effects: small concurrent-container sketches in
+# the analyzer's input language (bare-name primitives, tagged yields).
+# Mutations knock these around; the analyzer must never crash on any
+# of the resulting (usually ill-typed, often ill-formed) programs.
+EFFECT_SEEDS = [
+    '''
+class AtomicCell:
+    pass
+
+class Mutex:
+    pass
+
+class Table:
+    def __init__(self, n):
+        self._mutex = Mutex()
+        self._cells = [AtomicCell() for _ in range(n)]
+        self._count = 0
+
+    def step_gen(self, i):
+        yield ("cas", i)
+        ok = self._cells[i].compare_and_swap(None, 1)
+        yield ("read", i)
+        return ok, self._cells[i].load()
+
+    def bump(self):
+        with self._mutex:
+            self._count += 1
+''',
+    '''
+class AtomicFlag:
+    pass
+
+class _Slot:
+    def __init__(self):
+        self.taken = AtomicFlag()
+        self.data = None
+
+class Table:
+    def __init__(self, n):
+        self._slots = [_Slot() for _ in range(n)]
+
+    def step_gen(self, i, v):
+        yield ("tas", i)
+        ok = self._slots[i].taken.test_and_set()
+        yield ("write", i)
+        self._slots[i].data = v
+        return ok
+
+    def _publish(self, slot, v):
+        slot.data = v
+''',
+]
+
+_EFFECT_TOKENS = [
+    "yield ('cas', i)", "self._count += 1", "self._cells[i].load()",
+    "with self._mutex:", "return", "pass", "getattr(self, name)()",
+    "eval('1')", "del self._cells[i]", "lambda k: 0", "global _count",
+]
+
+
+def _mutate_source(src: str, rng: np.random.Generator) -> str:
+    """One random structural mutation of a source string."""
+    lines = src.split("\n")
+    op = int(rng.integers(0, 6))
+    if not lines:
+        return src
+    i = int(rng.integers(0, len(lines)))
+    if op == 0:  # delete a line
+        del lines[i]
+    elif op == 1:  # duplicate a line
+        lines.insert(i, lines[i])
+    elif op == 2:  # swap two lines
+        j = int(rng.integers(0, len(lines)))
+        lines[i], lines[j] = lines[j], lines[i]
+    elif op == 3:  # splice in a random statement at a random indent
+        indent = " " * int(rng.integers(0, 3)) * 4
+        tok = _EFFECT_TOKENS[int(rng.integers(0, len(_EFFECT_TOKENS)))]
+        lines.insert(i, indent + tok)
+    elif op == 4:  # truncate the file
+        lines = lines[:i]
+    else:  # reindent a line
+        lines[i] = " " * int(rng.integers(0, 9)) + lines[i].lstrip()
+    return "\n".join(lines)
+
+
+def one_effects_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Fuzz the static effect analyzer: random mutations of seed
+    programs must never crash it, and its output must stay well-formed
+    (every finding formats and JSON round-trips; syntax errors surface
+    as RPREFF999 pseudo-findings, not exceptions)."""
+    from repro.analyze import Finding, analyze_paths
+
+    seed_ix = int(rng.integers(0, len(EFFECT_SEEDS)))
+    src = EFFECT_SEEDS[seed_ix]
+    n_mut = int(rng.integers(1, 8))
+    for _ in range(n_mut):
+        src = _mutate_source(src, rng)
+    label = f"effects[seed={seed_ix}, mutations={n_mut}]"
+    if verbose:
+        print(f"  {label}")
+    try:
+        result = analyze_paths([], sources={"fuzz_mutant.py": src})
+        for f in result.findings + result.suppressed:
+            assert f.format()
+            assert Finding.from_dict(f.as_dict()) == f
+        # the site inventory must be enumerable too
+        for s in result.sites():
+            assert s.as_dict()["line"] >= 1
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return (f"{label}: analyzer crashed with "
+                f"{type(exc).__name__}: {exc}\n--- mutant ---\n{src}")
+    return None
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--iterations", type=int, default=100)
@@ -384,6 +506,9 @@ def main() -> int:
                     help="fuzz the adversarial degenerate corpus instead")
     ap.add_argument("--kernels", action="store_true",
                     help="fuzz the batched predicate kernels instead")
+    ap.add_argument("--effects", action="store_true",
+                    help="fuzz the static effect analyzer on mutated "
+                         "fixture programs instead")
     ap.add_argument("--duration", type=float, default=None, metavar="SECS",
                     help="run until the wall-clock budget expires "
                          "(overrides --iterations)")
@@ -395,6 +520,8 @@ def main() -> int:
         cases = (one_degenerate_case,)
     elif args.kernels:
         cases = (one_kernel_case,)
+    elif args.effects:
+        cases = (one_effects_case,)
     else:
         cases = (one_case, one_multimap_case)
     deadline = None if args.duration is None else time.monotonic() + args.duration
@@ -416,7 +543,8 @@ def main() -> int:
             print(f"  ... {i} iterations ok")
     kind = ("chaos" if args.chaos
             else "degenerate" if args.degenerate
-            else "kernels" if args.kernels else "differential")
+            else "kernels" if args.kernels
+            else "effects" if args.effects else "differential")
     if failures:
         print(f"{failures} failing cases out of {i} {kind} iterations")
         return 1
