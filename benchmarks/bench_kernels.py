@@ -45,6 +45,8 @@ def main(argv: list[str] | None = None) -> int:
               f"(criterion >= 3x: {'PASS' if s['criterion_3x_at_1e4'] else 'FAIL'})")
     print(f"max filter-fallback rate: {s['max_fallback_rate']:.4f}")
     print(f"hull facet sets identical: {s['all_hulls_identical']}")
+    for n, ratio in s["hull_speedup_by_n"].items():
+        print(f"end-to-end batch/scalar at n={n}: {ratio:.2f}x")
     if not s["all_hulls_identical"]:
         return 1
     if not report["smoke"] and not s["criterion_3x_at_1e4"]:

@@ -1,30 +1,52 @@
-"""Interprocedural effect analysis (``repro effects``).
+"""Static analyses: effects (``repro effects``) + hot path (``repro
+hotpath``).
 
-Statically proves the atomic-step discipline that the dynamic race
-checker (:mod:`repro.runtime.racecheck`) can only sample: every
-yield-to-yield segment of every step generator performs at most one
-shared access, no raw shared write is reachable from any step
+The effect pass statically proves the atomic-step discipline that the
+dynamic race checker (:mod:`repro.runtime.racecheck`) can only sample:
+every yield-to-yield segment of every step generator performs at most
+one shared access, no raw shared write is reachable from any step
 generator, mutex-guarded fields are never written with an empty
-lockset, and no yield is dead.  See ARCHITECTURE.md for the lattice,
-the call-graph construction, and the honestly-stated unsoundness
-holes; the soundness differential test closes the loop against the
-dynamic checker.
+lockset, and no yield is dead.  The hot-path pass guards the SoA
+kernel arc: an abstract interpretation over NumPy shapes/dtypes finds
+per-element drivers, scalar predicates, allocation churn, dtype
+degradation, shape inconsistencies and unaccounted sweeps on the
+batch-kernel path.  See ARCHITECTURE.md for the lattices and the
+honestly-stated unsoundness holes; each pass has a dynamic soundness
+differential closing the loop.
 """
 
 from .callgraph import ClassInfo, FunctionInfo, Program, build_program
 from .cfg import CFG, Node, build_cfg
 from .checks import RULES, AnalysisResult, Finding, analyze_paths
 from .effects import Effect, Site
+from .hotpath import (
+    HOT_EXEMPT,
+    HOT_RULES,
+    HotpathResult,
+    analyze_hotpaths,
+    check_recorded_events,
+    render_hot_text,
+)
 from .interproc import Analysis, Summary
 from .report import (
     baseline_payload,
     compare_baseline,
     findings_from_json,
+    findings_to_sarif,
     load_baseline,
     render_text,
     save_baseline,
     to_json,
     to_sarif,
+)
+from .shapes import (
+    FnAnnotation,
+    ShapeEnv,
+    ShapeRecorder,
+    ShapeVal,
+    observe,
+    parse_annotations,
+    recording,
 )
 
 __all__ = [
@@ -46,9 +68,23 @@ __all__ = [
     "render_text",
     "to_json",
     "to_sarif",
+    "findings_to_sarif",
     "findings_from_json",
     "baseline_payload",
     "compare_baseline",
     "load_baseline",
     "save_baseline",
+    "HOT_RULES",
+    "HOT_EXEMPT",
+    "HotpathResult",
+    "analyze_hotpaths",
+    "render_hot_text",
+    "check_recorded_events",
+    "ShapeVal",
+    "ShapeEnv",
+    "FnAnnotation",
+    "ShapeRecorder",
+    "recording",
+    "observe",
+    "parse_annotations",
 ]

@@ -137,8 +137,15 @@ class Program:
         self.errors = list(errors)
         self.classes: dict[str, ClassInfo] = {}
         self.functions: dict[str, FunctionInfo] = {}
+        #: defs nested inside other functions (``process`` inside
+        #: ``parallel_hull``).  Kept out of ``functions`` on purpose:
+        #: the effect fixpoint iterates ``functions`` and its committed
+        #: baseline must not shift; the hot-path pass reads both via
+        #: :meth:`all_functions`.
+        self.nested_functions: dict[str, FunctionInfo] = {}
         self._by_bare_class: dict[str, list[ClassInfo]] = {}
         self._by_bare_func: dict[str, list[FunctionInfo]] = {}
+        self._by_bare_nested: dict[str, list[FunctionInfo]] = {}
         self._subclasses: dict[str, set[str]] = {}
         for f in self.files:
             self._index_file(f)
@@ -208,7 +215,47 @@ class Program:
                     ),
                 )
                 self.functions[lam.qualname] = lam
+        self._register_nested(node, f, module, cls, qual)
         return info
+
+    def _register_nested(
+        self,
+        outer: ast.FunctionDef | ast.AsyncFunctionDef,
+        f: LintedFile,
+        module: str,
+        cls: ClassInfo | None,
+        prefix: str,
+    ) -> None:
+        """Index defs nested in ``outer`` (recursively) into
+        :attr:`nested_functions` under ``<outer>.<locals>.<name>``."""
+
+        def walk(node, pfx):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, _FUNC_NODES):
+                    qual = f"{pfx}.<locals>.{child.name}"
+                    args = child.args
+                    params = [
+                        a.arg
+                        for a in args.posonlyargs + args.args + args.kwonlyargs
+                    ]
+                    info = FunctionInfo(
+                        qualname=qual,
+                        module=module,
+                        path=f.posix,
+                        node=child,
+                        cls=cls,
+                        allowlisted=self._allowlisted(f),
+                        param_names=tuple(params),
+                    )
+                    self.nested_functions[qual] = info
+                    self._by_bare_nested.setdefault(child.name, []).append(info)
+                    walk(child, qual)
+                elif isinstance(child, (ast.ClassDef, ast.Lambda)):
+                    continue  # local classes / lambdas: handled elsewhere
+                else:
+                    walk(child, pfx)
+
+        walk(outer, prefix)
 
     def _index_file(self, f: LintedFile) -> None:
         module = self._module_name(f)
@@ -258,6 +305,14 @@ class Program:
     def module_functions_named(self, name: str) -> list[FunctionInfo]:
         """Module-level (non-method) functions with this bare name."""
         return [f for f in self._by_bare_func.get(name, []) if f.cls is None]
+
+    def all_functions(self) -> list[FunctionInfo]:
+        """Top-level + method + nested defs (lambdas included)."""
+        return list(self.functions.values()) + list(self.nested_functions.values())
+
+    def functions_named(self, name: str) -> list[FunctionInfo]:
+        """Every function/method/nested def with this bare name."""
+        return self._by_bare_func.get(name, []) + self._by_bare_nested.get(name, [])
 
     def subclasses_of(self, cls: ClassInfo) -> list[ClassInfo]:
         return [self.classes[q] for q in self._subclasses.get(cls.qualname, ())]

@@ -47,6 +47,14 @@ class Node:
     held: frozenset[str] = frozenset()
     line: int = 0
     col: int = 0
+    #: number of enclosing loops whose body re-executes this node.  A
+    #: ``for`` header evaluates its iterable once (enclosing depth); a
+    #: ``while`` header re-evaluates its test every iteration (body
+    #: depth).  The hot-path checks key on this.
+    loop_depth: int = 0
+    #: "" | "for-header" | "while-header" -- lets clients distinguish
+    #: loop headers without re-matching payloads against the AST.
+    role: str = ""
 
 
 class CFG:
@@ -63,8 +71,16 @@ class CFG:
     def exit(self) -> Node:
         return self.nodes[1]
 
-    def new(self, kind: str, payload: tuple[ast.AST, ...], held: frozenset[str]) -> Node:
-        node = Node(len(self.nodes), kind, payload, set(), held)
+    def new(
+        self,
+        kind: str,
+        payload: tuple[ast.AST, ...],
+        held: frozenset[str],
+        loop_depth: int = 0,
+        role: str = "",
+    ) -> Node:
+        node = Node(len(self.nodes), kind, payload, set(), held,
+                    loop_depth=loop_depth, role=role)
         anchor = payload[0] if payload else None
         node.line = getattr(anchor, "lineno", 0)
         node.col = getattr(anchor, "col_offset", 0)
@@ -98,68 +114,81 @@ def build_cfg(
     """
     cfg = CFG()
 
-    def build(stmts, preds, held, break_to, continue_to):
+    def build(stmts, preds, held, break_to, continue_to, depth=0):
         """Wire ``stmts`` after ``preds``; returns the dangling preds."""
         for stmt in stmts:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
                 continue  # nested defs are separate functions
             if isinstance(stmt, ast.If):
-                test = cfg.new("stmt", (stmt.test,), held)
+                test = cfg.new("stmt", (stmt.test,), held, depth)
                 cfg.link(preds, test.nid)
-                out = build(stmt.body, [test.nid], held, break_to, continue_to)
+                out = build(stmt.body, [test.nid], held, break_to, continue_to, depth)
                 # An empty orelse returns [test.nid]: the fall-through edge.
-                out += build(stmt.orelse, [test.nid], held, break_to, continue_to)
+                out += build(stmt.orelse, [test.nid], held, break_to, continue_to,
+                             depth)
                 preds = list(dict.fromkeys(out))
             elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
-                header_expr = stmt.test if isinstance(stmt, ast.While) else stmt.iter
-                header = cfg.new("stmt", (header_expr,), held)
+                is_while = isinstance(stmt, ast.While)
+                header_expr = stmt.test if is_while else stmt.iter
+                # a for-iterable is evaluated once (enclosing depth); a
+                # while-test re-runs every iteration (body depth)
+                header = cfg.new(
+                    "stmt", (header_expr,), held,
+                    depth + 1 if is_while else depth,
+                    role="while-header" if is_while else "for-header",
+                )
                 cfg.link(preds, header.nid)
                 breaks: list[int] = []
-                out = build(stmt.body, [header.nid], held, breaks, header.nid)
+                out = build(stmt.body, [header.nid], held, breaks, header.nid,
+                            depth + 1)
                 cfg.link(out, header.nid)  # loop wrap-around
-                preds = build(stmt.orelse, [header.nid], held, break_to, continue_to) \
-                    or [header.nid]
+                preds = build(stmt.orelse, [header.nid], held, break_to,
+                              continue_to, depth) or [header.nid]
                 preds = list(set(preds) | set(breaks))
             elif isinstance(stmt, (ast.With, ast.AsyncWith)):
-                items = cfg.new("stmt", tuple(i.context_expr for i in stmt.items), held)
+                items = cfg.new("stmt", tuple(i.context_expr for i in stmt.items),
+                                held, depth)
                 cfg.link(preds, items.nid)
                 grabbed = {m for i in stmt.items
                            if (m := mutex_of(i.context_expr)) is not None}
                 inner = held | frozenset(grabbed)
-                preds = build(stmt.body, [items.nid], inner, break_to, continue_to)
+                preds = build(stmt.body, [items.nid], inner, break_to,
+                              continue_to, depth)
             elif isinstance(stmt, ast.Try):
                 first = len(cfg.nodes)
-                body_out = build(stmt.body, preds, held, break_to, continue_to)
+                body_out = build(stmt.body, preds, held, break_to, continue_to,
+                                 depth)
                 body_nodes = list(range(first, len(cfg.nodes)))
                 handler_outs: list[int] = []
                 for handler in stmt.handlers:
                     h_preds = list(set(body_nodes) | set(preds))
                     handler_outs += build(
-                        handler.body, h_preds, held, break_to, continue_to
+                        handler.body, h_preds, held, break_to, continue_to, depth
                     )
-                else_out = build(stmt.orelse, body_out, held, break_to, continue_to) \
+                else_out = build(stmt.orelse, body_out, held, break_to,
+                                 continue_to, depth) \
                     if stmt.orelse else body_out
                 merged = list(set(else_out) | set(handler_outs))
                 if stmt.finalbody:
                     preds = build(stmt.finalbody, merged or preds, held,
-                                  break_to, continue_to)
+                                  break_to, continue_to, depth)
                 else:
                     preds = merged
             elif isinstance(stmt, ast.Break):
-                node = cfg.new("stmt", (stmt,), held)
+                node = cfg.new("stmt", (stmt,), held, depth)
                 cfg.link(preds, node.nid)
                 if break_to is not None:
                     break_to.append(node.nid)
                 preds = []
             elif isinstance(stmt, ast.Continue):
-                node = cfg.new("stmt", (stmt,), held)
+                node = cfg.new("stmt", (stmt,), held, depth)
                 cfg.link(preds, node.nid)
                 if continue_to is not None:
                     cfg.link([node.nid], continue_to)
                 preds = []
             else:
                 kind = "yield" if _contains_yield(stmt) else "stmt"
-                node = cfg.new(kind, (stmt,), held)
+                node = cfg.new(kind, (stmt,), held, depth)
                 cfg.link(preds, node.nid)
                 if isinstance(stmt, _SIMPLE_EXIT):
                     cfg.link([node.nid], cfg.exit.nid)

@@ -29,6 +29,7 @@ __all__ = [
     "render_text",
     "to_json",
     "findings_from_json",
+    "findings_to_sarif",
     "to_sarif",
     "baseline_payload",
     "compare_baseline",
@@ -80,14 +81,22 @@ def findings_from_json(payload: dict) -> list[Finding]:
     return [Finding.from_dict(d) for d in payload.get("findings", [])]
 
 
-def to_sarif(result: AnalysisResult) -> dict:
+def findings_to_sarif(tool_name: str, rules_table: dict, findings) -> dict:
+    """SARIF 2.1.0 for any analyzer in this package.
+
+    ``findings`` is any sequence of objects with ``rule_id``/``path``/
+    ``line``/``col`` (1-based)/``message`` attributes -- both
+    :class:`Finding` and the linter's ``Violation`` qualify, which is
+    how ``repro lint``, ``repro effects`` and ``repro hotpath`` share
+    one emitter (one CI artifact per analyzer, same shape).
+    """
     rules = [
         {
             "id": rid,
             "name": name,
             "shortDescription": {"text": summary},
         }
-        for rid, (name, summary) in sorted(RULES.items())
+        for rid, (name, summary) in sorted(rules_table.items())
     ]
     results = [
         {
@@ -106,7 +115,7 @@ def to_sarif(result: AnalysisResult) -> dict:
                 }
             ],
         }
-        for f in result.findings
+        for f in findings
     ]
     return {
         "$schema": SARIF_SCHEMA_URI,
@@ -115,7 +124,7 @@ def to_sarif(result: AnalysisResult) -> dict:
             {
                 "tool": {
                     "driver": {
-                        "name": "repro-effects",
+                        "name": tool_name,
                         "informationUri": "https://example.invalid/repro",
                         "rules": rules,
                     }
@@ -126,10 +135,19 @@ def to_sarif(result: AnalysisResult) -> dict:
     }
 
 
+def to_sarif(result: AnalysisResult) -> dict:
+    return findings_to_sarif("repro-effects", RULES, result.findings)
+
+
 # -- baseline ratchet ----------------------------------------------------
 
 
-def baseline_payload(result: AnalysisResult) -> dict:
+def baseline_payload(result, suppression_key: str = "rpreff_suppressions") -> dict:
+    """The committed ratchet payload.  ``result`` is any object with
+    ``findings`` and a ``suppressions()`` method -- effects and hotpath
+    results both qualify; each analyzer pins its own suppression count
+    under its own key (``rpreff_suppressions`` / ``rprhot_suppressions``).
+    """
     return {
         "version": 1,
         "findings": sorted(
@@ -139,7 +157,7 @@ def baseline_payload(result: AnalysisResult) -> dict:
             ),
             key=lambda d: (d["path"], d["line"], d["rule_id"]),
         ),
-        "rpreff_suppressions": len(result.suppressions()),
+        suppression_key: len(result.suppressions()),
     }
 
 
@@ -147,14 +165,30 @@ def load_baseline(path: str | Path) -> dict:
     return json.loads(Path(path).read_text(encoding="utf-8"))
 
 
-def save_baseline(path: str | Path, result: AnalysisResult) -> None:
+def save_baseline(
+    path: str | Path,
+    result,
+    suppression_key: str = "rpreff_suppressions",
+) -> None:
     Path(path).write_text(
-        json.dumps(baseline_payload(result), indent=2) + "\n",
+        json.dumps(baseline_payload(result, suppression_key), indent=2) + "\n",
         encoding="utf-8",
     )
 
 
-def compare_baseline(result: AnalysisResult, baseline: dict) -> list[str]:
+def _canon_path(path: str) -> str:
+    """Anchor a finding path at ``src/`` when present, so a baseline
+    written from the repo root still matches an absolute-path run."""
+    path = path.replace("\\", "/")
+    idx = path.find("src/")
+    return path[idx:] if idx >= 0 else path
+
+
+def compare_baseline(
+    result,
+    baseline: dict,
+    suppression_key: str = "rpreff_suppressions",
+) -> list[str]:
     """Ratchet check; returns human-readable problems (empty == pass).
 
     Lines may drift, so baseline findings match on (rule, path) with a
@@ -165,19 +199,20 @@ def compare_baseline(result: AnalysisResult, baseline: dict) -> list[str]:
     problems: list[str] = []
     budget: dict[tuple[str, str], int] = {}
     for d in baseline.get("findings", []):
-        key = (d["rule_id"], d["path"])
+        key = (d["rule_id"], _canon_path(d["path"]))
         budget[key] = budget.get(key, 0) + 1
     for f in result.findings:
-        key = (f.rule_id, f.path)
+        key = (f.rule_id, _canon_path(f.path))
         if budget.get(key, 0) > 0:
             budget[key] -= 1
         else:
             problems.append(f"new finding not in baseline: {f.format()}")
-    allowed = int(baseline.get("rpreff_suppressions", 0))
+    label = suppression_key.split("_", 1)[0].upper()
+    allowed = int(baseline.get(suppression_key, 0))
     actual = len(result.suppressions())
     if actual > allowed:
         problems.append(
-            f"RPREFF suppression count grew: {actual} > baseline {allowed} "
+            f"{label} suppression count grew: {actual} > baseline {allowed} "
             "(fix the finding instead of suppressing, or consciously "
             "update the baseline)"
         )

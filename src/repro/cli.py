@@ -225,6 +225,18 @@ def cmd_lint(args) -> None:
         select=args.select,
         ignore=args.ignore or (),
     )
+    if args.sarif:
+        from .analyze import findings_to_sarif
+
+        table = {r.id: (r.name, r.summary) for r in ALL_RULES}
+        with open(args.sarif, "w") as fh:
+            json.dump(findings_to_sarif("repro-lint", table, violations),
+                      fh, indent=2)
+        print(f"wrote {args.sarif}", file=sys.stderr)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump([v.__dict__ for v in violations], fh, indent=2)
+        print(f"wrote {args.json_out}", file=sys.stderr)
     if args.format == "json":
         json.dump([v.__dict__ for v in violations], sys.stdout, indent=2)
         print()
@@ -285,6 +297,75 @@ def cmd_effects(args) -> None:
         print()
     else:
         print(render_text(result, verbose=args.verbose))
+        for p in problems:
+            print(f"baseline: {p}")
+    if failed:
+        raise SystemExit(1)
+
+
+def cmd_hotpath(args) -> None:
+    from .analyze import (
+        HOT_RULES,
+        analyze_hotpaths,
+        compare_baseline,
+        findings_to_sarif,
+        load_baseline,
+        render_hot_text,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rid, (name, summary) in sorted(HOT_RULES.items()):
+            print(f"{rid}  {name}: {summary}")
+        return
+    from pathlib import Path
+
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"hotpath: no such path(s): {', '.join(missing)}")
+    result = analyze_hotpaths(paths)
+
+    def payload() -> dict:
+        return {
+            "schema_version": 1,
+            "findings": [f.as_dict() for f in result.findings],
+            "suppressed": [f.as_dict() for f in result.suppressed],
+            "entries": {q: reason for q, reason in sorted(result.entries.items())},
+            "hot_functions": len(result.hot),
+            "annotated": len(result.annotations),
+        }
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(payload(), fh, indent=2)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.sarif:
+        with open(args.sarif, "w") as fh:
+            json.dump(
+                findings_to_sarif("repro-hotpath", HOT_RULES, result.findings),
+                fh, indent=2,
+            )
+        print(f"wrote {args.sarif}", file=sys.stderr)
+    if args.update_baseline:
+        save_baseline(args.baseline, result,
+                      suppression_key="rprhot_suppressions")
+        print(f"wrote {args.baseline}", file=sys.stderr)
+        return
+    problems: list[str] = []
+    if args.baseline and Path(args.baseline).exists():
+        problems = compare_baseline(result, load_baseline(args.baseline),
+                                    suppression_key="rprhot_suppressions")
+        failed = bool(problems)
+    else:
+        failed = bool(result.findings)
+    if args.format == "json":
+        out = payload()
+        out["baseline_problems"] = problems
+        json.dump(out, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_hot_text(result, verbose=args.verbose))
         for p in problems:
             print(f"baseline: {p}")
     if failed:
@@ -444,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ignore", nargs="+", metavar="RPRnnn",
                    help="skip these rule ids")
     p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="also write the violations as JSON to FILE")
+    p.add_argument("--sarif", default=None, metavar="FILE",
+                   help="also write a SARIF 2.1.0 report to FILE "
+                        "(shared emitter with effects/hotpath)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule registry and exit")
     p.set_defaults(fn=cmd_lint)
@@ -471,6 +557,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule registry and exit")
     p.set_defaults(fn=cmd_effects)
+
+    p = sub.add_parser(
+        "hotpath",
+        help="static vectorization & hot-path discipline analysis of the "
+             "batch-kernel arc (rules RPRHOT001-006)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to analyse (default: src)")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="also write the full JSON report to FILE")
+    p.add_argument("--sarif", default=None, metavar="FILE",
+                   help="also write a SARIF 2.1.0 report to FILE")
+    p.add_argument("--baseline", default="hotpath-baseline.json",
+                   metavar="FILE",
+                   help="ratchet baseline to compare against (ignored "
+                        "if the file does not exist)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this run and exit 0")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print entry points and hot-region provenance")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule registry and exit")
+    p.set_defaults(fn=cmd_hotpath)
 
     p = sub.add_parser("race-check",
                        help="happens-before race check of the concurrent multimap")

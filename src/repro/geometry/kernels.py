@@ -48,6 +48,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from ..analyze.shapes import observe
 from ..runtime.atomics import ShardedCounter
 from .predicates import STATS, orient_exact
 
@@ -181,6 +182,9 @@ def batch_planes(
     query ``q`` against plane ``f`` is
     ``err_scale[f] * (err_base[f] + |q|_inf)``.
     """
+    # repro: shape: simplices=(F,d,d):float64, normals=(F,d):float64
+    # repro: shape: offsets=(F,):float64, err_scale=(F,):float64
+    # repro: shape: err_base=(F,):float64
     simplices = np.asarray(simplices, dtype=np.float64)
     if simplices.ndim != 3 or simplices.shape[1] != simplices.shape[2]:
         raise ValueError(f"need (F, d, d) simplices, got {simplices.shape}")
@@ -207,6 +211,9 @@ def batch_planes(
     n1 = np.abs(normals).sum(axis=1)
     err_scale = 16.0 * d * _EPS * (d * d * hadamard + n1 + 1.0)
     err_base = 1.0 + np.abs(simplices[:, 0, :]).max(axis=1, initial=0.0)
+    observe("repro.geometry.kernels.batch_planes",
+            simplices=simplices, normals=normals, offsets=offsets,
+            err_scale=err_scale, err_base=err_base)
     return normals, offsets, err_scale, err_base
 
 
@@ -222,6 +229,8 @@ def orient_batch(simplices: np.ndarray, queries: np.ndarray) -> np.ndarray:
     escalates to, so agreement with the scalar oracle is structural, not
     statistical.
     """
+    # repro: shape: simplices=(F,d,d):float64, queries=(Q,d):float64
+    # repro: shape: margins=(F,Q):float64, signs=(F,Q):int8 -> (F,Q):int64
     simplices = np.asarray(simplices, dtype=np.float64)
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
     normals, offsets, err_scale, err_base = batch_planes(simplices)
@@ -237,9 +246,15 @@ def orient_batch(simplices: np.ndarray, queries: np.ndarray) -> np.ndarray:
     n_fall = int(uncertain.sum())
     STATS.count_float(n_signs)
     if n_fall:
+        # The exact-fallback loop IS the filter design: only the
+        # envelope-ambiguous entries (a vanishing fraction) take the
+        # per-element rational ladder.
         for f, q in zip(*np.nonzero(uncertain)):
-            signs[f, q] = orient_exact(simplices[f], queries[q])
+            signs[f, q] = orient_exact(simplices[f], queries[q])  # repro: noqa: RPRHOT002
     KERNEL_STATS.count_sweep(n_signs, n_fall)
+    observe("repro.geometry.kernels.orient_batch",
+            simplices=simplices, queries=queries, margins=margins,
+            signs=signs)
     return signs.astype(np.int64)
 
 
@@ -353,6 +368,9 @@ class BatchKernel:
         Returns one boolean mask per facet, elementwise equal to
         ``planes[k].visible_mask(pts[cand_list[k]], indices=cand_list[k])``.
         """
+        # repro: shape: flat=(M,):int64, pts_flat=(M,d):float64
+        # repro: shape: margins=(M,):float64, env=(M,):float64
+        # repro: shape: normals=(S,d):float64, offsets=(S,):float64
         nf = len(planes)
         masks: list[np.ndarray] = [None] * nf  # type: ignore[list-item]
         # Cache phase + partition: always-exact planes cannot use the
@@ -378,9 +396,9 @@ class BatchKernel:
             if local.size and plane.always_exact:
                 # Scalar ladder for the whole block (counted as
                 # fallbacks: no float sign exists for these planes).
-                for i in local:
+                for i in local:  # repro: noqa: RPRHOT001
                     r = int(cands[i])
-                    mask[i] = plane._side_exact(self.pts[r], r) > 0
+                    mask[i] = plane._side_exact(self.pts[r], r) > 0  # repro: noqa: RPRHOT002
                 self.stats.count_sweep(int(local.size), int(local.size))
                 KERNEL_STATS.count_sweep(int(local.size), int(local.size))
                 local = np.zeros(0, dtype=np.int64)
@@ -413,12 +431,17 @@ class BatchKernel:
             STATS.count_float(total)
             n_fall = int(uncertain.sum())
             if n_fall:
-                for m in np.nonzero(uncertain)[0]:
+                # Envelope-ambiguous entries only: the by-design
+                # per-element exact ladder, as in orient_batch.
+                for m in np.nonzero(uncertain)[0]:  # repro: noqa: RPRHOT001
                     k = sweep_rows[int(facet_of[m])]
                     r = int(flat[m])
-                    flat_mask[m] = planes[k]._side_exact(self.pts[r], r) > 0
+                    flat_mask[m] = planes[k]._side_exact(self.pts[r], r) > 0  # repro: noqa: RPRHOT002
             self.stats.count_sweep(total, n_fall)
             KERNEL_STATS.count_sweep(total, n_fall)
+            observe("repro.geometry.kernels.BatchKernel.visible_blocks",
+                    flat=flat, pts_flat=pts_flat, margins=margins,
+                    env=env, normals=normals, offsets=offsets)
             # Scatter back per facet.
             off = 0
             for pos, k in enumerate(sweep_rows):

@@ -16,6 +16,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from ..analyze.shapes import observe
 from ..geometry.hyperplane import Hyperplane
 from ..geometry.kernels import BatchKernel
 from ..geometry.perturb import sos_active
@@ -235,7 +236,10 @@ class FacetFactory:
     def _clean_candidates(
         self, indices: tuple[int, ...], candidates: np.ndarray
     ) -> np.ndarray:
+        # repro: shape: candidates=(C,):int64 -> (*,):int64
         candidates = np.asarray(candidates, dtype=np.int64)
+        observe("repro.hull.common.FacetFactory._clean_candidates",
+                candidates=candidates)
         if candidates.size:
             # Drop the d defining indices; a few vector compares beat
             # np.isin for constant-size index tuples (hot path).
@@ -320,6 +324,8 @@ class FacetFactory:
         arrays restricted to indices strictly greater than ``above``
         (the point being inserted).  Fast paths for the common cases
         where one side is empty (facets close to final)."""
+        # repro: shape: a=(A,):int64, b=(B,):int64 -> (*,):int64
+        observe("repro.hull.common.FacetFactory.merge_candidates", a=a, b=b)
         if a.size and a[0] <= above:
             a = a[np.searchsorted(a, above, side="right"):]
         if b.size and b[0] <= above:

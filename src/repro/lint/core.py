@@ -284,6 +284,11 @@ def unused_suppressions(
     false-positive surface the interprocedural effect analyzer is built
     on: a stale suppression hides future real findings, so CI pins the
     audit to empty.
+
+    A code belongs to this audit only when ``prefix`` is followed by a
+    digit (``RPR004``, not ``RPREFF002``/``RPRHOT001``): the effect and
+    hot-path analyzers share the noqa dialect but run their own
+    suppression ratchets, so their codes must not read as stale here.
     """
     rules = list(rules)
     files, _ = load_files(paths)
@@ -294,11 +299,13 @@ def unused_suppressions(
                 continue
             for v in rule.check(parsed):
                 hits.setdefault((v.path, v.line), set()).add(v.rule_id)
+
+    def _mine(code: str) -> bool:
+        return code.startswith(prefix) and code[len(prefix):len(prefix) + 1].isdigit()
+
     unused = []
     for comment in iter_suppressions(files):
-        if comment.codes is not None and not any(
-            c.startswith(prefix) for c in comment.codes
-        ):
+        if comment.codes is not None and not any(_mine(c) for c in comment.codes):
             continue  # someone else's noqa dialect
         fired = hits.get((comment.path, comment.line), set())
         if comment.codes is None:

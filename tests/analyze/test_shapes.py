@@ -1,0 +1,307 @@
+"""Property tests for the NumPy shape abstraction.
+
+Hypothesis generates random programs from the modelled fragment
+(broadcast arithmetic, comparisons, stack/concatenate, matmul, einsum,
+constructors, transpose) with fully *concrete* input shapes, and the
+oracle is NumPy itself: whatever ``infer_expr``/``infer_body`` derive
+must concretize to the shape and dtype the real execution produces.
+On this fragment the abstraction has no excuse for imprecision --
+every transfer function is exact when its inputs are concrete -- so
+the tests assert equality, not mere admission.  A second property
+pins the RPRHOT005 trigger: for concrete operand shapes, a "definite
+broadcast mismatch" is recorded *iff* NumPy raises.
+"""
+
+from __future__ import annotations
+
+import ast
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyze.shapes import (
+    ShapeEnv,
+    array_of,
+    infer_body,
+    infer_expr,
+    parse_einsum,
+)
+
+DTYPES = ("bool", "int64", "float64")
+NUMERIC = ("int64", "float64")
+
+
+def _make(shape, dtype, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    if dtype == "bool":
+        return rng.integers(0, 2, size=shape).astype(bool)
+    if dtype == "int64":
+        return rng.integers(-5, 6, size=shape).astype(np.int64)
+    return rng.standard_normal(shape).astype(np.float64)
+
+
+def _infer_fn(src: str, arrays: dict) -> ShapeEnv:
+    fn = ast.parse(src).body[0]
+    env = ShapeEnv()
+    for name, arr in arrays.items():
+        env.set(name, array_of(arr.shape, str(arr.dtype)))
+    infer_body(fn, env)
+    return env
+
+
+def _run_fn(src: str, arrays: dict):
+    ns = {"np": np}
+    exec(src, ns)
+    return ns["f"](**arrays)
+
+
+def _assert_concretizes(val, actual) -> None:
+    """The inferred abstraction must *equal* the concrete outcome."""
+    if np.ndim(actual) == 0:
+        assert val.kind in ("scalar", "array"), val.format()
+        if val.is_array:
+            assert val.dims in ((), None), val.format()
+        assert val.dtype == str(np.asarray(actual).dtype), (
+            f"{val.format()} vs scalar {np.asarray(actual).dtype}"
+        )
+        return
+    assert val.is_array, f"{val.format()} for array of shape {actual.shape}"
+    assert val.dims == actual.shape, f"{val.format()} vs {actual.shape}"
+    assert val.dtype == str(actual.dtype), f"{val.format()} vs {actual.dtype}"
+
+
+shapes = st.lists(st.integers(1, 4), min_size=1, max_size=3).map(tuple)
+
+
+@st.composite
+def broadcast_pairs(draw):
+    """(shape_a, shape_b) that NumPy can broadcast."""
+    a = draw(shapes)
+    rank_b = draw(st.integers(1, len(a)))
+    b = tuple(draw(st.sampled_from([d, 1])) for d in a[len(a) - rank_b:])
+    return a, b
+
+
+class TestBroadcastArithmetic:
+    @given(broadcast_pairs(), st.sampled_from(NUMERIC),
+           st.sampled_from(NUMERIC), st.sampled_from("+-*/"))
+    @settings(max_examples=80, deadline=None)
+    def test_binop_concretizes(self, pair, dt_a, dt_b, op):
+        sa, sb = pair
+        arrays = {"a": _make(sa, dt_a, 1), "b": _make(sb, dt_b, 2)}
+        if op == "/":
+            arrays["b"] = np.where(arrays["b"] == 0, 1, arrays["b"]).astype(dt_b)
+        src = f"def f(a, b):\n    out = a {op} b\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+        assert env.mismatches == []
+
+    @given(broadcast_pairs(), st.sampled_from(DTYPES), st.sampled_from(DTYPES))
+    @settings(max_examples=60, deadline=None)
+    def test_comparison_is_bool(self, pair, dt_a, dt_b):
+        sa, sb = pair
+        arrays = {"a": _make(sa, dt_a, 3), "b": _make(sb, dt_b, 4)}
+        src = "def f(a, b):\n    out = a < b\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+
+    @given(shapes, st.sampled_from(NUMERIC))
+    @settings(max_examples=40, deadline=None)
+    def test_scalar_broadcast(self, shape, dt):
+        arrays = {"a": _make(shape, dt, 5)}
+        src = "def f(a):\n    out = a * 2.5\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+
+
+class TestMismatchDifferential:
+    @given(st.integers(2, 5), st.integers(2, 5), st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_definite_mismatch_iff_numpy_raises(self, da, db, dc):
+        """For concrete dims, RPRHOT005's trigger must agree with the
+        real broadcasting rule -- no false positives, no misses."""
+        arrays = {
+            "a": _make((da, dc), "float64", 6),
+            "b": _make((db, dc), "float64", 7),
+        }
+        src = "def f(a, b):\n    out = a + b\n    return out\n"
+        env = _infer_fn(src, arrays)
+        try:
+            _run_fn(src, arrays)
+            raises = False
+        except ValueError:
+            raises = True
+        assert bool(env.mismatches) == raises
+
+
+class TestStackConcat:
+    @given(shapes, st.sampled_from(DTYPES), st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_stack_concretizes(self, shape, dt, k):
+        arrays = {"a": _make(shape, dt, 8)}
+        elts = ", ".join(["a"] * k)
+        src = f"def f(a):\n    out = np.stack([{elts}])\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+
+    @given(shapes, st.sampled_from(DTYPES))
+    @settings(max_examples=40, deadline=None)
+    def test_stack_axis_concretizes(self, shape, dt):
+        arrays = {"a": _make(shape, dt, 9)}
+        src = "def f(a):\n    out = np.stack([a, a], axis=1)\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+           st.sampled_from(NUMERIC), st.sampled_from(NUMERIC))
+    @settings(max_examples=40, deadline=None)
+    def test_concatenate_concretizes(self, m1, m2, n, dt_a, dt_b):
+        arrays = {
+            "a": _make((m1, n), dt_a, 10),
+            "b": _make((m2, n), dt_b, 11),
+        }
+        src = "def f(a, b):\n    out = np.concatenate([a, b], axis=0)\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+
+
+class TestMatmulEinsum:
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+           st.sampled_from(NUMERIC), st.sampled_from(NUMERIC))
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_concretizes(self, m, k, n, dt_a, dt_b):
+        arrays = {"a": _make((m, k), dt_a, 12), "b": _make((k, n), dt_b, 13)}
+        src = "def f(a, b):\n    out = a @ b\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+        assert env.mismatches == []
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+           st.sampled_from(NUMERIC),
+           st.sampled_from(["ij,jk->ik", "ij,ij->ij", "ij,ij->i",
+                            "ij->ji", "ij->i", "ij->"]))
+    @settings(max_examples=60, deadline=None)
+    def test_einsum_concretizes(self, m, k, n, dt, spec):
+        ops = spec.split("->")[0].split(",")
+        bind = {"i": m, "j": k, "k": n}
+        arrays = {}
+        names = []
+        for idx, term in enumerate(ops):
+            name = "ab"[idx]
+            names.append(name)
+            arrays[name] = _make(tuple(bind[c] for c in term), dt, 14 + idx)
+        call = f"np.einsum('{spec}', {', '.join(names)})"
+        params = ", ".join(names)
+        src = f"def f({params}):\n    out = {call}\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+        assert env.mismatches == []
+
+    def test_einsum_letter_conflict_is_definite(self):
+        out, problems = parse_einsum(
+            "ij,jk->ik", [array_of((3, 4), "float64"), array_of((5, 6), "float64")]
+        )
+        assert problems and "bound to both" in problems[0]
+
+
+class TestConstructorsAndViews:
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=3),
+           st.sampled_from(["zeros", "ones"]),
+           st.sampled_from([None, "bool", "int64", "float64"]))
+    @settings(max_examples=40, deadline=None)
+    def test_constructors_concretize(self, dims, ctor, dt):
+        dt_arg = f", dtype=np.{dt}" if dt else ""
+        src = (f"def f():\n    out = np.{ctor}(({', '.join(map(str, dims))},)"
+               f"{dt_arg})\n    return out\n")
+        env = _infer_fn(src, {})
+        _assert_concretizes(env.get("out"), _run_fn(src, {}))
+
+    @given(st.integers(1, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_arange_concretizes(self, n):
+        src = f"def f():\n    out = np.arange({n})\n    return out\n"
+        env = _infer_fn(src, {})
+        _assert_concretizes(env.get("out"), _run_fn(src, {}))
+
+    @given(shapes, st.sampled_from(DTYPES))
+    @settings(max_examples=30, deadline=None)
+    def test_transpose_concretizes(self, shape, dt):
+        arrays = {"a": _make(shape, dt, 20)}
+        src = "def f(a):\n    out = a.T\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+
+    @given(shapes, st.sampled_from(NUMERIC), st.sampled_from(DTYPES))
+    @settings(max_examples=30, deadline=None)
+    def test_astype_concretizes(self, shape, dt_in, dt_out):
+        arrays = {"a": _make(shape, dt_in, 21)}
+        src = f"def f(a):\n    out = a.astype(np.{dt_out})\n    return out\n"
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get("out"), _run_fn(src, arrays))
+
+
+@st.composite
+def straight_line_programs(draw):
+    """A random chain of modelled ops over concrete 2-d inputs.  The
+    generator executes each candidate step with NumPy as it goes, so
+    only valid programs (and their true shapes) are emitted."""
+    m = draw(st.integers(1, 4))
+    n = draw(st.integers(1, 4))
+    arrays = {
+        "a": _make((m, n), "float64", draw(st.integers(0, 100))),
+        "b": _make((m, n), "int64", draw(st.integers(0, 100))),
+    }
+    live = dict(arrays)
+    lines = []
+    n_steps = draw(st.integers(1, 4))
+    for i in range(n_steps):
+        t = f"t{i}"
+        kind = draw(st.sampled_from(
+            ["add", "mul", "transpose", "stack", "matmul", "compare"]
+        ))
+        names = sorted(live)
+        x = draw(st.sampled_from(names))
+        if kind in ("add", "mul", "compare"):
+            same = [k for k in names if live[k].shape == live[x].shape]
+            y = draw(st.sampled_from(same))
+            op = {"add": "+", "mul": "*", "compare": "<"}[kind]
+            if kind != "compare" and live[x].dtype == bool and live[y].dtype == bool:
+                kind = "compare"
+                op = "<"
+            lines.append(f"    {t} = {x} {op} {y}")
+            live[t] = eval(f"live[x] {op} live[y]", {}, {"live": live, "x": x, "y": y})
+        elif kind == "transpose":
+            lines.append(f"    {t} = {x}.T")
+            live[t] = live[x].T
+        elif kind == "stack":
+            lines.append(f"    {t} = np.stack([{x}, {x}])")
+            live[t] = np.stack([live[x], live[x]])
+        elif kind == "matmul":
+            pool = [
+                (p, q) for p in names for q in names
+                if live[p].ndim == 2 and live[q].ndim == 2
+                and live[p].shape[1] == live[q].shape[0]
+                and live[p].dtype != bool and live[q].dtype != bool
+            ]
+            if not pool:
+                lines.append(f"    {t} = {x}.T")
+                live[t] = live[x].T
+            else:
+                p, q = draw(st.sampled_from(pool))
+                lines.append(f"    {t} = {p} @ {q}")
+                live[t] = live[p] @ live[q]
+    final = f"t{n_steps - 1}"
+    src = "def f(a, b):\n" + "\n".join(lines) + f"\n    return {final}\n"
+    return src, arrays, final
+
+
+class TestRandomPrograms:
+    @given(straight_line_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_whole_program_concretizes(self, prog):
+        src, arrays, final = prog
+        env = _infer_fn(src, arrays)
+        _assert_concretizes(env.get(final), _run_fn(src, arrays))
+        assert env.mismatches == []

@@ -30,6 +30,29 @@ class TestFuzzer:
         for _ in range(6):
             assert one_kernel_case(rng, verbose=False) is None
 
+    def test_hotpath_cases_never_crash(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            from fuzz import one_hotpath_case
+        finally:
+            sys.path.pop(0)
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            assert one_hotpath_case(rng, verbose=False) is None
+
+    def test_hotpath_flag_wired(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            import fuzz
+        finally:
+            sys.path.pop(0)
+        old_argv = sys.argv
+        sys.argv = ["fuzz.py", "--hotpath", "--iterations", "5", "--seed", "11"]
+        try:
+            assert fuzz.main() == 0
+        finally:
+            sys.argv = old_argv
+
     def test_kernels_flag_wired(self):
         sys.path.insert(0, TOOLS_DIR)
         try:

@@ -45,11 +45,18 @@ reindentation) must never crash ``analyze_paths`` -- syntax errors
 must surface as RPREFF999 pseudo-findings and every finding must
 format and JSON round-trip.
 
+``--hotpath`` applies the same mutation engine to the vectorization
+hot-path analyzer (:mod:`repro.analyze.hotpath`): mutated NumPy kernel
+sketches -- with mangled shape annotations, dangling noqa comments and
+broken kernel= entries -- must never crash ``analyze_hotpaths``, and
+syntax errors must surface as RPRHOT999 pseudo-findings.
+
 Run:  python tools/fuzz.py [--iterations N] [--seed S] [--verbose]
       python tools/fuzz.py --chaos [--duration SECS]
       python tools/fuzz.py --degenerate [--duration SECS]
       python tools/fuzz.py --kernels [--duration SECS]
       python tools/fuzz.py --effects [--iterations N]
+      python tools/fuzz.py --hotpath [--iterations N]
 """
 
 from __future__ import annotations
@@ -441,7 +448,8 @@ _EFFECT_TOKENS = [
 ]
 
 
-def _mutate_source(src: str, rng: np.random.Generator) -> str:
+def _mutate_source(src: str, rng: np.random.Generator,
+                   tokens: list[str] = _EFFECT_TOKENS) -> str:
     """One random structural mutation of a source string."""
     lines = src.split("\n")
     op = int(rng.integers(0, 6))
@@ -457,13 +465,91 @@ def _mutate_source(src: str, rng: np.random.Generator) -> str:
         lines[i], lines[j] = lines[j], lines[i]
     elif op == 3:  # splice in a random statement at a random indent
         indent = " " * int(rng.integers(0, 3)) * 4
-        tok = _EFFECT_TOKENS[int(rng.integers(0, len(_EFFECT_TOKENS)))]
+        tok = tokens[int(rng.integers(0, len(tokens)))]
         lines.insert(i, indent + tok)
     elif op == 4:  # truncate the file
         lines = lines[:i]
     else:  # reindent a line
         lines[i] = " " * int(rng.integers(0, 9)) + lines[i].lstrip()
     return "\n".join(lines)
+
+
+# Seed programs for --hotpath: small NumPy kernel sketches in the
+# hot-path analyzer's input language (kernel= entries, shape
+# annotations, per-element loops, noqa comments).  Mutations produce
+# ill-formed shape claims, dangling annotations, and broken hot-region
+# edges; the analyzer must never crash on any of them.
+HOTPATH_SEEDS = [
+    '''
+import numpy as np
+
+def orient_rows(simplices, queries):
+    # repro: shape: simplices=(F,d,d):float64, queries=(Q,d):float64
+    return np.einsum("fij,qj->fq", simplices, queries)
+
+def driver(points, kernel="batch"):
+    facets = []
+    for i in range(len(points)):
+        row = orient_rows(points[i], points)
+        facets.append(row)
+    return np.stack(facets)
+''',
+    '''
+import numpy as np
+
+def side(plane, point):
+    acc = 0.0
+    for j in range(len(point)):
+        acc += plane[j] * point[j]
+    return acc
+
+def sweep(planes, pts, kernel="batch"):
+    out = np.zeros((len(planes), len(pts)))
+    for f in range(len(planes)):
+        for q in range(len(pts)):
+            out[f, q] = side(planes[f], pts[q])
+    return out
+''',
+]
+
+_HOTPATH_TOKENS = [
+    "x = np.zeros((F, d))", "rows.append(row)", "# repro: shape: z=(N,):float64",
+    "# repro: noqa: RPRHOT001", "# repro: hot-entry", "y = np.array(v, dtype=object)",
+    "z = np.einsum('ij,jk->ik', a, b)", "kernel = 'batch'", "return np.stack(rows)",
+    "for facet in facets:", "del rows", "w = a + b",
+]
+
+
+def one_hotpath_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Fuzz the hot-path analyzer: random mutations of seed kernels
+    must never crash shape inference or the hot-region walk, and the
+    output must stay well-formed (findings format and JSON round-trip;
+    syntax errors surface as RPRHOT999 pseudo-findings)."""
+    from repro.analyze import Finding
+    from repro.analyze.hotpath import analyze_hotpaths, render_hot_text
+
+    seed_ix = int(rng.integers(0, len(HOTPATH_SEEDS)))
+    src = HOTPATH_SEEDS[seed_ix]
+    tokens = _HOTPATH_TOKENS
+    n_mut = int(rng.integers(1, 8))
+    for _ in range(n_mut):
+        src = _mutate_source(src, rng, tokens=tokens)
+    label = f"hotpath[seed={seed_ix}, mutations={n_mut}]"
+    if verbose:
+        print(f"  {label}")
+    try:
+        result = analyze_hotpaths([], sources={"fuzz_mutant.py": src})
+        for f in result.findings + result.suppressed:
+            assert f.format()
+            assert Finding.from_dict(f.as_dict()) == f
+        for chain in result.hot.values():
+            assert isinstance(chain, str)
+        assert isinstance(render_hot_text(result), str)
+        assert len(result.suppressions()) >= 0
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return (f"{label}: analyzer crashed with "
+                f"{type(exc).__name__}: {exc}\n--- mutant ---\n{src}")
+    return None
 
 
 def one_effects_case(rng: np.random.Generator, verbose: bool) -> str | None:
@@ -509,6 +595,9 @@ def main() -> int:
     ap.add_argument("--effects", action="store_true",
                     help="fuzz the static effect analyzer on mutated "
                          "fixture programs instead")
+    ap.add_argument("--hotpath", action="store_true",
+                    help="fuzz the vectorization hot-path analyzer on "
+                         "mutated kernel sketches instead")
     ap.add_argument("--duration", type=float, default=None, metavar="SECS",
                     help="run until the wall-clock budget expires "
                          "(overrides --iterations)")
@@ -522,6 +611,8 @@ def main() -> int:
         cases = (one_kernel_case,)
     elif args.effects:
         cases = (one_effects_case,)
+    elif args.hotpath:
+        cases = (one_hotpath_case,)
     else:
         cases = (one_case, one_multimap_case)
     deadline = None if args.duration is None else time.monotonic() + args.duration
@@ -544,7 +635,8 @@ def main() -> int:
     kind = ("chaos" if args.chaos
             else "degenerate" if args.degenerate
             else "kernels" if args.kernels
-            else "effects" if args.effects else "differential")
+            else "effects" if args.effects
+            else "hotpath" if args.hotpath else "differential")
     if failures:
         print(f"{failures} failing cases out of {i} {kind} iterations")
         return 1
