@@ -1,0 +1,141 @@
+"""E22: multiprocess speedup vs the Brent-bound prediction -- standalone
+runner.
+
+Like ``bench_kernels.py``, this is a plain script (the ``proc-smoke``
+CI job and local runs both drive it): it times the supervised
+:class:`~repro.runtime.procexec.ProcessExecutor` hull at P = 1, 2, 4, 8
+workers against the serial RoundExecutor baseline, records the
+work/span-model prediction (Brent: ``T_P <= W/P + S``, so predicted
+speedup is ``W / (W/P + S)``), and appends a trajectory entry to
+``BENCH_proc.json``, the artefact EXPERIMENTS.md's E22 table quotes.
+
+The gap between the two columns is the honest part: the model predicts
+what the DAG permits on P *real* processors, while the wall clock
+reports what this box delivers after IPC, dispatch, and (on small
+machines) oversubscription.  The run records ``cpu_count`` so a reader
+can tell "the DAG is narrow" apart from "the box is narrow".
+
+    PYTHONPATH=src python benchmarks/bench_speedup_proc.py            # full
+    PYTHONPATH=src python benchmarks/bench_speedup_proc.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.geometry import on_sphere  # noqa: E402
+from repro.hull import facet_sets_global, parallel_hull  # noqa: E402
+from repro.runtime import ProcessExecutor, RoundExecutor  # noqa: E402
+
+SCHEMA = "repro.bench.proc/1"
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _time_runs(fn, repeats: int) -> tuple[float, object]:
+    """Median wall-clock over ``repeats`` runs; returns (seconds, run)."""
+    times, run = [], None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run = fn()
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times)), run
+
+
+def run_proc_bench(n: int = 2000, d: int = 2, seed: int = 10,
+                   repeats: int = 3) -> dict:
+    pts = on_sphere(n, d, seed=seed)
+    order = np.random.default_rng(seed + 1).permutation(n)
+
+    serial_s, base = _time_runs(
+        lambda: parallel_hull(pts, order=order.copy(), executor=RoundExecutor()),
+        repeats,
+    )
+    ref = facet_sets_global(base.facets, base.order)
+    work, span = base.tracker.work, base.tracker.span
+
+    rows = []
+    for p in WORKER_COUNTS:
+        def run_once(p=p):
+            return parallel_hull(
+                pts, order=order.copy(),
+                executor=ProcessExecutor(n_workers=p, chunk_timeout=60.0,
+                                         hb_timeout=20.0),
+            )
+
+        wall_s, run = _time_runs(run_once, repeats)
+        identical = facet_sets_global(run.facets, run.order) == ref
+        predicted = work / (work / p + span)
+        rows.append({
+            "P": p,
+            "wall_s": wall_s,
+            "speedup": serial_s / wall_s,
+            "brent_predicted_speedup": predicted,
+            "identical": bool(identical),
+            "worker_deaths": run.exec_stats.worker_deaths,
+            "escalations": [str(e) for e in run.exec_stats.escalations],
+        })
+
+    return {
+        "n": n, "d": d, "seed": seed, "repeats": repeats,
+        "serial_s": serial_s,
+        "work": int(work), "span": int(span),
+        "parallelism": work / span,
+        "cpu_count": os.cpu_count(),
+        "rows": rows,
+        "all_identical": all(r["identical"] for r in rows),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small instance / one repeat: checks the harness "
+                         "and facet identity, not the speedup")
+    ap.add_argument("--n", type=int, default=2000)
+    ap.add_argument("--d", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=10)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--out", default="BENCH_proc.json", metavar="PATH")
+    args = ap.parse_args(argv)
+
+    if args.smoke:
+        args.n, args.repeats = min(args.n, 400), 1
+
+    entry = run_proc_bench(n=args.n, d=args.d, seed=args.seed,
+                           repeats=args.repeats)
+    entry["smoke"] = bool(args.smoke)
+
+    # BENCH_proc.json is a trajectory: one entry per recorded run, so
+    # successive PRs can see whether the dispatch overhead moved.
+    doc = {"schema": SCHEMA, "trajectory": []}
+    if os.path.exists(args.out):
+        with open(args.out) as fh:
+            loaded = json.load(fh)
+        if loaded.get("schema") == SCHEMA:
+            doc = loaded
+    doc["trajectory"].append(entry)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+    print(f"wrote {args.out} (cpu_count={entry['cpu_count']}, "
+          f"parallelism W/S={entry['parallelism']:.1f})")
+    print(f"serial RoundExecutor: {entry['serial_s']:.3f}s")
+    for r in entry["rows"]:
+        print(f"  P={r['P']}: {r['wall_s']:.3f}s  "
+              f"speedup {r['speedup']:.2f}x  "
+              f"(Brent predicts {r['brent_predicted_speedup']:.2f}x)  "
+              f"identical={r['identical']}")
+    return 0 if entry["all_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,7 +40,7 @@ from .analysis import compare_work, crcw_span, measure_hull_depths, speedup_tabl
 from .configspace.theory import harmonic
 from .geometry import points as gen
 from .hull import parallel_hull, validate_hull
-from .runtime import RoundExecutor, SerialExecutor, ThreadExecutor
+from .runtime import ProcessExecutor, RoundExecutor, SerialExecutor, ThreadExecutor
 
 WORKLOADS = {
     "ball": gen.uniform_ball,
@@ -56,6 +56,7 @@ EXECUTORS = {
     "serial": lambda args: SerialExecutor(),
     "rounds": lambda args: RoundExecutor(),
     "threads": lambda args: ThreadExecutor(args.workers),
+    "process": lambda args: ProcessExecutor(n_workers=args.workers),
 }
 
 
@@ -405,7 +406,8 @@ def cmd_race_check(args) -> None:
 def cmd_chaos(args) -> None:
     from .runtime.chaos import run_chaos_suite
 
-    report = run_chaos_suite(seed=args.seed, budget=args.budget)
+    report = run_chaos_suite(seed=args.seed, budget=args.budget,
+                             executor=args.executor)
     json.dump(report.as_dict(), sys.stdout, indent=2)
     print()
     if not report.ok:
@@ -601,6 +603,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget", default="small",
                    choices=["small", "medium", "large"],
                    help="how much chaos to run (small fits in CI)")
+    p.add_argument("--executor", default=None,
+                   choices=["rounds", "thread", "process"],
+                   help="restrict the hull roundtrips to one executor "
+                        "family (skips the executor-independent stall "
+                        "sweeps); default runs everything")
     p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("bench-kernels",

@@ -42,7 +42,7 @@ from .linalg import cofactor_normal
 from .perturb import orient_sos, orient_sos_combo, sos_active
 from .predicates import STATS, orient_exact, orient_exact_combo
 
-__all__ = ["Hyperplane", "exact_mode"]
+__all__ = ["Hyperplane", "exact_mode", "exact_active"]
 
 _EPS = float(np.finfo(np.float64).eps)
 
@@ -72,6 +72,14 @@ def exact_mode() -> Iterator[None]:
         yield
     finally:
         _FORCE_EXACT = prev
+
+
+def exact_active() -> bool:
+    """Whether always-exact plane construction is currently forced.
+
+    Worker processes query this so spawned children can re-enter
+    :func:`exact_mode` and compute the same bits as their parent."""
+    return _FORCE_EXACT
 
 
 class Hyperplane:

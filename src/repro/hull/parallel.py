@@ -27,10 +27,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..geometry.hyperplane import Hyperplane
 from ..geometry.simplex import Facet, Ridge, facet_ridges
 from ..runtime.executors import ExecutionStats, RoundExecutor, SerialExecutor, ThreadExecutor
 from ..runtime.faults import FaultPlan
 from ..runtime.multimap import CASMultimap, DictMultimap, TASMultimap
+from ..runtime.procexec import ChunkQuarantined, ExecutorBrokenError, ProcessExecutor
 from ..runtime.workspan import WorkSpanTracker
 from .common import (
     Counters,
@@ -45,6 +47,47 @@ from .sequential import sequential_hull
 __all__ = ["RidgeTask", "Event", "ParallelHullRun", "parallel_hull", "space_accounting"]
 
 _INF = np.iinfo(np.int64).max
+
+
+def _eval_ridge_item(arrays: dict, item: tuple) -> tuple:
+    """Pure compute kernel for one case-4 ridge, run inside a
+    :class:`~repro.runtime.procexec.ProcessExecutor` worker (or on the
+    thread/serial rungs of the degradation ladder).
+
+    ``item`` is ``(facet_indices, p, c1, c2)``: the new facet's defining
+    ranks, the conflict pivot, and the two support facets' conflict
+    arrays.  Returns ``(visible_conflicts, n_tests, n_merged)`` -- the
+    surviving conflict set plus the scalar-equivalent work numbers the
+    parent re-counts, so a supervised run is facet- and counter-
+    identical to a serial one.  Module-level (not a closure) so the
+    spawn start method can import it by reference; everything it reads
+    arrives via ``arrays`` (shared memory) or ``item`` (the message).
+    """
+    from .common import FacetFactory  # deferred: keep worker imports lazy
+
+    idx, p, c1, c2 = item
+    pts = arrays["pts"]
+    interior = arrays["interior"]
+    d = pts.shape[1]
+    merged = FacetFactory.merge_candidates(
+        np.asarray(c1, dtype=np.int64), np.asarray(c2, dtype=np.int64), above=p
+    )
+    idx = tuple(sorted(int(i) for i in idx))
+    combo = tuple(range(d + 1))
+    plane = Hyperplane.through(
+        pts[list(idx)], interior, indices=idx,
+        ref_combo=(pts[list(combo)], combo),
+    )
+    cleaned = merged
+    if cleaned.size:
+        keep = np.ones(cleaned.shape[0], dtype=bool)
+        for i in idx:
+            keep &= cleaned != i
+        cleaned = cleaned[keep]
+    mask = (plane.visible_mask(pts[cleaned], indices=cleaned)
+            if cleaned.size else np.zeros(0, dtype=bool))
+    visible = cleaned[mask] if cleaned.size else cleaned
+    return (visible, int(cleaned.size), int(merged.size))
 
 
 @dataclass(frozen=True)
@@ -164,7 +207,7 @@ def parallel_hull(
     points: np.ndarray,
     order: np.ndarray | None = None,
     seed: int | None = None,
-    executor: SerialExecutor | RoundExecutor | ThreadExecutor | None = None,
+    executor: SerialExecutor | RoundExecutor | ThreadExecutor | ProcessExecutor | None = None,
     multimap: str = "dict",
     base_size: int | None = None,
     fault_plan: FaultPlan | None = None,
@@ -179,7 +222,13 @@ def parallel_hull(
         ``order`` makes the two algorithms comparable facet-for-facet.
     executor:
         Execution discipline (default :class:`RoundExecutor`, whose
-        round count realises the dependence-depth bound).
+        round count realises the dependence-depth bound).  A
+        :class:`~repro.runtime.procexec.ProcessExecutor` runs the
+        supervised multiprocess round loop: visibility sweeps fan out
+        to worker processes over shared-memory arrays, and the parent
+        applies results transactionally so the committed run is
+        bit-identical to the serial one.  The executor is started and
+        closed by this call (segments are released on every exit path).
     multimap:
         ``"dict"`` (sequential reference, only valid with deterministic
         executors), ``"cas"`` (Algorithm 4) or ``"tas"`` (Algorithm 5).
@@ -279,6 +328,43 @@ def parallel_hull(
         initial_tasks.append(RidgeTask(t1=t1, ridge=r, t2=t2, tracker_tid=tid))
 
     round_counter = {"round": 0}
+
+    # Round-transaction checkpointing, shared by the fault-injected
+    # round loop and the supervised process loop: a checkpoint captures
+    # everything a round can mutate, and restore() rewinds to it so a
+    # failed round attempt leaves no trace (crash consistency).
+    def take_checkpoint(frontier: list[RidgeTask]) -> dict:
+        return {
+            "frontier": list(frontier),
+            "created": list(created),
+            "support": dict(support),
+            "pivots": dict(pivots),
+            "rounds": dict(rounds),
+            "creator_tid": dict(creator_tid),
+            "events": len(events),
+            "facets_by_fid": dict(facets_by_fid),
+            "alive": {fid: f.alive for fid, f in facets_by_fid.items()},
+            "counters": counters.as_dict(),
+            "fid_mark": factory.fid_checkpoint(),
+            "tracker_mark": tracker.checkpoint(),
+            "multimap": M.snapshot(),
+        }
+
+    def restore(ckpt: dict) -> list[RidgeTask]:
+        created[:] = ckpt["created"]
+        support.clear(); support.update(ckpt["support"])
+        pivots.clear(); pivots.update(ckpt["pivots"])
+        rounds.clear(); rounds.update(ckpt["rounds"])
+        creator_tid.clear(); creator_tid.update(ckpt["creator_tid"])
+        del events[ckpt["events"]:]
+        facets_by_fid.clear(); facets_by_fid.update(ckpt["facets_by_fid"])
+        for fid, was_alive in ckpt["alive"].items():
+            facets_by_fid[fid].alive = was_alive
+        counters.restore(ckpt["counters"])
+        factory.fid_rollback(ckpt["fid_mark"])
+        tracker.rollback(ckpt["tracker_mark"])
+        M.restore(ckpt["multimap"])
+        return list(ckpt["frontier"])
 
     def process(task: RidgeTask) -> Sequence[RidgeTask]:
         t1, r, t2 = task.t1, task.ridge, task.t2
@@ -380,45 +466,11 @@ def parallel_hull(
         def site_of(task: RidgeTask) -> str:
             return "ridge:" + "-".join(str(i) for i in sorted(task.ridge))
 
-        def take_checkpoint() -> dict:
-            return {
-                "frontier": list(frontier),
-                "created": list(created),
-                "support": dict(support),
-                "pivots": dict(pivots),
-                "rounds": dict(rounds),
-                "creator_tid": dict(creator_tid),
-                "events": len(events),
-                "facets_by_fid": dict(facets_by_fid),
-                "alive": {fid: f.alive for fid, f in facets_by_fid.items()},
-                "counters": counters.as_dict(),
-                "fid_mark": factory.fid_checkpoint(),
-                "tracker_mark": tracker.checkpoint(),
-                "multimap": M.snapshot(),
-            }
-
-        def restore(ckpt: dict) -> None:
-            nonlocal frontier
-            frontier = list(ckpt["frontier"])
-            created[:] = ckpt["created"]
-            support.clear(); support.update(ckpt["support"])
-            pivots.clear(); pivots.update(ckpt["pivots"])
-            rounds.clear(); rounds.update(ckpt["rounds"])
-            creator_tid.clear(); creator_tid.update(ckpt["creator_tid"])
-            del events[ckpt["events"]:]
-            facets_by_fid.clear(); facets_by_fid.update(ckpt["facets_by_fid"])
-            for fid, was_alive in ckpt["alive"].items():
-                facets_by_fid[fid].alive = was_alive
-            counters.restore(ckpt["counters"])
-            factory.fid_rollback(ckpt["fid_mark"])
-            tracker.rollback(ckpt["tracker_mark"])
-            M.restore(ckpt["multimap"])
-
         while frontier:
             if rng is not None:
                 idx = rng.permutation(len(frontier))
                 frontier = [frontier[i] for i in idx]
-            ckpt = take_checkpoint()
+            ckpt = take_checkpoint(frontier)
             stats.checkpoints += 1
             nxt: list[RidgeTask] = []
             executed_this_attempt = 0
@@ -438,7 +490,7 @@ def parallel_hull(
                     break
                 nxt.extend(children)
             if aborted:
-                restore(ckpt)
+                frontier = restore(ckpt)
                 stats.rollbacks += 1
                 stats.retries += executed_this_attempt
                 continue
@@ -448,13 +500,196 @@ def parallel_hull(
             round_counter["round"] += 1
         return stats
 
+    def run_rounds_supervised(pexec: ProcessExecutor) -> ExecutionStats:
+        # Round-synchronous execution with the heavy work (conflict
+        # merging + visibility sweeps) fanned out to supervised worker
+        # processes over shared-memory arrays.  Each round is a
+        # three-phase transaction:
+        #
+        #   A. classify -- pure reads of round-start state decide every
+        #      ridge's case and build the case-4 payloads;
+        #   B. evaluate -- workers compute conflict sets (faults, kills,
+        #      retries, and the process->thread->serial ladder all live
+        #      here; no parent state is touched);
+        #   C. apply -- the parent replays the exact bookkeeping of
+        #      process() in frontier order against a round checkpoint.
+        #
+        # Because B is pure and C is all-or-nothing, a worker dying
+        # mid-round (or the whole pool degrading) can never leave the
+        # run half-mutated, and the committed run is bit-identical to
+        # the serial RoundExecutor run: same facets, fids, events,
+        # counters, and work-span DAG.
+        stats = pexec.stats
+        arrays = {"pts": pts, "interior": interior}
+        rung = {"now": "process"}
+
+        def eval_items(items: list) -> list:
+            if not items:
+                return []
+            n_chunks = max(
+                1, min(len(items), pexec.n_workers * pexec.chunks_per_worker)
+            )
+            bounds = np.linspace(0, len(items), n_chunks + 1).astype(int)
+            chunks = [items[bounds[i]:bounds[i + 1]] for i in range(n_chunks)
+                      if bounds[i + 1] > bounds[i]]
+            if rung["now"] == "process":
+                try:
+                    if not pexec.started:
+                        pexec.start(arrays, _eval_ridge_item)
+                    out = pexec.run_round(chunks)
+                    return [r for chunk in out for r in chunk]
+                except (ChunkQuarantined, ExecutorBrokenError) as exc:
+                    rung["now"] = "thread"
+                    stats.escalations.append(
+                        f"process->thread: {type(exc).__name__}: {exc}"
+                    )
+                    pexec.close()
+            if rung["now"] == "thread":
+                try:
+                    results: list = [None] * len(chunks)
+
+                    def step(i: int):
+                        results[i] = [_eval_ridge_item(arrays, it)
+                                      for it in chunks[i]]
+                        return ()
+
+                    ThreadExecutor(max(1, pexec.n_workers)).run(
+                        list(range(len(chunks))), step
+                    )
+                    if any(r is None for r in results):
+                        raise RuntimeError("thread rung lost a chunk")
+                    return [r for chunk in results for r in chunk]
+                except Exception as exc:
+                    rung["now"] = "serial"
+                    stats.escalations.append(
+                        f"thread->serial: {type(exc).__name__}: {exc}"
+                    )
+            return [_eval_ridge_item(arrays, it) for it in items]
+
+        frontier: list[RidgeTask] = list(initial_tasks)
+        try:
+            while frontier:
+                # Phase A: classify.  Conflict arrays are immutable and
+                # ready calls touch disjoint support pairs, so reading
+                # all of round-start state up front matches serial
+                # semantics exactly.
+                decisions: list[tuple] = []
+                items: list[tuple] = []
+                for task in frontier:
+                    t1, r, t2 = task.t1, task.ridge, task.t2
+                    b1 = t1.pivot if t1.conflicts.size else _INF
+                    b2 = t2.pivot if t2.conflicts.size else _INF
+                    if b1 == _INF and b2 == _INF:
+                        decisions.append(("final", t1, t2, -1, False))
+                        continue
+                    if b1 == b2:
+                        decisions.append(("bury", t1, t2, int(b1), False))
+                        continue
+                    flipped = b2 < b1
+                    if flipped:
+                        t1, t2 = t2, t1
+                        b1 = b2
+                    p = int(b1)
+                    items.append(
+                        (tuple(sorted(r | {p})), p, t1.conflicts, t2.conflicts)
+                    )
+                    decisions.append(("create", t1, t2, p, flipped))
+
+                # Phase B: evaluate (pure; all fault handling inside).
+                results = eval_items(items)
+
+                # Phase C: apply transactionally.
+                ckpt = take_checkpoint(frontier)
+                stats.checkpoints += 1
+                try:
+                    rnd = round_counter["round"]
+                    stats.rounds += 1
+                    stats.round_sizes.append(len(frontier))
+                    nxt: list[RidgeTask] = []
+                    k = 0
+                    for task, dec in zip(frontier, decisions):
+                        stats.tasks_executed += 1
+                        counters.ridges_processed += 1
+                        kind, t1, t2, p, flipped = dec
+                        r = task.ridge
+                        if kind == "final":
+                            events.append(Event(kind="final", round=rnd, ridge=r))
+                            continue
+                        if kind == "bury":
+                            t1.alive = False
+                            t2.alive = False
+                            counters.facets_buried += 2
+                            events.append(
+                                Event(kind="bury", round=rnd, ridge=r,
+                                      removed_pair=(t1.fid, t2.fid), pivot=p)
+                            )
+                            continue
+                        if flipped:
+                            counters.flips += 1
+                        conflicts, n_tests, n_merged = results[k]
+                        k += 1
+                        t = factory.make_precomputed(
+                            tuple(r | {p}), conflicts, n_tests
+                        )
+                        support[t.fid] = (t1.fid, t2.fid)
+                        pivots[t.fid] = p
+                        rounds[t.fid] = rnd
+                        creator_tid[t.fid] = task.tracker_tid
+                        created.append(t)
+                        facets_by_fid[t.fid] = t
+                        t1.alive = False
+                        counters.facets_replaced += 1
+                        events.append(
+                            Event(kind="create", round=rnd, ridge=r,
+                                  created=t.fid, removed=t1.fid, pivot=p)
+                        )
+                        for r2 in facet_ridges(t.indices):
+                            if r2 == r:
+                                tid = tracker.add_task(
+                                    cost=n_merged + 1,
+                                    deps=(creator_tid[t.fid], creator_tid[t2.fid]),
+                                    span_cost=_logcost(n_merged),
+                                )
+                                nxt.append(RidgeTask(
+                                    t1=t, ridge=r2, t2=t2, tracker_tid=tid
+                                ))
+                            elif not M.insert_and_set(r2, t):
+                                t_other = M.get_value(r2, t)
+                                tid = tracker.add_task(
+                                    cost=n_merged + 1,
+                                    deps=(creator_tid[t.fid],
+                                          creator_tid[t_other.fid]),
+                                    span_cost=_logcost(n_merged),
+                                )
+                                nxt.append(RidgeTask(
+                                    t1=t, ridge=r2, t2=t_other, tracker_tid=tid
+                                ))
+                    frontier = nxt
+                    round_counter["round"] += 1
+                except BaseException:
+                    # Crash consistency: an interrupted apply (e.g.
+                    # KeyboardInterrupt) rewinds to the round boundary
+                    # before propagating, so no half-applied round is
+                    # ever observable.
+                    frontier = restore(ckpt)
+                    stats.rollbacks += 1
+                    raise
+        finally:
+            pexec.close()
+        return stats
+
     if isinstance(executor, RoundExecutor):
         exec_stats = run_rounds() if fault_plan is None else run_rounds_chaotic(fault_plan)
+    elif isinstance(executor, ProcessExecutor):
+        if fault_plan is not None and executor.plan is None:
+            executor.plan = fault_plan
+        exec_stats = run_rounds_supervised(executor)
     else:
         if fault_plan is not None:
             raise ValueError(
                 "fault_plan requires a RoundExecutor (checkpoint-resume is "
-                "round-synchronous); for thread chaos pass a "
+                "round-synchronous) or a ProcessExecutor (worker-level fault "
+                "injection); for thread chaos pass a "
                 "repro.runtime.chaos.ChaosThreadExecutor as the executor"
             )
         exec_stats = executor.run(initial_tasks, process)

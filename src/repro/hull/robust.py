@@ -128,7 +128,10 @@ def robust_hull(
             last_error = exc
             continue
         escalations.append(f"{mode}:ok")
-        run.exec_stats.escalations = list(escalations)
+        # Merge, don't overwrite: the run may already carry executor-
+        # ladder escalations (process->thread->serial degradation from
+        # the supervised ProcessExecutor loop).
+        run.exec_stats.escalations = run.exec_stats.escalations + list(escalations)
         return RobustHullResult(
             run=run, mode=mode, escalations=escalations, certificate=cert
         )
@@ -150,7 +153,7 @@ def robust_hull(
             escalations.append("joggle:CertificateError")
             raise
     escalations.append(f"joggle:ok[attempts={jh.attempts}]")
-    jh.run.exec_stats.escalations = list(escalations)
+    jh.run.exec_stats.escalations = jh.run.exec_stats.escalations + list(escalations)
     return RobustHullResult(
         run=jh.run, mode="joggle", escalations=escalations, joggled=jh,
         certificate=cert,

@@ -13,7 +13,12 @@ import ast
 
 from .core import LintedFile, Rule, Violation
 
-__all__ = ["AtomicInternalsRule", "RawThreadingRule", "THREADING_ALLOWLIST"]
+__all__ = [
+    "AtomicInternalsRule",
+    "RawThreadingRule",
+    "THREADING_ALLOWLIST",
+    "MULTIPROCESSING_ALLOWLIST",
+]
 
 #: Attribute names that are implementation details of the atomics.
 _INTERNAL_ATTRS = frozenset({"_value", "_set", "_lock"})
@@ -32,6 +37,18 @@ THREADING_ALLOWLIST = (
     "runtime/atomics.py",
     "runtime/executors.py",
     "runtime/chaos.py",
+)
+
+#: Modules owning real OS processes / shared-memory segments.
+_PROC_MODULES = frozenset({"multiprocessing", "_multiprocessing"})
+
+#: The only module allowed to import ``multiprocessing`` directly: the
+#: supervised process executor, which owns worker lifecycles (spawn,
+#: SIGKILL, sentinel polling) and shared-memory segment ownership.  A
+#: raw ``multiprocessing`` use anywhere else would create workers no
+#: supervisor watches and segments no owner unlinks.
+MULTIPROCESSING_ALLOWLIST = (
+    "runtime/procexec.py",
 )
 
 
@@ -62,31 +79,51 @@ class RawThreadingRule(Rule):
     id = "RPR002"
     name = "raw-threading"
     summary = (
-        "no raw threading.Lock/Thread outside the allowlisted runtime "
-        "modules (atomics, executors, chaos)"
+        "no raw threading/multiprocessing outside the allowlisted "
+        "runtime modules (atomics, executors, chaos, procexec)"
     )
 
-    def exempt(self, f: LintedFile) -> bool:
-        return any(f.is_module(m) for m in THREADING_ALLOWLIST)
+    def _blocked_roots(self, f: LintedFile) -> frozenset[str]:
+        roots = frozenset()
+        if not any(f.is_module(m) for m in THREADING_ALLOWLIST):
+            roots |= _THREAD_MODULES
+        if not any(f.is_module(m) for m in MULTIPROCESSING_ALLOWLIST):
+            roots |= _PROC_MODULES
+        return roots
 
     def check(self, f: LintedFile) -> list[Violation]:
+        blocked = self._blocked_roots(f)
+        if not blocked:
+            return []
         out: list[Violation] = []
+
+        def _why(root: str) -> str:
+            if root in _PROC_MODULES:
+                return (
+                    "; only runtime/procexec.py may own worker processes "
+                    "and shared-memory segments (supervision + unlink "
+                    "ownership)"
+                )
+            return (
+                "; use repro.runtime primitives (Mutex, AtomicCell, "
+                "executors) so the interleave scheduler and race checker "
+                "see every synchronization point"
+            )
+
         for node in ast.walk(f.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
-                    if alias.name.split(".")[0] in _THREAD_MODULES:
+                    root = alias.name.split(".")[0]
+                    if root in blocked:
                         out.append(self.violation(
                             f, node,
-                            f"raw `import {alias.name}`; use repro.runtime "
-                            "primitives (Mutex, AtomicCell, executors) so the "
-                            "interleave scheduler and race checker see every "
-                            "synchronization point",
+                            f"raw `import {alias.name}`" + _why(root),
                         ))
             elif isinstance(node, ast.ImportFrom):
-                if node.module and node.module.split(".")[0] in _THREAD_MODULES:
+                root = node.module.split(".")[0] if node.module else ""
+                if root in blocked:
                     out.append(self.violation(
                         f, node,
-                        f"raw `from {node.module} import ...`; use "
-                        "repro.runtime primitives instead",
+                        f"raw `from {node.module} import ...`" + _why(root),
                     ))
         return out

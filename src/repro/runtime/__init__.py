@@ -3,6 +3,7 @@ multimap of Algorithms 4/5, adversarial interleaving, work-span
 accounting, and pluggable task executors."""
 
 from .atomics import AtomicCell, AtomicCounter, AtomicFlag, Mutex
+from .backoff import BackoffPolicy
 from .chaos import (
     ChaosThreadExecutor,
     StallSweepSummary,
@@ -20,6 +21,12 @@ from .faults import (
     WorkerCrashInjected,
 )
 from .forkjoin import StealStats, simulate_work_stealing
+from .procexec import (
+    ChunkQuarantined,
+    ExecutorBrokenError,
+    ProcessExecutor,
+    SharedArray,
+)
 from .interleave import OpResult, all_schedules, run_interleaved, run_schedule
 from .pram import PRAM, ParallelHashTable, compact, log_star, pram_min, prefix_sum
 from .multimap import CASMultimap, DictMultimap, MultimapFullError, TASMultimap
@@ -31,7 +38,12 @@ __all__ = [
     "AtomicCounter",
     "AtomicFlag",
     "Mutex",
+    "BackoffPolicy",
     "ChaosThreadExecutor",
+    "ChunkQuarantined",
+    "ExecutorBrokenError",
+    "ProcessExecutor",
+    "SharedArray",
     "StallSweepSummary",
     "chaos_hull_roundtrip",
     "run_chaos_suite",

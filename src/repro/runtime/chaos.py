@@ -33,6 +33,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .backoff import BackoffPolicy
 from .executors import ExecutionStats, RoundExecutor, ThreadExecutor
 from .faults import CRASH, DELAY, FaultPlan, RetryBudgetExceeded
 from .interleave import all_schedules, run_schedule
@@ -57,9 +58,15 @@ class ChaosThreadExecutor(ThreadExecutor):
     the task is simply *lost*, as with a real worker process dying.
     The supervisor (the calling thread) detects the death by polling
     thread liveness against the in-flight registry, re-dispatches the
-    lost task (``attempts + 1``, bounded by ``max_retries``, with
-    exponential backoff capped at 50 ms), and spawns a replacement
-    worker.  Delay faults make a worker sleep briefly before executing.
+    lost task (``attempts + 1``, bounded by ``max_retries``, through
+    the shared :class:`~repro.runtime.backoff.BackoffPolicy` --
+    exponential growth with seeded jitter, capped), and spawns a
+    replacement worker.  Delay faults make a worker sleep briefly
+    before executing.
+
+    ``backoff`` accepts either a :class:`BackoffPolicy` or a bare float
+    base delay (legacy knob, wrapped into a policy seeded from the
+    fault plan).
 
     With ``plan=None`` it behaves exactly like :class:`ThreadExecutor`.
     Genuine exceptions from ``fn`` still propagate to the caller and are
@@ -71,13 +78,17 @@ class ChaosThreadExecutor(ThreadExecutor):
         n_workers: int = 4,
         plan: FaultPlan | None = None,
         max_retries: int = 8,
-        backoff: float = 0.002,
+        backoff: float | BackoffPolicy = 0.002,
     ):
         super().__init__(n_workers)
         if max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         self.plan = plan
         self.max_retries = max_retries
+        if not isinstance(backoff, BackoffPolicy):
+            backoff = BackoffPolicy(
+                base=float(backoff), seed=plan.seed if plan is not None else 0
+            )
         self.backoff = backoff
 
     def run(self, initial: Sequence[Any], fn) -> ExecutionStats:
@@ -117,7 +128,7 @@ class ChaosThreadExecutor(ThreadExecutor):
                 if plan.decide(DELAY, site):
                     with lock:
                         delayed[0] += 1
-                    time.sleep(self.backoff)
+                    time.sleep(self.backoff.base)
                 if plan.decide(CRASH, site):
                     # Die holding the task: no ack, no re-queue.  The
                     # supervisor's liveness poll must notice.
@@ -168,7 +179,7 @@ class ChaosThreadExecutor(ThreadExecutor):
                         ))
                     done.set()
                     break
-                time.sleep(min(self.backoff * (2 ** attempts), 0.05))
+                self.backoff.sleep(attempts, site=f"retry:w{wid}")
                 stats.retries += 1
                 q.put((task, attempts + 1))
                 spawn()
@@ -280,13 +291,27 @@ def chaos_hull_roundtrip(
     seed: int = 0,
     crash_rate: float = 0.2,
     delay_rate: float = 0.0,
+    kill_rate: float = 0.0,
+    stall_rate: float = 0.0,
+    drop_rate: float = 0.0,
+    dup_rate: float = 0.0,
     workload: str = "ball",
     executor_kind: str = "rounds",
     n_workers: int = 2,
 ) -> dict[str, Any]:
     """Run one hull instance fault-free and once under a fault plan;
     return a report asserting facet-set identity plus the fault/retry
-    counters (the E17 measurements)."""
+    counters (the E17 measurements).
+
+    ``executor_kind="procs"`` runs the supervised
+    :class:`~repro.runtime.procexec.ProcessExecutor`: the process-level
+    kinds (``kill``/``stall``/``drop``/``dup``/``delay``) fire inside
+    real worker processes, and identity is additionally asserted on the
+    event trace and work counters (the supervised loop claims
+    bit-identical runs, not just facet-set identity).  Note the parent
+    plan's ``counts()`` cannot see worker-side fires (each worker holds
+    its own plan copy); the supervision counters are the ground truth.
+    """
     # Imported lazily: repro.hull imports repro.runtime, not vice versa.
     from ..geometry import points as _points
     from ..hull import parallel_hull
@@ -300,9 +325,12 @@ def chaos_hull_roundtrip(
     }
     pts = generators[workload](n, d, seed=seed)
     order = np.random.default_rng(seed + 1).permutation(n)
-    plan = FaultPlan(seed=seed, crash_rate=crash_rate, delay_rate=delay_rate)
+    plan = FaultPlan(seed=seed, crash_rate=crash_rate, delay_rate=delay_rate,
+                     kill_rate=kill_rate, stall_rate=stall_rate,
+                     drop_rate=drop_rate, dup_rate=dup_rate)
 
     base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+    trace_identical = None
     if executor_kind == "rounds":
         run = parallel_hull(
             pts, order=order.copy(), executor=RoundExecutor(), fault_plan=plan
@@ -313,6 +341,22 @@ def chaos_hull_roundtrip(
             executor=ChaosThreadExecutor(n_workers, plan=plan),
             multimap="cas",
         )
+    elif executor_kind == "procs":
+        from .procexec import ProcessExecutor
+
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=ProcessExecutor(
+                n_workers=n_workers, plan=plan, max_retries=6,
+                chunk_timeout=10.0, hb_timeout=2.0,
+            ),
+        )
+        trace_identical = bool(
+            run.events == base.events
+            and run.counters.as_dict() == base.counters.as_dict()
+            and run.tracker.work == base.tracker.work
+            and run.tracker.span == base.tracker.span
+        )
     else:
         raise ValueError(f"unknown executor_kind {executor_kind!r}")
     validate_hull(run.facets, run.points)
@@ -320,10 +364,13 @@ def chaos_hull_roundtrip(
         base.facets, base.order
     )
     s = run.exec_stats
-    return {
+    ok = bool(same) and trace_identical is not False
+    report = {
         "workload": workload, "n": n, "d": d, "seed": seed,
         "executor": executor_kind,
         "crash_rate": crash_rate, "delay_rate": delay_rate,
+        "kill_rate": kill_rate, "stall_rate": stall_rate,
+        "drop_rate": drop_rate, "dup_rate": dup_rate,
         "same_facets": bool(same),
         "rounds": s.rounds, "rollbacks": s.rollbacks,
         "round_attempts": s.round_attempts,
@@ -333,8 +380,17 @@ def chaos_hull_roundtrip(
         "tasks_executed": s.tasks_executed,
         "faults_fired": plan.counts(),
         "baseline_rounds": base.exec_stats.rounds,
-        "ok": bool(same),
+        "ok": ok,
     }
+    if executor_kind == "procs":
+        report.update({
+            "trace_identical": trace_identical,
+            "stall_kills": s.stall_kills, "deadline_kills": s.deadline_kills,
+            "respawns": s.respawns, "duplicates_dropped": s.duplicates_dropped,
+            "quarantined": s.quarantined, "heartbeats": s.heartbeats,
+            "escalations": list(s.escalations),
+        })
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -347,6 +403,8 @@ _BUDGETS: dict[str, dict[str, Any]] = {
         "sweeps": [dict(n_ops=2, prefix_len=4, max_stall=6)],
         "rounds": [dict(n=80, d=2, crash_rate=0.2, delay_rate=0.1)],
         "threads": [dict(n=60, d=2, crash_rate=0.15, n_workers=2)],
+        "procs": [dict(n=80, d=2, crash_rate=0.0, kill_rate=0.25,
+                       n_workers=2)],
     },
     "medium": {
         "sweeps": [dict(n_ops=2, prefix_len=6, max_stall=8),
@@ -354,6 +412,11 @@ _BUDGETS: dict[str, dict[str, Any]] = {
         "rounds": [dict(n=200, d=2, crash_rate=0.1),
                    dict(n=150, d=3, crash_rate=0.3, delay_rate=0.1)],
         "threads": [dict(n=150, d=2, crash_rate=0.2, n_workers=3)],
+        "procs": [dict(n=150, d=2, crash_rate=0.0, kill_rate=0.3,
+                       n_workers=4),
+                  dict(n=120, d=3, crash_rate=0.0, kill_rate=0.2,
+                       stall_rate=0.05, drop_rate=0.1, dup_rate=0.1,
+                       delay_rate=0.1, n_workers=2)],
     },
     "large": {
         "sweeps": [dict(n_ops=2, prefix_len=8, max_stall=10),
@@ -362,8 +425,17 @@ _BUDGETS: dict[str, dict[str, Any]] = {
                    dict(n=300, d=3, crash_rate=0.2, delay_rate=0.2),
                    dict(n=200, d=2, crash_rate=0.4)],
         "threads": [dict(n=250, d=2, crash_rate=0.25, n_workers=4)],
+        "procs": [dict(n=250, d=2, crash_rate=0.0, kill_rate=0.4,
+                       n_workers=4),
+                  dict(n=200, d=3, crash_rate=0.0, kill_rate=0.25,
+                       stall_rate=0.1, drop_rate=0.15, dup_rate=0.15,
+                       delay_rate=0.15, n_workers=4)],
     },
 }
+
+#: CLI executor-filter values -> roundtrip families in :data:`_BUDGETS`.
+_EXECUTOR_FAMILIES = {"rounds": "rounds", "thread": "threads",
+                      "process": "procs"}
 
 
 @dataclass
@@ -395,24 +467,39 @@ class ChaosSuiteReport:
         }
 
 
-def run_chaos_suite(seed: int = 0, budget: str = "small") -> ChaosSuiteReport:
+def run_chaos_suite(
+    seed: int = 0, budget: str = "small", executor: str | None = None
+) -> ChaosSuiteReport:
     """The `repro chaos` suite: stall sweeps over both multimaps, then
-    checkpoint-resume and worker-crash hull roundtrips."""
+    checkpoint-resume, worker-crash, and worker-process-kill hull
+    roundtrips.
+
+    ``executor`` restricts the roundtrips to one family (``"rounds"``,
+    ``"thread"``, or ``"process"``) and skips the executor-independent
+    stall sweeps -- the `repro chaos --executor` / CI soak knob.  With
+    ``None`` everything runs.
+    """
     if budget not in _BUDGETS:
         raise ValueError(f"unknown budget {budget!r}; choose from {sorted(_BUDGETS)}")
+    if executor is not None and executor not in _EXECUTOR_FAMILIES:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from "
+            f"{sorted(_EXECUTOR_FAMILIES)}"
+        )
     knobs = _BUDGETS[budget]
     report = ChaosSuiteReport(seed=seed, budget=budget)
-    for impl in ("cas", "tas"):
-        for sweep_kw in knobs["sweeps"]:
-            report.stall_sweeps.append(
-                sweep_stalled_multimap(impl, **sweep_kw)
-            )
-    for i, kw in enumerate(knobs["rounds"]):
-        report.roundtrips.append(
-            chaos_hull_roundtrip(seed=seed + i, executor_kind="rounds", **kw)
-        )
-    for i, kw in enumerate(knobs["threads"]):
-        report.roundtrips.append(
-            chaos_hull_roundtrip(seed=seed + 100 + i, executor_kind="threads", **kw)
-        )
+    if executor is None:
+        for impl in ("cas", "tas"):
+            for sweep_kw in knobs["sweeps"]:
+                report.stall_sweeps.append(
+                    sweep_stalled_multimap(impl, **sweep_kw)
+                )
+    families = ([_EXECUTOR_FAMILIES[executor]] if executor is not None
+                else ["rounds", "threads", "procs"])
+    offsets = {"rounds": 0, "threads": 100, "procs": 200}
+    for family in families:
+        for i, kw in enumerate(knobs[family]):
+            report.roundtrips.append(chaos_hull_roundtrip(
+                seed=seed + offsets[family] + i, executor_kind=family, **kw
+            ))
     return report

@@ -59,6 +59,13 @@ class ExecutionStats:
     tasks_aborted: int = 0       # injected mid-task crashes
     tasks_delayed: int = 0       # tasks deferred by injected delays
     escalations: list[str] = field(default_factory=list)
+    # -- process supervision (repro.runtime.procexec) ----------------------
+    deadline_kills: int = 0      # workers killed for missing a chunk deadline
+    stall_kills: int = 0         # workers killed for heartbeat staleness
+    respawns: int = 0            # replacement workers spawned
+    quarantined: int = 0         # chunks poisoned out after max retries
+    duplicates_dropped: int = 0  # duplicate/stale result messages ignored
+    heartbeats: int = 0          # heartbeat messages observed
     # Visibility-kernel counters (batched sweeps, filter fallbacks,
     # sign-cache hits/misses), attached by repro.hull.parallel at the
     # end of a run; ``{"kernel": "scalar"}`` on scalar runs.

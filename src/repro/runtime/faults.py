@@ -33,6 +33,31 @@ Fault kinds
 ``delay``
     The action is postponed but not lost (a slow worker): a round task
     is deferred to the next round, a thread worker sleeps briefly.
+
+Process-level kinds (:mod:`repro.runtime.procexec` workers -- real
+PIDs, so the failure modes are the real ones):
+
+``kill``
+    The worker process SIGKILLs itself mid-chunk: no exception, no
+    cleanup, no goodbye message.  The supervisor's liveness poll (the
+    process sentinel) must notice and re-dispatch the chunk.
+``stall``
+    (Shared with the simulator kind above.)  In a worker process the
+    stall is a real sleep-forever: the process stays *alive* but stops
+    heartbeating, so only heartbeat-staleness detection -- not liveness
+    polling -- can catch it.
+``drop``
+    The worker computes its chunk but never sends the result message
+    (a lost packet).  The chunk deadline must fire and re-dispatch.
+``dup``
+    The worker sends its result message twice (a retransmitted packet).
+    The supervisor must apply it exactly once.
+
+Worker-side sites include the dispatch *attempt* number, so a retried
+chunk draws a fresh coin rather than deterministically re-dying at the
+same site: with bounded retries this guarantees termination (the
+parent-side one-shot rule cannot be enforced across process
+boundaries, since each worker holds its own copy of the plan).
 """
 
 from __future__ import annotations
@@ -44,7 +69,11 @@ __all__ = [
     "CRASH",
     "STALL",
     "DELAY",
+    "KILL",
+    "DROP",
+    "DUP",
     "FAULT_KINDS",
+    "PROC_FAULT_KINDS",
     "InjectedFault",
     "TaskAbortInjected",
     "WorkerCrashInjected",
@@ -56,7 +85,12 @@ __all__ = [
 CRASH = "crash"
 STALL = "stall"
 DELAY = "delay"
-FAULT_KINDS = (CRASH, STALL, DELAY)
+KILL = "kill"
+DROP = "drop"
+DUP = "dup"
+FAULT_KINDS = (CRASH, STALL, DELAY, KILL, DROP, DUP)
+#: The kinds a worker *process* can act on (see module docstring).
+PROC_FAULT_KINDS = (KILL, STALL, DROP, DUP, DELAY)
 
 
 class InjectedFault(RuntimeError):
@@ -115,6 +149,9 @@ class FaultPlan:
     crash_rate: float = 0.0
     stall_rate: float = 0.0
     delay_rate: float = 0.0
+    kill_rate: float = 0.0
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
     max_faults: int | None = None
     events: list[FaultEvent] = field(default_factory=list)
     _fired: set[tuple[str, str]] = field(default_factory=set, repr=False)
@@ -135,7 +172,8 @@ class FaultPlan:
     def rate(self, kind: str) -> float:
         try:
             return {CRASH: self.crash_rate, STALL: self.stall_rate,
-                    DELAY: self.delay_rate}[kind]
+                    DELAY: self.delay_rate, KILL: self.kill_rate,
+                    DROP: self.drop_rate, DUP: self.dup_rate}[kind]
         except KeyError:
             raise ValueError(f"unknown fault kind {kind!r}") from None
 
@@ -179,5 +217,8 @@ class FaultPlan:
 
     def describe(self) -> str:
         c = self.counts()
-        return (f"FaultPlan(seed={self.seed}, fired: "
-                f"{c[CRASH]} crash / {c[STALL]} stall / {c[DELAY]} delay)")
+        out = (f"FaultPlan(seed={self.seed}, fired: "
+               f"{c[CRASH]} crash / {c[STALL]} stall / {c[DELAY]} delay")
+        if any(c[k] for k in (KILL, DROP, DUP)):
+            out += f" / {c[KILL]} kill / {c[DROP]} drop / {c[DUP]} dup"
+        return out + ")"

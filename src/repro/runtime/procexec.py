@@ -1,0 +1,724 @@
+"""Fault-tolerant multiprocess execution of hull rounds.
+
+This is the one place in the tree where parallelism is *real*: worker
+**processes** (own PIDs, no GIL) evaluate chunks of the ready frontier
+over NumPy arrays placed in POSIX shared memory, while the parent
+supervises them the way the chaos layer taught us workers must be
+supervised -- by *observation*, never by trusting a worker to confess:
+
+* **Liveness polling.**  Each worker's process sentinel is multiplexed
+  into the supervisor's wait loop (the real-PID analogue of
+  :class:`~repro.runtime.chaos.ChaosThreadExecutor`'s
+  ``Thread.is_alive`` poll).  A SIGKILLed worker is detected on the
+  next loop iteration; whatever chunk it held is re-dispatched.
+* **Heartbeats.**  Workers send a heartbeat after every task inside a
+  chunk (and while idle).  A process that is *alive but frozen* -- the
+  ``stall`` fault, a real possibility with a wedged malloc or a page
+  fault storm -- stops heartbeating and is killed by the supervisor
+  once its heartbeat goes stale.
+* **Deadlines.**  Every dispatched chunk carries a deadline as the
+  backstop for faults heartbeats cannot see (a *dropped* result
+  message leaves a healthy, silent worker).  Deadline expiry kills the
+  worker and re-dispatches.
+* **Bounded retry with backoff + jitter.**  Lost chunks are retried
+  through the shared :class:`~repro.runtime.backoff.BackoffPolicy`;
+  after ``max_retries`` losses a chunk is **quarantined** as poison
+  (:class:`ChunkQuarantined`), at which point callers degrade down the
+  executor ladder (``process -> thread -> serial`` in
+  :func:`repro.hull.parallel.parallel_hull`).
+* **Idempotent result application.**  Results are applied exactly once
+  per chunk, so *duplicated* result messages (the ``dup`` fault, a
+  retransmission) and stale late arrivals are dropped and counted.
+
+Worker-side faults (``kill``/``stall``/``drop``/``dup``/``delay``) are
+driven by the same seeded site-hash :class:`~repro.runtime.faults.FaultPlan`
+as every other chaos surface; sites include the dispatch attempt so a
+retried chunk draws a fresh coin (see :mod:`repro.runtime.faults`).
+
+The compute function must be **pure** (a function of the shared arrays
+and the chunk payload only): purity is what makes at-least-once
+delivery, replays after rollback, and the degradation ladder all
+observationally equivalent to a fault-free serial run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import time
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context, shared_memory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .backoff import BackoffPolicy
+from .executors import ExecutionStats
+from .faults import DELAY, DROP, DUP, KILL, STALL, FaultPlan, _unit_hash
+
+__all__ = [
+    "SharedArray",
+    "ExecutorBrokenError",
+    "ChunkQuarantined",
+    "ProcessExecutor",
+    "active_segments",
+]
+
+_SHM_PREFIX = "repro_shm_"
+
+#: Names of shared-memory segments created (and not yet unlinked) by
+#: this process.  The leak tests assert this drains to empty on the
+#: success, crash, and KeyboardInterrupt paths alike.
+_ACTIVE_SEGMENTS: set[str] = set()
+
+
+def active_segments() -> frozenset[str]:
+    """Shared-memory segments currently owned (created, not unlinked)."""
+    return frozenset(_ACTIVE_SEGMENTS)
+
+
+class ExecutorBrokenError(RuntimeError):
+    """The worker pool cannot make progress (respawn budget exhausted,
+    spawn failure, or a wedged round): callers should degrade down the
+    executor ladder rather than retry."""
+
+
+class ChunkQuarantined(RuntimeError):
+    """A chunk was lost more than ``max_retries`` times -- poison, or a
+    fault storm; either way this executor refuses it.  Carries the
+    chunk ids so callers can re-run them under a safer discipline."""
+
+    def __init__(self, chunk_ids: list[int], reasons: list[str]):
+        self.chunk_ids = chunk_ids
+        self.reasons = reasons
+        super().__init__(
+            f"{len(chunk_ids)} chunk(s) quarantined after retry budget: "
+            + "; ".join(reasons[:3])
+        )
+
+
+class SharedArray:
+    """A NumPy array in a POSIX shared-memory segment.
+
+    The creating side *owns* the segment (tracked in
+    :func:`active_segments`, unlinked exactly once); workers attach by
+    descriptor and never unlink.  ``snapshot``/``restore`` give the
+    chaos layer byte-exact checkpoint round-trips of shared state.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 shape: tuple[int, ...], dtype: np.dtype, owner: bool):
+        self._shm = shm
+        self._shape = tuple(shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = owner
+        self._closed = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, arr: np.ndarray) -> "SharedArray":
+        arr = np.ascontiguousarray(arr)
+        name = f"{_SHM_PREFIX}{os.getpid()}_{id(arr):x}_{len(_ACTIVE_SEGMENTS)}"
+        shm = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, arr.nbytes)
+        )
+        _ACTIVE_SEGMENTS.add(shm.name)
+        out = cls(shm, arr.shape, arr.dtype, owner=True)
+        out.array[...] = arr
+        return out
+
+    @classmethod
+    def attach(cls, desc: tuple[str, tuple[int, ...], str]) -> "SharedArray":
+        name, shape, dtype = desc
+        # CPython's resource tracker registers *attachments* too
+        # (bpo-39959): a forked worker would erase the parent's
+        # registration on unregister, and a spawned worker's own
+        # tracker would unlink the parent's segment at worker exit.
+        # Ownership is strictly the parent's, so suppress registration
+        # for the duration of the attach (workers attach once, from a
+        # single thread, before serving any chunk).
+        from multiprocessing import resource_tracker
+
+        orig_register = resource_tracker.register
+        try:
+            resource_tracker.register = lambda *a, **k: None
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+        return cls(shm, shape, dtype, owner=False)
+
+    def descriptor(self) -> tuple[str, tuple[int, ...], str]:
+        return (self._shm.name, self._shape, self._dtype.str)
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        if self._closed:
+            raise ValueError("SharedArray is closed")
+        n = int(np.prod(self._shape, dtype=np.int64)) if self._shape else 1
+        return np.frombuffer(
+            self._shm.buf, dtype=self._dtype, count=n
+        ).reshape(self._shape)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot(self) -> bytes:
+        """Byte-exact copy of the current contents (checkpoint)."""
+        return self.array.tobytes()
+
+    def restore(self, buf: bytes) -> None:
+        """Overwrite the contents from a :meth:`snapshot` (rollback)."""
+        expect = self.array.nbytes
+        if len(buf) != expect:
+            raise ValueError(f"snapshot is {len(buf)} bytes, segment holds {expect}")
+        self.array[...] = np.frombuffer(buf, dtype=self._dtype).reshape(self._shape)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap (and, for the owner, unlink) the segment.  Idempotent
+        and exception-safe: called from ``finally`` blocks on the
+        success, crash, and KeyboardInterrupt paths."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+            finally:
+                _ACTIVE_SEGMENTS.discard(self._shm.name)
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # last-resort leak guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+def _worker_main(
+    wid: int,
+    conn,
+    descs: dict[str, tuple],
+    fn: Callable[[dict[str, np.ndarray], Any], Any],
+    plan: FaultPlan | None,
+    modes: dict[str, bool],
+    hb_interval: float,
+    slow_s: float,
+) -> None:
+    """Worker loop: attach shared arrays, then serve chunk messages.
+
+    Protocol (worker -> parent): ``("hb", wid, chunk_id, attempt)``
+    progress beats, ``("result", chunk_id, attempt, results)`` exactly
+    one per healthy chunk, ``("error", chunk_id, attempt, msg)`` for a
+    genuine exception from ``fn`` (the worker survives it; the parent
+    decides whether the chunk is poison).
+    """
+    # Re-arm global predicate modes in the child.  Under the default
+    # fork start method these are inherited anyway; under spawn they
+    # must be re-entered explicitly or an exact/SoS run would silently
+    # compute different bits in workers than in the parent.
+    import contextlib
+
+    from ..geometry.hyperplane import exact_mode
+    from ..geometry.perturb import sos_mode
+
+    stack = contextlib.ExitStack()
+    if modes.get("exact"):
+        stack.enter_context(exact_mode())
+    if modes.get("sos"):
+        stack.enter_context(sos_mode())
+
+    arrays: dict[str, np.ndarray] = {}
+    attached = []
+    try:
+        for name, desc in descs.items():
+            sa = SharedArray.attach(desc)
+            attached.append(sa)
+            arrays[name] = sa.array
+        while True:
+            if not conn.poll(hb_interval):
+                try:
+                    conn.send(("hb", wid, -1, -1))
+                except (BrokenPipeError, OSError):
+                    return
+                continue
+            msg = conn.recv()
+            if msg[0] == "stop":
+                return
+            _, rnd, chunk_id, attempt, site_prefix, payload = msg
+            # Fault coins are drawn once per *chunk attempt* (the site
+            # carries the attempt number, so a retried chunk re-coins),
+            # and a fired kill/stall/delay strikes mid-chunk at a
+            # hash-derived task index.
+            kill_at = stall_at = delay_at = -1
+            if plan is not None and payload:
+
+                def _strike(kind: str) -> int:
+                    if not plan.decide(kind, site_prefix):
+                        return -1
+                    return int(_unit_hash(plan.seed, kind + "@at", site_prefix)
+                               * len(payload))
+
+                delay_at = _strike(DELAY)
+                stall_at = _strike(STALL)
+                kill_at = _strike(KILL)
+            results: list[Any] = []
+            failed = None
+            last_beat = time.monotonic()
+            for i, item in enumerate(payload):
+                if i == delay_at:
+                    time.sleep(slow_s)
+                if i == stall_at:
+                    # Alive but frozen: only heartbeat staleness or the
+                    # chunk deadline can catch this.
+                    while True:
+                        time.sleep(3600)
+                if i == kill_at:
+                    os.kill(os.getpid(), signal.SIGKILL)
+                try:
+                    results.append(fn(arrays, item))
+                except BaseException as exc:
+                    failed = f"{type(exc).__name__}: {exc}"
+                    break
+                now = time.monotonic()
+                if now - last_beat >= hb_interval:
+                    conn.send(("hb", wid, chunk_id, attempt))
+                    last_beat = now
+            if failed is not None:
+                conn.send(("error", rnd, chunk_id, attempt, failed))
+                continue
+            out = ("result", rnd, chunk_id, attempt, results)
+            if plan is not None and plan.decide(DROP, site_prefix):
+                continue  # computed, never sent: the deadline must fire
+            conn.send(out)
+            if plan is not None and plan.decide(DUP, site_prefix):
+                conn.send(out)  # retransmission: applied at most once
+    except (EOFError, KeyboardInterrupt):
+        return
+    finally:
+        for sa in attached:
+            sa.close()
+        stack.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Worker:
+    wid: int
+    proc: Any
+    conn: Any
+    busy: tuple[int, int] | None = None   # (chunk_id, attempt)
+    deadline: float = 0.0
+    last_hb: float = 0.0
+
+
+@dataclass
+class _RoundState:
+    """Book-keeping for one ``run_round`` call."""
+
+    n_chunks: int
+    rnd: int = 0                 # round sequence number (stale-message filter)
+    completed: dict[int, list] = field(default_factory=dict)
+    attempts: dict[int, int] = field(default_factory=dict)
+    failures: dict[int, list[str]] = field(default_factory=dict)
+    pending: list[tuple[float, int]] = field(default_factory=list)  # (ready_at, chunk)
+    quarantined: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def settled(self) -> bool:
+        return len(self.completed) + len(self.quarantined) >= self.n_chunks
+
+
+class ProcessExecutor:
+    """Supervised pool of worker processes evaluating pure chunk
+    functions over shared-memory NumPy arrays.
+
+    Lifecycle: :meth:`start` (create segments, spawn workers), then any
+    number of :meth:`run_round` calls, then :meth:`close` (idempotent;
+    always call it from ``finally``).  Also usable as a context
+    manager.  Supervision counters accumulate in :attr:`stats`.
+
+    Parameters mirror :class:`~repro.runtime.chaos.ChaosThreadExecutor`
+    where they overlap; the new knobs are the real-time ones
+    (``chunk_timeout``, ``hb_timeout``) and ``start_method``
+    (``"fork"`` where available, else ``"spawn"``; the compute function
+    must be an importable module-level callable for spawn).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        plan: FaultPlan | None = None,
+        max_retries: int = 4,
+        backoff: BackoffPolicy | None = None,
+        chunk_timeout: float = 30.0,
+        hb_timeout: float = 5.0,
+        hb_interval: float = 0.05,
+        slow_s: float = 0.01,
+        start_method: str | None = None,
+        max_respawns: int | None = None,
+        chunks_per_worker: int = 2,
+        round_timeout: float = 120.0,
+    ):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.n_workers = n_workers
+        self.plan = plan
+        self.max_retries = max_retries
+        self.backoff = backoff or BackoffPolicy()
+        self.chunk_timeout = chunk_timeout
+        self.hb_timeout = hb_timeout
+        self.hb_interval = hb_interval
+        self.slow_s = slow_s
+        if start_method is None:
+            import multiprocessing as _mp
+
+            start_method = ("fork" if "fork" in _mp.get_all_start_methods()
+                            else "spawn")
+        self._ctx = get_context(start_method)
+        self.start_method = start_method
+        self.max_respawns = (
+            max_respawns if max_respawns is not None else 8 * n_workers
+        )
+        self.chunks_per_worker = chunks_per_worker
+        self.round_timeout = round_timeout
+        self.stats = ExecutionStats()
+        self._segments: dict[str, SharedArray] = {}
+        self._workers: dict[int, _Worker] = {}
+        self._fn: Callable | None = None
+        self._modes: dict[str, bool] = {}
+        self._next_wid = 0
+        self._round_seq = 0
+        self._round_respawns = 0
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started and not self._closed
+
+    def start(self, shared: dict[str, np.ndarray],
+              fn: Callable[[dict[str, np.ndarray], Any], Any]) -> None:
+        """Create shared segments for ``shared`` and spawn the pool."""
+        if self._started:
+            raise RuntimeError("ProcessExecutor already started")
+        if self.start_method != "fork":
+            pickle.dumps(fn)  # fail fast: spawn needs a picklable fn
+        self._fn = fn
+        from ..geometry.hyperplane import exact_active
+        from ..geometry.perturb import sos_active
+
+        self._modes = {"exact": exact_active(), "sos": sos_active()}
+        self._started = True
+        try:
+            for name, arr in shared.items():
+                self._segments[name] = SharedArray.create(arr)
+            for _ in range(self.n_workers):
+                self._spawn()
+        except BaseException:
+            self.close()
+            raise
+
+    def _spawn(self) -> _Worker:
+        wid = self._next_wid
+        self._next_wid += 1
+        parent_conn, child_conn = self._ctx.Pipe()
+        descs = {n: s.descriptor() for n, s in self._segments.items()}
+        try:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(wid, child_conn, descs, self._fn, self.plan,
+                      self._modes, self.hb_interval, self.slow_s),
+                daemon=True,
+            )
+            proc.start()
+        except BaseException as exc:
+            raise ExecutorBrokenError(f"worker spawn failed: {exc}") from exc
+        finally:
+            child_conn.close()
+        w = _Worker(wid=wid, proc=proc, conn=parent_conn, last_hb=time.monotonic())
+        self._workers[wid] = w
+        return w
+
+    def close(self) -> None:
+        """Stop workers and release every shared segment.  Idempotent;
+        safe on the success, crash, and KeyboardInterrupt paths."""
+        if self._closed:
+            return
+        self._closed = True
+        for w in self._workers.values():
+            try:
+                w.conn.send(("stop",))
+            except Exception:
+                pass
+        deadline = time.monotonic() + 1.0
+        for w in self._workers.values():
+            try:
+                w.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+                if w.proc.is_alive():
+                    w.proc.kill()
+                    w.proc.join(timeout=1.0)
+            except Exception:
+                pass
+            try:
+                w.conn.close()
+            except Exception:
+                pass
+        self._workers.clear()
+        for seg in self._segments.values():
+            seg.close()
+        self._segments.clear()
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- supervision loop --------------------------------------------------
+
+    def run_round(self, payloads: Sequence[Sequence[Any]]) -> list[list]:
+        """Evaluate one chunk per payload; returns results in payload
+        order.  Raises :class:`ChunkQuarantined` when any chunk exceeds
+        the retry budget and :class:`ExecutorBrokenError` when the pool
+        itself cannot continue."""
+        if not self._started or self._closed:
+            raise RuntimeError("ProcessExecutor is not running (start()/close())")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        self._round_seq += 1
+        rnd = self._round_seq
+        st = _RoundState(n_chunks=len(payloads), rnd=rnd)
+        now = time.monotonic()
+        st.pending = [(now, cid) for cid in range(len(payloads))]
+        last_progress = now
+        self._round_respawns = 0
+
+        while not st.settled:
+            now = time.monotonic()
+            if now - last_progress > self.round_timeout:
+                raise ExecutorBrokenError(
+                    f"round {rnd} made no progress for {self.round_timeout}s"
+                )
+            progressed = self._reap_dead(st, rnd)
+            progressed |= self._enforce_deadlines(st, now)
+            progressed |= self._dispatch(st, payloads, rnd, now)
+            progressed |= self._drain_messages(st)
+            if progressed:
+                last_progress = time.monotonic()
+            else:
+                self._wait_for_events()
+        if st.quarantined:
+            self.stats.quarantined += len(st.quarantined)
+            ids = sorted(st.quarantined)
+            raise ChunkQuarantined(ids, [st.quarantined[i] for i in ids])
+        return [st.completed[cid] for cid in range(len(payloads))]
+
+    # Each helper returns True when it changed supervision state (used
+    # for the progress clock that arms ExecutorBrokenError).
+
+    def _wait_for_events(self) -> None:
+        sentinels = {w.proc.sentinel: w for w in self._workers.values()}
+        conns = {w.conn: w for w in self._workers.values()}
+        try:
+            mp_connection.wait(
+                list(conns) + list(sentinels), timeout=self.hb_interval
+            )
+        except OSError:
+            pass  # a handle died mid-wait; the reap pass will see it
+
+    def _reap_dead(self, st: _RoundState, rnd: int) -> bool:
+        changed = False
+        for wid in [w for w, h in self._workers.items() if not h.proc.is_alive()]:
+            h = self._workers.pop(wid)
+            changed = True
+            # Drain anything it managed to send before dying.
+            try:
+                while h.conn.poll():
+                    self._handle_message(st, h, h.conn.recv())
+            except (EOFError, OSError):
+                pass
+            try:
+                h.conn.close()
+            except Exception:
+                pass
+            self.stats.worker_deaths += 1
+            if h.busy is not None:
+                chunk_id, _ = h.busy
+                self._requeue(st, chunk_id, f"worker {wid} died holding chunk")
+            self._respawn()
+        return changed
+
+    def _enforce_deadlines(self, st: _RoundState, now: float) -> bool:
+        changed = False
+        for h in list(self._workers.values()):
+            if h.busy is None:
+                continue
+            stale_hb = now - h.last_hb > self.hb_timeout
+            over_deadline = now > h.deadline
+            if not (stale_hb or over_deadline):
+                continue
+            changed = True
+            chunk_id, _ = h.busy
+            if stale_hb and not over_deadline:
+                self.stats.stall_kills += 1
+                why = f"heartbeat stale > {self.hb_timeout}s"
+            else:
+                self.stats.deadline_kills += 1
+                why = f"chunk deadline {self.chunk_timeout}s exceeded"
+            # Late results (e.g. an injected `drop` where the worker is
+            # healthy) may be in the pipe; harvest before killing.
+            try:
+                while h.conn.poll():
+                    self._handle_message(st, h, h.conn.recv())
+            except (EOFError, OSError):
+                pass
+            if h.busy is None or chunk_id in st.completed:
+                continue  # the harvest settled it after all
+            self._workers.pop(h.wid, None)
+            try:
+                h.proc.kill()
+                h.proc.join(timeout=1.0)
+            except Exception:
+                pass
+            try:
+                h.conn.close()
+            except Exception:
+                pass
+            self._requeue(st, chunk_id, why)
+            self._respawn()
+        return changed
+
+    def _dispatch(self, st: _RoundState, payloads, rnd: int, now: float) -> bool:
+        changed = False
+        idle = [h for h in self._workers.values() if h.busy is None]
+        due = sorted([p for p in st.pending if p[0] <= now])
+        for h, (ready_at, chunk_id) in zip(idle, due):
+            st.pending.remove((ready_at, chunk_id))
+            attempt = st.attempts.get(chunk_id, 0)
+            site_prefix = f"proc:r{rnd}:c{chunk_id}:a{attempt}"
+            try:
+                h.conn.send(
+                    ("task", rnd, chunk_id, attempt, site_prefix,
+                     payloads[chunk_id])
+                )
+            except (BrokenPipeError, OSError):
+                # Death between poll and send; the reap pass will
+                # requeue via h.busy.
+                h.busy = (chunk_id, attempt)
+                continue
+            h.busy = (chunk_id, attempt)
+            h.deadline = time.monotonic() + self.chunk_timeout
+            h.last_hb = time.monotonic()
+            changed = True
+        return changed
+
+    def _drain_messages(self, st: _RoundState) -> bool:
+        changed = False
+        for h in list(self._workers.values()):
+            try:
+                while h.conn.poll():
+                    self._handle_message(st, h, h.conn.recv())
+                    changed = True
+            except (EOFError, OSError):
+                continue  # dying worker; the reap pass owns it
+        return changed
+
+    def _handle_message(self, st: _RoundState, h: _Worker, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "hb":
+            _, wid, chunk_id, attempt = msg
+            self.stats.heartbeats += 1
+            if h.busy is not None and chunk_id == h.busy[0]:
+                h.last_hb = time.monotonic()
+            elif chunk_id == -1:
+                h.last_hb = time.monotonic()
+            return
+        if kind == "result":
+            _, rnd, chunk_id, attempt, results = msg
+            if rnd != st.rnd:
+                # Late message from a previous round (e.g. the second
+                # copy of a `dup` whose round settled before the drain):
+                # chunk ids are per-round, so applying it would corrupt
+                # this round.
+                self.stats.duplicates_dropped += 1
+                return
+            if h.busy is not None and h.busy[0] == chunk_id:
+                h.busy = None
+            if chunk_id in st.completed:
+                self.stats.duplicates_dropped += 1
+                return
+            st.completed[chunk_id] = results
+            st.pending = [p for p in st.pending if p[1] != chunk_id]
+            return
+        if kind == "error":
+            _, rnd, chunk_id, attempt, detail = msg
+            if rnd != st.rnd:
+                self.stats.duplicates_dropped += 1
+                return
+            if h.busy is not None and h.busy[0] == chunk_id:
+                h.busy = None
+            if chunk_id in st.completed:
+                self.stats.duplicates_dropped += 1
+                return
+            self._requeue(st, chunk_id, f"worker exception: {detail}")
+            return
+        raise ExecutorBrokenError(f"unknown worker message {msg!r}")
+
+    def _requeue(self, st: _RoundState, chunk_id: int, why: str) -> None:
+        if chunk_id in st.completed or chunk_id in st.quarantined:
+            return
+        st.failures.setdefault(chunk_id, []).append(why)
+        attempt = st.attempts.get(chunk_id, 0)
+        if attempt + 1 > self.max_retries:
+            st.quarantined[chunk_id] = (
+                f"chunk {chunk_id} lost {attempt + 1}x "
+                f"(max_retries={self.max_retries}); last: {why}"
+            )
+            return
+        st.attempts[chunk_id] = attempt + 1
+        self.stats.retries += 1
+        ready_at = time.monotonic() + self.backoff.delay(
+            attempt, site=f"chunk:{chunk_id}"
+        )
+        st.pending.append((ready_at, chunk_id))
+
+    def _respawn(self) -> None:
+        if len(self._workers) >= self.n_workers:
+            return
+        if self._round_respawns >= self.max_respawns:
+            raise ExecutorBrokenError(
+                f"per-round respawn budget exhausted ({self.max_respawns}); "
+                "the pool is dying faster than it can be replaced"
+            )
+        self._round_respawns += 1
+        self.stats.respawns += 1
+        self._spawn()

@@ -1,0 +1,217 @@
+"""Differential suite for the supervised multiprocess hull executor.
+
+The acceptance bar is stricter than facet-set identity: a
+ProcessExecutor hull under 20-40% injected worker kills/stalls must be
+*bit-identical* to the fault-free serial run -- same facet sets, same
+event trace, same counters, same work/span DAG -- and leak no
+shared-memory segments, because the supervised loop replays the exact
+serial bookkeeping over results computed (possibly many times) by
+workers that keep dying.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import uniform_ball, uniform_cube
+from repro.hull import facet_sets_global, parallel_hull, validate_hull
+from repro.runtime import RoundExecutor
+from repro.runtime.chaos import chaos_hull_roundtrip
+from repro.runtime.faults import FaultPlan
+from repro.runtime.procexec import ProcessExecutor, active_segments
+
+
+@pytest.fixture
+def instance():
+    pts = uniform_ball(100, 3, seed=11)
+    order = np.random.default_rng(8).permutation(100)
+    return pts, order
+
+
+def _pexec(plan=None, n_workers=4, **kw):
+    kw.setdefault("max_retries", 8)
+    kw.setdefault("chunk_timeout", 10.0)
+    kw.setdefault("hb_timeout", 2.0)
+    kw.setdefault("hb_interval", 0.02)
+    return ProcessExecutor(n_workers=n_workers, plan=plan, **kw)
+
+
+def _assert_bit_identical(run, base):
+    validate_hull(run.facets, run.points)
+    assert facet_sets_global(run.facets, run.order) == facet_sets_global(
+        base.facets, base.order
+    )
+    assert run.created_keys() == base.created_keys()
+    assert [f.fid for f in run.created] == [f.fid for f in base.created]
+    assert run.events == base.events
+    assert run.counters.as_dict() == base.counters.as_dict()
+    assert run.tracker.work == base.tracker.work
+    assert run.tracker.span == base.tracker.span
+
+
+class TestFaultFree:
+    def test_bit_identical_to_serial(self, instance):
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        run = parallel_hull(pts, order=order.copy(), executor=_pexec())
+        _assert_bit_identical(run, base)
+        s = run.exec_stats
+        assert s.worker_deaths == s.retries == s.quarantined == 0
+        assert s.escalations == []
+
+    def test_no_segment_leak(self, instance):
+        pts, order = instance
+        before = active_segments()
+        parallel_hull(pts, order=order.copy(), executor=_pexec())
+        assert active_segments() == before
+
+    def test_2d_cube(self):
+        pts = uniform_cube(80, 2, seed=3)
+        order = np.random.default_rng(4).permutation(80)
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        run = parallel_hull(pts, order=order.copy(), executor=_pexec(n_workers=2))
+        _assert_bit_identical(run, base)
+
+
+class TestInjectedFaults:
+    @pytest.mark.parametrize("kill_rate,seed", [(0.2, 21), (0.4, 22)])
+    def test_kills_bit_identical(self, instance, kill_rate, seed):
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        plan = FaultPlan(seed=seed, kill_rate=kill_rate)
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=_pexec(plan, max_respawns=256),
+        )
+        _assert_bit_identical(run, base)
+        assert run.exec_stats.worker_deaths > 0
+        assert run.exec_stats.respawns > 0
+
+    def test_stalls_bit_identical(self, instance):
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        plan = FaultPlan(seed=31, stall_rate=0.25)
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=_pexec(plan, hb_timeout=0.3, max_respawns=256),
+        )
+        _assert_bit_identical(run, base)
+        assert run.exec_stats.stall_kills > 0
+
+    def test_mixed_storm_bit_identical(self, instance):
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        plan = FaultPlan(seed=41, kill_rate=0.15, stall_rate=0.1,
+                         drop_rate=0.1, dup_rate=0.2, delay_rate=0.2)
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=_pexec(plan, hb_timeout=0.5, chunk_timeout=2.0,
+                            max_respawns=256),
+        )
+        _assert_bit_identical(run, base)
+        s = run.exec_stats
+        assert s.worker_deaths > 0
+        assert s.retries > 0
+
+    def test_certificate_identical_and_verified_under_kills(self, instance):
+        # The acceptance bar names certificates explicitly: the
+        # process-executor run under 30% kills must emit the exact
+        # certificate of the fault-free serial run, and it must pass
+        # the independent exact verifier.
+        from repro.hull.certify import make_certificate, verify_certificate
+
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=_pexec(FaultPlan(seed=22, kill_rate=0.3),
+                            max_respawns=256),
+        )
+        cert = make_certificate(run)
+        verify_certificate(cert, pts)
+        assert cert.to_dict() == make_certificate(base).to_dict()
+
+    def test_no_segment_leak_under_kills(self, instance):
+        pts, order = instance
+        before = active_segments()
+        parallel_hull(
+            pts, order=order.copy(),
+            executor=_pexec(FaultPlan(seed=21, kill_rate=0.3),
+                            max_respawns=256),
+        )
+        assert active_segments() == before
+
+    def test_fault_plan_kwarg_reaches_executor(self, instance):
+        # fault_plan= on parallel_hull wires into a plan-less
+        # ProcessExecutor, same as for RoundExecutor.
+        pts, order = instance
+        ex = _pexec(max_respawns=256)
+        assert ex.plan is None
+        plan = FaultPlan(seed=21, kill_rate=0.25)
+        run = parallel_hull(pts, order=order.copy(), executor=ex,
+                            fault_plan=plan)
+        assert ex.plan is plan
+        assert run.exec_stats.worker_deaths > 0
+
+
+class TestDegradationLadder:
+    def test_quarantine_escalates_to_thread_rung(self, instance):
+        # A retry budget of zero turns the first lost chunk into
+        # quarantine; the hull must still complete, bit-identically,
+        # through the thread/serial rungs, and record the escalation.
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        plan = FaultPlan(seed=51, kill_rate=0.35)
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=_pexec(plan, max_retries=0, max_respawns=256),
+        )
+        _assert_bit_identical(run, base)
+        assert any(e.startswith("process->") for e in run.exec_stats.escalations)
+
+    def test_broken_pool_escalates(self, instance):
+        # Respawn budget 0: the first worker death breaks the pool; the
+        # ladder must absorb it.
+        pts, order = instance
+        base = parallel_hull(pts, order=order.copy(), executor=RoundExecutor())
+        plan = FaultPlan(seed=61, kill_rate=0.5)
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=_pexec(plan, max_respawns=0),
+        )
+        _assert_bit_identical(run, base)
+        assert run.exec_stats.escalations
+
+    def test_escalation_recorded_in_serialized_summary(self, instance):
+        from repro.hull.serialize import run_summary
+
+        pts, order = instance
+        plan = FaultPlan(seed=51, kill_rate=0.35)
+        run = parallel_hull(
+            pts, order=order.copy(),
+            executor=_pexec(plan, max_retries=0, max_respawns=256),
+        )
+        summary = run_summary(run)
+        assert summary["exec"]["escalations"] == [
+            str(e) for e in run.exec_stats.escalations
+        ]
+        sup = summary["exec"]["supervision"]
+        assert sup["worker_deaths"] == run.exec_stats.worker_deaths
+        assert sup["quarantined"] == run.exec_stats.quarantined
+
+
+class TestRoundtripHelper:
+    def test_procs_roundtrip_report(self):
+        rep = chaos_hull_roundtrip(
+            n=60, d=3, seed=9, kill_rate=0.25, executor_kind="procs",
+            n_workers=3,
+        )
+        assert rep["ok"] and rep["same_facets"]
+        assert rep["trace_identical"]
+        assert rep["worker_deaths"] > 0
+
+    def test_procs_roundtrip_clean(self):
+        rep = chaos_hull_roundtrip(
+            n=50, d=2, seed=13, executor_kind="procs", n_workers=2,
+        )
+        assert rep["ok"] and rep["trace_identical"]
+        assert rep["worker_deaths"] == 0

@@ -106,6 +106,54 @@ class TestRPR002RawThreading:
                 offenders.append(lf.posix)
         assert offenders == []
 
+    def test_catches_raw_multiprocessing_import(self, tmp_path):
+        vs = lint_snippet(tmp_path, "import multiprocessing\n",
+                          name="repro/hull/helper.py")
+        assert [(v.rule_id, v.line) for v in vs] == [("RPR002", 1)]
+        assert "procexec" in vs[0].message
+
+    def test_catches_multiprocessing_submodule_from_import(self, tmp_path):
+        vs = lint_snippet(
+            tmp_path, "from multiprocessing import shared_memory\n")
+        assert [v.rule_id for v in vs] == ["RPR002"]
+
+    def test_procexec_may_import_multiprocessing(self, tmp_path):
+        from repro.lint.rules_atomics import MULTIPROCESSING_ALLOWLIST
+
+        assert MULTIPROCESSING_ALLOWLIST == ("runtime/procexec.py",)
+        vs = lint_snippet(
+            tmp_path,
+            "from multiprocessing import get_context, shared_memory\n",
+            name="repro/runtime/procexec.py",
+        )
+        assert vs == []
+
+    def test_threading_allowlist_does_not_cover_multiprocessing(self, tmp_path):
+        # chaos.py may import threading but NOT multiprocessing: the two
+        # allowlists are independent, so a threading-allowlisted module
+        # spawning raw processes is still flagged.
+        vs = lint_snippet(tmp_path, "import multiprocessing\n",
+                          name="repro/runtime/chaos.py")
+        assert [v.rule_id for v in vs] == ["RPR002"]
+
+    def test_multiprocessing_allowlist_matches_reality(self):
+        # Exactly the allowlisted module imports multiprocessing; no
+        # other src module owns processes or segments raw.
+        from repro.lint.rules_atomics import MULTIPROCESSING_ALLOWLIST
+
+        src = Path(__file__).resolve().parents[2] / "src"
+        importers = []
+        for f in collect_files([src]):
+            lf = parse_file(f)
+            if ("import multiprocessing" in lf.source
+                    or "from multiprocessing" in lf.source):
+                importers.append(lf.posix)
+        assert sorted(importers) == sorted(
+            p for p in importers
+            if any(p.endswith(m) for m in MULTIPROCESSING_ALLOWLIST)
+        )
+        assert len(importers) == len(MULTIPROCESSING_ALLOWLIST)
+
 
 STEP_GEN_TEMPLATE = """\
 class Table:

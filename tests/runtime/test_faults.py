@@ -79,7 +79,10 @@ class TestFaultPlan:
         plan = FaultPlan(seed=0, crash_rate=1.0, delay_rate=1.0)
         assert plan.decide(CRASH, "s")
         assert plan.decide(DELAY, "s")
-        assert plan.counts() == {CRASH: 1, STALL: 0, DELAY: 1}
+        expected = {kind: 0 for kind in FAULT_KINDS}
+        expected[CRASH] = 1
+        expected[DELAY] = 1
+        assert plan.counts() == expected
 
     def test_budget_caps_total_faults(self):
         plan = FaultPlan(seed=0, crash_rate=1.0, max_faults=3)

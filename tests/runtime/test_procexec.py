@@ -1,0 +1,257 @@
+"""Supervised process executor: shared memory, supervision, faults.
+
+These tests spawn real worker processes (fork on Linux) with tight
+timeouts; geometry-level differential coverage lives in
+``tests/hull/test_proc_hull.py``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.backoff import BackoffPolicy
+from repro.runtime.faults import FaultPlan
+from repro.runtime.procexec import (
+    ChunkQuarantined,
+    ExecutorBrokenError,
+    ProcessExecutor,
+    SharedArray,
+    active_segments,
+)
+
+
+# Module-level compute functions: picklable under any start method.
+
+def _double(arrays, item):
+    return float(arrays["x"][item] * 2.0)
+
+
+def _sum_all(arrays, item):
+    return float(arrays["x"].sum()) + item
+
+
+def _boom(arrays, item):
+    raise ValueError(f"poison item {item}")
+
+
+def _make(n_workers=2, **kw):
+    kw.setdefault("chunk_timeout", 5.0)
+    kw.setdefault("hb_timeout", 2.0)
+    kw.setdefault("hb_interval", 0.02)
+    kw.setdefault("round_timeout", 30.0)
+    return ProcessExecutor(n_workers=n_workers, **kw)
+
+
+class TestSharedArray:
+    def test_roundtrip_and_descriptor_attach(self):
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        with SharedArray.create(arr) as sa:
+            assert np.array_equal(sa.array, arr)
+            other = SharedArray.attach(sa.descriptor())
+            try:
+                assert np.array_equal(other.array, arr)
+                # Writes through one mapping are visible in the other.
+                sa.array[1, 2] = -7.0
+                assert other.array[1, 2] == -7.0
+            finally:
+                other.close()
+
+    def test_snapshot_restore_byte_exact(self):
+        arr = np.linspace(0.0, 1.0, 16).reshape(4, 4)
+        with SharedArray.create(arr) as sa:
+            snap = sa.snapshot()
+            sa.array[...] = 0.0
+            sa.restore(snap)
+            assert sa.array.tobytes() == snap
+            assert np.array_equal(sa.array, arr)
+
+    def test_restore_wrong_size_rejected(self):
+        with SharedArray.create(np.zeros(4)) as sa:
+            with pytest.raises(ValueError, match="snapshot"):
+                sa.restore(b"\x00" * 8)
+
+    def test_close_idempotent_and_tracked(self):
+        sa = SharedArray.create(np.ones(3))
+        name = sa.descriptor()[0]
+        assert name in active_segments()
+        sa.close()
+        assert name not in active_segments()
+        sa.close()  # no-op, no raise
+        with pytest.raises(ValueError, match="closed"):
+            _ = sa.array
+
+    def test_attach_does_not_own(self):
+        sa = SharedArray.create(np.ones(3))
+        try:
+            other = SharedArray.attach(sa.descriptor())
+            other.close()
+            # Closing the attachment must not unlink the owner's segment.
+            assert np.array_equal(sa.array, np.ones(3))
+            assert sa.descriptor()[0] in active_segments()
+        finally:
+            sa.close()
+
+    def test_no_leak_after_exception(self):
+        before = active_segments()
+        with pytest.raises(RuntimeError):
+            with SharedArray.create(np.zeros(5)):
+                raise RuntimeError("crash inside the context")
+        assert active_segments() == before
+
+
+class TestLifecycle:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            ProcessExecutor(n_workers=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ProcessExecutor(max_retries=-1)
+
+    def test_run_round_before_start_raises(self):
+        ex = _make()
+        with pytest.raises(RuntimeError, match="not running"):
+            ex.run_round([[1]])
+
+    def test_started_property_and_double_start(self):
+        ex = _make()
+        assert not ex.started
+        ex.start({"x": np.arange(4.0)}, _double)
+        try:
+            assert ex.started
+            with pytest.raises(RuntimeError, match="already started"):
+                ex.start({"x": np.arange(4.0)}, _double)
+        finally:
+            ex.close()
+        assert not ex.started
+
+    def test_close_idempotent_no_segment_leak(self):
+        before = active_segments()
+        ex = _make()
+        ex.start({"x": np.arange(8.0)}, _double)
+        assert len(active_segments()) == len(before) + 1
+        ex.close()
+        ex.close()
+        assert active_segments() == before
+
+    def test_context_manager_cleans_up_on_error(self):
+        before = active_segments()
+        with pytest.raises(RuntimeError, match="boom"):
+            with _make() as ex:
+                ex.start({"x": np.arange(4.0)}, _double)
+                raise RuntimeError("boom")
+        assert active_segments() == before
+
+    def test_keyboard_interrupt_path_cleans_up(self):
+        # KeyboardInterrupt is a BaseException: the finally/close path
+        # must still drain the segments.
+        before = active_segments()
+        with pytest.raises(KeyboardInterrupt):
+            with _make() as ex:
+                ex.start({"x": np.arange(4.0)}, _double)
+                ex.run_round([[0, 1], [2, 3]])
+                raise KeyboardInterrupt
+        assert active_segments() == before
+
+
+class TestFaultFreeRounds:
+    def test_results_in_payload_order(self):
+        with _make(n_workers=2) as ex:
+            ex.start({"x": np.arange(10.0)}, _double)
+            out = ex.run_round([[0, 1], [2], [3, 4, 5]])
+        assert out == [[0.0, 2.0], [4.0], [6.0, 8.0, 10.0]]
+
+    def test_empty_round(self):
+        with _make() as ex:
+            ex.start({"x": np.arange(4.0)}, _double)
+            assert ex.run_round([]) == []
+
+    def test_multiple_rounds_reuse_pool(self):
+        with _make(n_workers=2) as ex:
+            ex.start({"x": np.arange(6.0)}, _sum_all)
+            total = float(np.arange(6.0).sum())
+            for rnd in range(4):
+                out = ex.run_round([[rnd], [rnd + 1]])
+                assert out == [[total + rnd], [total + rnd + 1]]
+            assert ex.stats.worker_deaths == 0
+            assert ex.stats.retries == 0
+
+    def test_more_chunks_than_workers(self):
+        with _make(n_workers=2) as ex:
+            ex.start({"x": np.arange(20.0)}, _double)
+            out = ex.run_round([[i] for i in range(12)])
+        assert out == [[float(2 * i)] for i in range(12)]
+
+
+class TestSupervision:
+    def test_killed_workers_are_respawned_and_chunks_retried(self):
+        plan = FaultPlan(seed=5, kill_rate=0.5)
+        with _make(n_workers=2, plan=plan, max_retries=10,
+                   max_respawns=64) as ex:
+            ex.start({"x": np.arange(16.0)}, _double)
+            out = ex.run_round([[i, i + 1] for i in range(0, 16, 2)])
+        assert out == [[float(2 * i), float(2 * i + 2)]
+                       for i in range(0, 16, 2)]
+        assert ex.stats.worker_deaths > 0
+        assert ex.stats.respawns > 0
+        assert ex.stats.retries >= ex.stats.worker_deaths
+
+    def test_stalled_worker_is_killed_by_stale_heartbeat(self):
+        plan = FaultPlan(seed=3, stall_rate=0.9)
+        with _make(n_workers=2, plan=plan, max_retries=20, max_respawns=64,
+                   hb_timeout=0.3, chunk_timeout=10.0) as ex:
+            ex.start({"x": np.arange(4.0)}, _double)
+            out = ex.run_round([[0, 1], [2, 3]])
+        assert out == [[0.0, 2.0], [4.0, 6.0]]
+        assert ex.stats.stall_kills > 0
+
+    def test_dropped_results_hit_the_deadline(self):
+        plan = FaultPlan(seed=1, drop_rate=0.8)
+        with _make(n_workers=2, plan=plan, max_retries=20, max_respawns=64,
+                   chunk_timeout=0.4, hb_timeout=10.0) as ex:
+            ex.start({"x": np.arange(4.0)}, _double)
+            out = ex.run_round([[0, 1], [2, 3]])
+        assert out == [[0.0, 2.0], [4.0, 6.0]]
+        assert ex.stats.deadline_kills > 0
+
+    def test_duplicate_results_applied_once(self):
+        plan = FaultPlan(seed=2, dup_rate=1.0)
+        with _make(n_workers=2, plan=plan) as ex:
+            ex.start({"x": np.arange(8.0)}, _double)
+            out = ex.run_round([[i] for i in range(6)])
+            # Late second copies surface on the next round's drain (or
+            # this one's); either way they may only bump the counter.
+            out2 = ex.run_round([[i] for i in range(6)])
+        assert out == out2 == [[float(2 * i)] for i in range(6)]
+        assert ex.stats.duplicates_dropped > 0
+
+    def test_poison_chunk_quarantined(self):
+        with _make(n_workers=2, max_retries=2,
+                   backoff=BackoffPolicy(base=0.0, cap=0.0, jitter=0.0)) as ex:
+            ex.start({"x": np.arange(4.0)}, _boom)
+            with pytest.raises(ChunkQuarantined) as ei:
+                ex.run_round([[0], [1]])
+        assert sorted(ei.value.chunk_ids) == [0, 1]
+        assert any("poison item" in r for r in ei.value.reasons)
+        assert ex.stats.quarantined == 2
+        # A worker exception is not a worker death.
+        assert ex.stats.worker_deaths == 0
+
+    def test_respawn_budget_exhaustion_breaks_executor(self):
+        plan = FaultPlan(seed=7, kill_rate=1.0)
+        with _make(n_workers=2, plan=plan, max_retries=50,
+                   max_respawns=3) as ex:
+            ex.start({"x": np.arange(4.0)}, _double)
+            with pytest.raises(ExecutorBrokenError, match="respawn budget"):
+                ex.run_round([[0], [1], [2], [3]])
+
+    def test_heartbeats_observed(self):
+        with _make(n_workers=2) as ex:
+            ex.start({"x": np.arange(4.0)}, _double)
+            ex.run_round([[0, 1]])
+            # Idle workers beat every hb_interval; give them a moment
+            # and drain on the next round.
+            deadline = time.monotonic() + 2.0
+            while ex.stats.heartbeats == 0 and time.monotonic() < deadline:
+                time.sleep(0.05)
+                ex.run_round([[2, 3]])
+        assert ex.stats.heartbeats > 0

@@ -25,6 +25,12 @@ class TestHull:
         out = json.loads(capsys.readouterr().out)
         assert out["executor"] == "threads"
 
+    def test_process_executor(self, capsys):
+        main(["hull", "--n", "100", "--executor", "process", "--workers", "2"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["executor"] == "process"
+        assert out["hull_facets"] > 0
+
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["hull", "--workload", "torus"])
@@ -92,12 +98,35 @@ class TestChaosCommand:
         assert out["budget"] == "small"
         assert {s["impl"] for s in out["stall_sweeps"]} == {"cas", "tas"}
         assert all(r["same_facets"] for r in out["roundtrips"])
-        # The small budget exercises both executor disciplines.
-        assert {r["executor"] for r in out["roundtrips"]} == {"rounds", "threads"}
+        # The small budget exercises all three executor disciplines.
+        assert {r["executor"] for r in out["roundtrips"]} == {
+            "rounds", "threads", "procs"}
+
+    def test_executor_filter_process(self, capsys):
+        # --executor restricts the roundtrips to one family and skips
+        # the executor-independent stall sweeps (the CI soak knob).
+        main(["chaos", "--seed", "0", "--budget", "small",
+              "--executor", "process"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] is True
+        assert out["stall_sweeps"] == []
+        assert {r["executor"] for r in out["roundtrips"]} == {"procs"}
+        assert all(r["trace_identical"] for r in out["roundtrips"])
+
+    def test_executor_filter_thread(self, capsys):
+        main(["chaos", "--seed", "1", "--budget", "small",
+              "--executor", "thread"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["ok"] is True
+        assert {r["executor"] for r in out["roundtrips"]} == {"threads"}
 
     def test_unknown_budget_rejected(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--budget", "galactic"])
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--executor", "quantum"])
 
 
 class TestCertifyCommand:
