@@ -1,0 +1,66 @@
+"""E23: noisy-oracle hulls -- standalone runner.
+
+Plain script (the ``noisy-smoke`` CI job and ``repro noisy`` both drive
+the same campaign): runs
+:func:`repro.analysis.noisybench.run_noisy_bench` and writes
+``BENCH_noisy.json``, the artefact EXPERIMENTS.md's E23 tables quote --
+output error vs flip rate p, vote-repetition overhead, and the
+validator-power table (certificate false-accept rate over corrupted
+and genuinely noisy hulls).
+
+    PYTHONPATH=src python benchmarks/bench_noisy.py            # full
+    PYTHONPATH=src python benchmarks/bench_noisy.py --smoke    # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.analysis.noisybench import run_noisy_bench  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny grid / single seeds: checks the harness, "
+                         "not the >=500-certificate criterion")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default="BENCH_noisy.json", metavar="PATH")
+    args = ap.parse_args(argv)
+
+    report = run_noisy_bench(seed=args.seed, smoke=args.smoke)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    s = report["summary"]
+    print(f"wrote {args.out}")
+    print(f"ladder runs match exact oracle: {s['all_ladder_runs_match_exact']}")
+    print(f"validator: {s['validator_certificates_checked']} certificates, "
+          f"{s['validator_false_accepts']} false accepts "
+          f"(rate {s['validator_false_accept_rate']:.4f})")
+    if not report["smoke"]:
+        print(f">=500 certificates criterion: "
+              f"{'PASS' if s['criterion_500_certs'] else 'FAIL'}")
+    print("error vs p (votes=1):")
+    for p, err in s["error_vs_p_votes1"].items():
+        print(f"  p={p}: jaccard error {err:.4f}")
+    print(f"vote overhead at p={max(report['ps'])}:")
+    for v, oh in s["overhead_vs_votes_maxp"].items():
+        print(f"  votes={v}: {oh:.2f}x")
+    if not s["all_ladder_runs_match_exact"]:
+        return 1
+    if s["validator_false_accepts"]:
+        return 1
+    if not report["smoke"] and not s["criterion_500_certs"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

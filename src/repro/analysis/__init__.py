@@ -4,6 +4,7 @@ work accounting, and simulated speedup curves."""
 from .crcw import CRCWSpanReport, crcw_span
 from .depth import DepthCampaign, DepthSample, fit_log_slope, measure_hull_depths
 from .kernelbench import KERNEL_BENCH_SCHEMA, run_kernel_bench
+from .noisybench import NOISY_BENCH_SCHEMA, facet_distance, run_noisy_bench
 from .work import WorkComparison, compare_work, speedup_table, work_scaling
 
 __all__ = [
@@ -11,6 +12,9 @@ __all__ = [
     "crcw_span",
     "KERNEL_BENCH_SCHEMA",
     "run_kernel_bench",
+    "NOISY_BENCH_SCHEMA",
+    "facet_distance",
+    "run_noisy_bench",
     "DepthCampaign",
     "DepthSample",
     "fit_log_slope",

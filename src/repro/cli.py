@@ -19,6 +19,8 @@ Commands
 ``chaos``     fault-injection suite: stall sweeps + crash/delay roundtrips (E17)
 ``bench-kernels``  scalar vs batched predicate kernels, filter-fallback
               rates, sign-cache stats (E19)
+``noisy``     noisy-oracle campaign: output error vs flip rate p, vote
+              overhead, certificate validator power (E23)
 
 Examples
 --------
@@ -72,8 +74,27 @@ def cmd_hull(args) -> None:
     pts = _points(args)
     executor = EXECUTORS[args.executor](args)
     multimap = "cas" if args.executor == "threads" else "dict"
-    run = parallel_hull(pts, seed=args.seed + 1, executor=executor, multimap=multimap,
-                        kernel=args.kernel)
+    extra = {}
+    if args.noise > 0.0:
+        # Noisy oracle: run through the certificate-gated ladder so a
+        # hull the noise corrupted escalates (vote count, then the
+        # exact rungs) instead of being printed.
+        from .geometry.noisy import NoisyKernel, parse_votes
+        from .hull import robust_hull
+
+        try:
+            nk = NoisyKernel(p=args.noise, votes=parse_votes(args.votes),
+                             seed=args.seed, base=args.kernel)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        res = robust_hull(pts, seed=args.seed + 1, noise=nk,
+                          executor=executor, multimap=multimap,
+                          kernel=args.kernel)
+        run = res.run
+        extra = {"mode": res.mode, "escalations": res.escalations}
+    else:
+        run = parallel_hull(pts, seed=args.seed + 1, executor=executor,
+                            multimap=multimap, kernel=args.kernel)
     validate_hull(run.facets, run.points)
     out = {
         "n": args.n,
@@ -81,6 +102,7 @@ def cmd_hull(args) -> None:
         "workload": args.workload,
         "executor": args.executor,
         "kernel": run.exec_stats.kernel_stats,
+        **extra,
         "hull_facets": len(run.facets),
         "hull_vertices": len(run.vertex_indices()),
         "facets_created": len(run.created),
@@ -414,6 +436,22 @@ def cmd_chaos(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_noisy(args) -> None:
+    from .analysis.noisybench import run_noisy_bench
+
+    report = run_noisy_bench(seed=args.seed, smoke=args.smoke)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        json.dump(report, sys.stdout, indent=2)
+        print()
+    s = report["summary"]
+    if not s["all_ladder_runs_match_exact"] or s["validator_false_accepts"]:
+        raise SystemExit(1)
+
+
 def cmd_bench_kernels(args) -> None:
     from .analysis.kernelbench import run_kernel_bench
 
@@ -474,6 +512,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="scalar", choices=["scalar", "batch"],
                    help="visibility engine: per-facet scalar oracle or "
                         "batched einsum sweeps with exact fallback")
+    p.add_argument("--noise", type=float, default=0.0, metavar="P",
+                   help="flip each visibility decision with probability P "
+                        "(seeded noisy oracle; runs through the "
+                        "certificate-gated robust ladder)")
+    p.add_argument("--votes", default="1", metavar="K",
+                   help="majority-vote repetitions per noisy decision: a "
+                        "positive odd integer or 'adaptive'")
     p.set_defaults(fn=cmd_hull)
 
     p = sub.add_parser("depth", help="depth-vs-n campaign (E1)")
@@ -609,6 +654,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "family (skips the executor-independent stall "
                         "sweeps); default runs everything")
     p.set_defaults(fn=cmd_chaos)
+
+    p = sub.add_parser("noisy",
+                       help="noisy-oracle campaign: error vs p, vote "
+                            "overhead, validator power (E23)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny grid / single seeds (CI harness check)")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the JSON report here instead of stdout")
+    p.set_defaults(fn=cmd_noisy)
 
     p = sub.add_parser("bench-kernels",
                        help="scalar vs batched predicate kernels (E19)")

@@ -12,6 +12,7 @@ from .kernels import (
     orient_batch,
 )
 from .linalg import det_exact, det_with_error_bound, sign_exact
+from .noisy import ADAPTIVE, NoisyKernel, parse_votes
 from .points import (
     anisotropic,
     collinear_cluster,
@@ -58,6 +59,9 @@ __all__ = [
     "det_exact",
     "det_with_error_bound",
     "sign_exact",
+    "ADAPTIVE",
+    "NoisyKernel",
+    "parse_votes",
     "STATS",
     "in_circle",
     "orient",

@@ -19,6 +19,7 @@ import numpy as np
 from ..analyze.shapes import observe
 from ..geometry.hyperplane import Hyperplane
 from ..geometry.kernels import BatchKernel
+from ..geometry.noisy import NoisyKernel
 from ..geometry.perturb import sos_active
 from ..geometry.simplex import Facet
 from ..runtime.atomics import Mutex
@@ -194,14 +195,22 @@ class FacetFactory:
     ``"batch"`` (the :class:`~repro.geometry.kernels.BatchKernel`:
     candidate blocks of many facets are swept in one einsum, uncertain
     entries escalate to the same exact ladder, and decisions are cached
-    per (facet identity, rank)).  Work accounting is kernel-invariant:
-    ``counters.visibility_tests`` counts scalar-equivalent tests either
-    way, so E2/E13 comparisons are unaffected by the engine choice.
+    per (facet identity, rank)).  A
+    :class:`~repro.geometry.noisy.NoisyKernel` instance is also
+    accepted: its ``base`` names one of the two engines above, whose
+    *true* masks are then perturbed by the seeded lying oracle before
+    conflict sets are built (the sign cache, when active, stores true
+    signs -- noise is a deterministic re-application, so caching does
+    not accidentally de-noise or double-noise a decision).  Work
+    accounting is kernel-invariant: ``counters.visibility_tests``
+    counts scalar-equivalent *questions* either way (vote repetitions
+    land in the noisy kernel's own counters), so E2/E13 comparisons are
+    unaffected by the engine choice.
     """
 
     def __init__(self, pts: np.ndarray, interior: np.ndarray, counters: Counters,
                  interior_ranks: tuple[int, ...] | None = None,
-                 kernel: str = "scalar"):
+                 kernel: str | NoisyKernel = "scalar"):
         self.pts = pts
         self.interior = np.asarray(interior, dtype=np.float64)
         self.counters = counters
@@ -213,6 +222,8 @@ class FacetFactory:
         self._interior_combo = (pts[list(interior_ranks)], interior_ranks)
         self._mutex = Mutex()
         self._next_fid = 0
+        self.noisy = kernel if isinstance(kernel, NoisyKernel) else None
+        kernel = self.noisy.base if self.noisy is not None else kernel
         if kernel not in ("scalar", "batch"):
             raise ValueError(f"unknown kernel {kernel!r}; use 'scalar' or 'batch'")
         self.kernel = kernel
@@ -225,6 +236,9 @@ class FacetFactory:
             snap.update(self.batch_kernel.snapshot())
             if self.batch_kernel.cache is not None:
                 snap.update(self.batch_kernel.cache.snapshot())
+        if self.noisy is not None:
+            snap["kernel"] = f"noisy[{self.kernel}]"
+            snap.update(self.noisy.snapshot())
         return snap
 
     def _plane_for(self, indices: tuple[int, ...]) -> Hyperplane:
@@ -291,6 +305,11 @@ class FacetFactory:
                 if cands.size else np.zeros(0, dtype=bool)
                 for plane, cands in zip(planes, cand_list)
             ]
+        if self.noisy is not None:
+            # Perturb *after* the true masks exist: both engines (and the
+            # sign cache) stay exact underneath, and the flip for a given
+            # (facet, rank) site is the same whichever engine computed it.
+            masks = self.noisy.noisy_masks(idx_list, cand_list, masks)
         with self._mutex:
             fid0 = self._next_fid
             self._next_fid += len(specs)

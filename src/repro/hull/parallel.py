@@ -28,6 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from ..geometry.hyperplane import Hyperplane
+from ..geometry.noisy import NoisyKernel
 from ..geometry.simplex import Facet, Ridge, facet_ridges
 from ..runtime.executors import ExecutionStats, RoundExecutor, SerialExecutor, ThreadExecutor
 from ..runtime.faults import FaultPlan
@@ -211,7 +212,7 @@ def parallel_hull(
     multimap: str = "dict",
     base_size: int | None = None,
     fault_plan: FaultPlan | None = None,
-    kernel: str = "scalar",
+    kernel: str | NoisyKernel = "scalar",
 ) -> ParallelHullRun:
     """Run Algorithm 3 on ``points``.
 
@@ -253,7 +254,12 @@ def parallel_hull(
         re-created facet reuses its previously decided signs).  The
         kernel's sweep/fallback/cache counters land in
         ``exec_stats.kernel_stats``; ``counters`` and the work-span log
-        stay kernel-invariant (scalar-equivalent accounting).
+        stay kernel-invariant (scalar-equivalent accounting).  A
+        :class:`~repro.geometry.noisy.NoisyKernel` runs its base engine
+        and perturbs each visibility decision at its seeded flip rate
+        (with majority-vote repair); not combinable with
+        :class:`ProcessExecutor`, whose workers evaluate sweeps outside
+        the factory the noise hooks into.
     """
     pts, order = prepare_points(points, order, seed)
     n, d = pts.shape
@@ -267,10 +273,21 @@ def parallel_hull(
     counters = Counters()
     interior = pts[: d + 1].mean(axis=0)
     factory = FacetFactory(pts, interior, counters, kernel=kernel)
+    # The engine actually running underneath (a NoisyKernel names its
+    # base); the work-span bootstrap below keys off this so a p=0 noisy
+    # run logs the exact same DAG as its unwrapped counterpart.
+    kernel_name = factory.kernel
     tracker = WorkSpanTracker()
 
     if executor is None:
         executor = RoundExecutor()
+    if factory.noisy is not None and isinstance(executor, ProcessExecutor):
+        raise ValueError(
+            "NoisyKernel is not supported under ProcessExecutor: worker "
+            "processes sweep conflicts outside the FacetFactory the noise "
+            "wraps, so flips would silently not apply; use a serial, "
+            "round, or thread executor"
+        )
     if multimap == "dict":
         if isinstance(executor, ThreadExecutor):
             raise ValueError("the dict multimap is not safe under ThreadExecutor; "
@@ -298,7 +315,7 @@ def parallel_hull(
     def _logcost(w: int) -> int:
         return max(1, int(math.log2(w + 2)))
 
-    if kernel == "batch":
+    if kernel_name == "batch":
         # The base bootstrap ran as ONE batched sweep; log it as one
         # task at its scalar-equivalent work (sum of the per-facet
         # blocks) so W is identical to the scalar run's, with the

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..geometry.noisy import NoisyKernel
 from ..geometry.simplex import Facet, facet_ridges
 from .common import (
     Counters,
@@ -58,7 +59,7 @@ def point_parallel_hull(
     points: np.ndarray,
     order: np.ndarray | None = None,
     seed: int | None = None,
-    kernel: str = "scalar",
+    kernel: str | NoisyKernel = "scalar",
 ) -> PointParallelResult:
     """Bulk-synchronous point-parallel incremental hull.
 

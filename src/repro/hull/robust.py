@@ -26,6 +26,16 @@ exact verifier -- construction bugs cannot self-approve), and on
 failure the next rung is tried.  The escalation path ends up both in
 the result and in the run's ``exec_stats.escalations`` so chaos reports
 and experiment logs can see which inputs needed which tier.
+
+When a :class:`~repro.geometry.noisy.NoisyKernel` is supplied
+(``noise=``), *noisy* rungs run before the exact ladder: the hull is
+built against the lying oracle, and the same independent certificate
+decides whether the answer survived the noise.  Rejection escalates the
+vote count (``k -> 2k+1 -> adaptive``, each at a fresh noise epoch so
+retries draw independent errors) and finally falls through to the
+noise-free ladder above -- certificate-gated self-healing.  Every
+attempt lands in ``escalations`` as ``noisy[p=..,votes=..]:{ok,...}``,
+with an ``#attempt`` counter distinguishing retries of the same rung.
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..geometry.hyperplane import exact_mode
+from ..geometry.noisy import NoisyKernel
 from ..geometry.perturb import sos_mode
 from .certify import CertificateError, HullCertificate, make_certificate, verify_certificate
 from .joggle import JoggledHull, joggled_hull
@@ -53,9 +64,15 @@ class RobustHullResult:
     joggled coordinates when ``mode == "joggle"``, in which case
     ``joggled`` carries the perturbation provenance).  ``escalations``
     is the full path, e.g. ``["float:HullSetupError",
-    "exact:HullSetupError", "sos:ok"]``.  ``certificate`` is the
-    independently verified :class:`HullCertificate` of the surviving
-    run (None only when ``certify=False``).
+    "exact:HullSetupError", "sos:ok"]``, normalized to one
+    ``rung:outcome`` entry per attempt -- a re-attempt of a rung already
+    on the path gets an attempt counter (``"rung#2:outcome"``), so the
+    path is injective and counting attempts per rung is exact.  With
+    noise, ``mode`` is the noisy rung label (``"noisy[p=..,votes=..]"``)
+    and ``noise`` the :class:`NoisyKernel` that produced the surviving
+    run (its counters hold the vote-overhead numbers).  ``certificate``
+    is the independently verified :class:`HullCertificate` of the
+    surviving run (None only when ``certify=False``).
     """
 
     run: ParallelHullRun
@@ -63,6 +80,7 @@ class RobustHullResult:
     escalations: list[str] = field(default_factory=list)
     joggled: JoggledHull | None = None
     certificate: HullCertificate | None = None
+    noise: NoisyKernel | None = None
 
     def vertex_indices(self) -> set[int]:
         return self.run.vertex_indices()
@@ -76,6 +94,8 @@ def robust_hull(
     allow_sos: bool = True,
     validate: bool = True,
     certify: bool = True,
+    noise: NoisyKernel | None = None,
+    noise_retries: int = 1,
     **hull_kwargs,
 ) -> RobustHullResult:
     """Compute a hull of ``points``, escalating through the predicate
@@ -93,12 +113,37 @@ def robust_hull(
     :func:`~repro.geometry.perturb.merge_coplanar_facets` on an SoS run
     instead).  Extra keyword arguments are forwarded to
     :func:`parallel_hull`.
+
+    ``noise`` prepends noisy rungs: the hull runs against the given
+    :class:`NoisyKernel` (``noise_retries`` attempts per vote level,
+    each at a fresh epoch), the certificate gate decides acceptance,
+    and rejection climbs ``noise.escalation_levels()`` before falling
+    through to the exact ladder.  Noisy attempts may fail *arbitrarily*
+    -- a lying oracle can corrupt structural invariants deep inside the
+    run, not just the checked properties -- so any exception escalates
+    (recorded by type), whereas the noise-free rungs keep their strict
+    catch list so genuine bugs still surface.
     """
     points = np.asarray(points, dtype=np.float64)
     escalations: list[str] = []
+    rung_attempts: dict[str, int] = {}
 
-    def attempt(mode: str) -> tuple[ParallelHullRun, HullCertificate | None]:
-        run = parallel_hull(points, seed=seed, order=order, **hull_kwargs)
+    def record(rung: str, outcome: str) -> None:
+        # One entry per attempt; repeat attempts of a rung get "#k"
+        # (first keeps the bare label, so single-pass paths -- every
+        # pre-noise caller -- read exactly as before).
+        k = rung_attempts.get(rung, 0) + 1
+        rung_attempts[rung] = k
+        tag = rung if k == 1 else f"{rung}#{k}"
+        escalations.append(f"{tag}:{outcome}")
+
+    def attempt(
+        mode: str, kernel_override: NoisyKernel | None = None
+    ) -> tuple[ParallelHullRun, HullCertificate | None]:
+        kwargs = dict(hull_kwargs)
+        if kernel_override is not None:
+            kwargs["kernel"] = kernel_override
+        run = parallel_hull(points, seed=seed, order=order, **kwargs)
         if validate:
             validate_hull(run.facets, run.points)
         cert = None
@@ -106,6 +151,29 @@ def robust_hull(
             cert = make_certificate(run, mode)
             verify_certificate(cert, points)
         return run, cert
+
+    if noise is not None:
+        if noise_retries < 1:
+            raise ValueError(f"noise_retries must be >= 1, got {noise_retries}")
+        epoch = noise.epoch
+        for level in noise.escalation_levels():
+            for _ in range(noise_retries):
+                nk = noise.spawn(votes=level, epoch=epoch)
+                epoch += 1
+                label = nk.rung_label()
+                try:
+                    run, cert = attempt(label, kernel_override=nk)
+                except Exception as exc:
+                    record(label, type(exc).__name__)
+                    continue
+                record(label, "ok")
+                run.exec_stats.escalations = (
+                    run.exec_stats.escalations + list(escalations)
+                )
+                return RobustHullResult(
+                    run=run, mode=label, escalations=escalations,
+                    certificate=cert, noise=nk,
+                )
 
     rungs = ["float", "exact"] + (["sos"] if allow_sos else [])
     last_error: Exception | None = None
@@ -124,10 +192,10 @@ def robust_hull(
             # geometry layer's "orientation reference lies on the
             # hyperplane" -- a genuinely degenerate reference that only
             # the SoS rung can break.
-            escalations.append(f"{mode}:{type(exc).__name__}")
+            record(mode, type(exc).__name__)
             last_error = exc
             continue
-        escalations.append(f"{mode}:ok")
+        record(mode, "ok")
         # Merge, don't overwrite: the run may already carry executor-
         # ladder escalations (process->thread->serial degradation from
         # the supervised ProcessExecutor loop).
@@ -150,9 +218,9 @@ def robust_hull(
         try:
             verify_certificate(cert, joggled_points)
         except CertificateError:
-            escalations.append("joggle:CertificateError")
+            record("joggle", "CertificateError")
             raise
-    escalations.append(f"joggle:ok[attempts={jh.attempts}]")
+    record("joggle", f"ok[attempts={jh.attempts}]")
     jh.run.exec_stats.escalations = jh.run.exec_stats.escalations + list(escalations)
     return RobustHullResult(
         run=jh.run, mode="joggle", escalations=escalations, joggled=jh,

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..geometry.noisy import NoisyKernel
 from ..geometry.simplex import Facet, Ridge, facet_ridges
 from .common import (
     Counters,
@@ -72,7 +73,7 @@ def sequential_hull(
     points: np.ndarray,
     order: np.ndarray | None = None,
     seed: int | None = None,
-    kernel: str = "scalar",
+    kernel: str | NoisyKernel = "scalar",
 ) -> SequentialHullResult:
     """Run Algorithm 2 on ``points``.
 
@@ -88,7 +89,10 @@ def sequential_hull(
         Visibility engine: ``"scalar"`` (the per-facet oracle) or
         ``"batch"`` (every insertion step's new facets share one
         einsum sweep; see :mod:`repro.geometry.kernels`).  The two
-        engines produce identical facets, conflicts, and counters.
+        engines produce identical facets, conflicts, and counters.  A
+        :class:`~repro.geometry.noisy.NoisyKernel` perturbs its base
+        engine's visibility answers at a seeded flip rate (see
+        :mod:`repro.geometry.noisy`).
     """
     pts, order = prepare_points(points, order, seed)
     n, d = pts.shape

@@ -18,6 +18,15 @@ __all__ = ["run_summary", "save_run", "load_summary", "graph_from_summary"]
 
 def run_summary(run) -> dict[str, Any]:
     """Flatten a :class:`ParallelHullRun` into a JSON-safe dict."""
+    kernel_stats = dict(
+        getattr(run.exec_stats, "kernel_stats", {}) or {"kernel": "scalar"}
+    )
+    # Noisy-oracle provenance (flip/vote counters from a NoisyKernel
+    # run) rides inside kernel_stats; surface it as its own block so
+    # archived escalation paths like "noisy[p=0.05,votes=3]:ok" stay
+    # interpretable without re-running anything.
+    noise = {k: v for k, v in kernel_stats.items()
+             if k.startswith(("noise_", "noisy_"))}
     return {
         "schema": "repro.hull.run/1",
         "n": int(run.points.shape[0]),
@@ -60,7 +69,8 @@ def run_summary(run) -> dict[str, Any]:
         },
         # Visibility-kernel provenance (batched sweeps, filter
         # fallbacks, sign-cache hits); {"kernel": "scalar"} by default.
-        "kernel": dict(getattr(run.exec_stats, "kernel_stats", {}) or {"kernel": "scalar"}),
+        "kernel": kernel_stats,
+        "noise": noise or None,
         "depth": int(run.dependence_depth()),
         "work": int(run.tracker.work),
         "span": int(run.tracker.span),

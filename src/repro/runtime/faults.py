@@ -80,6 +80,8 @@ __all__ = [
     "RetryBudgetExceeded",
     "FaultEvent",
     "FaultPlan",
+    "unit_hash",
+    "unit_hash_attempt",
 ]
 
 CRASH = "crash"
@@ -128,6 +130,27 @@ def _unit_hash(seed: int, kind: str, site: str) -> float:
     """
     digest = hashlib.blake2b(
         f"{seed}|{kind}|{site}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+#: Public alias -- the keyed coin shared by every seeded-fault consumer
+#: (chaos plans, backoff jitter, the noisy predicate oracle).
+unit_hash = _unit_hash
+
+
+def unit_hash_attempt(seed: int, kind: str, site: str, attempt: int) -> float:
+    """Uniform float in [0, 1) keyed by ``(seed, kind, site, attempt)``.
+
+    Distinct ``attempt`` indices on the same site draw *independent*
+    coins -- the property majority-vote repetition (and chunk-retry
+    fault injection) relies on.  The site is length-prefixed in the
+    hashed payload, so the encoding is injective: no ``(site, attempt)``
+    pair can replay the digest of another (e.g. ``("a1", 1)`` vs
+    ``("a", 11)``, which naive string concatenation would alias).
+    """
+    digest = hashlib.blake2b(
+        f"{seed}|{kind}|{len(site)}:{site}|{attempt}".encode(), digest_size=8
     ).digest()
     return int.from_bytes(digest, "big") / 2.0**64
 

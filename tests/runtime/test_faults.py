@@ -10,6 +10,8 @@ from repro.runtime.faults import (
     FaultEvent,
     FaultPlan,
     _unit_hash,
+    unit_hash,
+    unit_hash_attempt,
 )
 
 
@@ -41,6 +43,71 @@ class TestUnitHash:
         )
         assert _unit_hash(0, "crash", "dispatch:0") != _unit_hash(
             0, "delay", "dispatch:0"
+        )
+
+
+class TestUnitHashAttempt:
+    """The keyed per-attempt coin: majority-vote repair (geometry.noisy)
+    and chunk-retry fault injection both assume distinct attempts draw
+    independent, non-replayable coins."""
+
+    def test_public_alias(self):
+        assert unit_hash is _unit_hash
+
+    def test_deterministic_and_uniform(self):
+        a = [unit_hash_attempt(3, "flip", "f:1-2-3:7", j) for j in range(200)]
+        assert a == [unit_hash_attempt(3, "flip", "f:1-2-3:7", j) for j in range(200)]
+        assert all(0.0 <= v < 1.0 for v in a)
+        assert 0.4 < sum(a) / len(a) < 0.6
+
+    def test_attempts_statistically_independent(self):
+        # Pairwise correlation across attempt indices on the same site:
+        # threshold coins at rate p must agree at ~ p^2 + (1-p)^2, not
+        # follow each other.  1000 sites x attempt pairs (0,1), p=0.5
+        # -> agreement should be ~0.5, far from 1.0 (replay) and 0.0
+        # (anti-correlation).
+        agree = sum(
+            (unit_hash_attempt(1, "flip", f"s{i}", 0) < 0.5)
+            == (unit_hash_attempt(1, "flip", f"s{i}", 1) < 0.5)
+            for i in range(1000)
+        )
+        assert 420 <= agree <= 580
+        # And across a longer attempt axis on one site: ~half the coins
+        # land under 0.5, i.e. attempts are not biased by the index.
+        under = sum(
+            unit_hash_attempt(1, "flip", "one-site", j) < 0.5
+            for j in range(1000)
+        )
+        assert 420 <= under <= 580
+
+    def test_no_attempt_replays_another(self):
+        # One-shot per (site, attempt): the full keyed stream over many
+        # sites and attempts never collides, so no attempt can replay
+        # another's digest (8-byte digests: a birthday collision over
+        # 5000 draws has probability ~6e-13).
+        draws = {
+            unit_hash_attempt(0, "flip", f"f:{i}", j)
+            for i in range(500)
+            for j in range(10)
+        }
+        assert len(draws) == 5000
+
+    def test_site_attempt_encoding_injective(self):
+        # The length-prefixed site defeats concatenation aliasing:
+        # ("a1", 1) and ("a", 11) must NOT hash alike.
+        assert unit_hash_attempt(0, "flip", "a1", 1) != unit_hash_attempt(
+            0, "flip", "a", 11
+        )
+        assert unit_hash_attempt(0, "flip", "a|1", 2) != unit_hash_attempt(
+            0, "flip", "a", 12
+        )
+
+    def test_distinct_from_siteonly_hash(self):
+        # The attempt axis is a different keyed stream, not a suffix
+        # trick over _unit_hash's site namespace.
+        assert unit_hash_attempt(5, CRASH, "site", 0) != _unit_hash(5, CRASH, "site")
+        assert unit_hash_attempt(5, CRASH, "site", 0) != _unit_hash(
+            5, CRASH, "site|0"
         )
 
 

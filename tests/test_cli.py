@@ -171,3 +171,47 @@ class TestCertifyCommand:
     def test_unknown_corruption_rejected(self):
         with pytest.raises(SystemExit):
             main(["certify", "--corrupt", "gamma-rays"])
+
+
+class TestHullNoise:
+    def test_noisy_hull_reports_escalation_path(self, capsys):
+        main(["hull", "--n", "120", "--d", "3", "--seed", "4",
+              "--noise", "0.05", "--votes", "3"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["escalations"][-1].endswith(":ok")
+        assert out["mode"] == out["escalations"][-1].split(":")[0].split("#")[0]
+        assert out["hull_facets"] > 0
+
+    def test_adaptive_votes_accepted(self, capsys):
+        main(["hull", "--n", "80", "--seed", "1",
+              "--noise", "0.01", "--votes", "adaptive"])
+        out = json.loads(capsys.readouterr().out)
+        assert out["mode"].startswith(("noisy[", "float"))
+        # Noise provenance rides in the kernel stats block.
+        if out["mode"].startswith("noisy["):
+            assert out["kernel"]["noise_p"] == 0.01
+
+    def test_no_noise_keeps_plain_output(self, capsys):
+        main(["hull", "--n", "80", "--seed", "1"])
+        out = json.loads(capsys.readouterr().out)
+        assert "mode" not in out and "escalations" not in out
+
+    def test_invalid_votes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["hull", "--noise", "0.01", "--votes", "several"])
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["hull", "--noise", "0.7", "--votes", "1"])
+
+
+class TestNoisyCommand:
+    def test_smoke_report_written(self, capsys, tmp_path):
+        dest = tmp_path / "noisy.json"
+        main(["noisy", "--smoke", "--seed", "0", "--out", str(dest)])
+        blob = json.loads(dest.read_text())
+        assert blob["schema"] == "repro.bench.noisy/1"
+        assert blob["smoke"] is True
+        assert blob["summary"]["all_ladder_runs_match_exact"] is True
+        assert blob["summary"]["validator_false_accepts"] == 0
+        assert blob["grid"] and blob["ladder"]

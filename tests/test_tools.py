@@ -90,6 +90,29 @@ class TestFuzzer:
         finally:
             sys.argv = old_argv
 
+    def test_noisy_cases_agree(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            from fuzz import one_noisy_case
+        finally:
+            sys.path.pop(0)
+        rng = np.random.default_rng(55)
+        for _ in range(3):
+            assert one_noisy_case(rng, verbose=False) is None
+
+    def test_noisy_flag_wired(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            import fuzz
+        finally:
+            sys.path.pop(0)
+        old_argv = sys.argv
+        sys.argv = ["fuzz.py", "--noisy", "--iterations", "2", "--seed", "6"]
+        try:
+            assert fuzz.main() == 0
+        finally:
+            sys.argv = old_argv
+
 
 class TestReportHelpers:
     def test_banner_and_sections_importable(self):

@@ -441,6 +441,78 @@ def one_kernel_case(rng: np.random.Generator, verbose: bool) -> str | None:
     return None
 
 
+def one_noisy_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Fuzz one (input, p, votes, noise-seed) tuple through the noisy
+    oracle; returns an error description or None.
+
+    Three claims per case: p=0 is bit-identical to the unwrapped
+    kernel; a given noise seed is exactly reproducible; and the
+    certificate-gated ladder always lands on the exact oracle's hull.
+    """
+    from repro.geometry.noisy import NoisyKernel
+    from repro.hull.robust import robust_hull
+
+    name, gen, dims = GENERATORS[int(rng.integers(0, len(GENERATORS)))]
+    d = int(rng.choice(dims))
+    n = int(rng.integers(d + 2, 80 if d < 4 else 40))
+    seed = int(rng.integers(0, 2**31))
+    nseed = int(rng.integers(0, 2**31))
+    p = float(rng.choice([0.001, 0.01, 0.05, 0.1]))
+    votes = [1, 3, 5, "adaptive"][int(rng.integers(0, 4))]
+    base = "batch" if rng.integers(0, 2) else "scalar"
+    label = (f"noisy[{name}](n={n}, d={d}, seed={seed}, p={p}, "
+             f"votes={votes}, base={base}, nseed={nseed})")
+    if verbose:
+        print(f"  {label}")
+    pts = gen(n, d, seed=seed)
+    order = np.random.default_rng(seed + 1).permutation(n)
+    try:
+        ref = sequential_hull(pts, order=order.copy(), kernel=base)
+        ref_keys = facet_sets_global(ref.facets, ref.order)
+
+        # p=0: the wrapper must be a bit-identical no-op.
+        zero = sequential_hull(
+            pts, order=order.copy(),
+            kernel=NoisyKernel(p=0.0, votes=votes, seed=nseed, base=base),
+        )
+        if facet_sets_global(zero.facets, zero.order) != ref_keys:
+            return f"{label}: p=0 noisy differs from unwrapped"
+        if zero.counters.as_dict() != ref.counters.as_dict():
+            return f"{label}: p=0 counters differ"
+
+        # Determinism: one noise seed, one outcome (crash type counts
+        # as an outcome -- a lying oracle may break invariants).
+        def raw_outcome():
+            nk = NoisyKernel(p=p, votes=votes, seed=nseed, base=base)
+            try:
+                run = sequential_hull(pts, order=order.copy(), kernel=nk)
+            except Exception as exc:  # noqa: BLE001 - fuzzing surface
+                return ("crash", type(exc).__name__)
+            return ("ok", facet_sets_global(run.facets, run.order))
+
+        if raw_outcome() != raw_outcome():
+            return f"{label}: same noise seed gave two different outcomes"
+
+        # Self-healing: the ladder must land on the exact oracle's hull
+        # and record how it got there.
+        nk = NoisyKernel(p=p, votes=votes, seed=nseed, base=base)
+        res = robust_hull(pts, seed=seed, order=order.copy(), noise=nk)
+        exact = robust_hull(pts, seed=seed, order=order.copy())
+        # Compare in global-index space: different surviving rungs may
+        # promote/rank points differently for the same geometric hull.
+        if (facet_sets_global(res.run.facets, res.run.order)
+                != facet_sets_global(exact.run.facets, exact.run.order)):
+            return (f"{label}: ladder hull differs from exact oracle "
+                    f"(path {res.escalations})")
+        if not res.escalations or not res.escalations[-1].endswith(
+            (":ok", "]")
+        ):
+            return f"{label}: escalation path not recorded: {res.escalations}"
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return f"{label}: exception {type(exc).__name__}: {exc}"
+    return None
+
+
 # Seed programs for --effects: small concurrent-container sketches in
 # the analyzer's input language (bare-name primitives, tagged yields).
 # Mutations knock these around; the analyzer must never crash on any
@@ -648,6 +720,9 @@ def main() -> int:
                     help="fuzz the adversarial degenerate corpus instead")
     ap.add_argument("--kernels", action="store_true",
                     help="fuzz the batched predicate kernels instead")
+    ap.add_argument("--noisy", action="store_true",
+                    help="fuzz the noisy-oracle ladder with random "
+                         "(input, p, votes, seed) tuples instead")
     ap.add_argument("--effects", action="store_true",
                     help="fuzz the static effect analyzer on mutated "
                          "fixture programs instead")
@@ -667,6 +742,8 @@ def main() -> int:
         cases = (one_degenerate_case,)
     elif args.kernels:
         cases = (one_kernel_case,)
+    elif args.noisy:
+        cases = (one_noisy_case,)
     elif args.effects:
         cases = (one_effects_case,)
     elif args.hotpath:
@@ -694,6 +771,7 @@ def main() -> int:
             else "chaos-proc" if args.chaos_proc
             else "degenerate" if args.degenerate
             else "kernels" if args.kernels
+            else "noisy" if args.noisy
             else "effects" if args.effects
             else "hotpath" if args.hotpath else "differential")
     if failures:
