@@ -47,9 +47,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"hull facet sets identical: {s['all_hulls_identical']}")
     for n, ratio in s["hull_speedup_by_n"].items():
         print(f"end-to-end batch/scalar at n={n}: {ratio:.2f}x")
+    for key, ratio in s["soa_speedup_by_n"].items():
+        print(f"end-to-end soa/scalar at {key}: {ratio:.2f}x")
+    if not report["smoke"]:
+        print("soa >= 5x at n=1e5: "
+              f"{'PASS' if s['criterion_soa_5x_at_1e5'] else 'FAIL'}")
     if not s["all_hulls_identical"]:
         return 1
+    if not s["all_containment_checks_passed"]:
+        return 1
     if not report["smoke"] and not s["criterion_3x_at_1e4"]:
+        return 1
+    if not report["smoke"] and not s["criterion_soa_5x_at_1e5"]:
         return 1
     return 0
 

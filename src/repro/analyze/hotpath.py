@@ -118,11 +118,23 @@ HOT_RULES: dict[str, tuple[str, str]] = {
 #: per-element by design (it is what the batch kernels fall back to),
 #: and runtime primitives share the effects allowlist.  Hotness still
 #: propagates through them.
+#:
+#: The four object-graph hull drivers are exempt as *oracles*: since
+#: the conflict-list SoA engine (:mod:`repro.hull.soa`) became the
+#: performance path, their per-facet/per-ridge loops are the executable
+#: specification the differential suites check the SoA engine against
+#: -- batching them away would destroy the very scalar-equivalence
+#: the tests pin.  ``hull/soa.py`` itself is NOT exempt: the vectorized
+#: engine must stay finding-free on its own merits.
 HOT_EXEMPT: tuple[str, ...] = EFFECT_ALLOWLIST + (
     "geometry/predicates.py",
     "geometry/perturb.py",
     "geometry/linalg.py",
     "geometry/hyperplane.py",
+    "hull/sequential.py",
+    "hull/parallel.py",
+    "hull/point_parallel.py",
+    "hull/online.py",
 )
 
 #: the hot-data lexicon: names that, appearing in a loop iterable,

@@ -72,8 +72,19 @@ def _points(args) -> np.ndarray:
 
 def cmd_hull(args) -> None:
     pts = _points(args)
-    executor = EXECUTORS[args.executor](args)
-    multimap = "cas" if args.executor == "threads" else "dict"
+    if args.engine == "soa":
+        # The SoA engine is round-synchronous by construction and pairs
+        # ridges by sort: the executor/multimap knobs do not apply.
+        if args.executor != "rounds":
+            raise SystemExit(
+                "--engine soa is round-synchronous; it only runs with the "
+                "default --executor rounds"
+            )
+        executor = None
+        multimap = "dict"
+    else:
+        executor = EXECUTORS[args.executor](args)
+        multimap = "cas" if args.executor == "threads" else "dict"
     extra = {}
     if args.noise > 0.0:
         # Noisy oracle: run through the certificate-gated ladder so a
@@ -89,12 +100,13 @@ def cmd_hull(args) -> None:
             raise SystemExit(str(exc))
         res = robust_hull(pts, seed=args.seed + 1, noise=nk,
                           executor=executor, multimap=multimap,
-                          kernel=args.kernel)
+                          kernel=args.kernel, engine=args.engine)
         run = res.run
         extra = {"mode": res.mode, "escalations": res.escalations}
     else:
         run = parallel_hull(pts, seed=args.seed + 1, executor=executor,
-                            multimap=multimap, kernel=args.kernel)
+                            multimap=multimap, kernel=args.kernel,
+                            engine=args.engine)
     validate_hull(run.facets, run.points)
     out = {
         "n": args.n,
@@ -512,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="scalar", choices=["scalar", "batch"],
                    help="visibility engine: per-facet scalar oracle or "
                         "batched einsum sweeps with exact fallback")
+    p.add_argument("--engine", default="objects", choices=["objects", "soa"],
+                   help="hull core: per-facet object task driver or the "
+                        "round-vectorized conflict-list SoA engine "
+                        "(requires the default rounds executor)")
     p.add_argument("--noise", type=float, default=0.0, metavar="P",
                    help="flip each visibility decision with probability P "
                         "(seeded noisy oracle; runs through the "

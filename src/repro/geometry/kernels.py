@@ -58,6 +58,8 @@ __all__ = [
     "filter_scale",
     "batch_planes",
     "orient_batch",
+    "gather_segments",
+    "visible_flat",
     "SignCache",
     "BatchKernel",
 ]
@@ -256,6 +258,116 @@ def orient_batch(simplices: np.ndarray, queries: np.ndarray) -> np.ndarray:
             simplices=simplices, queries=queries, margins=margins,
             signs=signs)
     return signs.astype(np.int64)
+
+
+def gather_segments(
+    starts: np.ndarray, lens: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten ragged segments of a pooled array into gather positions.
+
+    Segment ``k`` occupies ``pool[starts[k] : starts[k] + lens[k]]``.
+    Returns ``(pos, owner)`` where ``pool[pos]`` is the concatenation of
+    all segments in order and ``owner[i]`` is the segment index that
+    produced entry ``i`` -- the prefix-sum gather the SoA conflict-list
+    engine uses to pull every ready facet's conflict list in one indexed
+    load, with no per-facet Python loop.
+    """
+    # repro: shape: starts=(K,):int64, lens=(K,):int64
+    # repro: shape: pos=(M,):int64, owner=(M,):int64
+    starts = np.asarray(starts, dtype=np.int64)
+    lens = np.asarray(lens, dtype=np.int64)
+    owner = np.repeat(np.arange(lens.shape[0], dtype=np.int64), lens)
+    total = int(lens.sum())
+    if not total:
+        return np.zeros(0, dtype=np.int64), owner
+    ends = np.cumsum(lens)
+    # Within-segment offsets: a global arange minus each segment's
+    # cumulative start, rebased onto the pool start.
+    pos = np.arange(total, dtype=np.int64) + np.repeat(starts - (ends - lens), lens)
+    observe("repro.geometry.kernels.gather_segments",
+            starts=starts, lens=lens, pos=pos, owner=owner)
+    return pos, owner
+
+
+def visible_flat(
+    pts: np.ndarray,
+    normals: np.ndarray,
+    offsets: np.ndarray,
+    err_scale: np.ndarray,
+    err_base: np.ndarray,
+    owner: np.ndarray,
+    ranks: np.ndarray,
+    force_exact: np.ndarray | None = None,
+    plane_for=None,
+    stats: KernelStats | None = None,
+    pts_inf: np.ndarray | None = None,
+) -> np.ndarray:
+    """Strict-visibility mask for a flat (facet, point) stream.
+
+    ``ranks`` are point ranks into ``pts`` and ``owner[i]`` the row of
+    the plane stack that entry ``i`` is tested against -- the flattened
+    form of a whole round's (ready facet x conflict point) block.  One
+    einsum computes every float margin; entries inside the per-plane
+    error envelope -- plus every entry of a plane flagged in
+    ``force_exact`` (always-exact planes carry no trustworthy float
+    sign) -- are re-decided by the scalar ladder of the materialized
+    :class:`~repro.geometry.hyperplane.Hyperplane` that ``plane_for(k)``
+    returns, so the flat sweep cannot silently disagree with the scalar
+    oracle: identical filter, identical fallback.  ``pts_inf``, when
+    given, must be ``np.abs(pts).max(axis=1)`` -- a caller that sweeps
+    many rounds precomputes it once instead of re-reducing the gathered
+    coordinate block every call.
+    """
+    # repro: shape: ranks=(M,):int64, owner=(M,):int64
+    # repro: shape: pts_flat=(M,d):float64, margins=(M,):float64
+    # repro: shape: env=(M,):float64, mask=(M,):bool
+    if not ranks.size:
+        return np.zeros(0, dtype=bool)
+    d = pts.shape[1]
+    pts_flat = pts[ranks]
+    # Pack every per-plane scalar the sweep needs into one (K, d+3)
+    # matrix so the per-entry stream costs a *single* wide gather
+    # instead of five separate fancy-indexed passes (normals, offsets,
+    # err_scale, err_base): columns are [normal | offset | scale |
+    # scale*err_base].  K (planes) is small; M (entries) is the round.
+    packed = np.empty((normals.shape[0], d + 3), dtype=np.float64)
+    packed[:, :d] = normals
+    packed[:, d] = offsets
+    scale = _FILTER_SCALE * err_scale
+    packed[:, d + 1] = scale
+    packed[:, d + 2] = scale * err_base
+    g = packed[owner]
+    margins = np.einsum("md,md->m", pts_flat, g[:, :d])
+    margins -= g[:, d]
+    q_inf = (np.abs(pts_flat).max(axis=1) if pts_inf is None
+             else pts_inf[ranks])
+    env = g[:, d + 1] * q_inf
+    env += g[:, d + 2]
+    mask = margins > env
+    # |margins| <= env, with the abs in place: margins' raw values are
+    # not needed past this point.
+    np.abs(margins, out=margins)
+    uncertain = margins <= env
+    if force_exact is not None:
+        forced = force_exact[owner]
+        mask &= ~forced
+        uncertain |= forced
+    n_signs = int(ranks.shape[0])
+    n_fall = int(uncertain.sum())
+    STATS.count_float(n_signs)
+    if n_fall:
+        # Envelope-ambiguous (or forced-exact) entries only: the
+        # by-design per-element rational ladder, as in orient_batch.
+        for m in np.nonzero(uncertain)[0]:  # repro: noqa: RPRHOT001
+            r = int(ranks[m])
+            mask[m] = plane_for(int(owner[m]))._side_exact(pts[r], r) > 0  # repro: noqa: RPRHOT002
+    KERNEL_STATS.count_sweep(n_signs, n_fall)
+    if stats is not None:
+        stats.count_sweep(n_signs, n_fall)
+    observe("repro.geometry.kernels.visible_flat",
+            ranks=ranks, owner=owner, pts_flat=pts_flat,
+            margins=margins, env=env, mask=mask)
+    return mask
 
 
 class SignCache:

@@ -18,6 +18,7 @@ from .polytope import Polytope
 from .robust import RobustHullResult, robust_hull
 from .serialize import graph_from_summary, load_summary, run_summary, save_run
 from .sequential import SequentialHullResult, sequential_hull
+from .soa import SoAHullEngine, SoAHullRun, soa_hull
 from .validate import (
     HullValidationError,
     brute_force_extreme_ranks,
@@ -54,6 +55,9 @@ __all__ = [
     "save_run",
     "SequentialHullResult",
     "sequential_hull",
+    "SoAHullEngine",
+    "SoAHullRun",
+    "soa_hull",
     "HullValidationError",
     "brute_force_extreme_ranks",
     "brute_force_facet_sets",

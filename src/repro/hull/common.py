@@ -178,8 +178,11 @@ def promote_initial(pts: np.ndarray, order: np.ndarray, ranks: list[int]):
     """Re-rank so the chosen initial-simplex points occupy ranks 0..d,
     keeping every other point in its original relative order."""
     n = pts.shape[0]
-    rest = [i for i in range(n) if i not in set(ranks)]
-    perm = np.array(ranks + rest, dtype=np.int64)
+    keep = np.ones(n, dtype=bool)
+    keep[list(ranks)] = False
+    perm = np.concatenate(
+        [np.asarray(ranks, dtype=np.int64), np.nonzero(keep)[0]]
+    )
     return pts[perm], order[perm]
 
 

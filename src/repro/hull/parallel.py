@@ -204,6 +204,91 @@ def _build_base_hull(
     return factory.make_batch([(f.indices, later) for f in prefix.facets])
 
 
+def _soa_parallel_run(
+    points: np.ndarray,
+    order: np.ndarray | None,
+    seed: int | None,
+    base_size: int | None,
+    kernel: str | NoisyKernel,
+) -> ParallelHullRun:
+    """Run the conflict-list SoA engine and adapt its column state into
+    a full :class:`ParallelHullRun` (facets, support DAG, events).
+
+    The adapter materializes every created facet as a ``Facet`` object
+    (plane construction per facet, no visibility work), so it costs more
+    than :func:`repro.hull.soa.soa_hull` -- use that entry point when
+    only the hull and counters are needed.  Determinism makes the
+    adapted run facet- and conflict-identical to the object driver;
+    events are emitted in (round, frontier-position) order with the
+    object driver's round numbering (the bootstrap frontier is round 0).
+    """
+    from .soa import SoAHullEngine  # local: soa imports this module's peers
+
+    eng = SoAHullEngine(
+        points, order=order, seed=seed, kernel=kernel, base_size=base_size
+    )
+    while eng.step_round():
+        pass
+    run = eng.finish()
+
+    created = [eng._facet_of(fid) for fid in range(eng.store.size)]
+    support = {
+        fid: (int(s[0]), int(s[1]))
+        for fid, s in enumerate(run.support) if s[0] >= 0
+    }
+    pivots = {
+        fid: int(p) for fid, p in enumerate(run.pivot_points) if p >= 0
+    }
+    rounds = {
+        fid: max(0, int(r) - 1) for fid, r in enumerate(run.rounds_created)
+    }
+    events: list[Event] = []
+    for rec in eng.events:
+        rnd = rec["round"] - 1
+        items: list[tuple[int, Event]] = []
+        for pos, row in zip(rec["final_pos"], rec["final_rows"]):
+            items.append((int(pos), Event(
+                kind="final", round=rnd,
+                ridge=frozenset(int(x) for x in row),
+            )))
+        for pos, row, pair, piv in zip(
+            rec["bury_pos"], rec["bury_rows"], rec["bury_pairs"], rec["bury_piv"]
+        ):
+            items.append((int(pos), Event(
+                kind="bury", round=rnd,
+                ridge=frozenset(int(x) for x in row),
+                removed_pair=(int(pair[0]), int(pair[1])), pivot=int(piv),
+            )))
+        fid0 = int(rec["create_fid0"])
+        for k, (pos, row, rem, piv) in enumerate(zip(
+            rec["create_pos"], rec["create_rows"],
+            rec["create_removed"], rec["create_piv"],
+        )):
+            items.append((int(pos), Event(
+                kind="create", round=rnd,
+                ridge=frozenset(int(x) for x in row),
+                created=fid0 + k, removed=int(rem), pivot=int(piv),
+            )))
+        items.sort(key=lambda t: t[0])
+        events.extend(e for _, e in items)
+
+    return ParallelHullRun(
+        points=run.points,
+        order=run.order,
+        facets=[f for f in created if f.alive],
+        created=created,
+        support=support,
+        pivots=pivots,
+        rounds=rounds,
+        events=events,
+        counters=run.counters,
+        exec_stats=run.exec_stats,
+        tracker=run.tracker,
+        interior=run.interior,
+        base_size=run.base_size,
+    )
+
+
 def parallel_hull(
     points: np.ndarray,
     order: np.ndarray | None = None,
@@ -213,6 +298,7 @@ def parallel_hull(
     base_size: int | None = None,
     fault_plan: FaultPlan | None = None,
     kernel: str | NoisyKernel = "scalar",
+    engine: str = "objects",
 ) -> ParallelHullRun:
     """Run Algorithm 3 on ``points``.
 
@@ -260,7 +346,38 @@ def parallel_hull(
         (with majority-vote repair); not combinable with
         :class:`ProcessExecutor`, whose workers evaluate sweeps outside
         the factory the noise hooks into.
+    engine:
+        ``"objects"`` (this module's per-facet task driver) or
+        ``"soa"`` (the round-vectorized conflict-list engine of
+        :mod:`repro.hull.soa`, adapted back into a
+        :class:`ParallelHullRun`).  The SoA engine is round-synchronous
+        by construction, so it accepts only the default execution
+        discipline: no custom executor/multimap and no fault plan
+        (chaos-test the SoA core through its own snapshot/restore API).
+        ``kernel`` keeps its meaning: ``"batch"`` runs the flat
+        one-sweep-per-round fast path, ``"scalar"`` routes facet
+        creation through the shared ``FacetFactory`` oracle; the
+        produced run is facet- and conflict-identical either way.
     """
+    if engine == "soa":
+        if executor is not None and not isinstance(executor, RoundExecutor):
+            raise ValueError(
+                "engine='soa' is round-synchronous by construction; pass "
+                "executor=None (or a plain RoundExecutor)"
+            )
+        if multimap != "dict":
+            raise ValueError(
+                "engine='soa' pairs ridges by sort, not a shared multimap; "
+                "multimap must stay 'dict'"
+            )
+        if fault_plan is not None:
+            raise ValueError(
+                "engine='soa' does not take a fault_plan; drive faults "
+                "through SoAHullEngine.snapshot()/restore() instead"
+            )
+        return _soa_parallel_run(points, order, seed, base_size, kernel)
+    if engine != "objects":
+        raise ValueError(f"unknown engine {engine!r}; use 'objects' or 'soa'")
     pts, order = prepare_points(points, order, seed)
     n, d = pts.shape
     if base_size is None:

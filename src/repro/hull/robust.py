@@ -112,7 +112,11 @@ def robust_hull(
     degenerate points should use
     :func:`~repro.geometry.perturb.merge_coplanar_facets` on an SoS run
     instead).  Extra keyword arguments are forwarded to
-    :func:`parallel_hull`.
+    :func:`parallel_hull` -- in particular ``engine="soa"`` runs every
+    rung (noisy, float, exact, sos) on the round-vectorized
+    conflict-list engine; the ladder semantics are unchanged because
+    the SoA engine raises, validates, and certifies exactly as the
+    object driver does.
 
     ``noise`` prepends noisy rungs: the hull runs against the given
     :class:`NoisyKernel` (``noise_retries`` attempts per vote level,

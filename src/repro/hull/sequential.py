@@ -69,11 +69,45 @@ class SequentialHullResult:
         return {f.key() for f in self.created}
 
 
+def _soa_sequential_run(
+    points: np.ndarray,
+    order: np.ndarray | None,
+    seed: int | None,
+    kernel: str | NoisyKernel,
+) -> SequentialHullResult:
+    """Run the conflict-list SoA engine and adapt it into a
+    :class:`SequentialHullResult` (determinism makes the created-facet
+    multiset and conflict sets identical to Algorithm 2's; a facet's
+    creation step is the insertion rank of its conflict pivot)."""
+    from .soa import SoAHullEngine  # local: soa imports this module
+
+    eng = SoAHullEngine(points, order=order, seed=seed, kernel=kernel)
+    while eng.step_round():
+        pass
+    run = eng.finish()
+    created = [eng._facet_of(fid) for fid in range(eng.store.size)]
+    d = run.dimension
+    creation_step = {
+        fid: (d if p < 0 else int(p))
+        for fid, p in enumerate(run.pivot_points)
+    }
+    return SequentialHullResult(
+        points=run.points,
+        order=run.order,
+        facets=[f for f in created if f.alive],
+        created=created,
+        creation_step=creation_step,
+        counters=run.counters,
+        interior=run.interior,
+    )
+
+
 def sequential_hull(
     points: np.ndarray,
     order: np.ndarray | None = None,
     seed: int | None = None,
     kernel: str | NoisyKernel = "scalar",
+    engine: str = "objects",
 ) -> SequentialHullResult:
     """Run Algorithm 2 on ``points``.
 
@@ -93,7 +127,22 @@ def sequential_hull(
         :class:`~repro.geometry.noisy.NoisyKernel` perturbs its base
         engine's visibility answers at a seeded flip rate (see
         :mod:`repro.geometry.noisy`).
+    engine:
+        ``"objects"`` (this module's per-insertion driver, the scalar
+        oracle of the differential suites) or ``"soa"`` (the
+        round-vectorized conflict-list engine of
+        :mod:`repro.hull.soa`, adapted back into a
+        :class:`SequentialHullResult`).  Note the SoA adaptation keeps
+        the *intrinsic* quantities identical (created facets, conflict
+        sets, ``visibility_tests``/``facets_created``); the
+        order-dependent ridge counters it also fills
+        (``ridges_processed``, ``flips``, ...) have no Algorithm 2
+        counterpart.
     """
+    if engine == "soa":
+        return _soa_sequential_run(points, order, seed, kernel)
+    if engine != "objects":
+        raise ValueError(f"unknown engine {engine!r}; use 'objects' or 'soa'")
     pts, order = prepare_points(points, order, seed)
     n, d = pts.shape
     init = initial_simplex_ranks(pts)

@@ -185,16 +185,38 @@ class TestHotpathCli:
         out = capsys.readouterr().out
         assert "repro hotpath:" in out
 
-    def test_committed_baseline_carries_the_hull_driver_worklist(self):
-        """The ratchet's whole point: the per-facet driver loops behind
-        the 0.76-0.80x end-to-end number are on the books, named."""
+    def test_committed_baseline_ratcheted_down_by_soa_migration(self):
+        """The ratchet paid off: the per-facet driver loops that were on
+        the books (44 findings pre-SoA) are *gone from the baseline* --
+        the object drivers are exempt as differential oracles, the
+        performance path is ``hull/soa.py``, and the baseline shrank
+        strictly (now only the shared factory + app/baseline worklist
+        remains).  The SoA engine itself must stay finding-free."""
         payload = json.loads(HOT_BASELINE.read_text())
         paths = {d["path"] for d in payload["findings"]}
-        assert any(p.endswith("hull/parallel.py") for p in paths)
+        # Strict decrease from the pre-migration baseline of 44.
+        assert len(payload["findings"]) < 44
+        assert len(payload["findings"]) <= 16
+        # Migrated driver loops no longer appear (exempt as oracles,
+        # not suppressed line by line).
+        for driver in ("hull/sequential.py", "hull/parallel.py",
+                       "hull/point_parallel.py", "hull/online.py"):
+            assert not any(p.endswith(driver) for p in paths), driver
+        # The vectorized engine carries no findings of its own.
+        assert not any(p.endswith("hull/soa.py") for p in paths)
+        # The remaining worklist is still named, not hidden.
         assert any(p.endswith("hull/common.py") for p in paths)
         rules = {d["rule_id"] for d in payload["findings"]}
-        assert {"RPRHOT001", "RPRHOT002", "RPRHOT003"} <= rules
-        assert payload["rprhot_suppressions"] >= 0
+        assert {"RPRHOT001", "RPRHOT003"} <= rules
+        assert payload["rprhot_suppressions"] <= 19
+
+    def test_soa_engine_is_finding_free(self, capsys, tmp_path):
+        """Run the analyzer over hull/soa.py alone with *no* baseline:
+        the hot engine must produce zero findings, not baselined ones."""
+        main(["hotpath", str(REPO / "src" / "repro" / "hull" / "soa.py"),
+              "--baseline", str(tmp_path / "absent.json")])
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
 
     def test_list_rules(self, capsys):
         main(["hotpath", "--list-rules"])

@@ -32,7 +32,7 @@ from repro.analyze import (
 )
 from repro.geometry import uniform_ball, uniform_cube
 from repro.geometry.kernels import BatchKernel, orient_batch
-from repro.hull import parallel_hull
+from repro.hull import parallel_hull, soa_hull
 from repro.hull.point_parallel import point_parallel_hull
 
 REPO = Path(__file__).resolve().parents[2]
@@ -76,16 +76,29 @@ class TestShapeSoundnessDifferential:
         assert "repro.geometry.kernels.orient_batch" in quals
         assert not check_recorded_events(static_result, rec)
 
+    def test_soa_engine_traffic_is_admitted(self, static_result):
+        """The round-vectorized SoA engine's boundaries
+        (``step_round``, ``visible_flat``, ``gather_segments``) record
+        events the static abstraction admits."""
+        pts = uniform_ball(140, 3, seed=9)
+        rec = _record(lambda: soa_hull(pts, seed=9))
+        quals = {q for q, _ in rec.events}
+        assert "repro.hull.soa.SoAHullEngine.step_round" in quals
+        problems = check_recorded_events(static_result, rec)
+        assert not problems, problems
+
     def test_recorder_covers_every_annotated_boundary(self, static_result):
         """Every shape-annotated boundary fires somewhere in the suite's
         workload (hull drivers hit ``visible_blocks`` + the conflict-set
-        helpers; the standalone ``orient_batch`` kernel pulls in
-        ``batch_planes``) -- the differential is not vacuous."""
+        helpers; the SoA engine hits the flat-sweep kernels; the
+        standalone ``orient_batch`` kernel pulls in ``batch_planes``)
+        -- the differential is not vacuous."""
         pts = uniform_ball(150, 3, seed=5)
         rng = np.random.default_rng(7)
 
         def workload():
             parallel_hull(pts, seed=5, kernel="batch")
+            soa_hull(pts, seed=5)
             orient_batch(rng.standard_normal((5, 3, 3)),
                          rng.standard_normal((9, 3)))
 

@@ -1,0 +1,210 @@
+"""Property tests for the SoA engine's flat conflict-list state.
+
+White-box invariants checked at *every round boundary* of real runs:
+
+- **segment consistency** -- every facet's ``(conf_start, conf_len)``
+  window lies inside the pool, windows never overlap, and entries are
+  strictly ascending (the merge keeps candidate blocks sorted and
+  duplicate-free);
+- **justification** -- every stored conflict is *earned*: the point is
+  strictly visible from its facet under the exact predicate, is not a
+  defining vertex, and (for round-created facets) exceeds the creating
+  pivot's rank.  Note a point may legitimately sit in several live
+  lists at once -- the bootstrap point alone lands in up to ``d+1``
+  base-facet lists -- so no uniqueness is asserted;
+- **pivot consistency** -- ``pivot[f]`` is the minimum (= first) entry
+  of the window, or the +inf sentinel for empty windows;
+- **termination** -- when the frontier drains, every live facet's
+  conflict window is empty: all points are decided;
+- **checkpointing** -- ``snapshot()``/``restore()`` round-trips the
+  entire mutable state byte-for-byte, and a restored engine replays the
+  remainder of the run bit-identically (chaos-recovery contract).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import uniform_ball, uniform_cube
+from repro.geometry.kernels import gather_segments
+from repro.hull.soa import _INF, SoAHullEngine
+
+
+def _engine(n, d, seed, **kw):
+    pts = uniform_ball(n, d, seed=seed)
+    order = np.random.default_rng(seed + 1).permutation(n)
+    return SoAHullEngine(pts, order=order, **kw)
+
+
+def _check_segments(eng):
+    """Structural consistency of the flat pool partition."""
+    st_, ln = eng.store.conf_start, eng.store.conf_len
+    size, end = eng.store.size, eng.pool.end
+    assert np.all(ln[:size] >= 0)
+    assert np.all(st_[:size] >= 0)
+    assert np.all(st_[:size] + ln[:size] <= end)
+    # Windows are append-only and written once per facet: sorted by
+    # start, they must tile without overlap.
+    by_start = np.argsort(st_[:size], kind="stable")
+    ends = st_[:size][by_start] + ln[:size][by_start]
+    starts = st_[:size][by_start]
+    assert np.all(starts[1:] >= ends[:-1])
+    buf = eng.pool.buf
+    for fid in range(size):
+        seg = buf[st_[fid]: st_[fid] + ln[fid]]
+        if seg.size:
+            assert np.all(np.diff(seg) > 0), f"facet {fid} segment not ascending"
+            assert eng.store.pivot[fid] == seg[0]
+        else:
+            assert eng.store.pivot[fid] == _INF
+
+
+def _check_justified(eng):
+    """Every live conflict entry is strictly visible (exact), beyond the
+    creating pivot, and never a defining vertex of its own facet."""
+    buf = eng.pool.buf
+    for fid in np.nonzero(eng.store.alive[: eng.store.size])[0]:
+        fid = int(fid)
+        s = int(eng.store.conf_start[fid])
+        seg = buf[s: s + int(eng.store.conf_len[fid])]
+        if not seg.size:
+            continue
+        facet = eng._facet_of(fid)
+        defining = set(facet.indices)
+        piv = int(eng.store.pivot_point[fid])
+        plane = facet.plane
+        for v in map(int, seg):
+            assert v not in defining
+            assert v > piv  # piv is -1 for base facets: trivially true
+            assert plane._side_exact(eng.pts[v], v) > 0
+
+
+def _fingerprint(eng):
+    """Bit-level digest of a finished run's observable state."""
+    run = eng.finish()
+    return (
+        run.facet_keys(),
+        run.counters.as_dict(),
+        run.conflict_pool.tobytes(),
+        run.conflict_lens.tobytes(),
+        run.tracker.work,
+        run.tracker.span,
+        len(eng.events),
+    )
+
+
+@given(st.tuples(st.integers(0, 2_000), st.integers(14, 48), st.sampled_from([2, 3])))
+@settings(max_examples=8, deadline=None)
+def test_invariants_hold_at_every_round(params):
+    seed, n, d = params
+    eng = _engine(n, d, seed)
+    _check_segments(eng)
+    _check_justified(eng)
+    while eng.step_round():
+        _check_segments(eng)
+        _check_justified(eng)
+    _check_segments(eng)
+    # Termination: frontier drained => every live facet decided.
+    live = eng.store.alive[: eng.store.size]
+    assert np.all(eng.store.conf_len[: eng.store.size][live] == 0)
+    assert np.all(eng.store.pivot[: eng.store.size][live] == _INF)
+
+
+def test_bootstrap_conflicts_are_complete():
+    """Construction-time completeness: every rank strictly outside the
+    base simplex appears in at least one base facet's window."""
+    pts = uniform_cube(60, 3, seed=5)
+    order = np.random.default_rng(6).permutation(60)
+    eng = SoAHullEngine(pts, order=order)
+    covered = set(map(int, eng.pool.view()))
+    for v in range(eng.base_size, eng.n):
+        outside = any(
+            eng._facet_of(fid).plane._side_exact(eng.pts[v], v) > 0
+            for fid in range(eng.store.size)
+        )
+        assert (v in covered) == outside
+
+
+@pytest.mark.parametrize("d", [2, 3])
+def test_snapshot_restore_is_byte_exact(d):
+    eng = _engine(40, d, seed=17)
+    eng.step_round()
+    snap = eng.snapshot()
+    before = {k: (v.tobytes() if isinstance(v, np.ndarray) else v)
+              for k, v in snap["store"].items()}
+    pool_before = snap["pool"][0].tobytes()
+    # Advance, then rewind: the restored state must re-snapshot to the
+    # exact same bytes.
+    for _ in range(3):
+        if not eng.step_round():
+            break
+    eng.restore(snap)
+    snap2 = eng.snapshot()
+    after = {k: (v.tobytes() if isinstance(v, np.ndarray) else v)
+             for k, v in snap2["store"].items()}
+    assert before == after
+    assert pool_before == snap2["pool"][0].tobytes()
+    assert snap["pool"][1] == snap2["pool"][1]
+    assert snap["counters"] == snap2["counters"]
+    assert snap["round"] == snap2["round"]
+
+
+@given(st.tuples(st.integers(0, 2_000), st.integers(16, 50), st.sampled_from([2, 3])))
+@settings(max_examples=6, deadline=None)
+def test_restored_engine_replays_bit_identically(params):
+    """Chaos-recovery: checkpoint mid-run, run to completion, rewind,
+    run again -- both completions are bit-identical, including the flat
+    pool bytes and the work/span ledger."""
+    seed, n, d = params
+    ref = _engine(n, d, seed)
+    while ref.step_round():
+        pass
+    want = _fingerprint(ref)
+
+    eng = _engine(n, d, seed)
+    eng.step_round()
+    snap = eng.snapshot()
+    while eng.step_round():
+        pass
+    assert _fingerprint(eng) == want
+    eng.restore(snap)
+    while eng.step_round():
+        pass
+    assert _fingerprint(eng) == want
+
+
+def test_snapshot_at_every_round_boundary():
+    """Take a checkpoint at *each* round boundary of one run; rewinding
+    to every one of them must replay to the same final fingerprint (no
+    round leaves hidden state outside the snapshot)."""
+    n, d, seed = 44, 3, 23
+    eng = _engine(n, d, seed)
+    snaps = [eng.snapshot()]
+    while eng.step_round():
+        snaps.append(eng.snapshot())
+    want = _fingerprint(eng)
+    for snap in snaps:
+        eng.restore(snap)
+        while eng.step_round():
+            pass
+        assert _fingerprint(eng) == want
+
+
+@given(
+    st.lists(st.integers(0, 30), min_size=0, max_size=12),
+)
+@settings(max_examples=30, deadline=None)
+def test_gather_segments_reference(lens):
+    """The prefix-sum segment gather equals the obvious python loop."""
+    lens = np.asarray(lens, dtype=np.int64)
+    rng = np.random.default_rng(int(lens.sum()) + lens.size)
+    starts = np.cumsum(np.concatenate([[0], lens[:-1] + rng.integers(0, 3, max(lens.size - 1, 0))]))[: lens.size]
+    starts = starts.astype(np.int64)
+    pos, owner = gather_segments(starts, lens)
+    ref_pos, ref_owner = [], []
+    for k, (s, ln) in enumerate(zip(starts, lens)):
+        ref_pos.extend(range(int(s), int(s) + int(ln)))
+        ref_owner.extend([k] * int(ln))
+    assert np.array_equal(pos, np.asarray(ref_pos, dtype=np.int64))
+    assert np.array_equal(owner, np.asarray(ref_owner, dtype=np.int64))

@@ -390,7 +390,10 @@ class TestNoqaAudit:
             and any(code.startswith("RPRHOT") for code in c.codes)
         )
         assert dict(hot) == {
-            "kernels.py": 5,
+            # +2 over PR 6: the exact fallback of the SoA engine's
+            # flat visibility sweep (``visible_flat``) is the same
+            # scalar-ladder-by-design pattern as the other three.
+            "kernels.py": 7,
             "kernelbench.py": 10,
             # The lying oracle draws one keyed hash per (site, attempt)
             # by definition -- per-decision, not batchable.
