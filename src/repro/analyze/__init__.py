@@ -1,5 +1,5 @@
-"""Static analyses: effects (``repro effects``) + hot path (``repro
-hotpath``).
+"""Static analyses: effects (``repro effects``), hot path (``repro
+hotpath``), and floating-point filter soundness (``repro fpcheck``).
 
 The effect pass statically proves the atomic-step discipline that the
 dynamic race checker (:mod:`repro.runtime.racecheck`) can only sample:
@@ -10,15 +10,39 @@ lockset, and no yield is dead.  The hot-path pass guards the SoA
 kernel arc: an abstract interpretation over NumPy shapes/dtypes finds
 per-element drivers, scalar predicates, allocation churn, dtype
 degradation, shape inconsistencies and unaccounted sweeps on the
-batch-kernel path.  See ARCHITECTURE.md for the lattices and the
-honestly-stated unsoundness holes; each pass has a dynamic soundness
-differential closing the loop.
+batch-kernel path.  The fpcheck pass guards the *filters themselves*:
+an abstract interpretation over a relative-rounding-error domain
+re-derives each committed forward-error envelope from the arithmetic
+and rejects any constant that does not dominate its derivation.  See
+ARCHITECTURE.md for the lattices and the honestly-stated unsoundness
+holes; each pass has a dynamic soundness differential closing the
+loop, and all three share one ratchet baseline implementation
+(:mod:`repro.analyze.baseline`).
 """
 
+from .baseline import assert_strict_decrease
 from .callgraph import ClassInfo, FunctionInfo, Program, build_program
 from .cfg import CFG, Node, build_cfg
 from .checks import RULES, AnalysisResult, Finding, analyze_paths
 from .effects import Effect, Site
+from .fpcheck import (
+    FP_RULES,
+    ClaimCheck,
+    FpcheckResult,
+    analyze_fpcheck,
+    render_fp_text,
+)
+from .fperror import (
+    EPS,
+    FpAnnotationError,
+    FpFnAnnotation,
+    FpVal,
+    dominates,
+    parse_fp_annotations,
+    parse_poly,
+    poly_eval,
+    poly_format,
+)
 from .hotpath import (
     HOT_EXEMPT,
     HOT_RULES,
@@ -74,6 +98,21 @@ __all__ = [
     "compare_baseline",
     "load_baseline",
     "save_baseline",
+    "assert_strict_decrease",
+    "FP_RULES",
+    "ClaimCheck",
+    "FpcheckResult",
+    "analyze_fpcheck",
+    "render_fp_text",
+    "EPS",
+    "FpVal",
+    "FpFnAnnotation",
+    "FpAnnotationError",
+    "parse_fp_annotations",
+    "parse_poly",
+    "poly_eval",
+    "poly_format",
+    "dominates",
     "HOT_RULES",
     "HOT_EXEMPT",
     "HotpathResult",

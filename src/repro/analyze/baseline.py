@@ -1,0 +1,137 @@
+"""The shared ratchet baseline for every ``repro`` analyzer.
+
+One schema, one path canonicalization, one strict-decrease rule --
+``repro effects`` (``analyze-baseline.json``), ``repro hotpath``
+(``hotpath-baseline.json``) and ``repro fpcheck``
+(``fpcheck-baseline.json``) all commit the same payload shape and
+ratchet the same way:
+
+* a finding that the baseline does not carry fails CI;
+* a growing ``# repro: noqa`` count for the analyzer's rule family
+  fails CI (each analyzer pins its count under its own key:
+  ``rpreff_suppressions`` / ``rprhot_suppressions`` /
+  ``rprfp_suppressions``);
+* fixing findings and shrinking the baseline is always allowed -- the
+  file for a clean tree is an empty list and a zero count.
+
+``result`` is any object with a ``findings`` list (``rule_id`` /
+``path`` / ``line`` attributes) and a ``suppressions()`` method --
+the effects, hotpath, and fpcheck results all qualify.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = [
+    "baseline_payload",
+    "load_baseline",
+    "save_baseline",
+    "compare_baseline",
+    "assert_strict_decrease",
+]
+
+
+def baseline_payload(result, suppression_key: str = "rpreff_suppressions") -> dict:
+    """The committed ratchet payload for any analyzer result."""
+    return {
+        "version": 1,
+        "findings": sorted(
+            (
+                {"rule_id": f.rule_id, "path": f.path, "line": f.line}
+                for f in result.findings
+            ),
+            key=lambda d: (d["path"], d["line"], d["rule_id"]),
+        ),
+        suppression_key: len(result.suppressions()),
+    }
+
+
+def load_baseline(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def save_baseline(
+    path: str | Path,
+    result,
+    suppression_key: str = "rpreff_suppressions",
+) -> None:
+    Path(path).write_text(
+        json.dumps(baseline_payload(result, suppression_key), indent=2) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _canon_path(path: str) -> str:
+    """Anchor a finding path at ``src/`` when present, so a baseline
+    written from the repo root still matches an absolute-path run."""
+    path = path.replace("\\", "/")
+    idx = path.find("src/")
+    return path[idx:] if idx >= 0 else path
+
+
+def compare_baseline(
+    result,
+    baseline: dict,
+    suppression_key: str = "rpreff_suppressions",
+) -> list[str]:
+    """Ratchet check; returns human-readable problems (empty == pass).
+
+    Lines may drift, so baseline findings match on (rule, path) with a
+    per-pair budget: more findings of a rule in a file than the
+    baseline carries is a regression; fewer is progress (tighten the
+    baseline at leisure).
+    """
+    problems: list[str] = []
+    budget: dict[tuple[str, str], int] = {}
+    for d in baseline.get("findings", []):
+        key = (d["rule_id"], _canon_path(d["path"]))
+        budget[key] = budget.get(key, 0) + 1
+    for f in result.findings:
+        key = (f.rule_id, _canon_path(f.path))
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            problems.append(f"new finding not in baseline: {f.format()}")
+    label = suppression_key.split("_", 1)[0].upper()
+    allowed = int(baseline.get(suppression_key, 0))
+    actual = len(result.suppressions())
+    if actual > allowed:
+        problems.append(
+            f"{label} suppression count grew: {actual} > baseline {allowed} "
+            "(fix the finding instead of suppressing, or consciously "
+            "update the baseline)"
+        )
+    return problems
+
+
+def assert_strict_decrease(
+    old: dict, new: dict, suppression_key: str = "rpreff_suppressions"
+) -> list[str]:
+    """The baseline may only shrink.  Returns problems for any
+    (rule, path) pair whose budget grew, or a grown suppression count
+    -- the check CI runs when a committed baseline file itself changes.
+    """
+
+    def budget(payload: dict) -> dict:
+        out: dict[tuple[str, str], int] = {}
+        for d in payload.get("findings", []):
+            key = (d["rule_id"], _canon_path(d["path"]))
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    problems: list[str] = []
+    old_budget, new_budget = budget(old), budget(new)
+    for key, count in sorted(new_budget.items()):
+        if count > old_budget.get(key, 0):
+            problems.append(
+                f"baseline budget for {key[0]} in {key[1]} grew: "
+                f"{old_budget.get(key, 0)} -> {count}"
+            )
+    if int(new.get(suppression_key, 0)) > int(old.get(suppression_key, 0)):
+        problems.append(
+            f"baseline {suppression_key} grew: "
+            f"{old.get(suppression_key, 0)} -> {new.get(suppression_key, 0)}"
+        )
+    return problems

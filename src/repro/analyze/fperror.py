@@ -1,0 +1,715 @@
+"""The relative-rounding-error domain behind ``repro fpcheck``.
+
+The batched predicate kernels are *filtered*: a float sign is trusted
+only when its margin clears a hand-written forward-error envelope, and
+PR 3 proved by counterexample that a hand-written envelope can be too
+small (the ``det_with_error_bound`` eps-Hadamard bug, honest note 8).
+This module gives those envelopes a checkable semantics: every
+expression in a kernel gets a symbolic first-order bound of the form
+``k * eps * |E|`` -- an *error polynomial* over named magnitude atoms
+times the machine epsilon -- derived from the arithmetic itself via
+Higham-style ``(1+eps)^k`` accounting, so the committed constant can be
+*compared* against the derived bound instead of trusted.
+
+Three layers live here; :mod:`repro.analyze.fpcheck` drives them:
+
+**Polynomials.**  A bound is a sparse polynomial with nonnegative float
+coefficients over *atoms* -- named nonnegative quantities such as ``S``
+(a coordinate magnitude), ``H`` (a Hadamard row-norm product), or the
+ambient dimension ``d``.  Error polynomials are denominated in units of
+``eps`` (binary64 machine epsilon, ``2^-52``); one rounding of a value
+with magnitude ``m`` charges ``0.5 * m`` (the unit roundoff ``u =
+eps/2``).
+
+**Transfer rules.**  :class:`FpVal` carries ``(mag, err)``: ``mag``
+upper-bounds the exact absolute value, ``err * eps`` upper-bounds the
+first-order forward error of the computed float.  The rules for
+``+ - * / dot einsum sum fabs max`` are the classical ones (Higham,
+*Accuracy and Stability of Numerical Algorithms*, ch. 3):
+
+====================  =====================  ============================
+operation             magnitude              error (eps units)
+====================  =====================  ============================
+``a + b``, ``a - b``  ``ma + mb``            ``ea + eb + 0.5(ma + mb)``
+``a * b``             ``ma * mb``            ``ea*mb + eb*ma + 0.5*ma*mb``
+``dot`` over ``L``    ``L*ma*mb``            ``L*(ea*mb + eb*ma) + 0.5*L^2*ma*mb``
+``sum`` over ``L``    ``L*m``                ``L*e + 0.5*L^2*m``
+``cross`` (3-d)       ``2*ma*mb``            ``2*(ea*mb + eb*ma) + 2*ma*mb``
+``abs``, ``max``      ``m``                  ``e``  (exact operations)
+``sqrt``              ``m``                  ``e + 0.5*m``  (atoms >= 1)
+====================  =====================  ============================
+
+**Domination.**  ``dominates(big, small)`` decides ``big >= small`` for
+all atom values ``>= 1`` by monomial covering: a monomial of ``small``
+is covered by monomials of ``big`` with pointwise-greater-or-equal
+exponents and enough coefficient capacity.  ``fact`` rewrite rules
+(``E^2 <= H`` style, each a true pointwise inequality at the measured
+atoms) are applied to the *derived* side first -- substituting an upper
+bound into an upper bound is sound.
+
+Honest unsoundness holes, mirrored in ARCHITECTURE.md: the accounting
+is first order in ``u`` (no ``(1+u)^k`` compounding, no fma modeling);
+the domination order assumes every atom ``>= 1``; ``bind``/``in``
+re-declarations cut error chains (the envelope arithmetic's own
+rounding is second order and absorbed into committed constants, checked
+structurally by RPRFP003 instead); and ``call`` clauses are assumed
+primitive models (e.g. for LAPACK's determinant), validated only by the
+dynamic differential in ``tests/analyze/test_fpcheck_soundness.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "EPS",
+    "Poly",
+    "poly_zero",
+    "poly_const",
+    "poly_atom",
+    "poly_add",
+    "poly_scale",
+    "poly_mul",
+    "poly_pow",
+    "poly_sub_atom",
+    "poly_eval",
+    "poly_format",
+    "parse_poly",
+    "rewrite",
+    "dominates",
+    "FpVal",
+    "TOP",
+    "NONFP",
+    "fp_exactval",
+    "fp_bind",
+    "fp_join",
+    "fp_add",
+    "fp_mul",
+    "fp_dot",
+    "fp_sum",
+    "fp_cross",
+    "fp_exact_op",
+    "fp_sqrt",
+    "FpClause",
+    "FpFnAnnotation",
+    "FpAnnotationError",
+    "parse_fp_annotations",
+]
+
+#: binary64 machine epsilon -- the unit error polynomials are stated in.
+EPS = float(np.finfo(np.float64).eps)
+
+# -- polynomials ---------------------------------------------------------
+
+#: a monomial is a sorted tuple of (atom, positive exponent) pairs; a
+#: polynomial maps monomials to nonnegative float coefficients.
+Mono = tuple
+Poly = dict
+
+_ONE: Mono = ()
+
+
+def poly_zero() -> Poly:
+    return {}
+
+
+def poly_const(c: float) -> Poly:
+    c = float(c)
+    return {} if c == 0.0 else {_ONE: c}
+
+
+def poly_atom(name: str, exp: int = 1) -> Poly:
+    if exp == 0:
+        return poly_const(1.0)
+    return {((name, int(exp)),): 1.0}
+
+
+def poly_add(*ps: Poly) -> Poly:
+    out: Poly = {}
+    for p in ps:
+        for m, c in p.items():
+            out[m] = out.get(m, 0.0) + c
+    return {m: c for m, c in out.items() if c != 0.0}
+
+
+def poly_scale(p: Poly, c: float) -> Poly:
+    c = float(c)
+    if c == 0.0:
+        return {}
+    return {m: k * c for m, k in p.items()}
+
+
+def _mono_mul(a: Mono, b: Mono) -> Mono:
+    exps: dict[str, int] = dict(a)
+    for atom, e in b:
+        exps[atom] = exps.get(atom, 0) + e
+    return tuple(sorted((k, v) for k, v in exps.items() if v))
+
+
+def poly_mul(a: Poly, b: Poly) -> Poly:
+    out: Poly = {}
+    for ma, ca in a.items():
+        for mb, cb in b.items():
+            m = _mono_mul(ma, mb)
+            out[m] = out.get(m, 0.0) + ca * cb
+    return {m: c for m, c in out.items() if c != 0.0}
+
+
+def poly_pow(p: Poly, n: int) -> Poly:
+    out = poly_const(1.0)
+    for _ in range(int(n)):
+        out = poly_mul(out, p)
+    return out
+
+
+def poly_sub_atom(p: Poly, atom: str, value: float) -> Poly:
+    """Substitute a concrete value for one atom (pins ``d`` / ``n``)."""
+    out: Poly = {}
+    for m, c in p.items():
+        coef = c
+        rest = []
+        for a, e in m:
+            if a == atom:
+                coef *= float(value) ** e
+            else:
+                rest.append((a, e))
+        key = tuple(rest)
+        out[key] = out.get(key, 0.0) + coef
+    return {m: c for m, c in out.items() if c != 0.0}
+
+
+def poly_atoms(p: Poly) -> set:
+    return {a for m in p for a, _ in m}
+
+
+def poly_eval(p: Poly, values: dict) -> float:
+    """Numeric value at concrete atom assignments (all atoms needed)."""
+    total = 0.0
+    for m, c in p.items():
+        term = c
+        for atom, e in m:
+            if atom not in values:
+                raise KeyError(f"no value for atom {atom!r}")
+            term *= float(values[atom]) ** e
+        total += term
+    return total
+
+
+def poly_format(p: Poly) -> str:
+    if not p:
+        return "0"
+    parts = []
+    for m, c in sorted(p.items(), key=lambda kv: (-len(kv[0]), kv[0])):
+        factors = [f"{c:g}"] if (c != 1.0 or not m) else []
+        for atom, e in m:
+            factors.append(atom if e == 1 else f"{atom}^{e}")
+        parts.append("*".join(factors))
+    return " + ".join(parts)
+
+
+class FpAnnotationError(ValueError):
+    """A malformed fp-bound clause (surfaced as RPRFP999)."""
+
+
+def parse_poly(text: str) -> Poly:
+    """Parse ``16*d*(d*d*H + N + 1)`` into a :class:`Poly`.
+
+    Grammar: names (atoms), nonnegative numbers, ``+ * **`` (or ``^``),
+    parentheses.  Anything else is an :class:`FpAnnotationError`.
+    """
+    try:
+        node = ast.parse(text.replace("^", "**").strip(), mode="eval").body
+    except SyntaxError as exc:
+        raise FpAnnotationError(f"bad bound expression {text!r}: {exc}")
+
+    def build(n: ast.AST) -> Poly:
+        if isinstance(n, ast.Constant) and isinstance(n.value, (int, float)):
+            if n.value < 0:
+                raise FpAnnotationError(f"negative coefficient in {text!r}")
+            return poly_const(n.value)
+        if isinstance(n, ast.Name):
+            return poly_atom(n.id)
+        if isinstance(n, ast.BinOp):
+            if isinstance(n.op, ast.Add):
+                return poly_add(build(n.left), build(n.right))
+            if isinstance(n.op, ast.Mult):
+                return poly_mul(build(n.left), build(n.right))
+            if isinstance(n.op, ast.Pow):
+                if not (isinstance(n.right, ast.Constant)
+                        and isinstance(n.right.value, int)
+                        and n.right.value >= 0):
+                    raise FpAnnotationError(
+                        f"only integer powers allowed in {text!r}")
+                return poly_pow(build(n.left), n.right.value)
+        raise FpAnnotationError(
+            f"unsupported operation in bound expression {text!r} "
+            "(only + * ** of atoms and nonnegative numbers)")
+
+    return build(node)
+
+
+# -- domination ----------------------------------------------------------
+
+
+def _mono_divides(small: Mono, big: Mono) -> bool:
+    """Every exponent of ``small`` is <= the matching one in ``big``
+    (then ``big >= small`` pointwise for atom values >= 1)."""
+    exps = dict(big)
+    return all(exps.get(a, 0) >= e for a, e in small)
+
+
+def _mono_divide(m: Mono, by: Mono) -> Mono | None:
+    exps = dict(m)
+    for a, e in by:
+        if exps.get(a, 0) < e:
+            return None
+        exps[a] -= e
+    return tuple(sorted((k, v) for k, v in exps.items() if v))
+
+
+def rewrite(p: Poly, facts: list) -> Poly:
+    """Apply ``fact`` rules (``mono <= poly``) to an upper bound.
+
+    Each fact is a pair ``(lhs_mono, rhs_poly)`` with the guarantee
+    ``lhs <= rhs`` at the measured atom values; substituting the right
+    side for the left inside an upper bound keeps it an upper bound.
+    Applied to fixpoint with a small iteration cap.
+    """
+    for _ in range(8):
+        changed = False
+        out: Poly = {}
+        for m, c in p.items():
+            for lhs, rhs in facts:
+                q = _mono_divide(m, lhs)
+                if q is not None:
+                    for mr, cr in poly_mul({q: c}, rhs).items():
+                        out[mr] = out.get(mr, 0.0) + cr
+                    changed = True
+                    break
+            else:
+                out[m] = out.get(m, 0.0) + c
+        p = out
+        if not changed:
+            break
+    return p
+
+
+def dominates(big: Poly, small: Poly, facts: list | None = None) -> bool:
+    """Is ``big >= small`` for every atom assignment ``>= 1``?
+
+    Sufficient (conservative) check: rewrite through the facts exactly
+    those monomials of ``small`` that no monomial of ``big`` covers
+    exponentwise (rewriting a directly-coverable monomial could only
+    inflate it past the committed coefficient), then greedily cover
+    each remaining monomial with coefficient capacity from monomials
+    of ``big`` whose exponents dominate pointwise.  May say "no" for a
+    true domination, never "yes" for a false one (within the atoms
+    >= 1 regime).
+    """
+    if facts:
+        for _ in range(8):
+            out: Poly = {}
+            changed = False
+            for m, c in small.items():
+                if any(_mono_divides(m, mb) for mb in big):
+                    out[m] = out.get(m, 0.0) + c
+                    continue
+                for lhs, rhs in facts:
+                    q = _mono_divide(m, lhs)
+                    if q is not None:
+                        for mr, cr in poly_mul({q: c}, rhs).items():
+                            out[mr] = out.get(mr, 0.0) + cr
+                        changed = True
+                        break
+                else:
+                    out[m] = out.get(m, 0.0) + c
+            small = out
+            if not changed:
+                break
+    capacity = dict(big)
+    # hardest first: most atoms, largest total degree
+    order = sorted(
+        small.items(),
+        key=lambda kv: (-len(kv[0]), -sum(e for _, e in kv[0])),
+    )
+    for m, need in order:
+        # cheapest covering monomial first, so big generic terms stay
+        # available for the monomials only they can cover
+        covers = sorted(
+            (mb for mb in capacity if _mono_divides(m, mb)),
+            key=lambda mb: sum(e for _, e in mb),
+        )
+        for mb in covers:
+            take = min(need, capacity[mb])
+            capacity[mb] -= take
+            need -= take
+            if need <= 1e-12:
+                break
+        if need > 1e-12:
+            return False
+    return True
+
+
+# -- the abstract value --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FpVal:
+    """``mag`` bounds the exact |value|.  The error splits in two:
+    ``prop`` is inherited operand error, ``last`` the final-rounding
+    charge of the op that produced this value; ``err = prop + last``
+    (in eps units) bounds the first-order forward error of the
+    computed float.  Keeping ``last`` separate is the cancellation
+    rescue: a ``bind x ~ ATOM`` re-scopes the magnitude to a measured
+    atom and re-charges the final rounding as ``0.5 * ATOM`` -- sound
+    because ``|fl(x) - x| <= u|x|`` is a bound in the *result's*
+    magnitude, not the operands' -- so ``edges = b - a`` costs
+    ``0.5 * |edges|`` instead of ``0.5 * (|a| + |b|)``.
+
+    ``kind`` is ``fp`` (tracked), ``top`` (unknown float data: bounds
+    unusable), or ``other`` (non-float: indices, bools, shapes --
+    carries no error).
+    """
+
+    kind: str = "fp"
+    mag: Poly = field(default_factory=dict)
+    prop: Poly = field(default_factory=dict)
+    last: Poly = field(default_factory=dict)
+
+    @property
+    def err(self) -> Poly:
+        return poly_add(self.prop, self.last)
+
+    @property
+    def is_tracked(self) -> bool:
+        return self.kind == "fp"
+
+    def format(self) -> str:
+        if self.kind != "fp":
+            return self.kind
+        return f"|.|<={poly_format(self.mag)}, err<=({poly_format(self.err)})*eps"
+
+
+TOP = FpVal(kind="top")
+NONFP = FpVal(kind="other")
+
+
+def fp_exactval(mag: Poly, err: Poly | None = None) -> FpVal:
+    return FpVal(kind="fp", mag=mag, prop=err if err is not None else {})
+
+
+def fp_bind(v: FpVal, atom_mag: Poly) -> FpVal:
+    """Re-scope a value's magnitude to a measured atom.  The inherited
+    error is kept; the final-rounding charge (if the value was rounded
+    at all) is re-expressed against the new, tighter magnitude.  Part
+    of the trusted annotation surface -- the dynamic differential is
+    what validates the atom actually bounds the computed value."""
+    if not v.is_tracked:
+        return FpVal("fp", atom_mag, {}, poly_scale(atom_mag, 0.5))
+    return FpVal(
+        "fp", atom_mag, v.prop,
+        poly_scale(atom_mag, 0.5) if v.last else {},
+    )
+
+
+def _lift(a: FpVal, b: FpVal) -> str | None:
+    """Combined kind for a binary rule, or None when tracked."""
+    if a.kind == "top" or b.kind == "top":
+        return "top"
+    if a.kind == "other" and b.kind == "other":
+        return "other"
+    if a.kind == "other" or b.kind == "other":
+        # mixing float data with index/bool data: the result is float
+        # but the non-fp side contributes nothing boundable
+        return "top"
+    return None
+
+
+def fp_join(*vals: FpVal) -> FpVal:
+    """Sound join: polynomial sum of magnitudes and errors (atoms are
+    nonnegative, so the sum dominates the max).  The summed error all
+    lands in ``prop``: a join point performs no rounding of its own."""
+    vals = [v for v in vals if v.kind != "other"]
+    if not vals:
+        return NONFP
+    if any(v.kind == "top" for v in vals):
+        return TOP
+    return FpVal(
+        kind="fp",
+        mag=poly_add(*(v.mag for v in vals)),
+        prop=poly_add(*(v.err for v in vals)),
+    )
+
+
+def fp_add(a: FpVal, b: FpVal) -> FpVal:
+    k = _lift(a, b)
+    if k:
+        return TOP if k == "top" else NONFP
+    mag = poly_add(a.mag, b.mag)
+    return FpVal("fp", mag, poly_add(a.err, b.err), poly_scale(mag, 0.5))
+
+
+def fp_mul(a: FpVal, b: FpVal) -> FpVal:
+    k = _lift(a, b)
+    if k:
+        return TOP if k == "top" else NONFP
+    mag = poly_mul(a.mag, b.mag)
+    prop = poly_add(poly_mul(a.err, b.mag), poly_mul(b.err, a.mag))
+    return FpVal("fp", mag, prop, poly_scale(mag, 0.5))
+
+
+def fp_dot(a: FpVal, b: FpVal, length: Poly) -> FpVal:
+    """Inner product over a reduction of size ``length`` (a Poly: a dim
+    atom or a constant)."""
+    k = _lift(a, b)
+    if k:
+        return TOP if k == "top" else NONFP
+    mm = poly_mul(a.mag, b.mag)
+    mag = poly_mul(length, mm)
+    prop = poly_mul(length, poly_add(poly_mul(a.err, b.mag),
+                                     poly_mul(b.err, a.mag)))
+    return FpVal(
+        "fp", mag, prop,
+        poly_scale(poly_mul(poly_mul(length, length), mm), 0.5),
+    )
+
+
+def fp_sum(a: FpVal, length: Poly) -> FpVal:
+    if not a.is_tracked:
+        return TOP if a.kind == "top" else NONFP
+    return FpVal(
+        "fp",
+        poly_mul(length, a.mag),
+        poly_mul(length, a.err),
+        poly_scale(poly_mul(poly_mul(length, length), a.mag), 0.5),
+    )
+
+
+def fp_cross(a: FpVal, b: FpVal) -> FpVal:
+    """3-d cross product: each component is a difference of two
+    products of one entry of each operand -- two product roundings plus
+    one subtraction rounding, all bounded by the component magnitude
+    ``2 * ma * mb``."""
+    k = _lift(a, b)
+    if k:
+        return TOP if k == "top" else NONFP
+    mm = poly_mul(a.mag, b.mag)
+    prop = poly_scale(poly_add(poly_mul(a.err, b.mag),
+                               poly_mul(b.err, a.mag)), 2.0)
+    return FpVal("fp", poly_scale(mm, 2.0), prop, poly_scale(mm, 2.0))
+
+
+def fp_exact_op(a: FpVal) -> FpVal:
+    """abs / max / min / negation: magnitude and error both preserved."""
+    return a
+
+
+def fp_sqrt(a: FpVal) -> FpVal:
+    if not a.is_tracked:
+        return a
+    return FpVal("fp", a.mag, a.err, poly_scale(a.mag, 0.5))
+
+
+# -- the fp-bound annotation grammar -------------------------------------
+
+_FP_COMMENT_RE = re.compile(
+    r"#\s*repro:\s*fp-bound:\s*(?P<body>.+)$", re.IGNORECASE
+)
+#: optional instantiation selector suffix: ``@d=3`` / ``@n=2``
+_SEL_RE = re.compile(r"@\s*(?P<var>[A-Za-z_]\w*)\s*=\s*(?P<val>\d+)\s*$")
+_ASSUME_RE = re.compile(
+    r"^assume\s+(?P<var>[A-Za-z_]\w*)\s+in\s+(?P<lo>\d+)\s*\.\.\s*(?P<hi>\d+)$"
+)
+_DECL_RE = re.compile(
+    r"^(?P<name>[A-Za-z_][\w.]*)\s*~\s*(?P<atom>[A-Za-z_]\w*)"
+    r"(?:\s+err\s+(?P<err>.+))?$"
+)
+_FACT_RE = re.compile(r"^fact\s+(?P<lhs>[^<]+)<=(?P<rhs>.+)$")
+_CLAIM_RE = re.compile(r"^claim\s+(?P<name>[A-Za-z_][\w.]*)\s*<=\s*(?P<rhs>.+)$")
+_CALL_RE = re.compile(
+    r"^call\s+(?P<name>[A-Za-z_]\w*)"
+    r"(?:\s*~\s*(?P<atom>[A-Za-z_]\w*))?\s+err\s+(?P<err>.+)$"
+)
+
+
+@dataclass
+class FpClause:
+    """One parsed fp-bound clause, attached at a source line."""
+
+    kind: str           # in | out | bind | fact | claim | call | assume |
+    #                     guard | envelope
+    line: int = 0
+    name: str = ""      # variable / callee / assume-var name
+    atom: str = ""
+    err: Poly | None = None     # in/out/call error summary, claim bound
+    mag_mono: Mono = ()         # fact left side
+    rhs: Poly | None = None     # fact right side
+    names: tuple = ()           # guard / envelope name lists
+    lo: int = 0                 # assume range
+    hi: int = 0
+    sel: tuple | None = None    # (var, value) instantiation selector
+
+
+@dataclass
+class FpFnAnnotation:
+    """Every fp-bound clause attached to one function."""
+
+    qualname: str = ""
+    line: int = 0
+    clauses: list = field(default_factory=list)
+
+    def assume(self) -> FpClause | None:
+        for c in self.clauses:
+            if c.kind == "assume":
+                return c
+        return None
+
+    def selected(self, kind: str, pin: tuple | None) -> list:
+        """Clauses of ``kind`` active under instantiation ``pin``
+        (an ``(var, value)`` pair or None)."""
+        out = []
+        for c in self.clauses:
+            if c.kind != kind:
+                continue
+            if c.sel is not None and pin is not None and c.sel != pin:
+                continue
+            if c.sel is not None and pin is None:
+                continue
+            out.append(c)
+        return out
+
+    def guard_names(self) -> set:
+        out: set = set()
+        for c in self.clauses:
+            if c.kind == "guard":
+                out.update(c.names)
+        return out
+
+    def envelope_names(self) -> set:
+        out: set = set()
+        for c in self.clauses:
+            if c.kind == "envelope":
+                out.update(c.names)
+        return out
+
+    def facts(self, pin: tuple | None = None) -> list:
+        return [(c.mag_mono, c.rhs) for c in self.selected("fact", pin)]
+
+
+def _parse_mono(text: str) -> Mono:
+    p = parse_poly(text)
+    if len(p) != 1:
+        raise FpAnnotationError(f"fact left side must be one monomial: {text!r}")
+    (mono, coef), = p.items()
+    if coef != 1.0:
+        raise FpAnnotationError(
+            f"fact left side must have coefficient 1: {text!r}")
+    return mono
+
+
+def _parse_clause(body: str, line: int) -> list:
+    """One comment body -> clauses (a ``bind`` may declare several)."""
+    body = body.strip()
+    sel = None
+    m = _SEL_RE.search(body)
+    if m:
+        sel = (m.group("var"), int(m.group("val")))
+        body = body[: m.start()].strip()
+    m = _ASSUME_RE.match(body)
+    if m:
+        lo, hi = int(m.group("lo")), int(m.group("hi"))
+        if lo > hi or hi - lo > 8:
+            raise FpAnnotationError(f"bad assume range {lo}..{hi}")
+        return [FpClause("assume", line, name=m.group("var"), lo=lo, hi=hi)]
+    m = _FACT_RE.match(body)
+    if m:
+        return [FpClause("fact", line, mag_mono=_parse_mono(m.group("lhs")),
+                         rhs=parse_poly(m.group("rhs")), sel=sel)]
+    m = _CLAIM_RE.match(body)
+    if m:
+        return [FpClause("claim", line, name=m.group("name"),
+                         err=parse_poly(m.group("rhs")), sel=sel)]
+    m = _CALL_RE.match(body)
+    if m:
+        return [FpClause("call", line, name=m.group("name"),
+                         atom=m.group("atom") or "",
+                         err=parse_poly(m.group("err")), sel=sel)]
+    head, _, rest = body.partition(" ")
+    if head in ("guard", "envelope"):
+        names = tuple(rest.split())
+        if not names:
+            raise FpAnnotationError(f"empty {head} clause")
+        return [FpClause(head, line, names=names)]
+    if head in ("in", "out", "bind"):
+        out = []
+        for part in re.split(r",(?![^(]*\))", rest):
+            m = _DECL_RE.match(part.strip())
+            if m is None:
+                raise FpAnnotationError(
+                    f"bad {head} declaration {part.strip()!r} "
+                    "(want name ~ ATOM [err EXPR])")
+            err = parse_poly(m.group("err")) if m.group("err") else None
+            out.append(FpClause(head, line, name=m.group("name"),
+                                atom=m.group("atom"), err=err, sel=sel))
+        return out
+    raise FpAnnotationError(f"unrecognized fp-bound clause {body!r}")
+
+
+def _comment_lines(source: str):
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        return [(t.start[0], t.string) for t in tokens
+                if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+
+
+def parse_fp_annotations(
+    source: str, tree: ast.Module
+) -> tuple[dict, list]:
+    """``# repro: fp-bound:`` clauses of one file.
+
+    Returns ``(annotations, errors)``: annotations keyed by the ``def``
+    line of the owning function (innermost whose span covers the
+    comment, mirroring :func:`repro.analyze.shapes.parse_annotations`),
+    and ``(line, message)`` pairs for malformed clauses (RPRFP999).
+    """
+    comments = _comment_lines(source)
+    if not comments:
+        return {}, []
+    funcs = [n for n in ast.walk(tree)
+             if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+    def owner(line: int):
+        best = None
+        for fn in funcs:
+            end = getattr(fn, "end_lineno", fn.lineno) or fn.lineno
+            if fn.lineno <= line <= end:
+                if best is None or fn.lineno > best.lineno:
+                    best = fn
+        return best
+
+    out: dict[int, FpFnAnnotation] = {}
+    errors: list[tuple[int, str]] = []
+    for line, text in comments:
+        m = _FP_COMMENT_RE.search(text)
+        if not m:
+            continue
+        fn = owner(line)
+        if fn is None:
+            errors.append((line, "fp-bound comment outside any function"))
+            continue
+        try:
+            clauses = _parse_clause(m.group("body"), line)
+        except FpAnnotationError as exc:
+            errors.append((line, str(exc)))
+            continue
+        ann = out.setdefault(fn.lineno, FpFnAnnotation(line=fn.lineno))
+        ann.clauses.extend(clauses)
+    return out, errors

@@ -20,9 +20,6 @@ the file for a clean tree is an empty list and a zero count.
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-
 from .checks import RULES, AnalysisResult, Finding
 
 __all__ = [
@@ -140,80 +137,17 @@ def to_sarif(result: AnalysisResult) -> dict:
 
 
 # -- baseline ratchet ----------------------------------------------------
+#
+# The ratchet logic is shared by every analyzer and lives in
+# analyze/baseline.py; the re-exports below keep the historical import
+# path (`from .report import compare_baseline`) working.
 
+from .baseline import (  # noqa: E402  (re-export)
+    _canon_path,
+    baseline_payload,
+    compare_baseline,
+    load_baseline,
+    save_baseline,
+)
 
-def baseline_payload(result, suppression_key: str = "rpreff_suppressions") -> dict:
-    """The committed ratchet payload.  ``result`` is any object with
-    ``findings`` and a ``suppressions()`` method -- effects and hotpath
-    results both qualify; each analyzer pins its own suppression count
-    under its own key (``rpreff_suppressions`` / ``rprhot_suppressions``).
-    """
-    return {
-        "version": 1,
-        "findings": sorted(
-            (
-                {"rule_id": f.rule_id, "path": f.path, "line": f.line}
-                for f in result.findings
-            ),
-            key=lambda d: (d["path"], d["line"], d["rule_id"]),
-        ),
-        suppression_key: len(result.suppressions()),
-    }
-
-
-def load_baseline(path: str | Path) -> dict:
-    return json.loads(Path(path).read_text(encoding="utf-8"))
-
-
-def save_baseline(
-    path: str | Path,
-    result,
-    suppression_key: str = "rpreff_suppressions",
-) -> None:
-    Path(path).write_text(
-        json.dumps(baseline_payload(result, suppression_key), indent=2) + "\n",
-        encoding="utf-8",
-    )
-
-
-def _canon_path(path: str) -> str:
-    """Anchor a finding path at ``src/`` when present, so a baseline
-    written from the repo root still matches an absolute-path run."""
-    path = path.replace("\\", "/")
-    idx = path.find("src/")
-    return path[idx:] if idx >= 0 else path
-
-
-def compare_baseline(
-    result,
-    baseline: dict,
-    suppression_key: str = "rpreff_suppressions",
-) -> list[str]:
-    """Ratchet check; returns human-readable problems (empty == pass).
-
-    Lines may drift, so baseline findings match on (rule, path) with a
-    per-pair budget: more findings of a rule in a file than the
-    baseline carries is a regression; fewer is progress (tighten the
-    baseline at leisure).
-    """
-    problems: list[str] = []
-    budget: dict[tuple[str, str], int] = {}
-    for d in baseline.get("findings", []):
-        key = (d["rule_id"], _canon_path(d["path"]))
-        budget[key] = budget.get(key, 0) + 1
-    for f in result.findings:
-        key = (f.rule_id, _canon_path(f.path))
-        if budget.get(key, 0) > 0:
-            budget[key] -= 1
-        else:
-            problems.append(f"new finding not in baseline: {f.format()}")
-    label = suppression_key.split("_", 1)[0].upper()
-    allowed = int(baseline.get(suppression_key, 0))
-    actual = len(result.suppressions())
-    if actual > allowed:
-        problems.append(
-            f"{label} suppression count grew: {actual} > baseline {allowed} "
-            "(fix the finding instead of suppressing, or consciously "
-            "update the baseline)"
-        )
-    return problems
+__all__ += ["load_baseline", "save_baseline", "_canon_path"]

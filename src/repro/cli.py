@@ -407,6 +407,86 @@ def cmd_hotpath(args) -> None:
         raise SystemExit(1)
 
 
+def cmd_fpcheck(args) -> None:
+    from .analyze import (
+        FP_RULES,
+        analyze_fpcheck,
+        compare_baseline,
+        findings_to_sarif,
+        load_baseline,
+        render_fp_text,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rid, (name, summary) in sorted(FP_RULES.items()):
+            print(f"{rid}  {name}: {summary}")
+        return
+    from pathlib import Path
+
+    paths = args.paths or ["src"]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"fpcheck: no such path(s): {', '.join(missing)}")
+    result = analyze_fpcheck(paths)
+
+    def payload() -> dict:
+        return {
+            "schema_version": 1,
+            "findings": [f.as_dict() for f in result.findings],
+            "suppressed": [f.as_dict() for f in result.suppressed],
+            "entries": {q: reason for q, reason in sorted(result.entries.items())},
+            "hot_functions": len(result.hot),
+            "annotated": len(result.annotations),
+            "claims": [
+                {
+                    "qualname": c.qualname,
+                    "name": c.name,
+                    "line": c.line,
+                    "kind": c.kind,
+                    "pin": list(c.pin) if c.pin else None,
+                    "ok": c.ok,
+                }
+                for c in result.claims
+            ],
+        }
+
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(payload(), fh, indent=2)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.sarif:
+        with open(args.sarif, "w") as fh:
+            json.dump(
+                findings_to_sarif("repro-fpcheck", FP_RULES, result.findings),
+                fh, indent=2,
+            )
+        print(f"wrote {args.sarif}", file=sys.stderr)
+    if args.update_baseline:
+        save_baseline(args.baseline, result,
+                      suppression_key="rprfp_suppressions")
+        print(f"wrote {args.baseline}", file=sys.stderr)
+        return
+    problems: list[str] = []
+    if args.baseline and Path(args.baseline).exists():
+        problems = compare_baseline(result, load_baseline(args.baseline),
+                                    suppression_key="rprfp_suppressions")
+        failed = bool(problems)
+    else:
+        failed = bool(result.findings)
+    if args.format == "json":
+        out = payload()
+        out["baseline_problems"] = problems
+        json.dump(out, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_fp_text(result, verbose=args.verbose))
+        for p in problems:
+            print(f"baseline: {p}")
+    if failed:
+        raise SystemExit(1)
+
+
 def cmd_race_check(args) -> None:
     from .runtime.racecheck import check_multimap
 
@@ -644,6 +724,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule registry and exit")
     p.set_defaults(fn=cmd_hotpath)
+
+    p = sub.add_parser(
+        "fpcheck",
+        help="static floating-point filter-soundness analysis of the "
+             "predicate kernels (rules RPRFP001-004, 999)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/dirs to analyse (default: src)")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="also write the full JSON report to FILE")
+    p.add_argument("--sarif", default=None, metavar="FILE",
+                   help="also write a SARIF 2.1.0 report to FILE")
+    p.add_argument("--baseline", default="fpcheck-baseline.json",
+                   metavar="FILE",
+                   help="ratchet baseline to compare against (ignored "
+                        "if the file does not exist)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline from this run and exit 0")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print every envelope-domination claim checked")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule registry and exit")
+    p.set_defaults(fn=cmd_fpcheck)
 
     p = sub.add_parser("race-check",
                        help="happens-before race check of the concurrent multimap")

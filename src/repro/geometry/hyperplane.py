@@ -136,21 +136,37 @@ class Hyperplane:
         side is resolved on the symbolically perturbed points and the
         plane carries SoS tie-breaking for every later zero sign.
         """
+        # Scalar twin of kernels.batch_planes + orient_batch, same
+        # committed envelope 16 d (d^2 H + NRM + 1)(B + Q) (atoms:
+        # S = max |defining point|, B = 1 + max |points[0]|, Q = max
+        # |reference|, H = Hadamard product of edge norms, NRM = max
+        # |normal| with the 6*H cofactor forward error).  Checked by
+        # `repro fpcheck`:
+        # repro: fp-bound: assume d in 2..3
+        # repro: fp-bound: fact NRM <= 6*H
+        # repro: fp-bound: guard env_ref
+        # repro: fp-bound: envelope err_scale err_base row_norms hadamard n1 env_ref
         points = np.asarray(points, dtype=np.float64)
+        # repro: fp-bound: in points ~ S
         below = np.asarray(below, dtype=np.float64)
+        # repro: fp-bound: in below ~ Q
         sos = sos_active() and indices is not None
         base_indices = tuple(int(i) for i in indices) if sos else None
         d = points.shape[1]
+        p0 = points[0]
+        # repro: fp-bound: bind p0 ~ B
         normal = cofactor_normal(points)
-        offset = float(normal @ points[0])
-        edges = points[1:] - points[0]
+        # repro: fp-bound: in normal ~ NRM err 6*H
+        offset = float(normal @ p0)
+        edges = points[1:] - p0
         row_norms = np.sqrt((edges * edges).sum(axis=1))
         hadamard = float(np.prod(row_norms)) if row_norms.size else 1.0
         n1 = float(np.abs(normal).sum())
         err_scale = 16.0 * d * _EPS * (d * d * hadamard + n1 + 1.0)
-        err_base = 1.0 + float(np.abs(points[0]).max(initial=0.0))
+        err_base = 1.0 + float(np.abs(p0).max(initial=0.0))
 
         margin_ref = float(normal @ below) - offset
+        # repro: fp-bound: claim margin_ref <= 16*d*(d*d*H + NRM + 1)*(B + Q)
         env_ref = err_scale * (err_base + float(np.abs(below).max(initial=0.0)))
         if not _FORCE_EXACT and abs(margin_ref) > env_ref:
             # Float-certain: orient the normal so the reference is below.
@@ -236,10 +252,21 @@ class Hyperplane:
         breaks exact-zero ties symbolically, so the result is never 0
         for an index outside the plane's defining set.
         """
+        # Same envelope as through(), with the plane's stored normal /
+        # offset standing in for the freshly derived ones:
+        # repro: fp-bound: assume d in 2..3
+        # repro: fp-bound: fact NRM <= 6*H
+        # repro: fp-bound: fact OFF <= d*NRM*B
+        # repro: fp-bound: guard env
+        # repro: fp-bound: envelope env
         q = np.asarray(q, dtype=np.float64)
+        # repro: fp-bound: in q ~ Q
+        # repro: fp-bound: in self.normal ~ NRM err 6*H
+        # repro: fp-bound: in self.offset ~ OFF err 6*d*H*B + 2*d^2*NRM*B
         if self.always_exact:
             return self._side_exact(q, index)
         margin = float(self.normal @ q) - self.offset
+        # repro: fp-bound: claim margin <= 16*d*(d*d*H + NRM + 1)*(B + Q)
         env = self.err_scale * (self.err_base + float(np.abs(q).max(initial=0.0)))
         STATS.count_float()
         if margin > env:

@@ -187,15 +187,37 @@ def batch_planes(
     # repro: shape: simplices=(F,d,d):float64, normals=(F,d):float64
     # repro: shape: offsets=(F,):float64, err_scale=(F,):float64
     # repro: shape: err_base=(F,):float64
+    #
+    # Error-envelope derivation, checked by `repro fpcheck` (atoms are
+    # per-plane measured magnitudes: S = max |simplex entry|, B =
+    # err_base, R0/R1 = edge row norms, H = hadamard, NRM = n1,
+    # OFF = |offset|; ESC = err_scale / eps):
+    # repro: fp-bound: assume d in 2..3
+    # repro: fp-bound: fact R0*R1 <= H @d=3
+    # repro: fp-bound: fact R0 <= H @d=2
+    # repro: fp-bound: fact NRM <= 6*H
+    # repro: fp-bound: out normals ~ NRM err 6*H
+    # repro: fp-bound: out offsets ~ OFF err 6*d*H*B + 2*d^2*NRM*B
+    # repro: fp-bound: out err_scale ~ ESC
+    # repro: fp-bound: out err_base ~ B
+    # repro: fp-bound: envelope err_scale err_base row_norms hadamard n1
     simplices = np.asarray(simplices, dtype=np.float64)
     if simplices.ndim != 3 or simplices.shape[1] != simplices.shape[2]:
         raise ValueError(f"need (F, d, d) simplices, got {simplices.shape}")
     nf, d, _ = simplices.shape
-    edges = simplices[:, 1:, :] - simplices[:, :1, :]  # (F, d-1, d)
+    # repro: fp-bound: in simplices ~ S
+    p0 = simplices[:, :1, :]
+    # repro: fp-bound: bind p0 ~ B
+    edges = simplices[:, 1:, :] - p0  # (F, d-1, d)
+    # repro: fp-bound: bind edges ~ R0 @d=2
     if d == 2:
         normals = np.stack([-edges[:, 0, 1], edges[:, 0, 0]], axis=1)
     elif d == 3:
-        normals = np.cross(edges[:, 0, :], edges[:, 1, :])
+        e0 = edges[:, 0, :]
+        e1 = edges[:, 1, :]
+        # repro: fp-bound: bind e0 ~ R0
+        # repro: fp-bound: bind e1 ~ R1
+        normals = np.cross(e0, e1)
     else:
         # Laplace expansion along the LAST row of [edges; q - p0]:
         # the cofactor of column j carries (-1)^{(d-1)+j}, so this sign
@@ -207,7 +229,8 @@ def batch_planes(
         for j in range(d):
             minors = edges[:, :, cols != j]           # (F, d-1, d-1)
             normals[:, j] = (-1.0) ** (d - 1 + j) * np.linalg.det(minors)
-    offsets = np.einsum("fd,fd->f", normals, simplices[:, 0, :])
+    # repro: fp-bound: bind normals ~ NRM
+    offsets = np.einsum("fd,fd->f", normals, p0[:, 0, :])
     row_norms = np.sqrt((edges * edges).sum(axis=2))  # (F, d-1)
     hadamard = row_norms.prod(axis=1) if d > 1 else np.ones(nf)
     n1 = np.abs(normals).sum(axis=1)
@@ -233,11 +256,22 @@ def orient_batch(simplices: np.ndarray, queries: np.ndarray) -> np.ndarray:
     """
     # repro: shape: simplices=(F,d,d):float64, queries=(Q,d):float64
     # repro: shape: margins=(F,Q):float64, signs=(F,Q):int8 -> (F,Q):int64
+    #
+    # The committed envelope below (err_scale * (err_base + q_inf) at
+    # _FILTER_SCALE == 1) must dominate the first-order rounding error
+    # of the margins sweep; `repro fpcheck` re-derives that bound from
+    # the arithmetic (Q here is the query magnitude atom |q|_inf):
+    # repro: fp-bound: assume d in 2..3
+    # repro: fp-bound: fact OFF <= d*NRM*B
+    # repro: fp-bound: guard env
+    # repro: fp-bound: envelope env q_inf
     simplices = np.asarray(simplices, dtype=np.float64)
     queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    # repro: fp-bound: in queries ~ Q
     normals, offsets, err_scale, err_base = batch_planes(simplices)
     # margins[f, q] = normal_f . q - offset_f  (one sweep for the block)
     margins = np.einsum("fd,qd->fq", normals, queries) - offsets[:, None]
+    # repro: fp-bound: claim margins <= 16*d*(d*d*H + NRM + 1)*(B + Q)
     q_inf = np.abs(queries).max(axis=1, initial=0.0)                 # (Q,)
     env = _FILTER_SCALE * err_scale[:, None] * (err_base[:, None] + q_inf[None, :])
     signs = np.zeros(margins.shape, dtype=np.int8)
@@ -321,9 +355,21 @@ def visible_flat(
     # repro: shape: ranks=(M,):int64, owner=(M,):int64
     # repro: shape: pts_flat=(M,d):float64, margins=(M,):float64
     # repro: shape: env=(M,):float64, mask=(M,):bool
+    #
+    # Filter-boundary admission for `repro fpcheck`: the plane columns
+    # arrive with batch_planes' proven error summaries, and the margin
+    # sweep must stay inside the same committed envelope (atoms as in
+    # batch_planes; Q = gathered point magnitude |p|_inf):
+    # repro: fp-bound: assume d in 2..3
+    # repro: fp-bound: in normals ~ NRM err 6*H
+    # repro: fp-bound: in offsets ~ OFF err 6*d*H*B + 2*d^2*NRM*B
+    # repro: fp-bound: fact OFF <= d*NRM*B
+    # repro: fp-bound: guard env
+    # repro: fp-bound: envelope scale packed env
     if not ranks.size:
         return np.zeros(0, dtype=bool)
     d = pts.shape[1]
+    # repro: fp-bound: in pts ~ Q
     pts_flat = pts[ranks]
     # Pack every per-plane scalar the sweep needs into one (K, d+3)
     # matrix so the per-entry stream costs a *single* wide gather
@@ -337,8 +383,11 @@ def visible_flat(
     packed[:, d + 1] = scale
     packed[:, d + 2] = scale * err_base
     g = packed[owner]
-    margins = np.einsum("md,md->m", pts_flat, g[:, :d])
-    margins -= g[:, d]
+    gn = g[:, :d]    # repro: fp-bound: in gn ~ NRM err 6*H
+    go = g[:, d]     # repro: fp-bound: in go ~ OFF err 6*d*H*B + 2*d^2*NRM*B
+    margins = np.einsum("md,md->m", pts_flat, gn)
+    margins -= go
+    # repro: fp-bound: claim margins <= 16*d*(d*d*H + NRM + 1)*(B + Q)
     q_inf = (np.abs(pts_flat).max(axis=1) if pts_inf is None
              else pts_inf[ranks])
     env = g[:, d + 1] * q_inf

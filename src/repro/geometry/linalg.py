@@ -55,7 +55,20 @@ def det_with_error_bound(m: np.ndarray) -> tuple[float, float]:
     safe in practice.  Callers must treat ``|det| <= err`` as "sign
     unknown" and fall back to :func:`sign_exact`.
     """
+    # Envelope derivation, checked by `repro fpcheck` (atoms: ME = max
+    # |entry|, AD/BC = the two n=2 product magnitudes, CM = the
+    # cofactor envelope, DET = |det|).  The n>=3 committed constant
+    # 16 n^3 2^(n-1) carries a 16x safety factor over the first-order
+    # LAPACK model 108*ME*CM at n=3 (n^3 entry/elimination terms times
+    # the 2^(n-1) pivoting growth PR 3's counterexample proved
+    # necessary -- the old plain eps*Hadamard constant is the seeded
+    # RPRFP001 regression fixture in tests/analyze/test_fpcheck.py):
+    # repro: fp-bound: assume n in 2..3
+    # repro: fp-bound: call det ~ DET err 108*ME*CM @n=3
+    # repro: fp-bound: envelope err floor cof_max norms max_abs max_el
+    # repro: fp-bound: guard norms
     m = np.asarray(m, dtype=np.float64)
+    # repro: fp-bound: in m ~ ME
     n = m.shape[0]
     if n == 0:
         return 1.0, 0.0
@@ -63,10 +76,16 @@ def det_with_error_bound(m: np.ndarray) -> tuple[float, float]:
         return float(m[0, 0]), 0.0
     if n == 2:
         a, b, c, d = m[0, 0], m[0, 1], m[1, 0], m[1, 1]
-        det = a * d - b * c
-        err = 4.0 * _EPS * (abs(a * d) + abs(b * c)) + 4.0 * _TINY
+        ad = a * d
+        bc = b * c
+        # repro: fp-bound: bind ad ~ AD
+        # repro: fp-bound: bind bc ~ BC
+        det = ad - bc
+        # repro: fp-bound: claim det <= 4*AD + 4*BC @n=2
+        err = 4.0 * _EPS * (abs(ad) + abs(bc)) + 4.0 * _TINY
         return float(det), float(err)
     det = float(np.linalg.det(m))
+    # repro: fp-bound: claim det <= 1728*ME*CM @n=3
     # Compute the Hadamard bound underflow-safely: factor each row's
     # largest magnitude out of its norm so the product of the scaled
     # norms stays O(1) and only the explicit max-product can underflow

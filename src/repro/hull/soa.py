@@ -522,6 +522,16 @@ class SoAHullEngine:
 
     def _facets_flat(self, new_idx, vals, owner, blocks):
         """The flat fast path: batch planes + one flat einsum sweep."""
+        # The filter boundary of the flat path: the orientation margin
+        # below must clear the same committed envelope as
+        # Hyperplane.through, with the plane bounds flowing out of the
+        # batch_planes summary.  Checked by `repro fpcheck`:
+        # repro: fp-bound: assume d in 2..3
+        # repro: fp-bound: fact NRM <= 6*H
+        # repro: fp-bound: fact OFF <= d*NRM*B
+        # repro: fp-bound: guard env_ref certain
+        # repro: fp-bound: envelope env_ref
+        # repro: fp-bound: in self.interior ~ Q
         k = int(new_idx.shape[0])
         normals, offsets, e_scale, e_base = batch_planes(self.pts[new_idx])
         # Orient against the interior point: float-certain rows flip in
@@ -530,6 +540,7 @@ class SoAHullEngine:
         # real scalar-ladder plane, so ValueError/SoS semantics on
         # degenerate references are byte-for-byte the oracle's.
         m_ref = normals @ self.interior - offsets
+        # repro: fp-bound: claim m_ref <= 16*d*(d*d*H + NRM + 1)*(B + Q)
         env_ref = e_scale * (e_base + self._interior_inf)
         if exact_active():
             certain = np.zeros(k, dtype=bool)

@@ -305,3 +305,106 @@ class TestLintSarif:
         if results:  # rule set may exempt paths; emitter shape still holds
             loc = results[0]["locations"][0]["physicalLocation"]
             assert loc["region"]["startLine"] >= 1
+
+
+FP_FIXTURE = """
+def decide(margins):
+    # repro: fp-bound: in margins ~ M err 3*M
+    return margins > 0.0
+"""
+
+
+def _fp_path(tmp_path) -> str:
+    p = tmp_path / "fp_fixture.py"
+    p.write_text(FP_FIXTURE)
+    return str(p)
+
+
+FP_BASELINE = REPO / "fpcheck-baseline.json"
+
+
+class TestFpcheckCli:
+    def test_tree_passes_against_committed_baseline(self, capsys):
+        main(["fpcheck", SRC, "--baseline", str(FP_BASELINE)])
+        out = capsys.readouterr().out
+        assert "repro fpcheck:" in out
+        assert "0 finding(s)" in out
+        assert "0 claim failure(s)" in out
+
+    def test_committed_baseline_is_clean(self):
+        payload = json.loads(FP_BASELINE.read_text())
+        assert payload["findings"] == []
+        assert payload["rprfp_suppressions"] == 0
+
+    def test_list_rules(self, capsys):
+        main(["fpcheck", "--list-rules"])
+        out = capsys.readouterr().out
+        for rid in ("RPRFP001", "RPRFP002", "RPRFP003",
+                    "RPRFP004", "RPRFP999"):
+            assert rid in out
+
+    def test_findings_exit_nonzero_without_baseline(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["fpcheck", _fp_path(tmp_path),
+                  "--baseline", str(tmp_path / "absent.json")])
+        assert "RPRFP002" in capsys.readouterr().out
+
+    def test_update_then_pass_then_regress(self, tmp_path, capsys):
+        fp = _fp_path(tmp_path)
+        baseline = tmp_path / "fp-baseline.json"
+        main(["fpcheck", fp, "--baseline", str(baseline),
+              "--update-baseline"])
+        main(["fpcheck", fp, "--baseline", str(baseline)])
+        worse = tmp_path / "fp_fixture.py"
+        worse.write_text(FP_FIXTURE + (
+            "\ndef decide2(other):\n"
+            "    # repro: fp-bound: in other ~ M err 3*M\n"
+            "    return other > 0.0\n"
+        ))
+        with pytest.raises(SystemExit):
+            main(["fpcheck", str(worse), "--baseline", str(baseline)])
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_ratchet_strict_decrease_helper(self, tmp_path):
+        """The shared strict-decrease helper that all three analyzers
+        ratchet with: growing a (rule, path) budget or the suppression
+        count is a problem; shrinking or holding steady is not."""
+        from repro.analyze import assert_strict_decrease
+
+        old = {"version": 1,
+               "findings": [{"rule_id": "RPRFP002", "path": "a.py",
+                             "line": 3, "col": 1, "message": "m"}],
+               "rprfp_suppressions": 1}
+        same = json.loads(json.dumps(old))
+        assert assert_strict_decrease(old, same, "rprfp_suppressions") == []
+        shrunk = {"version": 1, "findings": [], "rprfp_suppressions": 0}
+        assert assert_strict_decrease(old, shrunk, "rprfp_suppressions") == []
+        grown = {"version": 1,
+                 "findings": old["findings"] * 2,
+                 "rprfp_suppressions": 1}
+        assert assert_strict_decrease(old, grown, "rprfp_suppressions")
+        more_noqa = {"version": 1, "findings": old["findings"],
+                     "rprfp_suppressions": 2}
+        assert assert_strict_decrease(old, more_noqa, "rprfp_suppressions")
+
+    def test_sarif_emitted_via_shared_emitter(self, tmp_path):
+        jsonschema = pytest.importorskip("jsonschema")
+        sarif_file = tmp_path / "fp.sarif"
+        with pytest.raises(SystemExit):
+            main(["fpcheck", _fp_path(tmp_path), "--sarif", str(sarif_file),
+                  "--baseline", str(tmp_path / "absent.json")])
+        doc = json.loads(sarif_file.read_text())
+        schema = json.loads(
+            (Path(__file__).parent / "sarif_min_schema.json").read_text()
+        )
+        jsonschema.validate(doc, schema)
+        assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-fpcheck"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RPRFP002"
+
+    def test_json_format_carries_claims(self, tmp_path, capsys):
+        main(["fpcheck", SRC, "--format", "json",
+              "--baseline", str(FP_BASELINE)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["claims"] and all(c["ok"] for c in payload["claims"])
+        assert payload["baseline_problems"] == []

@@ -1,0 +1,353 @@
+"""The five RPRFP rules on seeded fixture programs, plus the real-tree
+cleanliness and ratchet-baseline guarantees.
+
+Each bad fixture must trigger *exactly* its rule; each clean twin must
+pass.  Fixtures carry the same ``# repro: fp-bound:`` grammar as the
+real kernels, so they analyse exactly the way ``src/repro`` does.  The
+centerpiece is the PR 3 regression: the old plain eps*Hadamard
+determinant envelope, re-committed verbatim, must be rejected
+statically (RPRFP001) -- the bug fuzzing found dynamically is now a
+compile-time error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analyze import analyze_fpcheck, baseline_payload
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _run(src: str, name: str = "fixture.py"):
+    return analyze_fpcheck([], sources={name: src})
+
+
+def _rules(result):
+    return [f.rule_id for f in result.findings]
+
+
+# -- RPRFP001: committed envelope under the derived bound -----------------
+
+# The PR 3 regression, distilled: the determinant filter's committed
+# constant was a plain eps * Hadamard bound (16*ME*CM here) with no
+# room for the elimination constants and the 2^(n-1) pivot growth the
+# LAPACK model (108*ME*CM) carries.  Statically rejected.
+PR3_REGRESSION = '''
+import numpy as np
+
+def det_filter(m):
+    # repro: fp-bound: assume n in 3..3
+    # repro: fp-bound: in m ~ ME
+    # repro: fp-bound: call det ~ DET err 108*ME*CM
+    det = float(np.linalg.det(m))
+    # repro: fp-bound: claim det <= 16*ME*CM
+    return det
+'''
+
+PR3_REGRESSION_CLEAN = PR3_REGRESSION.replace("16*ME*CM", "1728*ME*CM")
+
+# Straight-line arithmetic variant: the claim must dominate the
+# derivation from the transfer rules themselves.
+UNDER_CLAIMED_SUM = '''
+def residual(a, b):
+    # repro: fp-bound: in a ~ A
+    # repro: fp-bound: in b ~ B
+    s = a + b
+    # repro: fp-bound: claim s <= 0.1*A + 0.1*B
+    return s
+'''
+
+UNDER_CLAIMED_SUM_CLEAN = UNDER_CLAIMED_SUM.replace("0.1*A + 0.1*B",
+                                                    "0.5*A + 0.5*B")
+
+
+class TestEnvelopeUnderDerived:
+    def test_pr3_regression_flagged(self):
+        r = _run(PR3_REGRESSION)
+        assert _rules(r) == ["RPRFP001"]
+        (f,) = r.findings
+        assert "det" in f.message
+
+    def test_pr3_fixed_constant_clean(self):
+        assert _rules(_run(PR3_REGRESSION_CLEAN)) == []
+
+    def test_under_claimed_arithmetic(self):
+        assert _rules(_run(UNDER_CLAIMED_SUM)) == ["RPRFP001"]
+        assert _rules(_run(UNDER_CLAIMED_SUM_CLEAN)) == []
+
+    def test_claim_recorded_both_ways(self):
+        bad = _run(UNDER_CLAIMED_SUM)
+        good = _run(UNDER_CLAIMED_SUM_CLEAN)
+        assert [c.ok for c in bad.claims] == [False]
+        assert [c.ok for c in good.claims] == [True]
+
+    def test_fact_closes_the_gap(self):
+        # Without the fact the derived NRM monomial has no budget in
+        # the committed 6*H bound; the fact NRM <= 6*H (the cofactor
+        # Hadamard inequality) makes the same claim pass.
+        base = '''
+def scalenorm(n):
+    # repro: fp-bound: in n ~ NRM
+    x = n + n
+    # repro: fp-bound: claim x <= 24*H
+    return x
+'''
+        assert _rules(_run(base)) == ["RPRFP001"]
+        with_fact = base.replace(
+            "    # repro: fp-bound: in n ~ NRM",
+            "    # repro: fp-bound: in n ~ NRM\n"
+            "    # repro: fp-bound: fact NRM <= 6*H",
+        )
+        assert _rules(_run(with_fact)) == []
+
+
+# -- RPRFP002: unfiltered float comparison --------------------------------
+
+UNFILTERED = '''
+def decide(margins):
+    # repro: fp-bound: in margins ~ M err 3*M
+    return margins > 0.0
+'''
+
+GUARDED_STATEMENT = '''
+def decide(margins, env):
+    # repro: fp-bound: in margins ~ M err 3*M
+    # repro: fp-bound: guard env
+    return margins > env
+'''
+
+GUARDED_BRANCH = '''
+def decide(margin, env):
+    # repro: fp-bound: in margin ~ M err 3*M
+    # repro: fp-bound: guard env
+    if abs(margin) > env:
+        if margin > 0.0:
+            return 1
+        return -1
+    return 0
+'''
+
+
+class TestUnfilteredComparison:
+    def test_bare_comparison_flagged(self):
+        r = _run(UNFILTERED)
+        assert _rules(r) == ["RPRFP002"]
+
+    def test_guard_in_statement_clean(self):
+        assert _rules(_run(GUARDED_STATEMENT)) == []
+
+    def test_comparison_inside_guarded_branch_clean(self):
+        # The scalar-ladder shape: the inner sign test mentions no
+        # envelope name, but the enclosing branch condition does -- the
+        # comparison is dominated by the filter.
+        assert _rules(_run(GUARDED_BRANCH)) == []
+
+    def test_errorless_data_not_flagged(self):
+        # Exact inputs (no err declaration) carry no rounding error;
+        # comparing them trusts nothing.
+        src = UNFILTERED.replace(" err 3*M", "")
+        assert _rules(_run(src)) == []
+
+
+# -- RPRFP003: non-conservative envelope arithmetic -----------------------
+
+SUBTRACTIVE_ENVELOPE = '''
+def envelope(a, b):
+    # repro: fp-bound: in a ~ A
+    # repro: fp-bound: in b ~ B
+    # repro: fp-bound: envelope env
+    env = a - b
+    return env
+'''
+
+ADDITIVE_ENVELOPE = SUBTRACTIVE_ENVELOPE.replace("a - b", "a + b")
+
+
+class TestNonConservativeEnvelope:
+    def test_subtraction_flagged(self):
+        assert _rules(_run(SUBTRACTIVE_ENVELOPE)) == ["RPRFP003"]
+
+    def test_addition_clean(self):
+        assert _rules(_run(ADDITIVE_ENVELOPE)) == []
+
+    def test_division_flagged(self):
+        assert _rules(_run(SUBTRACTIVE_ENVELOPE.replace("a - b", "a / b"))) \
+            == ["RPRFP003"]
+
+    def test_index_arithmetic_exempt(self):
+        # n - 1 on a pinned dimension is exact integer arithmetic, not
+        # float envelope data: no finding even inside an envelope RHS.
+        src = '''
+def envelope(a, n):
+    # repro: fp-bound: assume n in 2..3
+    # repro: fp-bound: in a ~ A
+    # repro: fp-bound: envelope env
+    env = a * 2.0 ** (n - 1)
+    return env
+'''
+        assert _rules(_run(src)) == []
+
+    def test_non_envelope_name_exempt(self):
+        src = SUBTRACTIVE_ENVELOPE.replace("envelope env", "envelope other")
+        assert _rules(_run(src)) == []
+
+
+# -- RPRFP004: filter-knob misuse -----------------------------------------
+
+SHRUNK_ENVELOPE = '''
+def envelope(e):
+    # repro: fp-bound: in e ~ E
+    # repro: fp-bound: envelope env
+    env = e * 0.5
+    return env
+'''
+
+LATE_ADJUST = '''
+def decide(margin, env):
+    # repro: fp-bound: in margin ~ M err 2*M
+    # repro: fp-bound: guard env
+    # repro: fp-bound: envelope env
+    ok = margin > env
+    env = env * 2.0
+    return ok, env
+'''
+
+
+class TestFilterKnobMisuse:
+    def test_fractional_scale_flagged(self):
+        assert _rules(_run(SHRUNK_ENVELOPE)) == ["RPRFP004"]
+
+    def test_inflating_scale_clean(self):
+        assert _rules(_run(SHRUNK_ENVELOPE.replace("0.5", "2.0"))) == []
+
+    def test_filter_scale_knob_below_one(self):
+        src = '''
+def configure(filter_scale):
+    # repro: fp-bound: guard env
+    filter_scale(0.25)
+'''
+        assert _rules(_run(src)) == ["RPRFP004"]
+
+    def test_adjust_after_comparison_flagged(self):
+        assert _rules(_run(LATE_ADJUST)) == ["RPRFP004"]
+
+    def test_adjust_before_comparison_clean(self):
+        src = '''
+def decide(margin, env):
+    # repro: fp-bound: in margin ~ M err 2*M
+    # repro: fp-bound: guard env
+    # repro: fp-bound: envelope env
+    env = env * 2.0
+    ok = margin > env
+    return ok, env
+'''
+        assert _rules(_run(src)) == []
+
+
+# -- RPRFP999: annotation / parse errors ----------------------------------
+
+
+class TestAnnotationErrors:
+    def test_malformed_clause(self):
+        src = "def f():\n    # repro: fp-bound: claim <= nonsense\n    pass\n"
+        r = _run(src)
+        assert _rules(r) == ["RPRFP999"]
+
+    def test_module_level_clause(self):
+        r = _run("# repro: fp-bound: guard env\nx = 1\n")
+        assert _rules(r) == ["RPRFP999"]
+
+    def test_unparseable_file(self):
+        r = _run("def f(:\n")
+        assert _rules(r) == ["RPRFP999"]
+
+    def test_bad_poly_in_clause(self):
+        src = "def f():\n    # repro: fp-bound: fact NRM <= 6*\n    pass\n"
+        assert _rules(_run(src)) == ["RPRFP999"]
+
+
+# -- suppression ----------------------------------------------------------
+
+
+class TestSuppression:
+    def test_noqa_moves_finding_to_suppressed(self):
+        src = UNFILTERED.replace(
+            "return margins > 0.0",
+            "return margins > 0.0  # repro: noqa: RPRFP002",
+        )
+        r = _run(src)
+        assert r.findings == []
+        assert [f.rule_id for f in r.suppressed] == ["RPRFP002"]
+        assert len(r.suppressions()) == 1
+
+
+# -- interprocedural summaries --------------------------------------------
+
+CALLER_USES_SUMMARY = '''
+def producer(pts):
+    # repro: fp-bound: assume d in 2..3
+    # repro: fp-bound: in pts ~ S
+    # repro: fp-bound: out normals ~ NRM err 6*H
+    normals = pts
+    return normals
+
+def consumer(pts, q):
+    # repro: fp-bound: assume d in 2..3
+    # repro: fp-bound: in q ~ Q
+    normals = producer(pts)
+    m = normals @ q
+    # repro: fp-bound: claim m <= 16*d*(H + NRM)*Q
+    return m
+'''
+
+
+class TestInterprocedural:
+    def test_out_summary_flows_to_caller(self):
+        r = _run(CALLER_USES_SUMMARY)
+        assert _rules(r) == []
+        by_fn = {(c.qualname.rsplit(".", 1)[-1], c.pin): c.ok
+                 for c in r.claims}
+        assert by_fn[("consumer", ("d", 2))] is True
+        assert by_fn[("consumer", ("d", 3))] is True
+
+    def test_under_committed_caller_flagged(self):
+        src = CALLER_USES_SUMMARY.replace("16*d*(H + NRM)*Q", "0.1*NRM*Q")
+        r = _run(src)
+        assert _rules(r) == ["RPRFP001", "RPRFP001"]  # one per pin
+
+
+# -- the real tree --------------------------------------------------------
+
+
+class TestRealTree:
+    def test_src_repro_is_clean(self):
+        r = analyze_fpcheck([str(REPO / "src" / "repro")])
+        assert r.findings == []
+        assert r.suppressed == []
+
+    def test_all_five_boundaries_annotated_and_claimed(self):
+        r = analyze_fpcheck([str(REPO / "src" / "repro")])
+        claimed = {c.qualname for c in r.claims}
+        for qual in [
+            "repro.geometry.kernels.batch_planes",
+            "repro.geometry.kernels.orient_batch",
+            "repro.geometry.kernels.visible_flat",
+            "repro.geometry.linalg.det_with_error_bound",
+            "repro.geometry.hyperplane.Hyperplane.through",
+            "repro.geometry.hyperplane.Hyperplane.side",
+            "repro.hull.soa.SoAHullEngine._facets_flat",
+        ]:
+            assert qual in claimed, qual
+        assert all(c.ok for c in r.claims)
+        assert len(r.claims) >= 16
+
+    def test_committed_baseline_matches_clean_tree(self):
+        baseline = json.loads(
+            (REPO / "fpcheck-baseline.json").read_text())
+        r = analyze_fpcheck([str(REPO / "src" / "repro")])
+        assert baseline == baseline_payload(
+            r, suppression_key="rprfp_suppressions")
+        assert baseline["findings"] == []
+        assert baseline["rprfp_suppressions"] == 0

@@ -1,0 +1,266 @@
+"""The dynamic closure of `repro fpcheck`: committed >= derived >= observed.
+
+The static analyzer proves ``committed dominates derived`` symbolically;
+what it *trusts* is the annotation surface (the ``in``/``bind``/``out``
+magnitude atoms and the transfer rules).  This differential closes the
+loop numerically: for every envelope claim on the four kernel
+boundaries we evaluate
+
+* **committed** -- the claim polynomial (the envelope the code ships),
+* **derived**   -- the analyzer's first-order bound, and
+* **observed**  -- the true forward error, measured by shadow-executing
+  the same arithmetic in exact :class:`~fractions.Fraction` rationals,
+
+at the measured per-input atom values, and assert the three-way chain
+``committed >= derived >= observed`` over random inputs (three scales)
+and every family of the degenerate corpus.  A transfer rule that
+under-counts a rounding, or an annotation atom that does not actually
+bound its array, breaks the chain here even though the static check
+passes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analyze import analyze_fpcheck
+from repro.analyze.fperror import EPS, poly_eval
+from repro.geometry.degenerate import corpus_case, corpus_names
+from repro.geometry.kernels import batch_planes, orient_batch
+from repro.geometry.linalg import det_exact, det_with_error_bound
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: slack for second-order terms (the derived bound is first order in u)
+#: and for the float evaluation of the atom polynomials themselves.
+SLACK = 1.0 + 2.0 ** -40
+
+_RESULT = analyze_fpcheck([str(REPO / "src" / "repro")])
+CLAIMS = {(c.qualname, c.name, c.pin): c for c in _RESULT.claims}
+
+
+def _claim(qual_tail: str, name: str, d: int):
+    c = CLAIMS.get((f"repro.geometry.{qual_tail}", name, ("d", d))) \
+        or CLAIMS.get((f"repro.geometry.{qual_tail}", name, ("n", d)))
+    assert c is not None, (qual_tail, name, d)
+    assert c.ok and c.derived is not None
+    return c
+
+
+def _frac_rows(a: np.ndarray) -> list[list[Fraction]]:
+    return [[Fraction(x) for x in row] for row in a.tolist()]
+
+
+def _exact_plane(simplex: np.ndarray):
+    """Exact (normal, offset) with batch_planes' sign convention."""
+    f = _frac_rows(simplex)
+    d = len(f[0])
+    e = [[f[i + 1][j] - f[0][j] for j in range(d)] for i in range(d - 1)]
+    if d == 2:
+        normal = [-e[0][1], e[0][0]]
+    else:
+        normal = [
+            e[0][1] * e[1][2] - e[0][2] * e[1][1],
+            e[0][2] * e[1][0] - e[0][0] * e[1][2],
+            e[0][0] * e[1][1] - e[0][1] * e[1][0],
+        ]
+    offset = sum(n * x for n, x in zip(normal, f[0]))
+    return normal, offset
+
+
+def _plane_atoms(simplices, normals, offsets, err_base):
+    """The per-plane measured atom values the annotation declares."""
+    edges = simplices[:, 1:, :] - simplices[:, :1, :]
+    row_norms = np.sqrt((edges * edges).sum(axis=2))
+    out = []
+    for fi in range(simplices.shape[0]):
+        rn = row_norms[fi]
+        out.append({
+            "S": float(np.abs(simplices[fi]).max(initial=0.0)),
+            "B": float(err_base[fi]),
+            "R0": float(rn[0]),
+            "R1": float(rn[-1]),
+            "H": float(np.prod(rn)),
+            "NRM": float(np.abs(normals[fi]).sum()),
+            "OFF": float(abs(offsets[fi])),
+        })
+    return out
+
+
+def _blocks():
+    """(label, simplices (F,d,d), queries (Q,d)) test blocks: random at
+    three scales per dimension, plus every degenerate family."""
+    blocks = []
+    rng = np.random.default_rng(0)
+    for d in (2, 3):
+        for scale in (1.0, 1e8, 1e-8):
+            sims = rng.standard_normal((4, d, d)) * scale
+            qs = rng.standard_normal((5, d)) * scale
+            blocks.append((f"random-d{d}-s{scale:g}", sims, qs))
+    for name in corpus_names():
+        pts = np.asarray(corpus_case(name, seed=0), dtype=np.float64)
+        d = pts.shape[1]
+        if d not in (2, 3) or pts.shape[0] < d + 2:
+            continue
+        nf = min(4, pts.shape[0] - d)
+        sims = np.stack([pts[i:i + d] for i in range(nf)])
+        qs = pts[-min(4, pts.shape[0]):]
+        blocks.append((f"degenerate-{name}", sims, qs))
+    return blocks
+
+
+BLOCKS = _blocks()
+
+
+def _ids():
+    return [b[0] for b in BLOCKS]
+
+
+def _chain(committed: float, derived: float, observed: float, where: str):
+    assert committed * SLACK >= derived, \
+        f"{where}: committed {committed!r} < derived {derived!r}"
+    assert derived * SLACK >= observed, \
+        f"{where}: derived {derived!r} < observed {observed!r}"
+
+
+class TestBatchPlanes:
+    @pytest.mark.parametrize("label,sims,qs", BLOCKS, ids=_ids())
+    def test_normals_and_offsets_three_way(self, label, sims, qs):
+        d = sims.shape[1]
+        normals, offsets, e_scale, e_base = batch_planes(sims)
+        atoms = _plane_atoms(sims, normals, offsets, e_base)
+        c_n = _claim("kernels.batch_planes", "normals", d)
+        c_o = _claim("kernels.batch_planes", "offsets", d)
+        for fi in range(sims.shape[0]):
+            n_ex, off_ex = _exact_plane(sims[fi])
+            obs_n = max(abs(Fraction(x) - e)
+                        for x, e in zip(normals[fi].tolist(), n_ex))
+            obs_o = abs(Fraction(float(offsets[fi])) - off_ex)
+            _chain(poly_eval(c_n.committed, atoms[fi]) * EPS,
+                   poly_eval(c_n.derived, atoms[fi]) * EPS,
+                   float(obs_n), f"{label} normals[{fi}]")
+            _chain(poly_eval(c_o.committed, atoms[fi]) * EPS,
+                   poly_eval(c_o.derived, atoms[fi]) * EPS,
+                   float(obs_o), f"{label} offsets[{fi}]")
+
+
+class TestMarginSweeps:
+    @pytest.mark.parametrize("label,sims,qs", BLOCKS, ids=_ids())
+    def test_orient_batch_margins_three_way(self, label, sims, qs):
+        d = sims.shape[1]
+        normals, offsets, e_scale, e_base = batch_planes(sims)
+        atoms = _plane_atoms(sims, normals, offsets, e_base)
+        # The same sweep expression as the kernel, operand for operand.
+        margins = np.einsum("fd,qd->fq", normals, qs) - offsets[:, None]
+        c = _claim("kernels.orient_batch", "margins", d)
+        for fi in range(sims.shape[0]):
+            n_ex, off_ex = _exact_plane(sims[fi])
+            for qi in range(qs.shape[0]):
+                a = dict(atoms[fi])
+                a["Q"] = float(np.abs(qs[qi]).max(initial=0.0))
+                exact = sum(n * Fraction(x)
+                            for n, x in zip(n_ex, qs[qi].tolist())) - off_ex
+                obs = abs(Fraction(float(margins[fi, qi])) - exact)
+                _chain(poly_eval(c.committed, a) * EPS,
+                       poly_eval(c.derived, a) * EPS,
+                       float(obs), f"{label} margins[{fi},{qi}]")
+
+    @pytest.mark.parametrize("label,sims,qs", BLOCKS, ids=_ids())
+    def test_orient_batch_signs_match_exact(self, label, sims, qs):
+        # End-to-end: the envelope the chain certifies is the one the
+        # kernel filters with, so every returned sign must equal the
+        # exact rational sign.
+        signs = orient_batch(sims, qs)
+        for fi in range(sims.shape[0]):
+            n_ex, off_ex = _exact_plane(sims[fi])
+            for qi in range(qs.shape[0]):
+                exact = sum(n * Fraction(x)
+                            for n, x in zip(n_ex, qs[qi].tolist())) - off_ex
+                want = (exact > 0) - (exact < 0)
+                assert signs[fi, qi] == want, (label, fi, qi)
+
+    @pytest.mark.parametrize("label,sims,qs", BLOCKS, ids=_ids())
+    def test_visible_flat_margins_three_way(self, label, sims, qs):
+        d = sims.shape[1]
+        normals, offsets, e_scale, e_base = batch_planes(sims)
+        atoms = _plane_atoms(sims, normals, offsets, e_base)
+        nf, nq = sims.shape[0], qs.shape[0]
+        owner = np.repeat(np.arange(nf), nq)
+        ranks = np.tile(np.arange(nq), nf)
+        # visible_flat's gathered sweep, operand for operand.
+        gn = normals[owner]
+        go = offsets[owner]
+        margins = np.einsum("md,md->m", qs[ranks], gn) - go
+        c = _claim("kernels.visible_flat", "margins", d)
+        for m in range(margins.shape[0]):
+            fi, qi = int(owner[m]), int(ranks[m])
+            n_ex, off_ex = _exact_plane(sims[fi])
+            a = dict(atoms[fi])
+            a["Q"] = float(np.abs(qs[qi]).max(initial=0.0))
+            exact = sum(n * Fraction(x)
+                        for n, x in zip(n_ex, qs[qi].tolist())) - off_ex
+            obs = abs(Fraction(float(margins[m])) - exact)
+            _chain(poly_eval(c.committed, a) * EPS,
+                   poly_eval(c.derived, a) * EPS,
+                   float(obs), f"{label} flat[{m}]")
+
+
+def _det_matrices():
+    mats = []
+    rng = np.random.default_rng(1)
+    for n in (2, 3):
+        for scale in (1.0, 1e8, 1e-8):
+            for _ in range(3):
+                mats.append((f"random-n{n}-s{scale:g}",
+                             rng.standard_normal((n, n)) * scale))
+    # PR 3's counterexample: two near-parallel small rows mixed with a
+    # large one -- the case the old eps*Hadamard envelope under-covered.
+    mats.append(("pr3-pivot-growth",
+                 np.array([[1.0, 0.0, 0.0],
+                           [2.0, 5985.0, 1805.0],
+                           [1.5, 0.0, 0.0]])))
+    # Exactly singular and near-singular.
+    mats.append(("singular", np.array([[1.0, 2.0], [2.0, 4.0]])))
+    base = rng.standard_normal((3, 3))
+    base[2] = base[0] + base[1] * (1 + 1e-14)
+    mats.append(("near-singular", base))
+    for name in corpus_names():
+        pts = np.asarray(corpus_case(name, seed=0), dtype=np.float64)
+        d = pts.shape[1]
+        if d in (2, 3) and pts.shape[0] >= d:
+            mats.append((f"degenerate-{name}", pts[:d].copy()))
+    return mats
+
+
+DET_MATS = _det_matrices()
+
+
+class TestDetWithErrorBound:
+    @pytest.mark.parametrize("label,m", DET_MATS,
+                             ids=[x[0] for x in DET_MATS])
+    def test_three_way(self, label, m):
+        n = m.shape[0]
+        det, env = det_with_error_bound(m)
+        obs = abs(Fraction(det) - det_exact(m.tolist()))
+        row_norms = np.sqrt((m * m).sum(axis=1))
+        keep = np.argsort(row_norms)[1:]
+        if n == 2:
+            a, b, c_, d_ = m[0, 0], m[0, 1], m[1, 0], m[1, 1]
+            atoms = {"AD": float(abs(a * d_)), "BC": float(abs(b * c_)),
+                     "ME": float(np.abs(m).max()), "CM": 1.0, "DET": abs(det)}
+        else:
+            atoms = {"ME": float(np.abs(m).max()),
+                     "CM": float(np.prod(row_norms[keep])),
+                     "DET": abs(det)}
+        c = _claim("linalg.det_with_error_bound", "det", n)
+        committed = poly_eval(c.committed, atoms) * EPS
+        derived = poly_eval(c.derived, atoms) * EPS
+        _chain(committed, derived, float(obs), f"{label} det")
+        # The envelope the function actually returns carries the same
+        # committed constant plus the subnormal floor: it must cover the
+        # observed error too (the end-to-end filter guarantee).
+        assert env * SLACK >= float(obs), (label, env, float(obs))

@@ -10,6 +10,8 @@ Fixtures are written to tmp_path so the checker runs end-to-end
 import textwrap
 from pathlib import Path
 
+import pytest
+
 from repro.lint import ALL_RULES, lint_paths, run_lint
 from repro.lint.core import collect_files, parse_file
 
@@ -343,23 +345,40 @@ class TestRunner:
 
 
 class TestNoqaAudit:
-    """The in-tree suppression inventory, pinned.
+    """The in-tree suppression inventory, pinned -- one uniform sweep
+    across every analyzer family.
 
-    Every ``# repro: noqa`` in ``src/`` was audited for PR 5; the two
-    RPR004s that remain are exact-predicate sign tests where the linted
-    idiom (float comparison against zero) is itself the specification.
-    PR 6 added the audited RPRHOT set: the exact-filter fallback loops
-    in ``kernels.py`` (the scalar ladder *is* the fallback, by design)
-    and the benchmark harness in ``kernelbench.py`` (its per-instance
-    loops are the measurement scaffold, not the hot path); the per-file
-    counts are pinned here and the total is ratcheted in
-    ``hotpath-baseline.json``.  A new suppression anywhere in the tree
-    must update this pin *and* justify itself in review -- this is the
-    textual half of the ratchet whose RPREFF/RPRHOT halves live in
-    ``analyze-baseline.json``/``hotpath-baseline.json``.
+    Every ``# repro: noqa`` in ``src/`` is audited: the two RPR004s are
+    exact-predicate sign tests where the linted idiom (float comparison
+    against zero) is itself the specification; the RPRHOT set is the
+    exact-filter fallback loops in ``kernels.py`` (the scalar ladder
+    *is* the fallback, by design), the benchmark harness in
+    ``kernelbench.py`` (measurement scaffold, not hot path), and the
+    lying oracle's per-decision hash draws in ``noisy.py``.  The
+    effects (RPREFF) and fp-filter (RPRFP) analyzers run suppression-
+    free.  A new suppression anywhere must update the pin *and* justify
+    itself in review -- this is the textual half of the ratchet whose
+    machine halves live in ``analyze-baseline.json`` /
+    ``hotpath-baseline.json`` / ``fpcheck-baseline.json``.
     """
 
     REPO = Path(__file__).resolve().parents[2]
+
+    #: analyzer-family prefix -> pinned per-file suppression counts.
+    #: ``RPR`` means the plain lint rules (RPRnnn, excluding the
+    #: analyzer families below); blanket no-code noqas count toward
+    #: every family and are therefore pinned to zero implicitly.
+    FAMILIES = ("RPREFF", "RPRHOT", "RPRFP")
+    PINNED = {
+        "RPR": {"halfspaces.py": 1, "certify.py": 1},
+        "RPREFF": {},
+        "RPRHOT": {
+            "kernels.py": 7,
+            "kernelbench.py": 10,
+            "noisy.py": 2,
+        },
+        "RPRFP": {},
+    }
 
     def _tree_suppressions(self):
         from repro.lint.core import iter_suppressions, load_files
@@ -367,46 +386,37 @@ class TestNoqaAudit:
         files, _ = load_files([self.REPO / "src"])
         return iter_suppressions(files)
 
-    def test_rpr_suppression_inventory_is_pinned(self):
-        audited = {
-            (Path(c.path).name, c.codes)
-            for c in self._tree_suppressions()
-            if c.codes is None
-            or any(code.startswith("RPR") and not code.startswith("RPRHOT")
-                   for code in c.codes)
-        }
-        assert audited == {
-            ("halfspaces.py", frozenset({"RPR004"})),
-            ("certify.py", frozenset({"RPR004"})),
-        }
+    def _covers(self, c, prefix: str) -> bool:
+        if c.codes is None:
+            return True  # a blanket noqa covers every family
+        if prefix == "RPR":
+            return any(
+                code.startswith("RPR")
+                and not any(code.startswith(f) for f in self.FAMILIES)
+                for code in c.codes
+            )
+        return any(code.startswith(prefix) for code in c.codes)
 
-    def test_rprhot_suppression_inventory_is_pinned(self):
+    @pytest.mark.parametrize("prefix", ["RPR", "RPREFF", "RPRHOT", "RPRFP"])
+    def test_suppression_inventory_is_pinned(self, prefix):
         from collections import Counter
 
-        hot = Counter(
+        got = Counter(
             Path(c.path).name
             for c in self._tree_suppressions()
-            if c.codes is not None
-            and any(code.startswith("RPRHOT") for code in c.codes)
+            if self._covers(c, prefix)
         )
-        assert dict(hot) == {
-            # +2 over PR 6: the exact fallback of the SoA engine's
-            # flat visibility sweep (``visible_flat``) is the same
-            # scalar-ladder-by-design pattern as the other three.
-            "kernels.py": 7,
-            "kernelbench.py": 10,
-            # The lying oracle draws one keyed hash per (site, attempt)
-            # by definition -- per-decision, not batchable.
-            "noisy.py": 2,
-        }
+        assert dict(got) == self.PINNED[prefix], prefix
 
-    def test_no_rpreff_suppressions_in_tree(self):
-        rpreff = [
-            c for c in self._tree_suppressions()
-            if c.codes is None
-            or any(code.startswith("RPREFF") for code in c.codes)
-        ]
-        assert rpreff == []
+    def test_analyzer_trees_run_suppression_free(self):
+        """The two clean analyzers really are clean, not silenced:
+        their tree runs carry zero suppressed findings."""
+        from repro.analyze import analyze_fpcheck, analyze_paths
+
+        fp = analyze_fpcheck([str(self.REPO / "src" / "repro")])
+        assert fp.suppressed == [] and fp.suppressions() == []
+        eff = analyze_paths([str(self.REPO / "src" / "repro")])
+        assert eff.suppressed == []
 
     def test_no_unused_suppressions_in_tree(self):
         from repro.lint.core import unused_suppressions

@@ -90,6 +90,29 @@ class TestFuzzer:
         finally:
             sys.argv = old_argv
 
+    def test_fpcheck_cases_never_crash(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            from fuzz import one_fpcheck_case
+        finally:
+            sys.path.pop(0)
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            assert one_fpcheck_case(rng, verbose=False) is None
+
+    def test_fpcheck_flag_wired(self):
+        sys.path.insert(0, TOOLS_DIR)
+        try:
+            import fuzz
+        finally:
+            sys.path.pop(0)
+        old_argv = sys.argv
+        sys.argv = ["fuzz.py", "--fpcheck", "--iterations", "5", "--seed", "13"]
+        try:
+            assert fuzz.main() == 0
+        finally:
+            sys.argv = old_argv
+
     def test_noisy_cases_agree(self):
         sys.path.insert(0, TOOLS_DIR)
         try:

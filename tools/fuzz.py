@@ -677,6 +677,88 @@ def one_hotpath_case(rng: np.random.Generator, verbose: bool) -> str | None:
     return None
 
 
+# Seed programs for --fpcheck: annotated kernel sketches in the
+# fp-filter analyzer's input language (fp-bound clause blocks, claims,
+# guards, envelopes).  Mutations produce mangled clause grammar,
+# orphaned claims, contradictory pins, and broken arithmetic; the
+# analyzer must degrade to RPRFP999 findings, never crash.
+FPCHECK_SEEDS = [
+    '''
+import numpy as np
+
+def planes(simplices):
+    # repro: fp-bound: assume d in 2..3
+    # repro: fp-bound: in simplices ~ S
+    # repro: fp-bound: fact NRM <= 6*H
+    # repro: fp-bound: out normals ~ NRM err 6*H
+    p0 = simplices[:, :1, :]
+    # repro: fp-bound: bind p0 ~ B
+    edges = simplices[:, 1:, :] - p0
+    # repro: fp-bound: bind edges ~ R0
+    normals = np.cross(edges[:, 0, :], edges[:, 1, :])
+    # repro: fp-bound: bind normals ~ NRM
+    offsets = np.einsum("fd,fd->f", normals, p0[:, 0, :])
+    # repro: fp-bound: claim offsets <= 6*d*H*B + 2*d^2*NRM*B
+    return normals, offsets
+''',
+    '''
+def decide(margin, env, scale):
+    # repro: fp-bound: in margin ~ M err 3*M
+    # repro: fp-bound: guard env
+    # repro: fp-bound: envelope env scale
+    env = env * 2.0
+    if abs(margin) > env:
+        if margin > 0.0:
+            return 1
+        return -1
+    return 0
+''',
+]
+
+_FPCHECK_TOKENS = [
+    "# repro: fp-bound: claim x <= 3*H", "# repro: fp-bound: in q ~ Q",
+    "# repro: fp-bound: fact NRM <= 6*H", "# repro: fp-bound: guard env",
+    "# repro: fp-bound: assume d in 2..3", "# repro: fp-bound: envelope env",
+    "# repro: fp-bound: bind z ~", "# repro: fp-bound: claim <= H",
+    "# repro: fp-bound: fact 2*X <=", "# repro: fp-bound: assume d in 9..2",
+    "# repro: fp-bound: wibble q r", "# repro: fp-bound: out y ~ Y err 6*",
+    "env = env * 0.5", "margins = margins - offs", "x = a @ b",
+    "# repro: noqa: RPRFP002", "return margin > 0.0",
+]
+
+
+def one_fpcheck_case(rng: np.random.Generator, verbose: bool) -> str | None:
+    """Fuzz the fp-filter analyzer: random mutations of annotated
+    kernel sketches -- including mangled ``fp-bound:`` clause tokens --
+    must never crash the error-domain walk, and the output must stay
+    well-formed (findings format and JSON round-trip; grammar damage
+    surfaces as RPRFP999 pseudo-findings, not exceptions)."""
+    from repro.analyze import Finding
+    from repro.analyze.fpcheck import analyze_fpcheck, render_fp_text
+
+    seed_ix = int(rng.integers(0, len(FPCHECK_SEEDS)))
+    src = FPCHECK_SEEDS[seed_ix]
+    n_mut = int(rng.integers(1, 8))
+    for _ in range(n_mut):
+        src = _mutate_source(src, rng, tokens=_FPCHECK_TOKENS)
+    label = f"fpcheck[seed={seed_ix}, mutations={n_mut}]"
+    if verbose:
+        print(f"  {label}")
+    try:
+        result = analyze_fpcheck([], sources={"fuzz_mutant.py": src})
+        for f in result.findings + result.suppressed:
+            assert f.format()
+            assert Finding.from_dict(f.as_dict()) == f
+        for c in result.claims:
+            assert isinstance(c.ok, bool) and c.line >= 1
+        assert isinstance(render_fp_text(result, verbose=True), str)
+        assert len(result.suppressions()) >= 0
+    except Exception as exc:  # noqa: BLE001 - fuzzing surface
+        return (f"{label}: analyzer crashed with "
+                f"{type(exc).__name__}: {exc}\n--- mutant ---\n{src}")
+    return None
+
+
 def one_effects_case(rng: np.random.Generator, verbose: bool) -> str | None:
     """Fuzz the static effect analyzer: random mutations of seed
     programs must never crash it, and its output must stay well-formed
@@ -729,6 +811,9 @@ def main() -> int:
     ap.add_argument("--hotpath", action="store_true",
                     help="fuzz the vectorization hot-path analyzer on "
                          "mutated kernel sketches instead")
+    ap.add_argument("--fpcheck", action="store_true",
+                    help="fuzz the fp-filter-soundness analyzer on "
+                         "mutated annotated kernel sketches instead")
     ap.add_argument("--duration", type=float, default=None, metavar="SECS",
                     help="run until the wall-clock budget expires "
                          "(overrides --iterations)")
@@ -748,6 +833,8 @@ def main() -> int:
         cases = (one_effects_case,)
     elif args.hotpath:
         cases = (one_hotpath_case,)
+    elif args.fpcheck:
+        cases = (one_fpcheck_case,)
     else:
         cases = (one_case, one_multimap_case)
     deadline = None if args.duration is None else time.monotonic() + args.duration
@@ -773,7 +860,8 @@ def main() -> int:
             else "kernels" if args.kernels
             else "noisy" if args.noisy
             else "effects" if args.effects
-            else "hotpath" if args.hotpath else "differential")
+            else "hotpath" if args.hotpath
+            else "fpcheck" if args.fpcheck else "differential")
     if failures:
         print(f"{failures} failing cases out of {i} {kind} iterations")
         return 1
